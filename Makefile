@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race bench experiments fuzz cover clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test ./... -race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus the extension studies.
+experiments:
+	$(GO) run ./cmd/vfpsbench -exp all -rows 2000 -queries 16 -epochs 20
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+
+fuzz:
+	$(GO) test ./internal/dataset -run='^$$' -fuzz=FuzzLoadCSV -fuzztime=30s
+	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzReadRequest -fuzztime=30s
+
+clean:
+	rm -f cover.out vfpsbench vfpsnode vfpsselect vfpsserve

@@ -1,0 +1,126 @@
+// Command vfpsbench regenerates the paper's tables and figures on the
+// synthetic dataset suite.
+//
+// Usage:
+//
+//	vfpsbench -exp all                 # everything, default scale
+//	vfpsbench -exp table4 -rows 2000   # one experiment, bigger workload
+//	vfpsbench -exp fig7 -datasets Phishing
+//	vfpsbench -exp all -json out.json  # also write structured results
+//
+// Times are projected seconds under the calibrated cost model (see
+// DESIGN.md); pass -full to use the paper's full learning-rate grid.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vfps/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|exttopk|extscheme|extdp|extpruning|extbatch|all")
+		rows      = flag.Int("rows", 800, "max instances per dataset")
+		queries   = flag.Int("queries", 32, "KNN query samples for selection")
+		k         = flag.Int("k", 10, "proxy-KNN neighbour count")
+		parties   = flag.Int("parties", 4, "consortium size")
+		selCount  = flag.Int("select", 2, "sub-consortium size")
+		epochs    = flag.Int("epochs", 30, "max downstream training epochs")
+		datasets  = flag.String("datasets", "", "comma-separated dataset subset (default all)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		full      = flag.Bool("full", false, "use the paper's full learning-rate grid {0.001,0.01,0.1}")
+		scaleRows = flag.Bool("scalerows", true, "size each dataset relative to its paper-scale row count")
+		jsonPath  = flag.String("json", "", "also write structured results to this JSON file")
+		withGBDT  = flag.Bool("gbdt", false, "add the GBDT extension model to the table4/table5 grids")
+		repeats   = flag.Int("repeats", 1, "average the table4/table5 grids over this many seeded runs (paper: 5)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Rows:        *rows,
+		Queries:     *queries,
+		K:           *k,
+		Parties:     *parties,
+		SelectCount: *selCount,
+		MaxEpochs:   *epochs,
+		Seed:        *seed,
+		ScaleRows:   *scaleRows,
+		IncludeGBDT: *withGBDT,
+		Repeats:     *repeats,
+		Out:         os.Stdout,
+	}
+	if *full {
+		opt.LRGrid = []float64{0.001, 0.01, 0.1}
+	}
+	if *datasets != "" {
+		opt.Datasets = strings.Split(*datasets, ",")
+	}
+
+	ctx := context.Background()
+	runners := map[string]func() (any, error){
+		"table1":     func() (any, error) { return experiments.Table1(ctx, opt) },
+		"table4":     func() (any, error) { return experiments.Grid(ctx, opt) },
+		"table5":     func() (any, error) { return experiments.Grid(ctx, opt) },
+		"fig4":       func() (any, error) { return experiments.Fig4(ctx, opt) },
+		"fig5":       func() (any, error) { return experiments.Fig5(ctx, opt) },
+		"fig6":       func() (any, error) { return experiments.Fig6(ctx, opt) },
+		"fig7":       func() (any, error) { return experiments.Fig7(ctx, opt) },
+		"fig8":       func() (any, error) { return experiments.Fig8(ctx, opt) },
+		"fig9":       func() (any, error) { return experiments.Fig9(ctx, opt) },
+		"exttopk":    func() (any, error) { return experiments.ExtTopk(ctx, opt) },
+		"extscheme":  func() (any, error) { return experiments.ExtScheme(ctx, opt) },
+		"extdp":      func() (any, error) { return experiments.ExtDP(ctx, opt) },
+		"extpruning": func() (any, error) { return experiments.ExtPruning(ctx, opt) },
+		"extbatch":   func() (any, error) { return experiments.ExtBatch(ctx, opt) },
+	}
+	order := []string{"table1", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"exttopk", "extscheme", "extdp", "extpruning", "extbatch"}
+
+	results := map[string]any{}
+	runOne := func(name string) {
+		run, ok := runners[name]
+		if !ok {
+			fatal("unknown experiment %q", name)
+		}
+		res, err := run()
+		if err != nil {
+			fatal("%s: %v", name, err)
+		}
+		results[name] = res
+	}
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("\n--- running %s ---\n", name)
+			runOne(name)
+		}
+	} else {
+		runOne(*exp)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal("creating %s: %v", *jsonPath, err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal("writing %s: %v", *jsonPath, err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("closing %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("\nstructured results written to %s\n", *jsonPath)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vfpsbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchSmoke runs one fast experiment through the CLI and checks that a
+// paper-style table is printed.
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "vfpsbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := exec.Command(bin,
+		"-exp", "fig9", "-rows", "150", "-queries", "6",
+		"-datasets", "Rice,Bank").CombinedOutput()
+	if err != nil {
+		t.Fatalf("vfpsbench failed: %v\n%s", err, out)
+	}
+	output := string(out)
+	if !strings.Contains(output, "Fig. 9") || !strings.Contains(output, "VFPS-SM-BASE") {
+		t.Fatalf("missing table:\n%s", output)
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "vfpsbench")
+	if err := exec.Command("go", "build", "-o", bin, ".").Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := exec.Command(bin, "-exp", "fig99").Run(); err == nil {
+		t.Fatal("expected non-zero exit for unknown experiment")
+	}
+}
+
+func TestBenchJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "vfpsbench")
+	if err := exec.Command("go", "build", "-o", bin, ".").Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	jsonPath := filepath.Join(dir, "out.json")
+	out, err := exec.Command(bin,
+		"-exp", "fig9", "-rows", "120", "-queries", "6",
+		"-datasets", "Rice", "-json", jsonPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("vfpsbench failed: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := parsed["fig9"]["Candidates"]; !ok {
+		t.Fatalf("fig9 result missing Candidates: %s", data)
+	}
+}

@@ -1,0 +1,264 @@
+// Command vfpsnode runs one role of a distributed VFPS-SM deployment over
+// TCP: the key server, the aggregation server, a participant, or the leader
+// that drives selection. Every data-holding node generates its vertical
+// slice of the (deterministic) synthetic dataset locally, so no data files
+// need distributing.
+//
+// A five-node Bank deployment on one machine:
+//
+//	vfpsnode -role keyserver -addr 127.0.0.1:7001 &
+//	vfpsnode -role party -index 0 -addr 127.0.0.1:7010 &
+//	vfpsnode -role party -index 1 -addr 127.0.0.1:7011 &
+//	vfpsnode -role party -index 2 -addr 127.0.0.1:7012 &
+//	vfpsnode -role party -index 3 -addr 127.0.0.1:7013 &
+//	vfpsnode -role aggserver -addr 127.0.0.1:7002 \
+//	    -directory 'keyserver=127.0.0.1:7001,party/0=127.0.0.1:7010,party/1=127.0.0.1:7011,party/2=127.0.0.1:7012,party/3=127.0.0.1:7013' &
+//	vfpsnode -role leader -select 2 \
+//	    -directory 'keyserver=127.0.0.1:7001,aggserver=127.0.0.1:7002,party/0=127.0.0.1:7010,party/1=127.0.0.1:7011,party/2=127.0.0.1:7012,party/3=127.0.0.1:7013'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/dataset"
+	"vfps/internal/transport"
+	"vfps/internal/vfl"
+)
+
+func main() {
+	var (
+		role        = flag.String("role", "", "keyserver|aggserver|party|leader")
+		addr        = flag.String("addr", "127.0.0.1:0", "listen address (serving roles)")
+		directory   = flag.String("directory", "", "comma-separated name=host:port peer directory")
+		scheme      = flag.String("scheme", "paillier", "protection scheme: paillier|plain|secagg")
+		keyBits     = flag.Int("keybits", 1024, "Paillier modulus bits")
+		index       = flag.Int("index", 0, "participant index (role=party)")
+		ds          = flag.String("dataset", "Bank", "synthetic dataset name")
+		rows        = flag.Int("rows", 800, "max dataset rows")
+		parties     = flag.Int("parties", 4, "consortium size")
+		splitSeed   = flag.Int64("splitseed", 1, "vertical split seed (must match across nodes)")
+		shuffleSeed = flag.Int64("shuffleseed", 7, "pseudo-ID shuffle seed (must match across participants)")
+		selCount    = flag.Int("select", 2, "sub-consortium size (role=leader)")
+		k           = flag.Int("k", 10, "proxy-KNN neighbour count (role=leader)")
+		queries     = flag.Int("queries", 32, "query sample count (role=leader)")
+		batch       = flag.Int("batch", 32, "Fagin mini-batch size (role=leader)")
+		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
+	)
+	flag.Parse()
+
+	dir, err := parseDirectory(*directory)
+	if err != nil {
+		fatal("%v", err)
+	}
+	ctx := context.Background()
+
+	switch *role {
+	case "keyserver":
+		var ks *vfl.KeyServer
+		if *scheme == "secagg" {
+			ks, err = vfl.NewKeyServerSecAgg(*parties, *shuffleSeed^0x5eca66)
+		} else {
+			ks, err = vfl.NewKeyServer(*scheme, *keyBits)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+		serve(*addr, "key server", ks.Handler())
+	case "party":
+		pt, _, err := localPartition(*ds, *rows, *parties, *splitSeed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *index < 0 || *index >= pt.P() {
+			fatal("party index %d out of range [0,%d)", *index, pt.P())
+		}
+		cli := transport.NewTCPClient(dir)
+		defer cli.Close()
+		pub, err := vfl.FetchPublicScheme(ctx, cli, vfl.KeyServerName)
+		if err != nil {
+			fatal("fetching public key: %v", err)
+		}
+		part, err := vfl.NewParticipant(*index, pt.Parties[*index], pub, *shuffleSeed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		serve(*addr, fmt.Sprintf("participant %d (%d features)", *index, part.Features()), part.Handler())
+	case "aggserver":
+		cli := transport.NewTCPClient(dir)
+		defer cli.Close()
+		pub, err := vfl.FetchPublicScheme(ctx, cli, vfl.KeyServerName)
+		if err != nil {
+			fatal("fetching public key: %v", err)
+		}
+		names := partyNames(dir)
+		if len(names) == 0 {
+			fatal("directory lists no party/<i> entries")
+		}
+		agg, err := vfl.NewAggServer(cli, names, pub)
+		if err != nil {
+			fatal("%v", err)
+		}
+		serve(*addr, fmt.Sprintf("aggregation server (%d participants)", len(names)), agg.Handler())
+	case "leader":
+		cli := transport.NewTCPClient(dir)
+		defer cli.Close()
+		priv, err := vfl.FetchPrivateScheme(ctx, cli, vfl.KeyServerName)
+		if err != nil {
+			fatal("fetching private key: %v", err)
+		}
+		names := partyNames(dir)
+		leader, err := vfl.NewLeader(cli, vfl.AggServerName, names, priv, *batch)
+		if err != nil {
+			fatal("%v", err)
+		}
+		runLeader(ctx, leader, *rows, *selCount, *k, *queries, vfl.Variant(*variant))
+	default:
+		fatal("unknown role %q (want keyserver|aggserver|party|leader)", *role)
+	}
+}
+
+func runLeader(ctx context.Context, leader *vfl.Leader, rows, selCount, k, queries int, variant vfl.Variant) {
+	qs := sampleQueries(rows, queries)
+	fmt.Printf("running %s-variant selection over %d queries, k=%d...\n", variant, len(qs), k)
+	rep, err := leader.Similarities(ctx, qs, k, variant)
+	if err != nil {
+		fatal("similarity phase: %v", err)
+	}
+	fmt.Println("participant similarity matrix:")
+	for _, row := range rep.W {
+		for _, v := range row {
+			fmt.Printf("  %.4f", v)
+		}
+		fmt.Println()
+	}
+	selected, value, err := greedySelect(rep.W, selCount)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("selected participants: %v (objective %.4f)\n", selected, value)
+	fmt.Printf("avg encrypted candidates per query: %.1f\n", rep.AvgCandidates)
+	total, err := leader.TotalCounts(ctx)
+	if err != nil {
+		fatal("gathering counts: %v", err)
+	}
+	fmt.Printf("total ops: %s\n", total)
+	fmt.Printf("projected selection time at paper-grade HE: %.2fs\n", costmodel.Default.Seconds(total))
+}
+
+func localPartition(name string, rows, parties int, splitSeed int64) (*dataset.Partition, *dataset.Dataset, error) {
+	spec, err := dataset.SpecByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := spec.Generate(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt, err := dataset.VerticalSplit(d, parties, splitSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pt, d, nil
+}
+
+func serve(addr, what string, h transport.Handler) {
+	srv, err := transport.ListenTCP(addr, h)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s listening on %s\n", what, srv.Addr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+	srv.Close()
+}
+
+func parseDirectory(s string) (map[string]string, error) {
+	dir := map[string]string{}
+	if s == "" {
+		return dir, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad directory entry %q (want name=host:port)", entry)
+		}
+		dir[name] = addr
+	}
+	return dir, nil
+}
+
+// partyNames extracts the party/<i> entries from the directory in index
+// order.
+func partyNames(dir map[string]string) []string {
+	var names []string
+	for i := 0; ; i++ {
+		name := vfl.PartyName(i)
+		if _, ok := dir[name]; !ok {
+			return names
+		}
+		names = append(names, name)
+	}
+}
+
+func sampleQueries(n, count int) []int {
+	if count > n {
+		count = n
+	}
+	out := make([]int, count)
+	for i := range out {
+		out[i] = i * n / count
+	}
+	return out
+}
+
+// greedySelect runs Algorithm 1 directly on the similarity matrix (the
+// leader-side selection step).
+func greedySelect(w [][]float64, count int) ([]int, float64, error) {
+	p := len(w)
+	if count <= 0 || count > p {
+		return nil, 0, fmt.Errorf("select count %d out of range [1,%d]", count, p)
+	}
+	selected := []int{}
+	in := make([]bool, p)
+	covered := make([]float64, p)
+	var value float64
+	for len(selected) < count {
+		bestV, bestGain := -1, -1.0
+		for v := 0; v < p; v++ {
+			if in[v] {
+				continue
+			}
+			var gain float64
+			for q := 0; q < p; q++ {
+				if w[q][v] > covered[q] {
+					gain += w[q][v] - covered[q]
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestV = gain, v
+			}
+		}
+		in[bestV] = true
+		selected = append(selected, bestV)
+		for q := 0; q < p; q++ {
+			if w[q][bestV] > covered[q] {
+				covered[q] = w[q][bestV]
+			}
+		}
+		value += bestGain
+	}
+	return selected, value, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vfpsnode: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelectOnCSV drives the whole CLI: write a learnable CSV, run selection
+// with evaluation, and check the report.
+func TestSelectOnCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "data.csv")
+	writeTestCSV(t, csvPath, 300, 8)
+
+	bin := filepath.Join(dir, "vfpsselect")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := exec.Command(bin,
+		"-csv", csvPath, "-parties", "4", "-select", "2",
+		"-k", "5", "-queries", "16", "-evaluate").CombinedOutput()
+	if err != nil {
+		t.Fatalf("vfpsselect failed: %v\n%s", err, out)
+	}
+	output := string(out)
+	for _, want := range []string{
+		"loaded", "selected participants:", "feature columns",
+		"downstream KNN accuracy",
+	} {
+		if !strings.Contains(output, want) {
+			t.Fatalf("output missing %q:\n%s", want, output)
+		}
+	}
+}
+
+func TestMissingCSVFlagFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "vfpsselect")
+	if err := exec.Command("go", "build", "-o", bin, ".").Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Fatal("expected non-zero exit without -csv")
+	}
+}
+
+func writeTestCSV(t *testing.T, path string, rows, features int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rng := rand.New(rand.NewSource(1))
+	for j := 0; j < features; j++ {
+		fmt.Fprintf(f, "f%d,", j)
+	}
+	fmt.Fprintln(f, "label")
+	for i := 0; i < rows; i++ {
+		cls := i % 2
+		sign := -1.0
+		if cls == 1 {
+			sign = 1.0
+		}
+		for j := 0; j < features; j++ {
+			fmt.Fprintf(f, "%.4f,", sign*1.5+rng.NormFloat64())
+		}
+		fmt.Fprintf(f, "c%d\n", cls)
+	}
+}

@@ -1,0 +1,26 @@
+// Command vfpsserve exposes participant selection as a JSON-over-HTTP
+// service (see internal/server for the endpoint reference).
+//
+//	vfpsserve -addr :8080
+//	curl -X POST localhost:8080/v1/consortiums -d '{"dataset":"Bank","parties":4}'
+//	curl -X POST localhost:8080/v1/consortiums/c1/select -d '{"count":2}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"vfps/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+	fmt.Printf("vfpsserve listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, server.New()); err != nil {
+		fmt.Fprintf(os.Stderr, "vfpsserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+package vfps
+
+import (
+	"io"
+
+	"vfps/internal/dataset"
+)
+
+// DatasetNames lists the built-in synthetic generators, matching the
+// geometry of the ten datasets in the paper's Table III.
+func DatasetNames() []string {
+	names := make([]string, len(dataset.PaperSpecs))
+	for i, s := range dataset.PaperSpecs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// GenerateDataset materialises one of the built-in synthetic datasets with
+// at most maxRows instances (0 = paper scale). Deterministic.
+func GenerateDataset(name string, maxRows int) (*Dataset, error) {
+	spec, err := dataset.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(maxRows)
+}
+
+// VerticalSplit assigns the dataset's features to p participants in random
+// near-equal blocks (deterministic in seed).
+func VerticalSplit(d *Dataset, p int, seed int64) (*Partition, error) {
+	return dataset.VerticalSplit(d, p, seed)
+}
+
+// LoadCSV reads a classification dataset from CSV data; labelCol may be
+// negative to count from the last column, and header skips the first row.
+func LoadCSV(r io.Reader, name string, labelCol int, header bool) (*Dataset, error) {
+	return dataset.LoadCSV(r, name, labelCol, header)
+}
+
+// SplitIndices divides row indices into 80/10/10 train/val/test groups
+// (seeded shuffle), for carving row-aligned views with Partition.ApplyRows.
+func SplitIndices(n int, seed int64) (train, val, test []int, err error) {
+	return dataset.SplitIndices(n, seed)
+}
+
+// SelectLabels restricts labels to the given rows, aligned with
+// Partition.ApplyRows.
+func SelectLabels(y []int, rows []int) []int { return dataset.SelectLabels(y, rows) }

@@ -1,0 +1,3 @@
+module vfps
+
+go 1.22

@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"vfps/internal/dataset"
+	"vfps/internal/mat"
+)
+
+// KNNShapleySamples implements the exact closed-form KNN-Shapley data
+// valuation of Jia et al. (VLDB 2019), which the paper's related-work
+// section builds on: the Shapley value of every *training sample* under the
+// KNN utility, computed in O(N log N) per test point instead of 2^N.
+//
+// It complements participant-level selection with sample-level valuation:
+// once a sub-consortium is selected, the leader can rank which records
+// contribute most to (or hurt) the proxy model.
+//
+// The utility of a training subset S for one test point (x, y) is the
+// fraction of its K nearest members of S carrying label y. The recursion,
+// with training points sorted ascending by distance (α_1 nearest):
+//
+//	s(α_N) = 1[y_{α_N} = y] / N
+//	s(α_i) = s(α_{i+1}) + (1[y_{α_i}=y] − 1[y_{α_{i+1}}=y])/K · min(K, i)/i
+//
+// Values are averaged over the test points.
+func KNNShapleySamples(trainPt *dataset.Partition, yTrain []int,
+	testPt *dataset.Partition, yTest []int, k int) ([]float64, error) {
+	if trainPt == nil || trainPt.P() == 0 {
+		return nil, fmt.Errorf("baselines: knn-shapley needs a training partition")
+	}
+	n := trainPt.Parties[0].Rows
+	if n != len(yTrain) {
+		return nil, fmt.Errorf("baselines: %d training rows vs %d labels", n, len(yTrain))
+	}
+	if testPt == nil || testPt.P() != trainPt.P() {
+		return nil, fmt.Errorf("baselines: test partition layout mismatch")
+	}
+	nt := testPt.Parties[0].Rows
+	if nt != len(yTest) {
+		return nil, fmt.Errorf("baselines: %d test rows vs %d labels", nt, len(yTest))
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("baselines: k=%d out of range for %d training rows", k, n)
+	}
+	values := make([]float64, n)
+	dist := make([]float64, n)
+	order := make([]int, n)
+	s := make([]float64, n)
+	for t := 0; t < nt; t++ {
+		for i := range dist {
+			dist[i] = 0
+		}
+		for p, party := range testPt.Parties {
+			qRow := party.Row(t)
+			train := trainPt.Parties[p]
+			for i := 0; i < n; i++ {
+				dist[i] += mat.SqDist(qRow, train.Row(i))
+			}
+		}
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if dist[order[a]] != dist[order[b]] {
+				return dist[order[a]] < dist[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		match := func(rank int) float64 {
+			if yTrain[order[rank]] == yTest[t] {
+				return 1
+			}
+			return 0
+		}
+		// Recursion from the farthest point inward (0-based rank r maps to
+		// the paper's 1-based i = r+1).
+		s[n-1] = match(n-1) / float64(n)
+		for r := n - 2; r >= 0; r-- {
+			i := float64(r + 1)
+			mk := float64(k)
+			if i < mk {
+				mk = i
+			}
+			s[r] = s[r+1] + (match(r)-match(r+1))/float64(k)*mk/i
+		}
+		for r, id := range order {
+			values[id] += s[r]
+		}
+	}
+	for i := range values {
+		values[i] /= float64(nt)
+	}
+	return values, nil
+}

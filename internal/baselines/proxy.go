@@ -1,0 +1,236 @@
+// Package baselines implements the participant-selection baselines the paper
+// compares against (§V-A): RANDOM, SHAPLEY (exact Shapley values over a
+// vertical-federated KNN proxy, plus a Monte-Carlo variant) and VF-MINE
+// (mutual-information scoring over participant groups). All methods share a
+// KNN proxy whose coalition evaluations charge the federated cost they would
+// incur, so selection-time comparisons reproduce the paper's shape.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/dataset"
+	"vfps/internal/mat"
+)
+
+// Proxy precomputes each participant's partial distances from every query
+// sample to every training row, so that the utility of any coalition
+// (KNN accuracy with distances summed over coalition members) can be
+// evaluated quickly while still charging the HE/communication cost a
+// federated evaluation would incur.
+type Proxy struct {
+	P, N, K int
+	Classes int
+	Queries []int
+	y       []int
+	// dists[p][qi][row] = partial distance at party p between query qi and
+	// training row; the query's own row is +Inf so it is never a neighbour.
+	dists [][][]float64
+	// majority is the training majority class: the empty coalition's
+	// predictor.
+	majority int
+	// Counts, when non-nil, accumulates the federated cost of coalition
+	// evaluations.
+	Counts *costmodel.Counts
+}
+
+// NewProxy builds the proxy for a partition, labels and query subset.
+func NewProxy(pt *dataset.Partition, y []int, classes int, queries []int, k int) (*Proxy, error) {
+	if pt == nil || pt.P() == 0 {
+		return nil, fmt.Errorf("baselines: proxy needs a partition")
+	}
+	n := pt.Parties[0].Rows
+	if n != len(y) {
+		return nil, fmt.Errorf("baselines: %d rows vs %d labels", n, len(y))
+	}
+	if k <= 0 || k >= n {
+		return nil, fmt.Errorf("baselines: k=%d out of range for %d rows", k, n)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("baselines: empty query set")
+	}
+	for _, q := range queries {
+		if q < 0 || q >= n {
+			return nil, fmt.Errorf("baselines: query %d out of range", q)
+		}
+	}
+	px := &Proxy{
+		P:       pt.P(),
+		N:       n,
+		K:       k,
+		Classes: classes,
+		Queries: queries,
+		y:       y,
+	}
+	px.dists = make([][][]float64, pt.P())
+	for p, party := range pt.Parties {
+		px.dists[p] = make([][]float64, len(queries))
+		for qi, q := range queries {
+			row := make([]float64, n)
+			qRow := party.Row(q)
+			for i := 0; i < n; i++ {
+				if i == q {
+					row[i] = math.Inf(1)
+					continue
+				}
+				row[i] = mat.SqDist(qRow, party.Row(i))
+			}
+			px.dists[p][qi] = row
+		}
+	}
+	counts := make([]int, classes)
+	for _, label := range y {
+		counts[label]++
+	}
+	px.majority = mat.ArgMax(floats(counts))
+	return px, nil
+}
+
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// chargeEval accounts one federated coalition evaluation of size s: every
+// member encrypts its N−1 partial distances per query, the server aggregates
+// them, and the leader decrypts the totals.
+func (px *Proxy) chargeEval(s int) {
+	if px.Counts == nil || s == 0 {
+		return
+	}
+	q := int64(len(px.Queries))
+	n := int64(px.N - 1)
+	ss := int64(s)
+	px.Counts.Add(costmodel.Raw{
+		DistanceFlops: q * n * ss,
+		Encryptions:   q * n * ss,
+		CipherAdds:    q * n * (ss - 1),
+		Decryptions:   q * n,
+		ItemsSent:     q * n * (ss + 1),
+		Messages:      q * (ss + 1),
+	})
+}
+
+// predictSums votes the k nearest rows of each query given per-query summed
+// distances.
+func (px *Proxy) predictSums(sums [][]float64) []int {
+	out := make([]int, len(px.Queries))
+	for qi := range px.Queries {
+		out[qi] = px.voteOne(sums[qi])
+	}
+	return out
+}
+
+func (px *Proxy) voteOne(dist []float64) int {
+	// Partial selection of the k smallest via a bounded insertion list —
+	// k is small, so this is O(N·k) worst case but ~O(N) in practice.
+	type nb struct {
+		d   float64
+		idx int
+	}
+	best := make([]nb, 0, px.K)
+	for i, d := range dist {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if len(best) == px.K && d >= best[px.K-1].d {
+			continue
+		}
+		pos := sort.Search(len(best), func(j int) bool {
+			if best[j].d != d {
+				return best[j].d > d
+			}
+			return best[j].idx > i
+		})
+		if len(best) < px.K {
+			best = append(best, nb{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = nb{d: d, idx: i}
+	}
+	votes := make([]float64, px.Classes)
+	for _, b := range best {
+		votes[px.y[b.idx]]++
+	}
+	return mat.ArgMax(votes)
+}
+
+// coalitionSums materialises summed distances for an explicit coalition.
+func (px *Proxy) coalitionSums(coalition []int) [][]float64 {
+	sums := make([][]float64, len(px.Queries))
+	for qi := range px.Queries {
+		row := make([]float64, px.N)
+		for _, p := range coalition {
+			for i, d := range px.dists[p][qi] {
+				row[i] += d
+			}
+		}
+		sums[qi] = row
+	}
+	return sums
+}
+
+// Predict returns the proxy-KNN predicted label of every query under the
+// given coalition (the majority class for an empty coalition), charging the
+// federated evaluation cost.
+func (px *Proxy) Predict(coalition []int) []int {
+	px.chargeEval(len(coalition))
+	if len(coalition) == 0 {
+		out := make([]int, len(px.Queries))
+		for i := range out {
+			out[i] = px.majority
+		}
+		return out
+	}
+	return px.predictSums(px.coalitionSums(coalition))
+}
+
+// Utility returns the proxy-KNN accuracy of a coalition over the query set.
+func (px *Proxy) Utility(coalition []int) float64 {
+	return px.accuracy(px.Predict(coalition))
+}
+
+func (px *Proxy) accuracy(pred []int) float64 {
+	correct := 0
+	for qi, q := range px.Queries {
+		if pred[qi] == px.y[q] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(px.Queries))
+}
+
+// Labels returns the true labels of the query samples.
+func (px *Proxy) Labels() []int {
+	out := make([]int, len(px.Queries))
+	for i, q := range px.Queries {
+		out[i] = px.y[q]
+	}
+	return out
+}
+
+// SelectTop returns the indices of the `count` highest scores (ties broken
+// by smaller index), in descending score order.
+func SelectTop(scores []float64, count int) []int {
+	if count > len(scores) {
+		count = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if scores[i] != scores[j] {
+			return scores[i] > scores[j]
+		}
+		return i < j
+	})
+	return idx[:count]
+}

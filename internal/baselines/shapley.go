@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// maskEval evaluates coalition utilities incrementally: toggling one party
+// updates the per-query summed distances in O(|Q|·N) instead of rebuilding
+// the coalition from scratch, which makes exact 2^P enumeration feasible.
+type maskEval struct {
+	px   *Proxy
+	sums [][]float64
+	mask uint32
+}
+
+func newMaskEval(px *Proxy) *maskEval {
+	sums := make([][]float64, len(px.Queries))
+	for qi := range sums {
+		sums[qi] = make([]float64, px.N)
+	}
+	return &maskEval{px: px, sums: sums}
+}
+
+func (e *maskEval) toggle(p int) {
+	bit := uint32(1) << p
+	sign := 1.0
+	if e.mask&bit != 0 {
+		sign = -1
+	}
+	e.mask ^= bit
+	for qi := range e.sums {
+		row := e.sums[qi]
+		for i, d := range e.px.dists[p][qi] {
+			if math.IsInf(d, 1) {
+				continue // keep the self-row clean of Inf-Inf artefacts
+			}
+			row[i] += sign * d
+		}
+	}
+}
+
+func (e *maskEval) utility() float64 {
+	size := bits.OnesCount32(e.mask)
+	e.px.chargeEval(size)
+	if size == 0 {
+		pred := make([]int, len(e.px.Queries))
+		for i := range pred {
+			pred[i] = e.px.majority
+		}
+		return e.px.accuracy(pred)
+	}
+	// The self-row must stay excluded: voteOne skips +Inf entries, and the
+	// incremental sums keep them at 0, so mark them explicitly.
+	correct := 0
+	for qi, q := range e.px.Queries {
+		row := e.sums[qi]
+		saved := row[q]
+		row[q] = math.Inf(1)
+		if e.px.voteOne(row) == e.px.y[q] {
+			correct++
+		}
+		row[q] = saved
+	}
+	return float64(correct) / float64(len(e.px.Queries))
+}
+
+// ShapleyValues computes exact Shapley values of every participant under the
+// proxy utility by Gray-code enumeration of all 2^P coalitions:
+//
+//	SV(p) = (1/P) Σ_{S ⊆ P\{p}} C(P−1,|S|)⁻¹ · [U(S∪{p}) − U(S)].
+//
+// Every coalition evaluation charges federated cost, so the measured and
+// projected selection times grow exponentially in P exactly as in Fig. 7.
+func ShapleyValues(px *Proxy) ([]float64, error) {
+	p := px.P
+	if p > 24 {
+		return nil, fmt.Errorf("baselines: exact Shapley limited to P ≤ 24, got %d (use ShapleyMC)", p)
+	}
+	size := 1 << p
+	u := make([]float64, size)
+	ev := newMaskEval(px)
+	u[0] = ev.utility()
+	// Gray-code walk: order i -> gray(i) toggles exactly one bit per step.
+	prevGray := uint32(0)
+	for i := 1; i < size; i++ {
+		gray := uint32(i) ^ (uint32(i) >> 1)
+		diff := gray ^ prevGray
+		ev.toggle(bits.TrailingZeros32(diff))
+		u[gray] = ev.utility()
+		prevGray = gray
+	}
+	// Combine marginals with the Shapley kernel.
+	binom := make([]float64, p) // C(P-1, s)
+	binom[0] = 1
+	for s := 1; s < p; s++ {
+		binom[s] = binom[s-1] * float64(p-s) / float64(s)
+	}
+	sv := make([]float64, p)
+	for pi := 0; pi < p; pi++ {
+		bit := 1 << pi
+		var total float64
+		for mask := 0; mask < size; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			s := bits.OnesCount32(uint32(mask))
+			total += (u[mask|bit] - u[mask]) / binom[s]
+		}
+		sv[pi] = total / float64(p)
+	}
+	return sv, nil
+}
+
+// ShapleyMC estimates Shapley values with Monte-Carlo permutation sampling:
+// the average marginal contribution of each party over random arrival
+// orders. Used when P makes exact enumeration intractable.
+func ShapleyMC(px *Proxy, samples int, seed int64) ([]float64, error) {
+	if samples <= 0 {
+		return nil, fmt.Errorf("baselines: sample count %d must be positive", samples)
+	}
+	p := px.P
+	sv := make([]float64, p)
+	rng := rand.New(rand.NewSource(seed))
+	ev := newMaskEval(px)
+	for s := 0; s < samples; s++ {
+		// Reset to the empty coalition.
+		for pi := 0; pi < p; pi++ {
+			if ev.mask&(1<<pi) != 0 {
+				ev.toggle(pi)
+			}
+		}
+		prev := ev.utility()
+		for _, pi := range rng.Perm(p) {
+			ev.toggle(pi)
+			cur := ev.utility()
+			sv[pi] += cur - prev
+			prev = cur
+		}
+	}
+	for i := range sv {
+		sv[i] /= float64(samples)
+	}
+	return sv, nil
+}
+
+// SelectShapley picks the `count` participants with the highest exact
+// Shapley values.
+func SelectShapley(px *Proxy, count int) ([]int, error) {
+	sv, err := ShapleyValues(px)
+	if err != nil {
+		return nil, err
+	}
+	return SelectTop(sv, count), nil
+}

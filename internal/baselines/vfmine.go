@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// VFMineScores implements the VF-MINE-style baseline: participants are
+// scored by the mutual information between the proxy-KNN predictions of
+// random participant groups and the true labels, averaged over the groups
+// each participant joins. Group evaluations charge federated cost, so
+// VF-MINE lands between VFPS-SM (one evaluation of the full consortium) and
+// SHAPLEY (2^P evaluations), matching the paper's selection-time ordering.
+//
+// numGroups ≤ 0 defaults to 2·P groups of size ⌈P/2⌉.
+func VFMineScores(px *Proxy, numGroups int, seed int64) ([]float64, error) {
+	p := px.P
+	if p < 2 {
+		return nil, fmt.Errorf("baselines: VF-MINE needs at least 2 participants")
+	}
+	if numGroups <= 0 {
+		numGroups = 2 * p
+	}
+	groupSize := (p + 1) / 2
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sum := make([]float64, p)
+	cnt := make([]int, p)
+	labels := px.Labels()
+	evalGroup := func(group []int) {
+		pred := px.Predict(group)
+		mi := MutualInformation(pred, labels, px.Classes)
+		for _, m := range group {
+			sum[m] += mi
+			cnt[m]++
+		}
+	}
+	// Cover every participant at least once with permutation chunks, then
+	// fill with uniform random groups.
+	generated := 0
+	for generated < numGroups {
+		perm := rng.Perm(p)
+		for start := 0; start < p && generated < numGroups; start += groupSize {
+			end := start + groupSize
+			if end > p {
+				end = p
+			}
+			evalGroup(perm[start:end])
+			generated++
+		}
+	}
+	scores := make([]float64, p)
+	for i := range scores {
+		if cnt[i] > 0 {
+			scores[i] = sum[i] / float64(cnt[i])
+		}
+	}
+	return scores, nil
+}
+
+// SelectVFMine picks the `count` participants with the highest VF-MINE
+// scores.
+func SelectVFMine(px *Proxy, count, numGroups int, seed int64) ([]int, error) {
+	scores, err := VFMineScores(px, numGroups, seed)
+	if err != nil {
+		return nil, err
+	}
+	return SelectTop(scores, count), nil
+}
+
+// MutualInformation estimates I(pred; truth) in nats from the empirical
+// joint distribution of two label sequences over `classes` classes.
+func MutualInformation(pred, truth []int, classes int) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	n := float64(len(pred))
+	joint := make([][]float64, classes)
+	for i := range joint {
+		joint[i] = make([]float64, classes)
+	}
+	pMarg := make([]float64, classes)
+	tMarg := make([]float64, classes)
+	for i := range pred {
+		joint[pred[i]][truth[i]]++
+		pMarg[pred[i]]++
+		tMarg[truth[i]]++
+	}
+	var mi float64
+	for a := 0; a < classes; a++ {
+		for b := 0; b < classes; b++ {
+			if joint[a][b] == 0 {
+				continue
+			}
+			pab := joint[a][b] / n
+			mi += pab * math.Log(pab/((pMarg[a]/n)*(tMarg[b]/n)))
+		}
+	}
+	if mi < 0 { // numerical guard
+		mi = 0
+	}
+	return mi
+}
+
+// SelectRandom returns `count` distinct participants drawn uniformly with
+// the given seed (the RANDOM baseline).
+func SelectRandom(p, count int, seed int64) ([]int, error) {
+	if count <= 0 || count > p {
+		return nil, fmt.Errorf("baselines: random count %d out of range [1,%d]", count, p)
+	}
+	return rand.New(rand.NewSource(seed)).Perm(p)[:count], nil
+}

@@ -1,0 +1,217 @@
+// Package core implements VFPS-SM itself — the paper's contribution: it
+// drives the vertical-federated KNN oracle to estimate the pairwise
+// participant similarities w(p,s), builds the KNN submodular likelihood
+// f(S) = Σ_p max_{s∈S} w(p,s), and greedily selects the sub-consortium with
+// maximum likelihood (Algorithm 1), while accounting every protocol cost.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/submod"
+	"vfps/internal/vfl"
+)
+
+// Optimizer names the submodular maximization strategy.
+type Optimizer string
+
+const (
+	// OptGreedy is the paper's Algorithm 1.
+	OptGreedy Optimizer = "greedy"
+	// OptLazy is Minoux's accelerated greedy (identical output, fewer
+	// evaluations).
+	OptLazy Optimizer = "lazy"
+	// OptStochastic is stochastic greedy with eps = 0.1.
+	OptStochastic Optimizer = "stochastic"
+)
+
+// Config tunes a selection run.
+type Config struct {
+	// K is the neighbour count of the proxy KNN classifier (paper default
+	// 10; Fig. 8 sweeps it).
+	K int
+	// Queries are the training-row indices used as KNN query samples. The
+	// paper evaluates a query subset Q ⊆ D; use SampleQueries for a seeded
+	// uniform sample.
+	Queries []int
+	// Variant picks VFPS-SM (fagin) or VFPS-SM-BASE (base).
+	Variant vfl.Variant
+	// Optimizer picks the maximization strategy (default greedy).
+	Optimizer Optimizer
+	// Seed feeds the stochastic optimizer.
+	Seed int64
+	// Parallelism bounds concurrent in-flight queries during the similarity
+	// phase (default 1, i.e. sequential).
+	Parallelism int
+}
+
+// Selection reports the outcome of a VFPS-SM run.
+type Selection struct {
+	// Selected lists the chosen participants in selection order.
+	Selected []int
+	// Value is the likelihood objective f(Selected).
+	Value float64
+	// Gains are the per-step marginal gains (diminishing, by Theorem 1).
+	Gains []float64
+	// W is the estimated participant similarity matrix.
+	W [][]float64
+	// AvgCandidates is the mean per-query number of encrypted/communicated
+	// instances (the Fig. 9 metric).
+	AvgCandidates float64
+	// Counts aggregates primitive-operation counts across every role.
+	Counts costmodel.Raw
+	// PerRole breaks counts down by node name.
+	PerRole map[string]costmodel.Raw
+	// WallTime is the measured selection duration.
+	WallTime time.Duration
+	// ProjectedSeconds prices Counts under the calibrated cost model,
+	// projecting the selection cost of an encrypted deployment.
+	ProjectedSeconds float64
+	// Evaluations counts objective evaluations in the maximization step.
+	Evaluations int
+	// QueriesUsed is the number of KNN queries actually processed (differs
+	// from len(Config.Queries) only for SelectAdaptive).
+	QueriesUsed int
+}
+
+// SampleQueries returns `count` distinct row indices from [0, n) drawn with
+// the given seed; if count >= n it returns all rows.
+func SampleQueries(n, count int, seed int64) []int {
+	if count >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return rand.New(rand.NewSource(seed)).Perm(n)[:count]
+}
+
+// SampleQueriesStratified draws `count` query rows with per-class
+// proportional allocation (at least one per class when count allows),
+// using the labels the leader holds. Class-balanced queries stabilise the
+// likelihood estimate on imbalanced datasets.
+func SampleQueriesStratified(y []int, classes, count int, seed int64) []int {
+	n := len(y)
+	if count >= n {
+		return SampleQueries(n, count, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make([][]int, classes)
+	for i, label := range y {
+		if label >= 0 && label < classes {
+			byClass[label] = append(byClass[label], i)
+		}
+	}
+	out := make([]int, 0, count)
+	for c, rows := range byClass {
+		if len(rows) == 0 {
+			continue
+		}
+		// Proportional share, rounded, with a floor of one.
+		share := count * len(rows) / n
+		if share < 1 {
+			share = 1
+		}
+		if share > len(rows) {
+			share = len(rows)
+		}
+		perm := rng.Perm(len(rows))
+		for i := 0; i < share && len(out) < count; i++ {
+			out = append(out, rows[perm[i]])
+		}
+		_ = c
+	}
+	// Top up from the global pool if rounding left us short.
+	if len(out) < count {
+		in := map[int]bool{}
+		for _, r := range out {
+			in[r] = true
+		}
+		for _, r := range rng.Perm(n) {
+			if len(out) == count {
+				break
+			}
+			if !in[r] {
+				out = append(out, r)
+				in[r] = true
+			}
+		}
+	}
+	return out
+}
+
+// Select runs the full VFPS-SM pipeline against an already wired cluster
+// leader, choosing selectCount of the leader's participants.
+func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config) (*Selection, error) {
+	if leader == nil {
+		return nil, fmt.Errorf("core: nil leader")
+	}
+	if selectCount <= 0 || selectCount > leader.P() {
+		return nil, fmt.Errorf("core: select count %d out of range [1,%d]", selectCount, leader.P())
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("core: no query samples configured")
+	}
+	if cfg.Variant == "" {
+		cfg.Variant = vfl.VariantFagin
+	}
+	if cfg.Optimizer == "" {
+		cfg.Optimizer = OptGreedy
+	}
+
+	start := time.Now()
+	if err := leader.ResetAllCounts(ctx); err != nil {
+		return nil, err
+	}
+	rep, err := leader.SimilaritiesParallel(ctx, cfg.Queries, cfg.K, cfg.Variant, cfg.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("core: similarity phase: %w", err)
+	}
+	obj, err := submod.NewFacilityLocation(rep.W)
+	if err != nil {
+		return nil, fmt.Errorf("core: building objective: %w", err)
+	}
+	var res *submod.Result
+	switch cfg.Optimizer {
+	case OptGreedy:
+		res, err = submod.Greedy(obj, selectCount)
+	case OptLazy:
+		res, err = submod.LazyGreedy(obj, selectCount)
+	case OptStochastic:
+		res, err = submod.StochasticGreedy(obj, selectCount, 0.1, rand.New(rand.NewSource(cfg.Seed)))
+	default:
+		return nil, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: maximization: %w", err)
+	}
+	perRole, err := leader.GatherCounts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var total costmodel.Raw
+	for _, c := range perRole {
+		total = total.Plus(c)
+	}
+	return &Selection{
+		Selected:         res.Selected,
+		Value:            res.Value,
+		Gains:            res.Gains,
+		W:                rep.W,
+		AvgCandidates:    rep.AvgCandidates,
+		Counts:           total,
+		PerRole:          perRole,
+		WallTime:         time.Since(start),
+		ProjectedSeconds: costmodel.For(leader.Scheme().Name()).Seconds(total),
+		Evaluations:      res.Evaluations,
+		QueriesUsed:      len(cfg.Queries),
+	}, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vfps/internal/submod"
+)
+
+func randomW(rng *rand.Rand, p int) [][]float64 {
+	w := make([][]float64, p)
+	for i := range w {
+		w[i] = make([]float64, p)
+	}
+	for i := 0; i < p; i++ {
+		w[i][i] = 1
+		for j := i + 1; j < p; j++ {
+			v := rng.Float64()
+			w[i][j], w[j][i] = v, v
+		}
+	}
+	return w
+}
+
+func TestRewardSharesEfficiency(t *testing.T) {
+	// Shares must sum to f(full consortium).
+	rng := rand.New(rand.NewSource(1))
+	w := randomW(rng, 6)
+	shares, err := RewardShares(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := submod.NewFacilityLocation(w)
+	full := make([]int, 6)
+	for i := range full {
+		full[i] = i
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-obj.Value(full)) > 1e-9 {
+		t.Fatalf("Σshares = %g, f(P) = %g", sum, obj.Value(full))
+	}
+}
+
+func TestRewardSharesSymmetryForDuplicates(t *testing.T) {
+	// Exact duplicates (identical similarity rows AND unit mutual
+	// similarity) must receive identical rewards — the fairness property
+	// the greedy gains lack.
+	w := [][]float64{
+		{1.0, 1.0, 0.3, 0.4},
+		{1.0, 1.0, 0.3, 0.4},
+		{0.3, 0.3, 1.0, 0.5},
+		{0.4, 0.4, 0.5, 1.0},
+	}
+	shares, err := RewardShares(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shares[0]-shares[1]) > 1e-12 {
+		t.Fatalf("duplicates rewarded unequally: %v", shares)
+	}
+}
+
+func TestRewardSharesFixGreedyOrderBias(t *testing.T) {
+	// Under greedy, the second of two exact duplicates gets zero marginal
+	// gain; the Shapley shares split their joint contribution evenly.
+	cl, pt := cluster(t, "Rice", 150, 3, 1) // party 3 duplicates some source
+	sel, err := Select(context.Background(), cl.Leader, 4, Config{
+		K: 5, Queries: SampleQueries(150, 12, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := pt.DuplicateOf[3]
+	shares, err := RewardShares(sel.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shares[3]-shares[src]) > 1e-9 {
+		t.Fatalf("duplicate pair rewarded unequally: %v (src=%d)", shares, src)
+	}
+	// The greedy gains for the pair are near-maximally biased: the later
+	// pick earns (almost) nothing.
+	posOf := func(party int) int {
+		for i, p := range sel.Selected {
+			if p == party {
+				return i
+			}
+		}
+		return -1
+	}
+	first, second := posOf(src), posOf(3)
+	if first > second {
+		first, second = second, first
+	}
+	if sel.Gains[second] > 0.05*sel.Gains[first] {
+		t.Fatalf("expected strong order bias in greedy gains: %v", sel.Gains)
+	}
+}
+
+func TestRewardSharesValidation(t *testing.T) {
+	if _, err := RewardShares(nil); err == nil {
+		t.Fatal("expected empty matrix error")
+	}
+	big := randomW(rand.New(rand.NewSource(2)), 25)
+	if _, err := RewardShares(big); err == nil {
+		t.Fatal("expected P>24 error")
+	}
+}
+
+// Property: shares are non-negative for monotone f and efficient for random
+// similarity matrices.
+func TestRewardSharesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(6)
+		w := randomW(rng, p)
+		shares, err := RewardShares(w)
+		if err != nil {
+			return false
+		}
+		obj, _ := submod.NewFacilityLocation(w)
+		full := make([]int, p)
+		for i := range full {
+			full[i] = i
+		}
+		var sum float64
+		for _, s := range shares {
+			if s < -1e-9 { // monotone f ⇒ non-negative marginals
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-obj.Value(full)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

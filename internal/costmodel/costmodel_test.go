@@ -1,0 +1,99 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndSnapshot(t *testing.T) {
+	var c Counts
+	c.Add(Raw{Encryptions: 2, ItemsSent: 5})
+	c.Add(Raw{Encryptions: 3, Decryptions: 1})
+	s := c.Snapshot()
+	if s.Encryptions != 5 || s.Decryptions != 1 || s.ItemsSent != 5 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counts
+	c.Add(Raw{CipherAdds: 9})
+	c.Reset()
+	if s := c.Snapshot(); s.CipherAdds != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var c Counts
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Add(Raw{PlainAdds: 1, Messages: 2})
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.PlainAdds != 100 || s.Messages != 200 {
+		t.Fatalf("concurrent adds lost: %+v", s)
+	}
+}
+
+func TestPlus(t *testing.T) {
+	a := Raw{DistanceFlops: 1, Encryptions: 2, Decryptions: 3, CipherAdds: 4,
+		PlainAdds: 5, ItemsSent: 6, Messages: 7, BytesSent: 8}
+	b := a.Plus(a)
+	if b.DistanceFlops != 2 || b.BytesSent != 16 || b.Messages != 14 {
+		t.Fatalf("Plus wrong: %+v", b)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Raw{Encryptions: 3}.String()
+	if !strings.Contains(s, "enc=3") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSecondsLinear(t *testing.T) {
+	m := Model{Beta: 1, PhiE: 10, PhiD: 100, Gamma: 1000, Delta: 1e4, Eta: 1e5, Latency: 1e6}
+	r := Raw{DistanceFlops: 1, Encryptions: 1, Decryptions: 1, CipherAdds: 1, PlainAdds: 1, ItemsSent: 1, Messages: 1}
+	want := 1.0 + 10 + 100 + 1000 + 1e4 + 1e5 + 1e6
+	if got := m.Seconds(r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Seconds = %g, want %g", got, want)
+	}
+}
+
+func TestDefaultDominatedByEncryption(t *testing.T) {
+	// The paper's premise: HE item operations dominate. One encryption must
+	// cost orders of magnitude more than one plaintext add or one flop.
+	if Default.PhiE < 1e4*Default.Delta || Default.PhiE < 1e4*Default.Beta {
+		t.Fatal("default model does not make encryption dominant")
+	}
+	// And projecting a BASE-style run (N encryptions) must exceed a
+	// Fagin-style run (N/20 encryptions) by roughly the candidate ratio.
+	base := Default.Seconds(Raw{Encryptions: 100000})
+	fagin := Default.Seconds(Raw{Encryptions: 5000})
+	if ratio := base / fagin; ratio < 15 || ratio > 25 {
+		t.Fatalf("encryption-count ratio not preserved: %g", ratio)
+	}
+}
+
+func TestForSchemeSelection(t *testing.T) {
+	if For("secagg") != SecAggModel {
+		t.Fatal("secagg must use the masking model")
+	}
+	if For("paillier") != Default || For("plain") != Default || For("dp") != Default {
+		t.Fatal("other schemes must use the default model")
+	}
+	// The masking model must make the same workload orders of magnitude
+	// cheaper (its whole point).
+	r := Raw{Encryptions: 100000, CipherAdds: 300000, Decryptions: 100000}
+	if SecAggModel.Seconds(r) > Default.Seconds(r)/100 {
+		t.Fatal("masking model not meaningfully cheaper")
+	}
+}

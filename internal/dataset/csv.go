@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"vfps/internal/mat"
+)
+
+// LoadCSV reads a classification dataset from CSV. Every column except
+// labelCol must be numeric; the label column may be any string and is mapped
+// to class ids in sorted label order. If header is true the first record is
+// treated as column names and skipped. labelCol may be negative to index
+// from the end (-1 = last column).
+func LoadCSV(r io.Reader, name string, labelCol int, header bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if header && len(records) > 0 {
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv %s has no data rows", name)
+	}
+	width := len(records[0])
+	if labelCol < 0 {
+		labelCol += width
+	}
+	if labelCol < 0 || labelCol >= width {
+		return nil, fmt.Errorf("dataset: label column %d out of range for %d columns", labelCol, width)
+	}
+	rows := make([][]float64, 0, len(records))
+	rawLabels := make([]string, 0, len(records))
+	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want %d", i+1, len(rec), width)
+		}
+		row := make([]float64, 0, width-1)
+		for j, field := range rec {
+			if j == labelCol {
+				rawLabels = append(rawLabels, field)
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d col %d: %w", i+1, j, err)
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	// Map labels to dense class ids in sorted order for determinism.
+	uniq := map[string]bool{}
+	for _, l := range rawLabels {
+		uniq[l] = true
+	}
+	names := make([]string, 0, len(uniq))
+	for l := range uniq {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	classID := make(map[string]int, len(names))
+	for i, l := range names {
+		classID[l] = i
+	}
+	y := make([]int, len(rawLabels))
+	for i, l := range rawLabels {
+		y[i] = classID[l]
+	}
+	if len(names) < 2 {
+		return nil, fmt.Errorf("dataset: csv %s has a single class %q", name, names[0])
+	}
+	return &Dataset{Name: name, X: mat.FromRows(rows), Y: y, Classes: len(names)}, nil
+}

@@ -1,0 +1,35 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV ensures arbitrary CSV input never panics the loader and that
+// successful loads produce a consistent dataset.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("a,b,label\n1,2,x\n3,4,y\n", 2, true)
+	f.Add("1,2,x\n3,4,y\n", -1, false)
+	f.Add("", 0, false)
+	f.Add("1\n2\n", 0, false)
+	f.Add("not,numeric,x\n1,2,y\n", 2, false)
+	f.Add("1,2\n3,4,5\n", 1, false)
+	f.Add("∞,2,x\n1,2,y\n", 2, false)
+	f.Fuzz(func(t *testing.T, data string, labelCol int, header bool) {
+		d, err := LoadCSV(strings.NewReader(data), "fuzz", labelCol, header)
+		if err != nil {
+			return
+		}
+		if d.N() == 0 || d.Classes < 2 {
+			t.Fatalf("accepted invalid dataset: n=%d classes=%d", d.N(), d.Classes)
+		}
+		if len(d.Y) != d.N() {
+			t.Fatal("label count mismatch")
+		}
+		for _, y := range d.Y {
+			if y < 0 || y >= d.Classes {
+				t.Fatalf("label %d out of range", y)
+			}
+		}
+	})
+}

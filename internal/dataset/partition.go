@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vfps/internal/mat"
+)
+
+// Partition is a vertical split of a dataset's feature space across
+// participants: party p holds X.SelectCols(FeatureIdx[p]) for every
+// instance, matching the VFL data layout of §II-A.
+type Partition struct {
+	// Parties[p] is the N×F_p local feature matrix of participant p.
+	Parties []*mat.Matrix
+	// FeatureIdx[p] lists the joint-space column indices party p holds.
+	FeatureIdx [][]int
+	// DuplicateOf[p] is the index of the party p replicates, or -1 for
+	// original parties. Used by the Fig. 6 diversity study.
+	DuplicateOf []int
+}
+
+// P returns the number of participants.
+func (pt *Partition) P() int { return len(pt.Parties) }
+
+// VerticalSplit randomly assigns the dataset's features to p participants in
+// near-equal blocks (the paper: "randomly split each dataset into vertical
+// partitions based on the number of features"). Deterministic in seed.
+func VerticalSplit(d *Dataset, p int, seed int64) (*Partition, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("dataset: party count %d must be positive", p)
+	}
+	if p > d.F() {
+		return nil, fmt.Errorf("dataset: %d parties exceed %d features", p, d.F())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cols := rng.Perm(d.F())
+	part := &Partition{
+		Parties:     make([]*mat.Matrix, p),
+		FeatureIdx:  make([][]int, p),
+		DuplicateOf: make([]int, p),
+	}
+	for i := 0; i < p; i++ {
+		from := i * d.F() / p
+		to := (i + 1) * d.F() / p
+		idx := append([]int{}, cols[from:to]...)
+		part.FeatureIdx[i] = idx
+		part.Parties[i] = d.X.SelectCols(idx)
+		part.DuplicateOf[i] = -1
+	}
+	return part, nil
+}
+
+// Select returns the partition restricted to the given parties, preserving
+// their order. Used to train downstream models on a selected sub-consortium.
+func (pt *Partition) Select(parties []int) (*Partition, error) {
+	out := &Partition{
+		Parties:     make([]*mat.Matrix, len(parties)),
+		FeatureIdx:  make([][]int, len(parties)),
+		DuplicateOf: make([]int, len(parties)),
+	}
+	for i, p := range parties {
+		if p < 0 || p >= pt.P() {
+			return nil, fmt.Errorf("dataset: party %d out of range [0,%d)", p, pt.P())
+		}
+		out.Parties[i] = pt.Parties[p]
+		out.FeatureIdx[i] = pt.FeatureIdx[p]
+		out.DuplicateOf[i] = pt.DuplicateOf[p]
+	}
+	return out, nil
+}
+
+// Joint concatenates the selected parties' features back into one matrix
+// (the view a centralized model of the sub-consortium would train on).
+func (pt *Partition) Joint() *mat.Matrix {
+	return mat.HConcat(pt.Parties...)
+}
+
+// ApplyRows returns a partition holding only the given instance rows from
+// every party (used to carve train/val/test views that stay aligned across
+// participants).
+func (pt *Partition) ApplyRows(rows []int) *Partition {
+	out := &Partition{
+		Parties:     make([]*mat.Matrix, pt.P()),
+		FeatureIdx:  pt.FeatureIdx,
+		DuplicateOf: pt.DuplicateOf,
+	}
+	for i, m := range pt.Parties {
+		out.Parties[i] = m.SelectRows(rows)
+	}
+	return out
+}
+
+// WithDuplicates returns a new partition with `count` additional parties,
+// each an exact replica of a randomly chosen original party — the Fig. 6
+// protocol of manually injecting duplicate participants. Deterministic in
+// seed.
+func (pt *Partition) WithDuplicates(count int, seed int64) *Partition {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Partition{
+		Parties:     append([]*mat.Matrix{}, pt.Parties...),
+		FeatureIdx:  append([][]int{}, pt.FeatureIdx...),
+		DuplicateOf: append([]int{}, pt.DuplicateOf...),
+	}
+	orig := pt.P()
+	for i := 0; i < count; i++ {
+		src := rng.Intn(orig)
+		out.Parties = append(out.Parties, pt.Parties[src].Clone())
+		out.FeatureIdx = append(out.FeatureIdx, append([]int{}, pt.FeatureIdx[src]...))
+		out.DuplicateOf = append(out.DuplicateOf, src)
+	}
+	return out
+}

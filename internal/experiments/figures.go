@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"vfps"
+)
+
+// Fig4Result reports selection time per method per dataset (Fig. 4),
+// including the VFPS-SM-BASE ablation. RANDOM and ALL select instantly.
+type Fig4Result struct {
+	// Seconds[method][dataset] is the projected selection time.
+	Seconds map[string]map[string]float64
+	Table   *Table
+}
+
+// Fig4 regenerates the selection-time comparison.
+func Fig4(ctx context.Context, opt Options) (*Fig4Result, error) {
+	opt = opt.withDefaults()
+	methods := []vfps.Method{vfps.MethodShapley, vfps.MethodVFMine, vfps.MethodVFPSBase, vfps.MethodVFPS}
+	res := &Fig4Result{Seconds: map[string]map[string]float64{}}
+	for _, m := range methods {
+		res.Seconds[methodLabel(m)] = map[string]float64{}
+	}
+	for _, ds := range opt.Datasets {
+		cons, _, err := buildConsortium(ctx, ds, opt, opt.Parties, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			sel, err := cons.SelectWith(ctx, m, opt.SelectCount, opt.selectOpts())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", ds, m, err)
+			}
+			res.Seconds[methodLabel(m)][ds] = sel.ProjectedSeconds
+		}
+	}
+	res.Table = &Table{
+		Title:  "Fig. 4: selection time (projected seconds)",
+		Header: append([]string{"Method"}, opt.Datasets...),
+	}
+	for _, m := range methods {
+		row := []string{methodLabel(m)}
+		for _, ds := range opt.Datasets {
+			row = append(row, fmtSeconds(res.Seconds[methodLabel(m)][ds]))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}
+
+// Fig5Result reports MLP training time per method per dataset (Fig. 5).
+type Fig5Result struct {
+	// Seconds[method][dataset] is the projected MLP training time on the
+	// method's selected sub-consortium.
+	Seconds map[string]map[string]float64
+	Table   *Table
+}
+
+// Fig5 regenerates the MLP training-time comparison.
+func Fig5(ctx context.Context, opt Options) (*Fig5Result, error) {
+	opt = opt.withDefaults()
+	res := &Fig5Result{Seconds: map[string]map[string]float64{}}
+	for _, m := range gridMethods {
+		res.Seconds[gridLabel(m)] = map[string]float64{}
+	}
+	for _, ds := range opt.Datasets {
+		run, err := runSelections(ctx, ds, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range gridMethods {
+			ev, err := run.cons.Evaluate(vfps.ModelMLP, run.parties(m), opt.evalOpts())
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", ds, m, err)
+			}
+			res.Seconds[gridLabel(m)][ds] = ev.ProjectedSeconds
+		}
+	}
+	res.Table = &Table{
+		Title:  "Fig. 5: MLP training time (projected seconds)",
+		Header: append([]string{"Method"}, opt.Datasets...),
+	}
+	for _, m := range gridMethods {
+		row := []string{gridLabel(m)}
+		for _, ds := range opt.Datasets {
+			row = append(row, fmtSeconds(res.Seconds[gridLabel(m)][ds]))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}
+
+// Fig6Result reports the diversity study (Fig. 6): KNN accuracy as exact
+// duplicate participants are injected into the consortium.
+type Fig6Result struct {
+	// Accuracy[dataset][method][dups] for dups in Dups.
+	Accuracy map[string]map[string][]float64
+	Dups     []int
+	Table    *Table
+}
+
+// Fig6 regenerates the duplicate-participant study on the Fig. 6 datasets.
+func Fig6(ctx context.Context, opt Options) (*Fig6Result, error) {
+	opt = opt.withDefaults()
+	datasets := opt.Datasets
+	if len(datasets) == 10 {
+		datasets = []string{"Phishing", "Web"} // the paper's Fig. 6 pair
+	}
+	methods := []vfps.Method{vfps.MethodShapley, vfps.MethodVFMine, vfps.MethodVFPS}
+	dups := []int{0, 1, 2, 3, 4}
+	res := &Fig6Result{Accuracy: map[string]map[string][]float64{}, Dups: dups}
+	res.Table = &Table{
+		Title:  "Fig. 6: KNN accuracy vs injected duplicate participants",
+		Header: []string{"Dataset", "Method", "+0", "+1", "+2", "+3", "+4"},
+	}
+	for _, ds := range datasets {
+		res.Accuracy[ds] = map[string][]float64{}
+		for _, m := range methods {
+			res.Accuracy[ds][methodLabel(m)] = make([]float64, len(dups))
+		}
+		for di, dup := range dups {
+			cons, _, err := buildConsortium(ctx, ds, opt, opt.Parties, dup)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range methods {
+				sel, err := cons.SelectWith(ctx, m, opt.SelectCount, opt.selectOpts())
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/+%d: %w", ds, m, dup, err)
+				}
+				ev, err := cons.Evaluate(vfps.ModelKNN, sel.Selected, opt.evalOpts())
+				if err != nil {
+					return nil, err
+				}
+				res.Accuracy[ds][methodLabel(m)][di] = ev.Accuracy
+			}
+		}
+		for _, m := range methods {
+			row := []string{ds, methodLabel(m)}
+			for _, a := range res.Accuracy[ds][methodLabel(m)] {
+				row = append(row, fmtAcc(a))
+			}
+			res.Table.Rows = append(res.Table.Rows, row)
+		}
+	}
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}
+
+// Fig7Result reports the scalability study (Fig. 7): selection time versus
+// the number of participants.
+type Fig7Result struct {
+	Parties []int
+	// Seconds[dataset][method][i] is the projected selection time at
+	// Parties[i].
+	Seconds map[string]map[string][]float64
+	Table   *Table
+}
+
+// Fig7 regenerates the scalability sweep. SHAPLEY's exact enumeration is
+// intentionally kept — its exponential blow-up is the figure's point — so
+// the workload is clamped to stay tractable at 20 participants.
+func Fig7(ctx context.Context, opt Options) (*Fig7Result, error) {
+	opt = opt.withDefaults()
+	if opt.Rows > 150 {
+		opt.Rows = 150
+	}
+	if opt.Queries > 8 {
+		opt.Queries = 8
+	}
+	if opt.K > 5 {
+		opt.K = 5
+	}
+	datasets := opt.Datasets
+	if len(datasets) == 10 {
+		datasets = []string{"Phishing", "Web"}
+	}
+	sweep := []int{4, 8, 12, 16, 20}
+	methods := []vfps.Method{vfps.MethodShapley, vfps.MethodVFMine, vfps.MethodVFPS}
+	res := &Fig7Result{Parties: sweep, Seconds: map[string]map[string][]float64{}}
+	res.Table = &Table{
+		Title:  "Fig. 7: selection time vs consortium size (projected seconds)",
+		Header: []string{"Dataset", "Method", "P=4", "P=8", "P=12", "P=16", "P=20"},
+	}
+	for _, ds := range datasets {
+		res.Seconds[ds] = map[string][]float64{}
+		for _, m := range methods {
+			res.Seconds[ds][methodLabel(m)] = make([]float64, len(sweep))
+		}
+		for pi, p := range sweep {
+			localOpt := opt
+			localOpt.SelectCount = p / 2
+			cons, _, err := buildConsortium(ctx, ds, localOpt, p, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range methods {
+				sel, err := cons.SelectWith(ctx, m, localOpt.SelectCount, localOpt.selectOpts())
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/P=%d: %w", ds, m, p, err)
+				}
+				res.Seconds[ds][methodLabel(m)][pi] = sel.ProjectedSeconds
+			}
+		}
+		for _, m := range methods {
+			row := []string{ds, methodLabel(m)}
+			for _, s := range res.Seconds[ds][methodLabel(m)] {
+				row = append(row, fmtSeconds(s))
+			}
+			res.Table.Rows = append(res.Table.Rows, row)
+		}
+	}
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}
+
+// Fig8Result reports the impact of the proxy-KNN k (Fig. 8).
+type Fig8Result struct {
+	Ks []int
+	// Accuracy[dataset][i] is the downstream KNN accuracy when selecting
+	// with k = Ks[i].
+	Accuracy map[string][]float64
+	Table    *Table
+}
+
+// Fig8 regenerates the k sweep on the Fig. 8 datasets.
+func Fig8(ctx context.Context, opt Options) (*Fig8Result, error) {
+	opt = opt.withDefaults()
+	datasets := opt.Datasets
+	if len(datasets) == 10 {
+		datasets = []string{"Phishing", "Web"}
+	}
+	ks := []int{1, 5, 10, 20, 50}
+	res := &Fig8Result{Ks: ks, Accuracy: map[string][]float64{}}
+	res.Table = &Table{
+		Title:  "Fig. 8: impact of k on downstream accuracy (VFPS-SM selection)",
+		Header: []string{"Dataset", "k=1", "k=5", "k=10", "k=20", "k=50"},
+	}
+	for _, ds := range datasets {
+		cons, _, err := buildConsortium(ctx, ds, opt, opt.Parties, 0)
+		if err != nil {
+			return nil, err
+		}
+		accs := make([]float64, len(ks))
+		for ki, k := range ks {
+			if k >= cons.N()/2 {
+				k = cons.N() / 2
+			}
+			so := opt.selectOpts()
+			so.K = k
+			sel, err := cons.Select(ctx, opt.SelectCount, so)
+			if err != nil {
+				return nil, fmt.Errorf("%s/k=%d: %w", ds, k, err)
+			}
+			eo := opt.evalOpts()
+			ev, err := cons.Evaluate(vfps.ModelKNN, sel.Selected, eo)
+			if err != nil {
+				return nil, err
+			}
+			accs[ki] = ev.Accuracy
+		}
+		res.Accuracy[ds] = accs
+		row := []string{ds}
+		for _, a := range accs {
+			row = append(row, fmtAcc(a))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}
+
+// Fig9Result reports the candidate-pruning ablation (Fig. 9): average number
+// of instances encrypted and communicated per query, BASE vs Fagin.
+type Fig9Result struct {
+	// Candidates[variant][dataset], variant ∈ {"VFPS-SM-BASE", "VFPS-SM"}.
+	Candidates map[string]map[string]float64
+	Table      *Table
+}
+
+// Fig9 regenerates the candidate-count ablation.
+func Fig9(ctx context.Context, opt Options) (*Fig9Result, error) {
+	opt = opt.withDefaults()
+	res := &Fig9Result{Candidates: map[string]map[string]float64{
+		"VFPS-SM-BASE": {},
+		"VFPS-SM":      {},
+	}}
+	for _, ds := range opt.Datasets {
+		cons, _, err := buildConsortium(ctx, ds, opt, opt.Parties, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cons.Select(ctx, opt.SelectCount, func() vfps.SelectOptions {
+			o := opt.selectOpts()
+			o.Base = true
+			return o
+		}())
+		if err != nil {
+			return nil, err
+		}
+		fagin, err := cons.Select(ctx, opt.SelectCount, opt.selectOpts())
+		if err != nil {
+			return nil, err
+		}
+		res.Candidates["VFPS-SM-BASE"][ds] = base.AvgCandidates
+		res.Candidates["VFPS-SM"][ds] = fagin.AvgCandidates
+	}
+	res.Table = &Table{
+		Title:  "Fig. 9: average encrypted/communicated instances per query",
+		Header: append([]string{"Variant"}, opt.Datasets...),
+	}
+	for _, v := range []string{"VFPS-SM-BASE", "VFPS-SM"} {
+		row := []string{v}
+		for _, ds := range opt.Datasets {
+			row = append(row, fmt.Sprintf("%.1f", res.Candidates[v][ds]))
+		}
+		res.Table.Rows = append(res.Table.Rows, row)
+	}
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}

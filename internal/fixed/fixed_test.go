@@ -1,0 +1,99 @@
+package fixed
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := NewCodec(DefaultScaleBits)
+	for _, v := range []float64{0, 1, -1, 0.5, -0.5, 3.14159, 1e6, -1e6, 1e-6} {
+		i, err := c.Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", v, err)
+		}
+		got := c.Decode(i)
+		if math.Abs(got-v) > 1e-9*(1+math.Abs(v)) {
+			t.Fatalf("round trip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestEncodeNonFinite(t *testing.T) {
+	c := NewCodec(DefaultScaleBits)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := c.Encode(v); err == nil {
+			t.Fatalf("expected error encoding %g", v)
+		}
+	}
+}
+
+func TestScaleBits(t *testing.T) {
+	c := NewCodec(20)
+	if c.ScaleBits() != 20 {
+		t.Fatal("ScaleBits wrong")
+	}
+	i, _ := c.Encode(1)
+	if i.Cmp(big.NewInt(1<<20)) != 0 {
+		t.Fatalf("Encode(1) = %v, want 2^20", i)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	c := NewCodec(DefaultScaleBits)
+	a, _ := c.Encode(1.25)
+	b, _ := c.Encode(2.5)
+	sum := new(big.Int).Add(a, b)
+	if got := c.DecodeSum(sum); math.Abs(got-3.75) > 1e-9 {
+		t.Fatalf("sum decode got %g", got)
+	}
+}
+
+// Property: decoding the integer sum of encodings equals the float sum.
+func TestAdditivityProperty(t *testing.T) {
+	c := NewCodec(DefaultScaleBits)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		sumInt := new(big.Int)
+		var sumF float64
+		for i := 0; i < n; i++ {
+			v := rng.NormFloat64() * 1000
+			e, err := c.Encode(v)
+			if err != nil {
+				return false
+			}
+			sumInt.Add(sumInt, e)
+			sumF += v
+		}
+		return math.Abs(c.Decode(sumInt)-sumF) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoding is monotone — a <= b implies Encode(a) <= Encode(b).
+func TestMonotoneProperty(t *testing.T) {
+	c := NewCodec(DefaultScaleBits)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ea, err1 := c.Encode(a)
+		eb, err2 := c.Encode(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ea.Cmp(eb) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package he
+
+import (
+	"crypto/rand"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"vfps/internal/paillier"
+)
+
+var (
+	keyOnce sync.Once
+	sk      *paillier.PrivateKey
+)
+
+func testKey(t testing.TB) *paillier.PrivateKey {
+	keyOnce.Do(func() {
+		k, err := paillier.GenerateKey(rand.Reader, 512)
+		if err != nil {
+			panic(err)
+		}
+		sk = k
+	})
+	return sk
+}
+
+func schemes(t testing.TB) map[string]Scheme {
+	k := testKey(t)
+	return map[string]Scheme{
+		"paillier": NewPaillier(&k.PublicKey, k),
+		"plain":    NewPlain(),
+	}
+}
+
+func TestSchemeRoundTrip(t *testing.T) {
+	for name, s := range schemes(t) {
+		for _, v := range []float64{0, 1.5, -2.25, 12345.6789, 1e-6} {
+			c, err := s.Encrypt(v)
+			if err != nil {
+				t.Fatalf("%s Encrypt(%g): %v", name, v, err)
+			}
+			got, err := s.Decrypt(c)
+			if err != nil {
+				t.Fatalf("%s Decrypt: %v", name, err)
+			}
+			if math.Abs(got-v) > 1e-9 {
+				t.Fatalf("%s round trip %g -> %g", name, v, got)
+			}
+		}
+	}
+}
+
+func TestSchemeAdd(t *testing.T) {
+	for name, s := range schemes(t) {
+		a, _ := s.Encrypt(1.25)
+		b, _ := s.Encrypt(-0.75)
+		c, err := s.Add(a, b)
+		if err != nil {
+			t.Fatalf("%s Add: %v", name, err)
+		}
+		got, err := s.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-0.5) > 1e-9 {
+			t.Fatalf("%s add got %g", name, got)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	k := testKey(t)
+	if NewPaillier(&k.PublicKey, nil).Name() != "paillier" || NewPlain().Name() != "plain" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestPaillierPublicOnly(t *testing.T) {
+	k := testKey(t)
+	pub := NewPaillier(&k.PublicKey, nil)
+	c, err := pub.Encrypt(3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Decrypt(c); !errors.Is(err, ErrNoPrivateKey) {
+		t.Fatalf("want ErrNoPrivateKey, got %v", err)
+	}
+	// The full scheme must decrypt what the public-only one encrypted.
+	full := NewPaillier(&k.PublicKey, k)
+	got, err := full.Decrypt(c)
+	if err != nil || math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("cross decrypt: %v %g", err, got)
+	}
+}
+
+func TestEncryptNonFinite(t *testing.T) {
+	for name, s := range schemes(t) {
+		if _, err := s.Encrypt(math.NaN()); err == nil {
+			t.Fatalf("%s: expected NaN error", name)
+		}
+	}
+}
+
+func TestPlainDecryptBadLength(t *testing.T) {
+	p := NewPlain()
+	if _, err := p.Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := p.Add([]byte{1}, []byte{2}); err == nil {
+		t.Fatal("expected add error on bad ciphertexts")
+	}
+}
+
+func TestCiphertextSizes(t *testing.T) {
+	k := testKey(t)
+	ps := NewPaillier(&k.PublicKey, nil)
+	if ps.CiphertextSize() < 100 {
+		t.Fatalf("paillier size %d too small", ps.CiphertextSize())
+	}
+	if NewPlain().CiphertextSize() != 256 {
+		t.Fatal("plain simulated size should default to 256")
+	}
+	zero := &Plain{}
+	if zero.CiphertextSize() != 8 {
+		t.Fatal("zero-value plain should report raw size")
+	}
+}
+
+func TestPaillierCorruptedCiphertext(t *testing.T) {
+	k := testKey(t)
+	s := NewPaillier(&k.PublicKey, k)
+	if _, err := s.Decrypt([]byte{}); err == nil {
+		t.Fatal("expected error for empty ciphertext")
+	}
+	c, _ := s.Encrypt(1)
+	// Overflowing the modulus range must be rejected.
+	huge := make([]byte, len(c)+64)
+	for i := range huge {
+		huge[i] = 0xff
+	}
+	if _, err := s.Decrypt(huge); err == nil {
+		t.Fatal("expected error for oversized ciphertext")
+	}
+}
+
+func TestPublicKeySerialization(t *testing.T) {
+	k := testKey(t)
+	b := MarshalPublicKey(&k.PublicKey)
+	pk, err := UnmarshalPublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.N.Cmp(k.N) != 0 || pk.N2.Cmp(k.N2) != 0 || pk.G.Cmp(k.G) != 0 {
+		t.Fatal("public key round trip mismatch")
+	}
+	// Encrypt with the reconstructed key, decrypt with the original.
+	s := NewPaillier(pk, nil)
+	c, err := s.Encrypt(7.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewPaillier(&k.PublicKey, k)
+	got, err := full.Decrypt(c)
+	if err != nil || math.Abs(got-7.25) > 1e-9 {
+		t.Fatalf("reconstructed-key encrypt failed: %v %g", err, got)
+	}
+}
+
+func TestPrivateKeySerialization(t *testing.T) {
+	k := testKey(t)
+	b := MarshalPrivateKey(k)
+	rk, err := UnmarshalPrivateKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewPaillier(&k.PublicKey, nil)
+	c, _ := s.Encrypt(-4.5)
+	full := NewPaillier(&rk.PublicKey, rk)
+	got, err := full.Decrypt(c)
+	if err != nil || math.Abs(got+4.5) > 1e-9 {
+		t.Fatalf("reconstructed private key failed: %v %g", err, got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalPublicKey([]byte{1, 2}); err == nil {
+		t.Fatal("expected truncated header error")
+	}
+	if _, err := UnmarshalPublicKey([]byte{0, 0, 0, 9, 1}); err == nil {
+		t.Fatal("expected truncated body error")
+	}
+	k := testKey(t)
+	b := append(MarshalPublicKey(&k.PublicKey), 0xaa)
+	if _, err := UnmarshalPublicKey(b); err == nil {
+		t.Fatal("expected trailing bytes error")
+	}
+	if _, err := UnmarshalPrivateKey([]byte{}); err == nil {
+		t.Fatal("expected private key error")
+	}
+}
+
+// The two schemes must agree on aggregated values: sum of many encrypted
+// partials decrypts identically (within fixed-point tolerance).
+func TestSchemesAgreeOnAggregation(t *testing.T) {
+	k := testKey(t)
+	pail := NewPaillier(&k.PublicKey, k)
+	plain := NewPlain()
+	values := []float64{0.5, 1.75, -0.25, 3.125, 10}
+	var want float64
+	for _, v := range values {
+		want += v
+	}
+	for name, s := range map[string]Scheme{"paillier": pail, "plain": plain} {
+		acc, err := s.Encrypt(values[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range values[1:] {
+			c, err := s.Encrypt(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err = s.Add(acc, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := s.Decrypt(acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-8 {
+			t.Fatalf("%s aggregate %g, want %g", name, got, want)
+		}
+	}
+}

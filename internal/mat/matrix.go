@@ -1,0 +1,303 @@
+// Package mat provides the dense row-major linear algebra used throughout
+// the repository: matrices, vectors and the handful of BLAS-like kernels the
+// federated-learning components need. It replaces the NumPy/PyTorch tensor
+// layer the paper's implementation relies on.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. The data is
+// copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged row %d: len %d, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// SliceRows returns a new matrix containing rows [from, to).
+func (m *Matrix) SliceRows(from, to int) *Matrix {
+	if from < 0 || to > m.Rows || from > to {
+		panic(fmt.Sprintf("mat: row slice [%d,%d) out of range for %d rows", from, to, m.Rows))
+	}
+	out := New(to-from, m.Cols)
+	copy(out.Data, m.Data[from*m.Cols:to*m.Cols])
+	return out
+}
+
+// SelectRows returns a new matrix whose i-th row is m.Row(idx[i]).
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// SelectCols returns a new matrix whose j-th column is column idx[j] of m.
+func (m *Matrix) SelectCols(idx []int) *Matrix {
+	out := New(m.Rows, len(idx))
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, c := range idx {
+			dst[j] = src[c]
+		}
+	}
+	return out
+}
+
+// HConcat concatenates matrices horizontally (same row count).
+func HConcat(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("mat: HConcat row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		dst := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(dst[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Apply replaces every element x with f(x), in place, and returns m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+	return m
+}
+
+// AddInPlace adds b to m element-wise.
+func (m *Matrix) AddInPlace(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("mat: AddInPlace shape mismatch")
+	}
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddRowVector adds vector v to every row of m, in place.
+func (m *Matrix) AddRowVector(v []float64) *Matrix {
+	if len(v) != m.Cols {
+		panic("mat: AddRowVector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range v {
+			row[j] += x
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between two vectors.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: SqDist length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// ArgMax returns the index of the maximum element of v (first on ties).
+// It panics on an empty slice.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		panic("mat: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Std returns the population standard deviation of v.
+func Std(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mu := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Standardize scales each column of m to zero mean and unit variance in
+// place, returning the per-column means and standard deviations used. A
+// column with zero variance is left centred but unscaled.
+func (m *Matrix) Standardize() (means, stds []float64) {
+	means = make([]float64, m.Cols)
+	stds = make([]float64, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		var s float64
+		for i := 0; i < m.Rows; i++ {
+			s += m.At(i, j)
+		}
+		mu := s / float64(m.Rows)
+		var ss float64
+		for i := 0; i < m.Rows; i++ {
+			d := m.At(i, j) - mu
+			ss += d * d
+		}
+		sd := math.Sqrt(ss / float64(m.Rows))
+		means[j], stds[j] = mu, sd
+		for i := 0; i < m.Rows; i++ {
+			v := m.At(i, j) - mu
+			if sd > 0 {
+				v /= sd
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return means, stds
+}
+
+// ApplyStandardization applies previously computed column means/stds to m in
+// place (used to normalise validation/test sets with training statistics).
+func (m *Matrix) ApplyStandardization(means, stds []float64) {
+	if len(means) != m.Cols || len(stds) != m.Cols {
+		panic("mat: ApplyStandardization length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+			if stds[j] > 0 {
+				row[j] /= stds[j]
+			}
+		}
+	}
+}

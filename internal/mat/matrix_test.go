@@ -1,0 +1,324 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New not zeroed")
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("At wrong: %v", m.Data)
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged input")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestRowAliases(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Fatal("Row should alias storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone should not alias")
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromRows([][]float64{{1}, {2}, {3}, {4}})
+	s := m.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 2 || s.At(1, 0) != 3 {
+		t.Fatalf("SliceRows wrong: %v", s.Data)
+	}
+}
+
+func TestSelectRowsCols(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.SelectRows([]int{1, 0, 1})
+	if r.Rows != 3 || r.At(0, 0) != 4 || r.At(1, 2) != 3 {
+		t.Fatalf("SelectRows wrong: %v", r.Data)
+	}
+	c := m.SelectCols([]int{2, 0})
+	if c.Cols != 2 || c.At(0, 0) != 3 || c.At(1, 1) != 4 {
+		t.Fatalf("SelectCols wrong: %v", c.Data)
+	}
+}
+
+func TestHConcat(t *testing.T) {
+	a := FromRows([][]float64{{1}, {2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	m := HConcat(a, b)
+	if m.Cols != 3 || m.At(0, 1) != 3 || m.At(1, 2) != 6 {
+		t.Fatalf("HConcat wrong: %v", m.Data)
+	}
+}
+
+func TestHConcatReconstructsSplit(t *testing.T) {
+	// Splitting a matrix by columns and re-concatenating must reconstruct it.
+	rng := rand.New(rand.NewSource(1))
+	m := New(7, 9)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	a := m.SelectCols([]int{0, 1, 2})
+	b := m.SelectCols([]int{3, 4, 5, 6})
+	c := m.SelectCols([]int{7, 8})
+	got := HConcat(a, b, c)
+	for i := range m.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("reconstruction mismatch")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatalf("T wrong: %v", tr.Data)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul wrong at %d,%d: %v", i, j, c.Data)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(5, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c := Mul(a, id)
+	for i := range a.Data {
+		if !almostEq(c.Data[i], a.Data[i]) {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dimension panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestApplyScaleAdd(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}})
+	m.Apply(math.Abs)
+	if m.At(0, 1) != 2 {
+		t.Fatal("Apply failed")
+	}
+	m.ScaleInPlace(3)
+	if m.At(0, 0) != 3 {
+		t.Fatal("Scale failed")
+	}
+	m.AddInPlace(FromRows([][]float64{{1, 1}}))
+	if m.At(0, 1) != 7 {
+		t.Fatal("Add failed")
+	}
+	m.AddRowVector([]float64{10, 20})
+	if m.At(0, 0) != 14 || m.At(0, 1) != 27 {
+		t.Fatal("AddRowVector failed")
+	}
+}
+
+func TestDotSqDistNorm(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if SqDist(a, b) != 27 {
+		t.Fatal("SqDist wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5) {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax([]float64{7, 7, 3}) != 0 {
+		t.Fatal("ArgMax should prefer first on ties")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Mean(v), 5) {
+		t.Fatal("Mean wrong")
+	}
+	if !almostEq(Std(v), 2) {
+		t.Fatal("Std wrong")
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty stats should be 0")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(100, 3)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()*5 + 2
+	}
+	means, stds := m.Standardize()
+	if len(means) != 3 || len(stds) != 3 {
+		t.Fatal("stat lengths wrong")
+	}
+	for j := 0; j < 3; j++ {
+		col := make([]float64, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			col[i] = m.At(i, j)
+		}
+		if math.Abs(Mean(col)) > 1e-9 || math.Abs(Std(col)-1) > 1e-9 {
+			t.Fatalf("col %d not standardized: mean %g std %g", j, Mean(col), Std(col))
+		}
+	}
+}
+
+func TestStandardizeZeroVarianceColumn(t *testing.T) {
+	m := FromRows([][]float64{{5, 1}, {5, 2}})
+	_, stds := m.Standardize()
+	if stds[0] != 0 {
+		t.Fatal("expected zero std for constant column")
+	}
+	if m.At(0, 0) != 0 || m.At(1, 0) != 0 {
+		t.Fatal("constant column should be centred to zero")
+	}
+}
+
+func TestApplyStandardization(t *testing.T) {
+	train := FromRows([][]float64{{0}, {2}})
+	means, stds := train.Standardize()
+	test := FromRows([][]float64{{1}})
+	test.ApplyStandardization(means, stds)
+	if !almostEq(test.At(0, 0), 0) {
+		t.Fatalf("expected 0, got %g", test.At(0, 0))
+	}
+}
+
+// Property: transpose is an involution.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		m := New(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)^T == B^T·A^T.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, m := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(n, k)
+		b := New(k, m)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		left := Mul(a, b).T()
+		right := Mul(b.T(), a.T())
+		for i := range left.Data {
+			if !almostEq(left.Data[i], right.Data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SqDist(a,b) == |a|^2 + |b|^2 - 2 a·b.
+func TestSqDistExpansionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		lhs := SqDist(a, b)
+		rhs := Dot(a, a) + Dot(b, b) - 2*Dot(a, b)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

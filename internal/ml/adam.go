@@ -1,0 +1,48 @@
+// Package ml implements the downstream models of the paper's evaluation —
+// KNN, logistic regression and a split-learning MLP — from scratch: dense
+// layers with manual backpropagation, the Adam optimizer, mini-batch
+// training with early stopping on validation loss, and the learning-rate
+// grid search of §V-A. Models train on vertical partitions so that
+// federated communication and encryption costs can be accounted per batch.
+package ml
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba) over a flat parameter vector.
+type Adam struct {
+	lr      float64
+	beta1   float64
+	beta2   float64
+	eps     float64
+	t       int
+	m, v    []float64
+	created bool
+}
+
+// NewAdam returns an Adam optimizer with standard hyper-parameters
+// (β1=0.9, β2=0.999, ε=1e-8) and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+}
+
+// Step applies one Adam update to params given grads (same length).
+func (a *Adam) Step(params, grads []float64) {
+	if !a.created {
+		a.m = make([]float64, len(params))
+		a.v = make([]float64, len(params))
+		a.created = true
+	}
+	if len(params) != len(a.m) || len(params) != len(grads) {
+		panic("ml: Adam parameter length changed between steps")
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, g := range grads {
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		mHat := a.m[i] / b1c
+		vHat := a.v[i] / b2c
+		params[i] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
+	}
+}

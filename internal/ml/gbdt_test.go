@@ -1,0 +1,165 @@
+package ml
+
+import (
+	"testing"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/dataset"
+	"vfps/internal/mat"
+)
+
+func TestGBDTTrainsToHighAccuracy(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, yTest := learnablePartition(t, "Rice", 900, 3)
+	m := NewGBDT(GBDTConfig{Rounds: 40})
+	if err := m.Fit(trainPt, yTr, valPt, yVal); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(testPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(pred, yTest); acc < 0.85 {
+		t.Fatalf("GBDT accuracy %.3f too low (%d trees)", acc, m.Trees())
+	}
+}
+
+func TestGBDTBeatsBiasOnHardData(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, yTest := learnablePartition(t, "Credit", 900, 3)
+	m := NewGBDT(GBDTConfig{Rounds: 40})
+	if err := m.Fit(trainPt, yTr, valPt, yVal); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(testPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority-class rate on Credit-like data is ~0.5; boosted trees must
+	// clearly beat it.
+	if acc := Accuracy(pred, yTest); acc < 0.62 {
+		t.Fatalf("GBDT accuracy %.3f no better than chance", acc)
+	}
+}
+
+func TestGBDTEarlyStopping(t *testing.T) {
+	trainPt, yTr, valPt, yVal, _, _ := learnablePartition(t, "Rice", 500, 2)
+	m := NewGBDT(GBDTConfig{Rounds: 300, Patience: 3})
+	if err := m.Fit(trainPt, yTr, valPt, yVal); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trees() >= 300 {
+		t.Fatalf("early stopping never fired: %d trees", m.Trees())
+	}
+}
+
+func TestGBDTDeterministic(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, _ := learnablePartition(t, "Bank", 400, 2)
+	run := func() []int {
+		m := NewGBDT(GBDTConfig{Rounds: 10})
+		if err := m.Fit(trainPt, yTr, valPt, yVal); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.Predict(testPt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GBDT training not deterministic")
+		}
+	}
+}
+
+func TestGBDTCostAccounting(t *testing.T) {
+	trainPt, yTr, valPt, yVal, _, _ := learnablePartition(t, "Rice", 300, 3)
+	var counts costmodel.Counts
+	m := NewGBDT(GBDTConfig{Rounds: 5, Patience: 100})
+	m.Counts = &counts
+	if err := m.Fit(trainPt, yTr, valPt, yVal); err != nil {
+		t.Fatal(err)
+	}
+	c := counts.Snapshot()
+	rounds := int64(m.Trees())
+	// Leader encrypts 2N gradients per round.
+	wantEnc := rounds * 2 * int64(trainPt.Parties[0].Rows)
+	if c.Encryptions != wantEnc {
+		t.Fatalf("encryptions %d, want %d", c.Encryptions, wantEnc)
+	}
+	if c.Decryptions == 0 || c.Messages == 0 {
+		t.Fatal("histogram exchange not accounted")
+	}
+}
+
+func TestGBDTValidation(t *testing.T) {
+	m := NewGBDT(GBDTConfig{})
+	if err := m.Fit(nil, nil, nil, nil); err == nil {
+		t.Fatal("expected partition error")
+	}
+	pt, y := tinyPartition(t, 10, []int{2}, 1)
+	if err := m.Fit(pt, y[:5], nil, nil); err == nil {
+		t.Fatal("expected label mismatch error")
+	}
+	bad := append([]int{}, y...)
+	bad[0] = 7
+	if err := m.Fit(pt, bad, nil, nil); err == nil {
+		t.Fatal("expected non-binary label error")
+	}
+	ones := make([]int, 10)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if err := m.Fit(pt, ones, nil, nil); err == nil {
+		t.Fatal("expected single-class error")
+	}
+	if _, err := m.Predict(pt); err == nil {
+		t.Fatal("expected not-fitted error")
+	}
+}
+
+func TestGBDTPredictLayoutMismatch(t *testing.T) {
+	trainPt, yTr, _, _, _, _ := learnablePartition(t, "Rice", 200, 2)
+	m := NewGBDT(GBDTConfig{Rounds: 3})
+	if err := m.Fit(trainPt, yTr, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	wrong := &dataset.Partition{
+		Parties:     []*mat.Matrix{mat.New(5, 3)},
+		FeatureIdx:  [][]int{{0, 1, 2}},
+		DuplicateOf: []int{-1},
+	}
+	if _, err := m.Predict(wrong); err == nil {
+		t.Fatal("expected layout mismatch error")
+	}
+}
+
+func TestGBDTDepthOneIsStump(t *testing.T) {
+	// A depth-1 tree on linearly separated one-feature data must split it.
+	x := mat.New(100, 1)
+	y := make([]int, 100)
+	for i := 0; i < 100; i++ {
+		if i < 50 {
+			x.Set(i, 0, float64(i)/50-1.5) // negatives below
+		} else {
+			x.Set(i, 0, float64(i-50)/50+0.5)
+			y[i] = 1
+		}
+	}
+	pt := &dataset.Partition{
+		Parties:     []*mat.Matrix{x},
+		FeatureIdx:  [][]int{{0}},
+		DuplicateOf: []int{-1},
+	}
+	m := NewGBDT(GBDTConfig{Rounds: 5, MaxDepth: 1, MinChildCount: 2})
+	if err := m.Fit(pt, y, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(pred, y); acc < 0.99 {
+		t.Fatalf("stump failed separable data: %.3f", acc)
+	}
+}

@@ -1,0 +1,141 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vfps/internal/dataset"
+	"vfps/internal/mat"
+)
+
+// LogisticRegression is the split logistic-regression model of §V-A: every
+// participant holds one linear layer over its local features and the server
+// sums the partial logits (plus a shared bias) into class scores.
+type LogisticRegression struct {
+	classes  int
+	featDims []int // F_p per party
+	buf      []float64
+	weights  [][]float64 // per party: F_p×classes view into buf
+	bias     []float64   // classes view into buf
+}
+
+// NewLogisticRegression shapes the model for a partition layout.
+func NewLogisticRegression(pt *dataset.Partition, classes int, seed int64) (*LogisticRegression, error) {
+	if pt == nil || pt.P() == 0 {
+		return nil, fmt.Errorf("ml: logistic regression needs a partition")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("ml: need at least 2 classes, got %d", classes)
+	}
+	m := &LogisticRegression{classes: classes}
+	total := classes
+	for _, party := range pt.Parties {
+		m.featDims = append(m.featDims, party.Cols)
+		total += party.Cols * classes
+	}
+	m.buf = make([]float64, total)
+	off := 0
+	for _, f := range m.featDims {
+		m.weights = append(m.weights, m.buf[off:off+f*classes])
+		off += f * classes
+	}
+	m.bias = m.buf[off : off+classes]
+	m.reinit(seed)
+	return m, nil
+}
+
+func (m *LogisticRegression) params() []float64 { return m.buf }
+
+func (m *LogisticRegression) reinit(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.buf {
+		m.buf[i] = rng.NormFloat64() * 0.01
+	}
+	for i := range m.bias {
+		m.bias[i] = 0
+	}
+}
+
+func (m *LogisticRegression) parties() int { return len(m.featDims) }
+
+// perSampleEncryptedScalars: each party ships `classes` partial logits per
+// sample.
+func (m *LogisticRegression) perSampleEncryptedScalars() int {
+	return len(m.featDims) * m.classes
+}
+
+func (m *LogisticRegression) forward(pt *dataset.Partition, rows []int) *mat.Matrix {
+	logits := mat.New(len(rows), m.classes)
+	for i, r := range rows {
+		out := logits.Row(i)
+		copy(out, m.bias)
+		for p, party := range pt.Parties {
+			x := party.Row(r)
+			w := m.weights[p]
+			for f, xv := range x {
+				if xv == 0 {
+					continue
+				}
+				wRow := w[f*m.classes : (f+1)*m.classes]
+				for c, wv := range wRow {
+					out[c] += xv * wv
+				}
+			}
+		}
+	}
+	return logits
+}
+
+func (m *LogisticRegression) backward(pt *dataset.Partition, rows []int, dLogits *mat.Matrix) []float64 {
+	grads := make([]float64, len(m.buf))
+	off := 0
+	for p, party := range pt.Parties {
+		f := m.featDims[p]
+		gw := grads[off : off+f*m.classes]
+		for i, r := range rows {
+			x := party.Row(r)
+			dl := dLogits.Row(i)
+			for fi, xv := range x {
+				if xv == 0 {
+					continue
+				}
+				gRow := gw[fi*m.classes : (fi+1)*m.classes]
+				for c, dv := range dl {
+					gRow[c] += xv * dv
+				}
+			}
+		}
+		off += f * m.classes
+	}
+	gb := grads[off : off+m.classes]
+	for i := 0; i < dLogits.Rows; i++ {
+		for c, dv := range dLogits.Row(i) {
+			gb[c] += dv
+		}
+	}
+	return grads
+}
+
+// Fit trains with the shared protocol (grid search + early stopping).
+func (m *LogisticRegression) Fit(trainPt *dataset.Partition, yTrain []int,
+	valPt *dataset.Partition, yVal []int, cfg TrainConfig) (*FitReport, error) {
+	return fitWithGrid(m, trainPt, yTrain, valPt, yVal, cfg)
+}
+
+// Predict returns argmax class predictions for every row of the partition.
+func (m *LogisticRegression) Predict(pt *dataset.Partition) []int {
+	n := pt.Parties[0].Rows
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	logits := m.forward(pt, rows)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = mat.ArgMax(logits.Row(i))
+	}
+	return out
+}
+
+// Name implements the downstream-model naming used by the harness.
+func (m *LogisticRegression) Name() string { return "LR" }

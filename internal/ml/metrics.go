@@ -1,0 +1,108 @@
+package ml
+
+import "sort"
+
+// ConfusionMatrix counts predictions: M[a][b] is the number of instances
+// with true class a predicted as class b.
+func ConfusionMatrix(pred, truth []int, classes int) [][]int {
+	if len(pred) != len(truth) {
+		panic("ml: ConfusionMatrix length mismatch")
+	}
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	for i := range pred {
+		m[truth[i]][pred[i]]++
+	}
+	return m
+}
+
+// ClassMetrics holds per-class precision/recall/F1.
+type ClassMetrics struct {
+	Precision, Recall, F1 float64
+	Support               int
+}
+
+// PrecisionRecallF1 computes per-class metrics from predictions. Classes
+// with zero predicted or true instances report zero for the undefined
+// quantities.
+func PrecisionRecallF1(pred, truth []int, classes int) []ClassMetrics {
+	cm := ConfusionMatrix(pred, truth, classes)
+	out := make([]ClassMetrics, classes)
+	for c := 0; c < classes; c++ {
+		tp := cm[c][c]
+		var fp, fn int
+		for o := 0; o < classes; o++ {
+			if o == c {
+				continue
+			}
+			fp += cm[o][c]
+			fn += cm[c][o]
+		}
+		m := ClassMetrics{Support: tp + fn}
+		if tp+fp > 0 {
+			m.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			m.Recall = float64(tp) / float64(tp+fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out[c] = m
+	}
+	return out
+}
+
+// MacroF1 averages per-class F1 scores.
+func MacroF1(pred, truth []int, classes int) float64 {
+	ms := PrecisionRecallF1(pred, truth, classes)
+	var sum float64
+	for _, m := range ms {
+		sum += m.F1
+	}
+	return sum / float64(classes)
+}
+
+// AUC computes the area under the ROC curve for binary labels from
+// positive-class scores, via the rank-statistic (Mann–Whitney) formulation
+// with midranks for ties. Returns 0.5 when either class is absent.
+func AUC(scores []float64, truth []int) float64 {
+	if len(scores) != len(truth) {
+		panic("ml: AUC length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1 // 1-based midrank
+		for t := i; t <= j; t++ {
+			ranks[idx[t]] = mid
+		}
+		i = j + 1
+	}
+	var rankSum float64
+	pos, neg := 0, 0
+	for i, y := range truth {
+		if y == 1 {
+			pos++
+			rankSum += ranks[i]
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}

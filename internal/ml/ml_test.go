@@ -1,0 +1,414 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/dataset"
+	"vfps/internal/mat"
+)
+
+// tinyPartition builds a small random vertical partition for gradient checks.
+func tinyPartition(t *testing.T, rows int, dims []int, seed int64) (*dataset.Partition, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	parties := make([]*mat.Matrix, len(dims))
+	idx := make([][]int, len(dims))
+	col := 0
+	for p, f := range dims {
+		m := mat.New(rows, f)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		parties[p] = m
+		ids := make([]int, f)
+		for j := range ids {
+			ids[j] = col
+			col++
+		}
+		idx[p] = ids
+	}
+	y := make([]int, rows)
+	for i := range y {
+		y[i] = rng.Intn(2)
+	}
+	dup := make([]int, len(dims))
+	for i := range dup {
+		dup[i] = -1
+	}
+	return &dataset.Partition{Parties: parties, FeatureIdx: idx, DuplicateOf: dup}, y
+}
+
+// learnablePartition produces data a linear model can separate.
+func learnablePartition(t *testing.T, name string, rows, parties int) (*dataset.Partition, []int, *dataset.Partition, []int, *dataset.Partition, []int) {
+	t.Helper()
+	spec, err := dataset.SpecByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := spec.Generate(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := dataset.TrainValTest(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ds *dataset.Dataset) *dataset.Partition {
+		pt, err := dataset.VerticalSplit(ds, parties, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	return mk(split.Train), split.Train.Y, mk(split.Val), split.Val.Y, mk(split.Test), split.Test.Y
+}
+
+func numericalGradCheck(t *testing.T, m gradModel, pt *dataset.Partition, y []int, samples int, tol float64) {
+	t.Helper()
+	// Randomise every parameter (including zero-initialised biases) so no
+	// ReLU pre-activation sits exactly on its kink, where two-sided numeric
+	// differences and subgradients legitimately disagree.
+	prng := rand.New(rand.NewSource(123))
+	for i := range m.params() {
+		m.params()[i] = prng.NormFloat64() * 0.5
+	}
+	rows := make([]int, len(y))
+	for i := range rows {
+		rows[i] = i
+	}
+	lossAt := func() float64 {
+		logits := m.forward(pt, rows)
+		l, _ := softmaxCE(logits, y)
+		return l
+	}
+	logits := m.forward(pt, rows)
+	_, dLogits := softmaxCE(logits, y)
+	analytic := m.backward(pt, rows, dLogits)
+	params := m.params()
+	rng := rand.New(rand.NewSource(99))
+	const eps = 1e-5
+	for s := 0; s < samples; s++ {
+		i := rng.Intn(len(params))
+		orig := params[i]
+		params[i] = orig + eps
+		lp := lossAt()
+		params[i] = orig - eps
+		lm := lossAt()
+		params[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if diff := math.Abs(numeric - analytic[i]); diff > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("param %d: numeric %g vs analytic %g", i, numeric, analytic[i])
+		}
+	}
+}
+
+func TestLRGradientCheck(t *testing.T) {
+	pt, y := tinyPartition(t, 12, []int{3, 2, 4}, 1)
+	m, err := NewLogisticRegression(pt, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numericalGradCheck(t, m, pt, y, 60, 1e-4)
+}
+
+func TestMLPGradientCheck(t *testing.T) {
+	pt, y := tinyPartition(t, 10, []int{3, 2}, 2)
+	m, err := NewMLP(pt, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numericalGradCheck(t, m, pt, y, 80, 1e-3)
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise (x-3)² + (y+1)².
+	params := []float64{0, 0}
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		grads := []float64{2 * (params[0] - 3), 2 * (params[1] + 1)}
+		opt.Step(params, grads)
+	}
+	if math.Abs(params[0]-3) > 0.05 || math.Abs(params[1]+1) > 0.05 {
+		t.Fatalf("Adam did not converge: %v", params)
+	}
+}
+
+func TestAdamLengthMismatchPanics(t *testing.T) {
+	opt := NewAdam(0.1)
+	opt.Step([]float64{1}, []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length change")
+		}
+	}()
+	opt.Step([]float64{1, 2}, []float64{1, 2})
+}
+
+func TestSoftmaxCEKnown(t *testing.T) {
+	logits := mat.FromRows([][]float64{{0, 0}})
+	loss, grad := softmaxCE(logits, []int{0})
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss %g, want ln2", loss)
+	}
+	if math.Abs(grad.At(0, 0)-(-0.5)) > 1e-12 || math.Abs(grad.At(0, 1)-0.5) > 1e-12 {
+		t.Fatalf("grad %v", grad.Data)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 0, 1}, []int{1, 1, 1}) != 2.0/3.0 {
+		t.Fatal("Accuracy wrong")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestLRTrainsToHighAccuracy(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, yTest := learnablePartition(t, "Rice", 900, 3)
+	m, err := NewLogisticRegression(trainPt, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Fit(trainPt, yTr, valPt, yVal, TrainConfig{MaxEpochs: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(m.Predict(testPt), yTest)
+	if acc < 0.85 {
+		t.Fatalf("LR test accuracy %.3f too low (val %.3f, lr %g)", acc, rep.ValAccuracy, rep.BestLR)
+	}
+}
+
+func TestMLPTrainsToHighAccuracy(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, yTest := learnablePartition(t, "Rice", 700, 3)
+	m, err := NewMLP(trainPt, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Fit(trainPt, yTr, valPt, yVal, TrainConfig{MaxEpochs: 25, LRGrid: []float64{0.01}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(m.Predict(testPt), yTest)
+	if acc < 0.85 {
+		t.Fatalf("MLP test accuracy %.3f too low (val %.3f)", acc, rep.ValAccuracy)
+	}
+}
+
+func TestGridSearchPicksALearningRate(t *testing.T) {
+	trainPt, yTr, valPt, yVal, _, _ := learnablePartition(t, "Rice", 400, 2)
+	m, _ := NewLogisticRegression(trainPt, 2, 7)
+	rep, err := m.Fit(trainPt, yTr, valPt, yVal, TrainConfig{MaxEpochs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, lr := range []float64{0.001, 0.01, 0.1} {
+		if rep.BestLR == lr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("BestLR %g not from the default grid", rep.BestLR)
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	trainPt, yTr, valPt, yVal, _, _ := learnablePartition(t, "Rice", 400, 2)
+	m, _ := NewLogisticRegression(trainPt, 2, 7)
+	rep, err := m.Fit(trainPt, yTr, valPt, yVal,
+		TrainConfig{MaxEpochs: 200, Patience: 3, LRGrid: []float64{0.1}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs >= 200 {
+		t.Fatalf("early stopping never triggered (%d epochs)", rep.Epochs)
+	}
+}
+
+func TestTrainingCostAccounting(t *testing.T) {
+	trainPt, yTr, valPt, yVal, _, _ := learnablePartition(t, "Rice", 300, 3)
+	var counts costmodel.Counts
+	m, _ := NewLogisticRegression(trainPt, 2, 7)
+	if _, err := m.Fit(trainPt, yTr, valPt, yVal,
+		TrainConfig{MaxEpochs: 2, LRGrid: []float64{0.01}, Counts: &counts, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := counts.Snapshot()
+	if c.Encryptions == 0 || c.Messages == 0 {
+		t.Fatalf("training cost not accounted: %+v", c)
+	}
+}
+
+func TestTrainingCostScalesWithParties(t *testing.T) {
+	cost := func(parties int) int64 {
+		trainPt, yTr, valPt, yVal, _, _ := learnablePartition(t, "Credit", 400, parties)
+		var counts costmodel.Counts
+		m, _ := NewLogisticRegression(trainPt, 2, 7)
+		if _, err := m.Fit(trainPt, yTr, valPt, yVal,
+			TrainConfig{MaxEpochs: 1, LRGrid: []float64{0.01}, Counts: &counts, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return counts.Snapshot().Encryptions
+	}
+	c2, c4 := cost(2), cost(4)
+	if c4 <= c2 {
+		t.Fatalf("cost should grow with parties: %d vs %d", c2, c4)
+	}
+}
+
+func TestKNNKnownAnswer(t *testing.T) {
+	// Two clusters on a single axis.
+	train := &dataset.Partition{
+		Parties:     []*mat.Matrix{mat.FromRows([][]float64{{0}, {0.1}, {10}, {10.1}})},
+		FeatureIdx:  [][]int{{0}},
+		DuplicateOf: []int{-1},
+	}
+	y := []int{0, 0, 1, 1}
+	knn, err := NewKNN(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := knn.Fit(train, y); err != nil {
+		t.Fatal(err)
+	}
+	query := &dataset.Partition{
+		Parties:     []*mat.Matrix{mat.FromRows([][]float64{{0.05}, {9.9}})},
+		FeatureIdx:  [][]int{{0}},
+		DuplicateOf: []int{-1},
+	}
+	pred, err := knn.Predict(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0] != 0 || pred[1] != 1 {
+		t.Fatalf("pred %v", pred)
+	}
+}
+
+func TestKNNAccuracyOnLearnable(t *testing.T) {
+	trainPt, yTr, _, _, testPt, yTest := learnablePartition(t, "Rice", 800, 3)
+	knn, _ := NewKNN(5, 2)
+	if err := knn.Fit(trainPt, yTr); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := knn.Predict(testPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(pred, yTest); acc < 0.85 {
+		t.Fatalf("KNN accuracy %.3f too low", acc)
+	}
+}
+
+func TestKNNCostAccounting(t *testing.T) {
+	trainPt, yTr, _, _, testPt, _ := learnablePartition(t, "Rice", 200, 2)
+	var counts costmodel.Counts
+	knn, _ := NewKNN(5, 2)
+	knn.Counts = &counts
+	if err := knn.Fit(trainPt, yTr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := knn.Predict(testPt); err != nil {
+		t.Fatal(err)
+	}
+	c := counts.Snapshot()
+	nq := int64(testPt.Parties[0].Rows)
+	nTr := int64(trainPt.Parties[0].Rows)
+	if c.Encryptions != nq*nTr*2 {
+		t.Fatalf("encryptions %d, want %d", c.Encryptions, nq*nTr*2)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	if _, err := NewKNN(0, 2); err == nil {
+		t.Fatal("expected k error")
+	}
+	if _, err := NewKNN(3, 1); err == nil {
+		t.Fatal("expected classes error")
+	}
+	knn, _ := NewKNN(3, 2)
+	if _, err := knn.Predict(nil); err == nil {
+		t.Fatal("expected not-fitted error")
+	}
+	pt, y := tinyPartition(t, 2, []int{2}, 3)
+	if err := knn.Fit(pt, y); err == nil {
+		t.Fatal("expected k>rows error")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewLogisticRegression(nil, 2, 1); err == nil {
+		t.Fatal("expected partition error")
+	}
+	pt, _ := tinyPartition(t, 4, []int{2}, 3)
+	if _, err := NewLogisticRegression(pt, 1, 1); err == nil {
+		t.Fatal("expected classes error")
+	}
+	if _, err := NewMLP(nil, 2, 1); err == nil {
+		t.Fatal("expected MLP partition error")
+	}
+	if _, err := NewMLP(pt, 0, 1); err == nil {
+		t.Fatal("expected MLP classes error")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	pt, _ := tinyPartition(t, 4, []int{2}, 3)
+	lr, _ := NewLogisticRegression(pt, 2, 1)
+	mlp, _ := NewMLP(pt, 2, 1)
+	knn, _ := NewKNN(3, 2)
+	if lr.Name() != "LR" || mlp.Name() != "MLP" || knn.Name() != "KNN" {
+		t.Fatal("model names wrong")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	pred := []int{0, 1, 1, 0}
+	truth := []int{0, 1, 0, 1}
+	cm := ConfusionMatrix(pred, truth, 2)
+	if cm[0][0] != 1 || cm[0][1] != 1 || cm[1][0] != 1 || cm[1][1] != 1 {
+		t.Fatalf("confusion %v", cm)
+	}
+}
+
+func TestPrecisionRecallF1Known(t *testing.T) {
+	// Class 1: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F1=2/3.
+	pred := []int{1, 1, 1, 0, 0}
+	truth := []int{1, 1, 0, 1, 0}
+	m := PrecisionRecallF1(pred, truth, 2)
+	if math.Abs(m[1].Precision-2.0/3) > 1e-12 || math.Abs(m[1].Recall-2.0/3) > 1e-12 {
+		t.Fatalf("class1 metrics %+v", m[1])
+	}
+	if math.Abs(m[1].F1-2.0/3) > 1e-12 {
+		t.Fatalf("F1 %g", m[1].F1)
+	}
+	if m[1].Support != 3 {
+		t.Fatalf("support %d", m[1].Support)
+	}
+}
+
+func TestPrecisionRecallF1Degenerate(t *testing.T) {
+	// No predictions and no instances for class 1.
+	pred := []int{0, 0}
+	truth := []int{0, 0}
+	m := PrecisionRecallF1(pred, truth, 2)
+	if m[1].Precision != 0 || m[1].Recall != 0 || m[1].F1 != 0 {
+		t.Fatalf("degenerate class should be zeros: %+v", m[1])
+	}
+}
+
+func TestMacroF1PerfectAndWorst(t *testing.T) {
+	pred := []int{0, 1, 0, 1}
+	if MacroF1(pred, pred, 2) != 1 {
+		t.Fatal("perfect predictions should give F1=1")
+	}
+	inverted := []int{1, 0, 1, 0}
+	if MacroF1(inverted, pred, 2) != 0 {
+		t.Fatal("fully inverted predictions should give F1=0")
+	}
+}

@@ -1,0 +1,313 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vfps/internal/dataset"
+	"vfps/internal/mat"
+)
+
+// MLP is the split multi-layer perceptron of §V-A: a one-layer bottom model
+// on each participant (F_p → F_p, ReLU) whose concatenated activations feed
+// a two-layer top model on the server (F → F, ReLU, F → C). Hidden widths
+// equal the input feature dimensions, as in the paper.
+type MLP struct {
+	classes  int
+	featDims []int
+	total    int // F = Σ F_p
+	offsets  []int
+
+	buf []float64
+	// views into buf
+	bottomW [][]float64 // per party F_p×F_p
+	bottomB [][]float64 // per party F_p
+	topW1   []float64   // F×F
+	topB1   []float64   // F
+	topW2   []float64   // F×C
+	topB2   []float64   // C
+
+	// forward caches
+	a1pre, h1, a2pre, h2 *mat.Matrix
+}
+
+// NewMLP shapes the split MLP for a partition layout.
+func NewMLP(pt *dataset.Partition, classes int, seed int64) (*MLP, error) {
+	if pt == nil || pt.P() == 0 {
+		return nil, fmt.Errorf("ml: MLP needs a partition")
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("ml: need at least 2 classes, got %d", classes)
+	}
+	m := &MLP{classes: classes}
+	size := 0
+	off := 0
+	for _, party := range pt.Parties {
+		f := party.Cols
+		m.featDims = append(m.featDims, f)
+		m.offsets = append(m.offsets, off)
+		off += f
+		size += f*f + f
+	}
+	m.total = off
+	size += m.total*m.total + m.total // top1
+	size += m.total*classes + classes // top2
+	m.buf = make([]float64, size)
+	p := 0
+	for _, f := range m.featDims {
+		m.bottomW = append(m.bottomW, m.buf[p:p+f*f])
+		p += f * f
+		m.bottomB = append(m.bottomB, m.buf[p:p+f])
+		p += f
+	}
+	m.topW1 = m.buf[p : p+m.total*m.total]
+	p += m.total * m.total
+	m.topB1 = m.buf[p : p+m.total]
+	p += m.total
+	m.topW2 = m.buf[p : p+m.total*m.classes]
+	p += m.total * m.classes
+	m.topB2 = m.buf[p : p+m.classes]
+	m.reinit(seed)
+	return m, nil
+}
+
+func (m *MLP) params() []float64 { return m.buf }
+
+func (m *MLP) reinit(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	heInit := func(w []float64, fanIn int) {
+		s := math.Sqrt(2 / float64(fanIn))
+		for i := range w {
+			w[i] = rng.NormFloat64() * s
+		}
+	}
+	for p, f := range m.featDims {
+		heInit(m.bottomW[p], f)
+		for i := range m.bottomB[p] {
+			m.bottomB[p][i] = 0
+		}
+	}
+	heInit(m.topW1, m.total)
+	for i := range m.topB1 {
+		m.topB1[i] = 0
+	}
+	heInit(m.topW2, m.total)
+	for i := range m.topB2 {
+		m.topB2[i] = 0
+	}
+}
+
+func (m *MLP) parties() int { return len(m.featDims) }
+
+// perSampleEncryptedScalars: each party ships its F_p bottom activations.
+func (m *MLP) perSampleEncryptedScalars() int { return m.total }
+
+func relu(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func (m *MLP) forward(pt *dataset.Partition, rows []int) *mat.Matrix {
+	n := len(rows)
+	m.a1pre = mat.New(n, m.total)
+	// Bottom models: h1[:, off_p:off_p+F_p] = ReLU(x_p W_p + b_p).
+	for p, party := range pt.Parties {
+		f := m.featDims[p]
+		w := m.bottomW[p]
+		b := m.bottomB[p]
+		off := m.offsets[p]
+		for i, r := range rows {
+			x := party.Row(r)
+			out := m.a1pre.Row(i)[off : off+f]
+			copy(out, b)
+			for fi, xv := range x {
+				if xv == 0 {
+					continue
+				}
+				wRow := w[fi*f : (fi+1)*f]
+				for j, wv := range wRow {
+					out[j] += xv * wv
+				}
+			}
+		}
+	}
+	m.h1 = m.a1pre.Clone().Apply(relu)
+	// Top layer 1: a2 = h1 W1 + b1, h2 = ReLU(a2).
+	m.a2pre = mat.New(n, m.total)
+	for i := 0; i < n; i++ {
+		h := m.h1.Row(i)
+		out := m.a2pre.Row(i)
+		copy(out, m.topB1)
+		for j, hv := range h {
+			if hv == 0 {
+				continue
+			}
+			wRow := m.topW1[j*m.total : (j+1)*m.total]
+			for k, wv := range wRow {
+				out[k] += hv * wv
+			}
+		}
+	}
+	m.h2 = m.a2pre.Clone().Apply(relu)
+	// Output layer: logits = h2 W2 + b2.
+	logits := mat.New(n, m.classes)
+	for i := 0; i < n; i++ {
+		h := m.h2.Row(i)
+		out := logits.Row(i)
+		copy(out, m.topB2)
+		for j, hv := range h {
+			if hv == 0 {
+				continue
+			}
+			wRow := m.topW2[j*m.classes : (j+1)*m.classes]
+			for c, wv := range wRow {
+				out[c] += hv * wv
+			}
+		}
+	}
+	return logits
+}
+
+func (m *MLP) backward(pt *dataset.Partition, rows []int, dLogits *mat.Matrix) []float64 {
+	n := len(rows)
+	grads := make([]float64, len(m.buf))
+	// Locate gradient views mirroring the parameter layout.
+	p := 0
+	gBottomW := make([][]float64, len(m.featDims))
+	gBottomB := make([][]float64, len(m.featDims))
+	for pi, f := range m.featDims {
+		gBottomW[pi] = grads[p : p+f*f]
+		p += f * f
+		gBottomB[pi] = grads[p : p+f]
+		p += f
+	}
+	gTopW1 := grads[p : p+m.total*m.total]
+	p += m.total * m.total
+	gTopB1 := grads[p : p+m.total]
+	p += m.total
+	gTopW2 := grads[p : p+m.total*m.classes]
+	p += m.total * m.classes
+	gTopB2 := grads[p : p+m.classes]
+
+	// Output layer.
+	dh2 := mat.New(n, m.total)
+	for i := 0; i < n; i++ {
+		dl := dLogits.Row(i)
+		h := m.h2.Row(i)
+		for j, hv := range h {
+			gRow := gTopW2[j*m.classes : (j+1)*m.classes]
+			dRow := m.topW2[j*m.classes : (j+1)*m.classes]
+			var acc float64
+			for c, dv := range dl {
+				if hv != 0 {
+					gRow[c] += hv * dv
+				}
+				acc += dv * dRow[c]
+			}
+			dh2.Row(i)[j] = acc
+		}
+		for c, dv := range dl {
+			gTopB2[c] += dv
+		}
+	}
+	// Top hidden layer (ReLU).
+	da2 := dh2
+	for i := 0; i < n; i++ {
+		pre := m.a2pre.Row(i)
+		row := da2.Row(i)
+		for j := range row {
+			if pre[j] <= 0 {
+				row[j] = 0
+			}
+		}
+	}
+	dh1 := mat.New(n, m.total)
+	for i := 0; i < n; i++ {
+		h := m.h1.Row(i)
+		d := da2.Row(i)
+		for j, hv := range h {
+			gRow := gTopW1[j*m.total : (j+1)*m.total]
+			wRow := m.topW1[j*m.total : (j+1)*m.total]
+			var acc float64
+			for k, dv := range d {
+				if hv != 0 {
+					gRow[k] += hv * dv
+				}
+				acc += dv * wRow[k]
+			}
+			dh1.Row(i)[j] = acc
+		}
+		for k, dv := range d {
+			gTopB1[k] += dv
+		}
+	}
+	// Bottom layers (ReLU then per-party linear).
+	da1 := dh1
+	for i := 0; i < n; i++ {
+		pre := m.a1pre.Row(i)
+		row := da1.Row(i)
+		for j := range row {
+			if pre[j] <= 0 {
+				row[j] = 0
+			}
+		}
+	}
+	for pi, party := range pt.Parties {
+		f := m.featDims[pi]
+		off := m.offsets[pi]
+		gw := gBottomW[pi]
+		gb := gBottomB[pi]
+		for i, r := range rows {
+			x := party.Row(r)
+			d := da1.Row(i)[off : off+f]
+			for fi, xv := range x {
+				if xv == 0 {
+					continue
+				}
+				gRow := gw[fi*f : (fi+1)*f]
+				for j, dv := range d {
+					gRow[j] += xv * dv
+				}
+			}
+			for j, dv := range d {
+				gb[j] += dv
+			}
+		}
+	}
+	return grads
+}
+
+// Fit trains with the shared protocol (grid search + early stopping).
+func (m *MLP) Fit(trainPt *dataset.Partition, yTrain []int,
+	valPt *dataset.Partition, yVal []int, cfg TrainConfig) (*FitReport, error) {
+	return fitWithGrid(m, trainPt, yTrain, valPt, yVal, cfg)
+}
+
+// Predict returns argmax class predictions for every row of the partition.
+func (m *MLP) Predict(pt *dataset.Partition) []int {
+	n := pt.Parties[0].Rows
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	out := make([]int, n)
+	// Batch to bound the activation cache.
+	const chunk = 256
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		logits := m.forward(pt, rows[start:end])
+		for i := 0; i < logits.Rows; i++ {
+			out[start+i] = mat.ArgMax(logits.Row(i))
+		}
+	}
+	return out
+}
+
+// Name implements the downstream-model naming used by the harness.
+func (m *MLP) Name() string { return "MLP" }

@@ -1,0 +1,200 @@
+package ml
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Trained models serialise to a small gob envelope so downstream users can
+// train once and deploy the model without retraining. KNN is deliberately
+// excluded: it is a lazy learner whose "model" is the training partition
+// itself.
+
+const (
+	kindLR   = "vfps/lr/v1"
+	kindMLP  = "vfps/mlp/v1"
+	kindGBDT = "vfps/gbdt/v1"
+)
+
+type envelope struct {
+	Kind string
+	Body []byte
+}
+
+type lrSnapshot struct {
+	Classes  int
+	FeatDims []int
+	Buf      []float64
+}
+
+type mlpSnapshot struct {
+	Classes  int
+	FeatDims []int
+	Buf      []float64
+}
+
+type gbdtSnapshot struct {
+	Cfg    GBDTConfig
+	Bias   float64
+	Trees  []gbTree
+	NFeats []int
+}
+
+func writeEnvelope(w io.Writer, kind string, body any) error {
+	var enc encodedBody
+	if err := gob.NewEncoder(&enc).Encode(body); err != nil {
+		return fmt.Errorf("ml: encoding %s: %w", kind, err)
+	}
+	if err := gob.NewEncoder(w).Encode(envelope{Kind: kind, Body: enc}); err != nil {
+		return fmt.Errorf("ml: writing %s: %w", kind, err)
+	}
+	return nil
+}
+
+type encodedBody []byte
+
+func (e *encodedBody) Write(p []byte) (int, error) {
+	*e = append(*e, p...)
+	return len(p), nil
+}
+
+func readEnvelope(r io.Reader, wantKind string, body any) error {
+	var env envelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("ml: reading model: %w", err)
+	}
+	if env.Kind != wantKind {
+		return fmt.Errorf("ml: model kind %q, want %q", env.Kind, wantKind)
+	}
+	if err := gob.NewDecoder(bytesReader(env.Body)).Decode(body); err != nil {
+		return fmt.Errorf("ml: decoding %s: %w", wantKind, err)
+	}
+	return nil
+}
+
+type byteReaderWrapper struct {
+	b []byte
+}
+
+func bytesReader(b []byte) io.Reader { return &byteReaderWrapper{b: b} }
+
+func (r *byteReaderWrapper) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// Save serialises the trained logistic regression.
+func (m *LogisticRegression) Save(w io.Writer) error {
+	return writeEnvelope(w, kindLR, lrSnapshot{
+		Classes:  m.classes,
+		FeatDims: m.featDims,
+		Buf:      m.buf,
+	})
+}
+
+// LoadLogisticRegression reconstructs a model saved with Save.
+func LoadLogisticRegression(r io.Reader) (*LogisticRegression, error) {
+	var s lrSnapshot
+	if err := readEnvelope(r, kindLR, &s); err != nil {
+		return nil, err
+	}
+	if s.Classes < 2 || len(s.FeatDims) == 0 {
+		return nil, fmt.Errorf("ml: corrupt logistic-regression snapshot")
+	}
+	m := &LogisticRegression{classes: s.Classes, featDims: s.FeatDims, buf: s.Buf}
+	want := s.Classes
+	for _, f := range s.FeatDims {
+		want += f * s.Classes
+	}
+	if len(s.Buf) != want {
+		return nil, fmt.Errorf("ml: snapshot has %d params, want %d", len(s.Buf), want)
+	}
+	off := 0
+	for _, f := range m.featDims {
+		m.weights = append(m.weights, m.buf[off:off+f*s.Classes])
+		off += f * s.Classes
+	}
+	m.bias = m.buf[off : off+s.Classes]
+	return m, nil
+}
+
+// Save serialises the trained MLP.
+func (m *MLP) Save(w io.Writer) error {
+	return writeEnvelope(w, kindMLP, mlpSnapshot{
+		Classes:  m.classes,
+		FeatDims: m.featDims,
+		Buf:      m.buf,
+	})
+}
+
+// LoadMLP reconstructs a model saved with Save.
+func LoadMLP(r io.Reader) (*MLP, error) {
+	var s mlpSnapshot
+	if err := readEnvelope(r, kindMLP, &s); err != nil {
+		return nil, err
+	}
+	if s.Classes < 2 || len(s.FeatDims) == 0 {
+		return nil, fmt.Errorf("ml: corrupt MLP snapshot")
+	}
+	m := &MLP{classes: s.Classes}
+	size := 0
+	off := 0
+	for _, f := range s.FeatDims {
+		m.featDims = append(m.featDims, f)
+		m.offsets = append(m.offsets, off)
+		off += f
+		size += f*f + f
+	}
+	m.total = off
+	size += m.total*m.total + m.total
+	size += m.total*s.Classes + s.Classes
+	if len(s.Buf) != size {
+		return nil, fmt.Errorf("ml: snapshot has %d params, want %d", len(s.Buf), size)
+	}
+	m.buf = s.Buf
+	p := 0
+	for _, f := range m.featDims {
+		m.bottomW = append(m.bottomW, m.buf[p:p+f*f])
+		p += f * f
+		m.bottomB = append(m.bottomB, m.buf[p:p+f])
+		p += f
+	}
+	m.topW1 = m.buf[p : p+m.total*m.total]
+	p += m.total * m.total
+	m.topB1 = m.buf[p : p+m.total]
+	p += m.total
+	m.topW2 = m.buf[p : p+m.total*m.classes]
+	p += m.total * m.classes
+	m.topB2 = m.buf[p : p+m.classes]
+	return m, nil
+}
+
+// Save serialises the trained GBDT ensemble.
+func (m *GBDT) Save(w io.Writer) error {
+	if len(m.trees) == 0 {
+		return fmt.Errorf("ml: refusing to save an unfitted GBDT")
+	}
+	return writeEnvelope(w, kindGBDT, gbdtSnapshot{
+		Cfg:    m.cfg,
+		Bias:   m.bias,
+		Trees:  m.trees,
+		NFeats: m.nFeats,
+	})
+}
+
+// LoadGBDT reconstructs a model saved with Save.
+func LoadGBDT(r io.Reader) (*GBDT, error) {
+	var s gbdtSnapshot
+	if err := readEnvelope(r, kindGBDT, &s); err != nil {
+		return nil, err
+	}
+	if len(s.Trees) == 0 || len(s.NFeats) == 0 {
+		return nil, fmt.Errorf("ml: corrupt GBDT snapshot")
+	}
+	return &GBDT{cfg: s.Cfg, bias: s.Bias, trees: s.Trees, nFeats: s.NFeats}, nil
+}

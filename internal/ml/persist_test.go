@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLRSaveLoadRoundTrip(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, _ := learnablePartition(t, "Rice", 400, 3)
+	m, _ := NewLogisticRegression(trainPt, 2, 7)
+	if _, err := m.Fit(trainPt, yTr, valPt, yVal, TrainConfig{MaxEpochs: 5, LRGrid: []float64{0.01}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLogisticRegression(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Predict(testPt)
+	got := loaded.Predict(testPt)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("loaded LR predicts differently")
+		}
+	}
+}
+
+func TestMLPSaveLoadRoundTrip(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, _ := learnablePartition(t, "Rice", 300, 2)
+	m, _ := NewMLP(trainPt, 2, 7)
+	if _, err := m.Fit(trainPt, yTr, valPt, yVal, TrainConfig{MaxEpochs: 3, LRGrid: []float64{0.01}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Predict(testPt)
+	got := loaded.Predict(testPt)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("loaded MLP predicts differently")
+		}
+	}
+}
+
+func TestGBDTSaveLoadRoundTrip(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, _ := learnablePartition(t, "Rice", 300, 2)
+	m := NewGBDT(GBDTConfig{Rounds: 8})
+	if err := m.Fit(trainPt, yTr, valPt, yVal); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGBDT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Predict(testPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(testPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("loaded GBDT predicts differently")
+		}
+	}
+	if loaded.Trees() != m.Trees() {
+		t.Fatal("tree count changed across save/load")
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	trainPt, yTr, _, _, _, _ := learnablePartition(t, "Rice", 200, 2)
+	m, _ := NewLogisticRegression(trainPt, 2, 7)
+	if _, err := m.Fit(trainPt, yTr, trainPt, yTr, TrainConfig{MaxEpochs: 1, LRGrid: []float64{0.01}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMLP(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+	if _, err := LoadGBDT(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected kind mismatch error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadLogisticRegression(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := LoadGBDT(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+}
+
+func TestSaveUnfittedGBDTFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewGBDT(GBDTConfig{}).Save(&buf); err == nil {
+		t.Fatal("expected unfitted error")
+	}
+}

@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAUCKnownValues(t *testing.T) {
+	// Perfect separation.
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{0, 0, 1, 1}); got != 1 {
+		t.Fatalf("perfect AUC = %g", got)
+	}
+	// Fully inverted.
+	if got := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{0, 0, 1, 1}); got != 0 {
+		t.Fatalf("inverted AUC = %g", got)
+	}
+	// All-tied scores: AUC = 0.5 via midranks.
+	if got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{0, 1, 0, 1}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %g", got)
+	}
+	// Single-class labels degrade to 0.5.
+	if got := AUC([]float64{0.1, 0.9}, []int{1, 1}); got != 0.5 {
+		t.Fatalf("single-class AUC = %g", got)
+	}
+	// Hand-computed: scores 0.1(0) 0.4(1) 0.35(1) 0.8(0)
+	// pairs: (0.4 vs 0.1)=1, (0.4 vs 0.8)=0, (0.35 vs 0.1)=1, (0.35 vs 0.8)=0
+	// AUC = 2/4 = 0.5.
+	if got := AUC([]float64{0.1, 0.4, 0.35, 0.8}, []int{0, 1, 1, 0}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("hand AUC = %g", got)
+	}
+}
+
+func TestSoftmax2(t *testing.T) {
+	if math.Abs(softmax2(0, 0)-0.5) > 1e-12 {
+		t.Fatal("equal logits should give 0.5")
+	}
+	if softmax2(0, 10) < 0.99 || softmax2(10, 0) > 0.01 {
+		t.Fatal("softmax2 direction wrong")
+	}
+}
+
+func TestModelScoresGiveHighAUC(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, yTest := learnablePartition(t, "Rice", 700, 3)
+
+	lr, _ := NewLogisticRegression(trainPt, 2, 7)
+	if _, err := lr.Fit(trainPt, yTr, valPt, yVal, TrainConfig{MaxEpochs: 10, LRGrid: []float64{0.01}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	gb := NewGBDT(GBDTConfig{Rounds: 15})
+	if err := gb.Fit(trainPt, yTr, valPt, yVal); err != nil {
+		t.Fatal(err)
+	}
+	knn, _ := NewKNN(5, 2)
+	if err := knn.Fit(trainPt, yTr); err != nil {
+		t.Fatal(err)
+	}
+	for name, scoresFn := range map[string]func() ([]float64, error){
+		"lr":   func() ([]float64, error) { return lr.PredictScores(testPt) },
+		"gbdt": func() ([]float64, error) { return gb.PredictScores(testPt) },
+		"knn":  func() ([]float64, error) { return knn.PredictScores(testPt) },
+	} {
+		scores, err := scoresFn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, s := range scores {
+			if s < 0 || s > 1 {
+				t.Fatalf("%s: score %g out of [0,1]", name, s)
+			}
+		}
+		if auc := AUC(scores, yTest); auc < 0.9 {
+			t.Fatalf("%s: AUC %.3f too low on learnable data", name, auc)
+		}
+	}
+}
+
+func TestMLPScores(t *testing.T) {
+	trainPt, yTr, valPt, yVal, testPt, yTest := learnablePartition(t, "Rice", 500, 2)
+	m, _ := NewMLP(trainPt, 2, 7)
+	if _, err := m.Fit(trainPt, yTr, valPt, yVal, TrainConfig{MaxEpochs: 8, LRGrid: []float64{0.01}, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.PredictScores(testPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(scores, yTest); auc < 0.9 {
+		t.Fatalf("MLP AUC %.3f too low", auc)
+	}
+	// Scores must agree with argmax predictions at the 0.5 threshold.
+	pred := m.Predict(testPt)
+	for i, s := range scores {
+		want := 0
+		if s > 0.5 {
+			want = 1
+		}
+		if s != 0.5 && pred[i] != want {
+			t.Fatalf("score %g disagrees with prediction %d", s, pred[i])
+		}
+	}
+}
+
+func TestPredictScoresValidation(t *testing.T) {
+	knn, _ := NewKNN(3, 2)
+	if _, err := knn.PredictScores(nil); err == nil {
+		t.Fatal("expected not-fitted error")
+	}
+	if _, err := NewGBDT(GBDTConfig{}).PredictScores(nil); err == nil {
+		t.Fatal("expected unfitted gbdt error")
+	}
+}

@@ -1,0 +1,244 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/dataset"
+	"vfps/internal/mat"
+)
+
+// TrainConfig mirrors the paper's training protocol (§V-A): mini-batches of
+// 100, at most 200 epochs with early stopping after 5 epochs without
+// validation-loss improvement, and a learning-rate grid search over
+// {0.001, 0.01, 0.1} scored on validation accuracy.
+type TrainConfig struct {
+	BatchSize int
+	MaxEpochs int
+	Patience  int
+	LRGrid    []float64
+	Seed      int64
+	// Counts, when non-nil, accumulates the federated training cost: per
+	// batch, participants encrypt their forward outputs, the server
+	// aggregates and decrypts them, and gradients travel back.
+	Counts *costmodel.Counts
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 200
+	}
+	if c.Patience <= 0 {
+		c.Patience = 5
+	}
+	if len(c.LRGrid) == 0 {
+		c.LRGrid = []float64{0.001, 0.01, 0.1}
+	}
+	return c
+}
+
+// FitReport describes one completed Fit.
+type FitReport struct {
+	BestLR      float64
+	Epochs      int // epochs run at the chosen learning rate
+	ValLoss     float64
+	ValAccuracy float64
+}
+
+// gradModel is the contract the shared training loop drives. Parameters are
+// exposed as one flat slice so Adam state survives across batches.
+type gradModel interface {
+	// params returns the flat parameter vector (aliased, mutated in place).
+	params() []float64
+	// forward computes logits (rows×C) for the given partition rows and
+	// caches activations for backward.
+	forward(pt *dataset.Partition, rows []int) *mat.Matrix
+	// backward consumes dLoss/dLogits and returns the flat gradient vector
+	// aligned with params().
+	backward(pt *dataset.Partition, rows []int, dLogits *mat.Matrix) []float64
+	// reinit re-randomises parameters (fresh model for grid search).
+	reinit(seed int64)
+	// perSampleEncryptedScalars is the number of scalars each forward
+	// sample ships from participants to the server (cost accounting).
+	perSampleEncryptedScalars() int
+	// parties returns the participant count (cost accounting).
+	parties() int
+}
+
+// softmaxCE computes mean cross-entropy loss and the logits gradient
+// d(loss)/d(logits) for integer labels.
+func softmaxCE(logits *mat.Matrix, y []int) (float64, *mat.Matrix) {
+	n, c := logits.Rows, logits.Cols
+	grad := mat.New(n, c)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		g := grad.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			sum += e
+		}
+		for j := range g {
+			g[j] /= sum
+		}
+		loss += -math.Log(math.Max(g[y[i]], 1e-300))
+		g[y[i]] -= 1
+		for j := range g {
+			g[j] /= float64(n)
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Accuracy returns the fraction of matching predictions.
+func Accuracy(pred, y []int) float64 {
+	if len(pred) != len(y) {
+		panic("ml: Accuracy length mismatch")
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// evaluate computes loss and accuracy over a whole set (in batches to bound
+// memory) without accumulating gradients.
+func evaluate(m gradModel, pt *dataset.Partition, y []int, batch int) (loss, acc float64) {
+	n := len(y)
+	if n == 0 {
+		return 0, 0
+	}
+	correct := 0
+	var totalLoss float64
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		rows := make([]int, end-start)
+		for i := range rows {
+			rows[i] = start + i
+		}
+		logits := m.forward(pt, rows)
+		l, _ := softmaxCE(logits, y[start:end])
+		totalLoss += l * float64(end-start)
+		for i := 0; i < logits.Rows; i++ {
+			if mat.ArgMax(logits.Row(i)) == y[start+i] {
+				correct++
+			}
+		}
+	}
+	return totalLoss / float64(n), float64(correct) / float64(n)
+}
+
+// chargeBatchCost accounts one federated training batch: every participant
+// encrypts its per-sample outputs, the server homomorphically aggregates
+// them, decrypts the batch for the top model, and ships per-sample gradients
+// back to each participant.
+func chargeBatchCost(cfg TrainConfig, m gradModel, batchLen int) {
+	if cfg.Counts == nil {
+		return
+	}
+	scalars := int64(batchLen * m.perSampleEncryptedScalars())
+	p := int64(m.parties())
+	cfg.Counts.Add(costmodel.Raw{
+		Encryptions: scalars,
+		CipherAdds:  scalars * (p - 1) / p, // aggregation across parties
+		Decryptions: scalars / p,           // server recovers aggregated activations
+		ItemsSent:   2 * scalars,           // forward activations + backward gradients
+		Messages:    2 * p,
+	})
+}
+
+// trainOnce trains m at a fixed learning rate, returning the best validation
+// loss observed and restoring nothing (caller keeps the final state).
+func trainOnce(m gradModel, trainPt *dataset.Partition, yTrain []int,
+	valPt *dataset.Partition, yVal []int, lr float64, cfg TrainConfig) (epochs int, bestValLoss float64) {
+	opt := NewAdam(lr)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(yTrain)
+	order := rng.Perm(n)
+	bestValLoss = math.Inf(1)
+	sinceBest := 0
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		// Reshuffle each epoch.
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			rows := order[start:end]
+			logits := m.forward(trainPt, rows)
+			yBatch := make([]int, len(rows))
+			for i, r := range rows {
+				yBatch[i] = yTrain[r]
+			}
+			_, dLogits := softmaxCE(logits, yBatch)
+			grads := m.backward(trainPt, rows, dLogits)
+			opt.Step(m.params(), grads)
+			chargeBatchCost(cfg, m, len(rows))
+		}
+		valLoss, _ := evaluate(m, valPt, yVal, cfg.BatchSize)
+		if valLoss < bestValLoss-1e-9 {
+			bestValLoss = valLoss
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if sinceBest >= cfg.Patience {
+				return epoch, bestValLoss
+			}
+		}
+	}
+	return cfg.MaxEpochs, bestValLoss
+}
+
+// fitWithGrid runs the learning-rate grid search: train a fresh model per
+// rate, keep the one with the best validation accuracy.
+func fitWithGrid(m gradModel, trainPt *dataset.Partition, yTrain []int,
+	valPt *dataset.Partition, yVal []int, cfg TrainConfig) (*FitReport, error) {
+	cfg = cfg.withDefaults()
+	if trainPt == nil || len(yTrain) == 0 {
+		return nil, fmt.Errorf("ml: empty training data")
+	}
+	if trainPt.Parties[0].Rows != len(yTrain) {
+		return nil, fmt.Errorf("ml: %d rows vs %d labels", trainPt.Parties[0].Rows, len(yTrain))
+	}
+	bestAcc := math.Inf(-1)
+	var best []float64
+	report := &FitReport{}
+	for _, lr := range cfg.LRGrid {
+		m.reinit(cfg.Seed)
+		epochs, _ := trainOnce(m, trainPt, yTrain, valPt, yVal, lr, cfg)
+		valLoss, valAcc := evaluate(m, valPt, yVal, cfg.BatchSize)
+		if valAcc > bestAcc {
+			bestAcc = valAcc
+			best = append(best[:0], m.params()...)
+			report.BestLR = lr
+			report.Epochs = epochs
+			report.ValLoss = valLoss
+			report.ValAccuracy = valAcc
+		}
+	}
+	copy(m.params(), best)
+	return report, nil
+}

@@ -1,0 +1,268 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem on top of math/big.
+//
+// The paper's implementation uses the CKKS scheme via TenSEAL; the VFPS-SM
+// protocol, however, only requires additive homomorphism — participants
+// encrypt partial distances, the aggregation server sums ciphertexts, and the
+// leader decrypts the totals. Paillier provides exactly that operation set
+// with exact integer arithmetic, so it is used here as the stdlib-only
+// substitute (see DESIGN.md §3).
+//
+// Supported operations:
+//
+//	Enc(m)                         encryption under the public key
+//	Dec(c)                         decryption under the private key
+//	AddCipher(c1, c2) = Enc(m1+m2) homomorphic addition
+//	AddPlain(c, k)    = Enc(m+k)   plaintext addition
+//	MulPlain(c, k)    = Enc(m*k)   plaintext scaling
+//
+// Plaintexts live in Z_n. Negative values are represented by the upper half
+// of the ring and mapped back by Dec.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey is a Paillier public key.
+type PublicKey struct {
+	N  *big.Int // modulus n = p·q
+	N2 *big.Int // n²
+	G  *big.Int // generator, fixed to n+1
+}
+
+// PrivateKey holds the Paillier secret values along with the public key.
+type PrivateKey struct {
+	PublicKey
+	Lambda *big.Int // lcm(p-1, q-1)
+	Mu     *big.Int // (L(g^lambda mod n²))⁻¹ mod n
+}
+
+// Ciphertext is a Paillier ciphertext: an element of Z_{n²}.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// ErrCiphertextRange reports a ciphertext outside Z_{n²} or non-invertible,
+// which indicates corruption or a key mismatch.
+var ErrCiphertextRange = errors.New("paillier: ciphertext out of range")
+
+// ErrMessageRange reports a plaintext magnitude that does not fit in the
+// signed embedding of Z_n.
+var ErrMessageRange = errors.New("paillier: message out of range")
+
+// GenerateKey creates a Paillier key pair with an n of the given bit length.
+// Bits of 1024+ are cryptographically meaningful; the test suite uses smaller
+// keys for speed.
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("paillier: key size %d too small", bits)
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(random, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		// With g = n+1 the scheme needs gcd(n, (p-1)(q-1)) == 1, which holds
+		// when p and q are distinct primes of similar size, but verify anyway.
+		phi := new(big.Int).Mul(pm1, qm1)
+		if new(big.Int).GCD(nil, nil, n, phi).Cmp(one) != 0 {
+			continue
+		}
+		lambda := new(big.Int).Div(phi, new(big.Int).GCD(nil, nil, pm1, qm1))
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+		// mu = (L(g^lambda mod n²))⁻¹ mod n, where L(x) = (x-1)/n.
+		gl := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(gl, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2, G: g},
+			Lambda:    lambda,
+			Mu:        mu,
+		}, nil
+	}
+}
+
+func lFunc(x, n *big.Int) *big.Int {
+	r := new(big.Int).Sub(x, one)
+	return r.Div(r, n)
+}
+
+// maxMessage returns the largest magnitude representable in the signed
+// embedding: messages m with |m| < n/2.
+func (pk *PublicKey) maxMessage() *big.Int {
+	return new(big.Int).Rsh(pk.N, 1)
+}
+
+// encode maps a signed big.Int into Z_n.
+func (pk *PublicKey) encode(m *big.Int) (*big.Int, error) {
+	if m.CmpAbs(pk.maxMessage()) >= 0 {
+		return nil, fmt.Errorf("%w: |m| >= n/2", ErrMessageRange)
+	}
+	if m.Sign() >= 0 {
+		return new(big.Int).Set(m), nil
+	}
+	return new(big.Int).Add(pk.N, m), nil
+}
+
+// decode maps an element of Z_n back to a signed big.Int.
+func (pk *PublicKey) decode(m *big.Int) *big.Int {
+	if m.Cmp(pk.maxMessage()) > 0 {
+		return new(big.Int).Sub(m, pk.N)
+	}
+	return new(big.Int).Set(m)
+}
+
+// Encrypt encrypts the signed message m under pk using fresh randomness from
+// random (crypto/rand.Reader in production).
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	em, err := pk.encode(m)
+	if err != nil {
+		return nil, err
+	}
+	// Sample r in Z_n* (gcd(r, n) == 1).
+	var r *big.Int
+	for {
+		r, err = rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: sampling randomness: %w", err)
+		}
+		if r.Sign() != 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// c = g^m · r^n mod n². With g = n+1, g^m = 1 + m·n (mod n²).
+	gm := new(big.Int).Mul(em, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// validate checks that a ciphertext is a plausible element of Z_{n²}.
+func (pk *PublicKey) validate(c *Ciphertext) error {
+	if c == nil || c.C == nil {
+		return fmt.Errorf("%w: nil ciphertext", ErrCiphertextRange)
+	}
+	if c.C.Sign() <= 0 || c.C.Cmp(pk.N2) >= 0 {
+		return ErrCiphertextRange
+	}
+	return nil
+}
+
+// Decrypt recovers the signed message from c.
+func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	if err := sk.validate(c); err != nil {
+		return nil, err
+	}
+	// m = L(c^lambda mod n²) · mu mod n
+	cl := new(big.Int).Exp(c.C, sk.Lambda, sk.N2)
+	m := lFunc(cl, sk.N)
+	m.Mul(m, sk.Mu)
+	m.Mod(m, sk.N)
+	return sk.decode(m), nil
+}
+
+// AddCipher returns a ciphertext of m1 + m2 given ciphertexts of m1 and m2.
+func (pk *PublicKey) AddCipher(c1, c2 *Ciphertext) (*Ciphertext, error) {
+	if err := pk.validate(c1); err != nil {
+		return nil, err
+	}
+	if err := pk.validate(c2); err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(c1.C, c2.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// AddPlain returns a ciphertext of m + k given a ciphertext of m and a
+// signed plaintext k.
+func (pk *PublicKey) AddPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.validate(c); err != nil {
+		return nil, err
+	}
+	ek, err := pk.encode(k)
+	if err != nil {
+		return nil, err
+	}
+	// Enc(m) · g^k = Enc(m+k); with g = n+1, g^k = 1 + k·n (mod n²).
+	gk := new(big.Int).Mul(ek, pk.N)
+	gk.Add(gk, one)
+	gk.Mod(gk, pk.N2)
+	out := gk.Mul(gk, c.C)
+	out.Mod(out, pk.N2)
+	return &Ciphertext{C: out}, nil
+}
+
+// MulPlain returns a ciphertext of m·k given a ciphertext of m and a signed
+// plaintext k.
+func (pk *PublicKey) MulPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.validate(c); err != nil {
+		return nil, err
+	}
+	e := new(big.Int).Set(k)
+	if e.Sign() < 0 {
+		// c^{-k} requires the inverse of c modulo n².
+		inv := new(big.Int).ModInverse(c.C, pk.N2)
+		if inv == nil {
+			return nil, ErrCiphertextRange
+		}
+		e.Neg(e)
+		out := new(big.Int).Exp(inv, e, pk.N2)
+		return &Ciphertext{C: out}, nil
+	}
+	out := new(big.Int).Exp(c.C, e, pk.N2)
+	return &Ciphertext{C: out}, nil
+}
+
+// Sum homomorphically adds a sequence of ciphertexts. It returns an error on
+// an empty input.
+func (pk *PublicKey) Sum(cs ...*Ciphertext) (*Ciphertext, error) {
+	if len(cs) == 0 {
+		return nil, errors.New("paillier: Sum of no ciphertexts")
+	}
+	acc := cs[0]
+	var err error
+	for _, c := range cs[1:] {
+		acc, err = pk.AddCipher(acc, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Bytes serialises a ciphertext to a big-endian byte slice.
+func (c *Ciphertext) Bytes() []byte { return c.C.Bytes() }
+
+// CiphertextFromBytes reconstructs a ciphertext from Bytes output.
+func CiphertextFromBytes(b []byte) *Ciphertext {
+	return &Ciphertext{C: new(big.Int).SetBytes(b)}
+}
+
+// CiphertextSize returns the serialised size in bytes of a ciphertext under
+// pk (used by the cost model for communication accounting).
+func (pk *PublicKey) CiphertextSize() int { return (pk.N2.BitLen() + 7) / 8 }

@@ -1,0 +1,315 @@
+// Package server exposes participant selection and downstream evaluation as
+// a JSON-over-HTTP service, so non-Go stacks can drive the library. State is
+// an in-memory registry of consortiums keyed by caller-visible ids.
+//
+// Endpoints:
+//
+//	GET  /healthz                       liveness
+//	GET  /v1/datasets                   built-in synthetic dataset names
+//	POST /v1/consortiums                create a consortium
+//	GET  /v1/consortiums/{id}           consortium info
+//	POST /v1/consortiums/{id}/select    run a selection method
+//	POST /v1/consortiums/{id}/evaluate  train a downstream model
+//	POST /v1/consortiums/{id}/rewards   fair reward shares for a selection
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vfps"
+)
+
+// Server is the HTTP handler with its consortium registry.
+type Server struct {
+	mu     sync.Mutex
+	nextID int
+	pool   map[string]*vfps.Consortium
+	mux    *http.ServeMux
+}
+
+// New builds the server with its routes.
+func New() *Server {
+	s := &Server{pool: map[string]*vfps.Consortium{}, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": vfps.DatasetNames()})
+	})
+	s.mux.HandleFunc("POST /v1/consortiums", s.createConsortium)
+	s.mux.HandleFunc("GET /v1/consortiums/{id}", s.getConsortium)
+	s.mux.HandleFunc("POST /v1/consortiums/{id}/select", s.selectParticipants)
+	s.mux.HandleFunc("POST /v1/consortiums/{id}/evaluate", s.evaluate)
+	s.mux.HandleFunc("POST /v1/consortiums/{id}/rewards", s.rewards)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*vfps.Consortium, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	cons, ok := s.pool[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown consortium %q", id)
+		return nil, false
+	}
+	return cons, true
+}
+
+// CreateRequest builds a consortium from a built-in synthetic dataset (CSV
+// upload flows should pre-process into a dataset client-side and are out of
+// scope for the demo server).
+type CreateRequest struct {
+	Dataset     string  `json:"dataset"`
+	Rows        int     `json:"rows"`
+	Parties     int     `json:"parties"`
+	Scheme      string  `json:"scheme"`
+	DPEpsilon   float64 `json:"dpEpsilon"`
+	SplitSeed   int64   `json:"splitSeed"`
+	ShuffleSeed int64   `json:"shuffleSeed"`
+}
+
+// CreateResponse identifies the new consortium.
+type CreateResponse struct {
+	ID      string `json:"id"`
+	Parties int    `json:"parties"`
+	Rows    int    `json:"rows"`
+	Columns int    `json:"columns"`
+}
+
+func (s *Server) createConsortium(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Rows <= 0 {
+		req.Rows = 1000
+	}
+	if req.Parties <= 0 {
+		req.Parties = 4
+	}
+	d, err := vfps.GenerateDataset(req.Dataset, req.Rows)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pt, err := vfps.VerticalSplit(d, req.Parties, req.SplitSeed+1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cons, err := vfps.NewConsortium(context.Background(), vfps.Config{
+		Partition:   pt,
+		Labels:      d.Y,
+		Classes:     d.Classes,
+		Scheme:      req.Scheme,
+		DPEpsilon:   req.DPEpsilon,
+		ShuffleSeed: req.ShuffleSeed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := "c" + strconv.Itoa(s.nextID)
+	s.pool[id] = cons
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, CreateResponse{
+		ID: id, Parties: cons.P(), Rows: cons.N(), Columns: d.F(),
+	})
+}
+
+func (s *Server) getConsortium(w http.ResponseWriter, r *http.Request) {
+	cons, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"parties": cons.P(),
+		"rows":    cons.N(),
+		"classes": cons.Classes(),
+	})
+}
+
+// SelectRequest runs one selection method.
+type SelectRequest struct {
+	Method     string `json:"method"` // vfps-sm (default), vfps-sm-base, random, shapley, vfmine
+	Count      int    `json:"count"`
+	K          int    `json:"k"`
+	NumQueries int    `json:"numQueries"`
+	Seed       int64  `json:"seed"`
+	TopK       string `json:"topk"` // fagin|base|threshold (vfps-sm only)
+	Stratified bool   `json:"stratified"`
+}
+
+// SelectResponse reports the outcome.
+type SelectResponse struct {
+	Method           string    `json:"method"`
+	Selected         []int     `json:"selected"`
+	Scores           []float64 `json:"scores,omitempty"`
+	AvgCandidates    float64   `json:"avgCandidates,omitempty"`
+	ProjectedSeconds float64   `json:"projectedSeconds"`
+	WallMillis       int64     `json:"wallMillis"`
+}
+
+func (s *Server) selectParticipants(w http.ResponseWriter, r *http.Request) {
+	cons, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SelectRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Count <= 0 {
+		req.Count = cons.P() / 2
+	}
+	method := vfps.Method(strings.ToLower(req.Method))
+	if req.Method == "" {
+		method = vfps.MethodVFPS
+	}
+	opts := vfps.SelectOptions{
+		K: req.K, NumQueries: req.NumQueries, Seed: req.Seed,
+		TopK: req.TopK, Stratified: req.Stratified,
+	}
+	resp := SelectResponse{Method: string(method)}
+	if method == vfps.MethodVFPS || method == vfps.MethodVFPSBase {
+		opts.Base = method == vfps.MethodVFPSBase
+		sel, err := cons.Select(r.Context(), req.Count, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Selected = sel.Selected
+		resp.AvgCandidates = sel.AvgCandidates
+		resp.ProjectedSeconds = sel.ProjectedSeconds
+		resp.WallMillis = sel.WallTime.Milliseconds()
+	} else {
+		sel, err := cons.SelectWith(r.Context(), method, req.Count, opts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Selected = sel.Selected
+		resp.Scores = sel.Scores
+		resp.ProjectedSeconds = sel.ProjectedSeconds
+		resp.WallMillis = sel.WallTime.Milliseconds()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EvaluateRequest trains one downstream model.
+type EvaluateRequest struct {
+	Model     string `json:"model"` // KNN|LR|MLP|GBDT
+	Parties   []int  `json:"parties"`
+	K         int    `json:"k"`
+	MaxEpochs int    `json:"maxEpochs"`
+	Seed      int64  `json:"seed"`
+}
+
+// EvaluateResponse reports downstream quality and federated cost.
+type EvaluateResponse struct {
+	Model            string  `json:"model"`
+	Accuracy         float64 `json:"accuracy"`
+	MacroF1          float64 `json:"macroF1"`
+	AUC              float64 `json:"auc,omitempty"`
+	ProjectedSeconds float64 `json:"projectedSeconds"`
+}
+
+func (s *Server) evaluate(w http.ResponseWriter, r *http.Request) {
+	cons, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req EvaluateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Model == "" {
+		req.Model = string(vfps.ModelKNN)
+	}
+	ev, err := cons.Evaluate(vfps.ModelName(strings.ToUpper(req.Model)), req.Parties, vfps.EvalOptions{
+		K: req.K, MaxEpochs: req.MaxEpochs, Seed: req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{
+		Model:            string(ev.Model),
+		Accuracy:         ev.Accuracy,
+		MacroF1:          ev.MacroF1,
+		AUC:              ev.AUC,
+		ProjectedSeconds: ev.ProjectedSeconds,
+	})
+}
+
+// RewardsRequest computes fair shares after a (fresh) similarity run.
+type RewardsRequest struct {
+	K          int   `json:"k"`
+	NumQueries int   `json:"numQueries"`
+	Seed       int64 `json:"seed"`
+}
+
+// RewardsResponse carries per-participant shares.
+type RewardsResponse struct {
+	Shares []float64 `json:"shares"`
+}
+
+func (s *Server) rewards(w http.ResponseWriter, r *http.Request) {
+	cons, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req RewardsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	sel, err := cons.Select(r.Context(), cons.P(), vfps.SelectOptions{
+		K: req.K, NumQueries: req.NumQueries, Seed: req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	shares, err := vfps.RewardShares(sel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RewardsResponse{Shares: shares})
+}

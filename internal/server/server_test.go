@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func createTestConsortium(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	var created CreateResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/consortiums",
+		CreateRequest{Dataset: "Rice", Rows: 200, Parties: 3}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create returned %d", code)
+	}
+	if created.ID == "" || created.Parties != 3 || created.Rows != 200 {
+		t.Fatalf("create response %+v", created)
+	}
+	return created.ID
+}
+
+func TestHealthz(t *testing.T) {
+	ts := startServer(t)
+	var out map[string]string
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &out); code != 200 || out["status"] != "ok" {
+		t.Fatalf("healthz %d %v", code, out)
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	ts := startServer(t)
+	var out struct {
+		Datasets []string `json:"datasets"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/datasets", nil, &out); code != 200 {
+		t.Fatalf("datasets %d", code)
+	}
+	if len(out.Datasets) != 10 {
+		t.Fatalf("datasets %v", out.Datasets)
+	}
+}
+
+func TestCreateSelectEvaluateFlow(t *testing.T) {
+	ts := startServer(t)
+	id := createTestConsortium(t, ts)
+
+	var info map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/v1/consortiums/"+id, nil, &info); code != 200 {
+		t.Fatalf("get %d", code)
+	}
+	if info["parties"].(float64) != 3 {
+		t.Fatalf("info %v", info)
+	}
+
+	var sel SelectResponse
+	code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/select", ts.URL, id),
+		SelectRequest{Count: 2, K: 5, NumQueries: 8, Seed: 1}, &sel)
+	if code != 200 {
+		t.Fatalf("select %d", code)
+	}
+	if len(sel.Selected) != 2 || sel.ProjectedSeconds <= 0 {
+		t.Fatalf("selection %+v", sel)
+	}
+
+	var ev EvaluateResponse
+	code = doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/evaluate", ts.URL, id),
+		EvaluateRequest{Model: "knn", Parties: sel.Selected, K: 5}, &ev)
+	if code != 200 {
+		t.Fatalf("evaluate %d", code)
+	}
+	if ev.Accuracy < 0.5 || ev.AUC <= 0.5 {
+		t.Fatalf("evaluation %+v", ev)
+	}
+}
+
+func TestSelectBaselineMethods(t *testing.T) {
+	ts := startServer(t)
+	id := createTestConsortium(t, ts)
+	for _, method := range []string{"shapley", "vfmine", "random", "vfps-sm-base"} {
+		var sel SelectResponse
+		code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/select", ts.URL, id),
+			SelectRequest{Method: method, Count: 2, K: 5, NumQueries: 6, Seed: 1}, &sel)
+		if code != 200 {
+			t.Fatalf("%s: %d", method, code)
+		}
+		if len(sel.Selected) != 2 {
+			t.Fatalf("%s: %+v", method, sel)
+		}
+	}
+}
+
+func TestRewardsEndpoint(t *testing.T) {
+	ts := startServer(t)
+	id := createTestConsortium(t, ts)
+	var out RewardsResponse
+	code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/rewards", ts.URL, id),
+		RewardsRequest{K: 5, NumQueries: 8, Seed: 1}, &out)
+	if code != 200 {
+		t.Fatalf("rewards %d", code)
+	}
+	if len(out.Shares) != 3 {
+		t.Fatalf("shares %v", out.Shares)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := startServer(t)
+	var e errorBody
+	// Unknown dataset.
+	if code := doJSON(t, "POST", ts.URL+"/v1/consortiums",
+		CreateRequest{Dataset: "Nope"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("unknown dataset: %d", code)
+	}
+	// Unknown consortium id.
+	if code := doJSON(t, "GET", ts.URL+"/v1/consortiums/c999", nil, &e); code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", code)
+	}
+	// Malformed body.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/consortiums", bytes.NewBufferString("{nonsense"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", resp.StatusCode)
+	}
+	// Unknown field rejected (typo safety).
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/consortiums", bytes.NewBufferString(`{"datasett":"Rice"}`))
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", resp2.StatusCode)
+	}
+	// Bad selection method.
+	id := createTestConsortium(t, ts)
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/select", ts.URL, id),
+		SelectRequest{Method: "voodoo", Count: 2}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad method: %d", code)
+	}
+	// Bad downstream model.
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/evaluate", ts.URL, id),
+		EvaluateRequest{Model: "svm"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad model: %d", code)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ts := startServer(t)
+	id := createTestConsortium(t, ts)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(seed int64) {
+			var sel SelectResponse
+			code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/select", ts.URL, id),
+				SelectRequest{Count: 2, K: 5, NumQueries: 6, Seed: seed}, &sel)
+			if code != 200 || len(sel.Selected) != 2 {
+				done <- fmt.Errorf("seed %d: code %d sel %v", seed, code, sel.Selected)
+				return
+			}
+			done <- nil
+		}(int64(i))
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

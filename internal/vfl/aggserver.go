@@ -1,0 +1,274 @@
+package vfl
+
+import (
+	"context"
+	"fmt"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/he"
+	"vfps/internal/transport"
+)
+
+// AggServer is the aggregation server role: it merges the participants'
+// sub-rankings with Fagin's algorithm and homomorphically sums encrypted
+// partial distances. It never holds the private key, so it only ever sees
+// pseudo IDs and ciphertexts.
+type AggServer struct {
+	caller  transport.Caller
+	parties []string // node names of the participants
+	scheme  he.Scheme
+	counts  costmodel.Counts
+}
+
+// NewAggServer wires the server to its participants through the given
+// transport. scheme must be the public (encrypt/add) scheme.
+func NewAggServer(caller transport.Caller, parties []string, scheme he.Scheme) (*AggServer, error) {
+	if caller == nil {
+		return nil, fmt.Errorf("vfl: aggregation server needs a transport")
+	}
+	if len(parties) == 0 {
+		return nil, fmt.Errorf("vfl: aggregation server needs participants")
+	}
+	if scheme == nil {
+		return nil, fmt.Errorf("vfl: aggregation server needs an HE scheme")
+	}
+	return &AggServer{caller: caller, parties: parties, scheme: scheme}, nil
+}
+
+// Counts exposes the server's operation counters.
+func (a *AggServer) Counts() costmodel.Raw { return a.counts.Snapshot() }
+
+// Handler returns the server's RPC handler.
+func (a *AggServer) Handler() transport.Handler {
+	return func(ctx context.Context, method string, req []byte) ([]byte, error) {
+		switch method {
+		case MethodCollectAll:
+			var r CollectAllReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return a.collectAll(ctx, r)
+		case MethodFaginCollect:
+			var r FaginCollectReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return a.faginCollect(ctx, r)
+		case MethodAggregateCandidates:
+			var r AggregateCandidatesReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			agg, err := a.aggregateCandidates(ctx, r.Query, r.PseudoIDs)
+			if err != nil {
+				return nil, err
+			}
+			a.counts.Add(costmodel.Raw{
+				ItemsSent: int64(len(agg)),
+				BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
+				Messages:  1,
+			})
+			return transport.EncodeGob(AggregateCandidatesResp{Aggregated: agg})
+		case MethodAggregateFrontier:
+			var r AggregateFrontierReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return a.aggregateFrontier(ctx, r)
+		case MethodCounts:
+			return transport.EncodeGob(CountsResp{Counts: a.counts.Snapshot()})
+		case MethodResetCounts:
+			a.counts.Reset()
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("%w: %s", transport.ErrUnknownMethod, method)
+		}
+	}
+}
+
+// aggregateCandidates pulls every party's encrypted partial distances for
+// the given pseudo IDs and sums them element-wise.
+func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int) ([][]byte, error) {
+	var agg [][]byte
+	for pi, party := range a.parties {
+		raw, err := a.caller.Call(ctx, party, MethodEncryptCandidates,
+			mustGob(EncryptCandidatesReq{Query: query, PseudoIDs: pseudoIDs}))
+		if err != nil {
+			return nil, fmt.Errorf("vfl: collecting candidates from %s: %w", party, err)
+		}
+		var resp EncryptCandidatesResp
+		if err := transport.DecodeGob(raw, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Ciphers) != len(pseudoIDs) {
+			return nil, fmt.Errorf("vfl: %s returned %d ciphertexts, want %d", party, len(resp.Ciphers), len(pseudoIDs))
+		}
+		if pi == 0 {
+			agg = resp.Ciphers
+			continue
+		}
+		for i := range agg {
+			sum, err := a.scheme.Add(agg[i], resp.Ciphers[i])
+			if err != nil {
+				return nil, fmt.Errorf("vfl: aggregating candidates: %w", err)
+			}
+			agg[i] = sum
+		}
+		a.counts.Add(costmodel.Raw{CipherAdds: int64(len(agg))})
+	}
+	return agg, nil
+}
+
+// aggregateFrontier sums the parties' encrypted scores at one scan rank —
+// the encrypted Threshold-Algorithm bound τ.
+func (a *AggServer) aggregateFrontier(ctx context.Context, r AggregateFrontierReq) ([]byte, error) {
+	var acc []byte
+	for pi, party := range a.parties {
+		raw, err := a.caller.Call(ctx, party, MethodEncryptRankScore,
+			mustGob(EncryptRankScoreReq{Query: r.Query, Rank: r.Rank}))
+		if err != nil {
+			return nil, fmt.Errorf("vfl: frontier from %s: %w", party, err)
+		}
+		var resp EncryptRankScoreResp
+		if err := transport.DecodeGob(raw, &resp); err != nil {
+			return nil, err
+		}
+		if pi == 0 {
+			acc = resp.Cipher
+			continue
+		}
+		sum, err := a.scheme.Add(acc, resp.Cipher)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: aggregating frontier: %w", err)
+		}
+		acc = sum
+		a.counts.Add(costmodel.Raw{CipherAdds: 1})
+	}
+	a.counts.Add(costmodel.Raw{
+		ItemsSent: 1,
+		BytesSent: int64(a.scheme.CiphertextSize()),
+		Messages:  1,
+	})
+	return transport.EncodeGob(AggregateFrontierResp{Cipher: acc})
+}
+
+// collectAll implements the BASE variant: pull every participant's full
+// encrypted partial-distance vector and sum them per pseudo ID.
+func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, error) {
+	var pids []int
+	var agg [][]byte
+	for pi, party := range a.parties {
+		raw, err := a.caller.Call(ctx, party, MethodEncryptAll, mustGob(EncryptAllReq{Query: r.Query}))
+		if err != nil {
+			return nil, fmt.Errorf("vfl: collecting from %s: %w", party, err)
+		}
+		var resp EncryptAllResp
+		if err := transport.DecodeGob(raw, &resp); err != nil {
+			return nil, err
+		}
+		if pi == 0 {
+			pids = resp.PseudoIDs
+			agg = resp.Ciphers
+			continue
+		}
+		if len(resp.PseudoIDs) != len(pids) {
+			return nil, fmt.Errorf("vfl: %s returned %d items, want %d", party, len(resp.PseudoIDs), len(pids))
+		}
+		for i := range pids {
+			if resp.PseudoIDs[i] != pids[i] {
+				return nil, fmt.Errorf("vfl: %s pseudo-id order mismatch at %d", party, i)
+			}
+			sum, err := a.scheme.Add(agg[i], resp.Ciphers[i])
+			if err != nil {
+				return nil, fmt.Errorf("vfl: aggregating: %w", err)
+			}
+			agg[i] = sum
+		}
+		a.counts.Add(costmodel.Raw{CipherAdds: int64(len(pids))})
+	}
+	a.counts.Add(costmodel.Raw{
+		ItemsSent: int64(len(agg)),
+		BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
+		Messages:  1,
+	})
+	return transport.EncodeGob(CollectAllResp{PseudoIDs: pids, Aggregated: agg})
+}
+
+// faginCollect implements the optimized variant: run Fagin's algorithm over
+// the participants' sub-rankings (pulled in mini-batches), then collect and
+// aggregate encrypted partial distances for the candidate set only.
+func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte, error) {
+	if r.K <= 0 {
+		return nil, fmt.Errorf("vfl: k=%d must be positive", r.K)
+	}
+	if r.Batch <= 0 {
+		return nil, fmt.Errorf("vfl: batch=%d must be positive", r.Batch)
+	}
+	p := len(a.parties)
+	seenCount := map[int]int{}
+	var candidates []int // in first-seen order
+	fullySeen := 0
+	depth := 0
+	stats := FaginStats{}
+	for fullySeen < r.K {
+		// Pull the next mini-batch from every list in parallel ranks.
+		exhausted := true
+		for _, party := range a.parties {
+			raw, err := a.caller.Call(ctx, party, MethodRankingBatch,
+				mustGob(RankingBatchReq{Query: r.Query, Offset: depth, Count: r.Batch}))
+			if err != nil {
+				return nil, fmt.Errorf("vfl: pulling ranking from %s: %w", party, err)
+			}
+			var resp RankingBatchResp
+			if err := transport.DecodeGob(raw, &resp); err != nil {
+				return nil, err
+			}
+			if len(resp.PseudoIDs) > 0 {
+				exhausted = false
+			}
+			for _, pid := range resp.PseudoIDs {
+				c := seenCount[pid]
+				if c == 0 {
+					candidates = append(candidates, pid)
+				}
+				seenCount[pid] = c + 1
+				if c+1 == p {
+					fullySeen++
+				}
+			}
+			a.counts.Add(costmodel.Raw{PlainAdds: int64(len(resp.PseudoIDs))})
+		}
+		stats.Rounds++
+		depth += r.Batch
+		if exhausted {
+			if fullySeen < r.K {
+				return nil, fmt.Errorf("vfl: lists exhausted with only %d of %d ids fully seen", fullySeen, r.K)
+			}
+			break
+		}
+	}
+	stats.ScanDepth = depth
+	stats.Candidates = len(candidates)
+
+	// Random-access phase: encrypted partial distances for candidates only.
+	agg, err := a.aggregateCandidates(ctx, r.Query, candidates)
+	if err != nil {
+		return nil, err
+	}
+	a.counts.Add(costmodel.Raw{
+		ItemsSent: int64(len(agg)),
+		BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
+		Messages:  1,
+	})
+	return transport.EncodeGob(FaginCollectResp{PseudoIDs: candidates, Aggregated: agg, Stats: stats})
+}
+
+// mustGob encodes a value that cannot fail (our message structs); a failure
+// is a programming error.
+func mustGob(v any) []byte {
+	b, err := transport.EncodeGob(v)
+	if err != nil {
+		panic(fmt.Sprintf("vfl: encoding %T: %v", v, err))
+	}
+	return b
+}

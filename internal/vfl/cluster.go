@@ -1,0 +1,140 @@
+package vfl
+
+import (
+	"context"
+	"fmt"
+
+	"vfps/internal/dataset"
+	"vfps/internal/he"
+	"vfps/internal/mat"
+	"vfps/internal/transport"
+)
+
+// ClusterConfig describes an in-process VFL deployment.
+type ClusterConfig struct {
+	// Partition supplies each participant's local features (training rows).
+	Partition *dataset.Partition
+	// Scheme is "paillier", "plain", "secagg" or "dp".
+	Scheme string
+	// DPEpsilon/DPDelta tune the "dp" scheme (defaults 1.0 and 1e-5).
+	DPEpsilon, DPDelta float64
+	// KeyBits sizes the Paillier modulus (ignored for plain). Tests use
+	// small keys; production deployments should use ≥ 2048.
+	KeyBits int
+	// ShuffleSeed seeds the shared pseudo-ID permutation.
+	ShuffleSeed int64
+	// Batch is the Fagin mini-batch size b (default 32).
+	Batch int
+}
+
+// Cluster is a fully wired in-process deployment: key server, aggregation
+// server, one node per participant, and the leader driver.
+type Cluster struct {
+	Transport *transport.Memory
+	Leader    *Leader
+	Parties   []*Participant
+	Agg       *AggServer
+	Keys      *KeyServer
+
+	shuffleSeed int64
+	pubScheme   he.Scheme
+}
+
+// NewLocalCluster builds the full topology over the in-memory transport,
+// distributing key material through the key-server RPCs exactly as the
+// distributed deployment does.
+func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Partition == nil || cfg.Partition.P() == 0 {
+		return nil, fmt.Errorf("vfl: cluster needs a partition")
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "plain"
+	}
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 512
+	}
+	tr := &transport.Memory{}
+	var ks *KeyServer
+	var err error
+	switch cfg.Scheme {
+	case "secagg":
+		ks, err = NewKeyServerSecAgg(cfg.Partition.P(), cfg.ShuffleSeed^0x5eca66)
+	case "dp":
+		eps, delta := cfg.DPEpsilon, cfg.DPDelta
+		if eps == 0 {
+			eps = 1.0
+		}
+		if delta == 0 {
+			delta = 1e-5
+		}
+		ks, err = NewKeyServerDP(eps, delta, cfg.ShuffleSeed^0xd9)
+	default:
+		ks, err = NewKeyServer(cfg.Scheme, cfg.KeyBits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tr.Register(KeyServerName, ks.Handler())
+
+	pubScheme, err := FetchPublicScheme(ctx, tr, KeyServerName)
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.Partition.P()
+	partyNames := make([]string, p)
+	parties := make([]*Participant, p)
+	for i := 0; i < p; i++ {
+		part, err := NewParticipant(i, cfg.Partition.Parties[i], pubScheme, cfg.ShuffleSeed)
+		if err != nil {
+			return nil, err
+		}
+		parties[i] = part
+		partyNames[i] = PartyName(i)
+		tr.Register(partyNames[i], part.Handler())
+	}
+	agg, err := NewAggServer(tr, partyNames, pubScheme)
+	if err != nil {
+		return nil, err
+	}
+	tr.Register(AggServerName, agg.Handler())
+
+	privScheme, err := FetchPrivateScheme(ctx, tr, KeyServerName)
+	if err != nil {
+		return nil, err
+	}
+	leader, err := NewLeader(tr, AggServerName, partyNames, privScheme, cfg.Batch)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		Transport:   tr,
+		Leader:      leader,
+		Parties:     parties,
+		Agg:         agg,
+		Keys:        ks,
+		shuffleSeed: cfg.ShuffleSeed,
+		pubScheme:   pubScheme,
+	}, nil
+}
+
+// AddParticipant registers a late-joining participant's node on the cluster
+// transport and returns its node name. The joiner must hold features for the
+// same instance rows and uses the consortium's shared shuffle seed. It does
+// NOT take part in already-running protocols; use
+// Leader.ExtendWithParties to fold it into a recorded similarity estimate,
+// or rebuild the cluster for exact re-selection. Not supported under the
+// secagg scheme, whose pairwise masks fix the consortium size at key setup.
+func (c *Cluster) AddParticipant(x *mat.Matrix) (string, error) {
+	if _, ok := c.pubScheme.(*he.SecAgg); ok {
+		return "", fmt.Errorf("vfl: secagg consortium size is fixed at key setup; rebuild the cluster")
+	}
+	index := len(c.Parties)
+	part, err := NewParticipant(index, x, c.pubScheme, c.shuffleSeed)
+	if err != nil {
+		return "", err
+	}
+	name := PartyName(index)
+	c.Transport.Register(name, part.Handler())
+	c.Parties = append(c.Parties, part)
+	return name, nil
+}

@@ -1,0 +1,560 @@
+package vfl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/he"
+	"vfps/internal/topk"
+	"vfps/internal/transport"
+)
+
+// Variant selects the vertical-KNN implementation.
+type Variant string
+
+const (
+	// VariantBase encrypts and transmits all N partial distances per query
+	// (VFPS-SM-BASE, §IV-A).
+	VariantBase Variant = "base"
+	// VariantFagin prunes the candidate set with Fagin's algorithm before
+	// any encryption (VFPS-SM, §IV-B).
+	VariantFagin Variant = "fagin"
+	// VariantThreshold prunes with the Threshold Algorithm instead. TA
+	// needs the *scores* at the scan frontier to compute its stopping bound
+	// τ, which in the encrypted setting forces a leader round trip per scan
+	// batch (aggregate-frontier decryptions). It sees fewer candidates than
+	// Fagin but pays more rounds — the trade-off that §IV-B's choice of
+	// Fagin avoids.
+	VariantThreshold Variant = "threshold"
+)
+
+// Leader is the driver role: the label-holding participant that additionally
+// owns the HE private key. It decrypts aggregated complete distances,
+// determines the k nearest neighbours, and accumulates the pairwise
+// participant similarities w(p,s) that feed submodular selection.
+type Leader struct {
+	caller  transport.Caller
+	agg     string
+	parties []string
+	scheme  he.Scheme // full scheme (with private key)
+	batch   int       // Fagin mini-batch size b
+	counts  costmodel.Counts
+}
+
+// NewLeader wires the leader to the cluster. batch is the Fagin mini-batch
+// size (paper's b); a non-positive value defaults to 32.
+func NewLeader(caller transport.Caller, aggNode string, parties []string, scheme he.Scheme, batch int) (*Leader, error) {
+	if caller == nil {
+		return nil, fmt.Errorf("vfl: leader needs a transport")
+	}
+	if len(parties) == 0 {
+		return nil, fmt.Errorf("vfl: leader needs participants")
+	}
+	if scheme == nil {
+		return nil, fmt.Errorf("vfl: leader needs the private HE scheme")
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	return &Leader{caller: caller, agg: aggNode, parties: parties, scheme: scheme, batch: batch}, nil
+}
+
+// Counts exposes the leader's operation counters.
+func (l *Leader) Counts() costmodel.Raw { return l.counts.Snapshot() }
+
+// P returns the number of participants.
+func (l *Leader) P() int { return len(l.parties) }
+
+// QueryResult is the outcome of one vertical-KNN query.
+type QueryResult struct {
+	// Neighbors holds the pseudo IDs of the k nearest samples in ascending
+	// complete-distance order.
+	Neighbors []int
+	// PartySums[p] is d^p_T, participant p's partial-distance sum over the
+	// neighbour set.
+	PartySums []float64
+	// Fagin reports pruning statistics (zero for the base variant except
+	// Candidates, which then equals N−1).
+	Fagin FaginStats
+}
+
+// RunQuery executes the vertical KNN oracle for one query sample.
+func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*QueryResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("vfl: k=%d must be positive", k)
+	}
+	var pids []int
+	var ciphers [][]byte
+	var dist []float64
+	var stats FaginStats
+	switch variant {
+	case VariantThreshold:
+		var err error
+		pids, dist, stats, err = l.thresholdScan(ctx, query, k)
+		if err != nil {
+			return nil, err
+		}
+	case VariantBase:
+		raw, err := l.caller.Call(ctx, l.agg, MethodCollectAll, mustGob(CollectAllReq{Query: query}))
+		if err != nil {
+			return nil, err
+		}
+		var resp CollectAllResp
+		if err := transport.DecodeGob(raw, &resp); err != nil {
+			return nil, err
+		}
+		pids, ciphers = resp.PseudoIDs, resp.Aggregated
+		stats.Candidates = len(pids)
+		stats.Rounds = 1
+		stats.ScanDepth = len(pids)
+	case VariantFagin:
+		raw, err := l.caller.Call(ctx, l.agg, MethodFaginCollect,
+			mustGob(FaginCollectReq{Query: query, K: k, Batch: l.batch}))
+		if err != nil {
+			return nil, err
+		}
+		var resp FaginCollectResp
+		if err := transport.DecodeGob(raw, &resp); err != nil {
+			return nil, err
+		}
+		pids, ciphers, stats = resp.PseudoIDs, resp.Aggregated, resp.Stats
+	default:
+		return nil, fmt.Errorf("vfl: unknown variant %q", variant)
+	}
+	if k > len(pids) {
+		return nil, fmt.Errorf("vfl: k=%d exceeds %d candidates", k, len(pids))
+	}
+
+	// Decrypt complete distances for the candidates and take the k nearest
+	// (the Threshold variant arrives pre-decrypted).
+	if dist == nil {
+		dist = make([]float64, len(ciphers))
+		for i, c := range ciphers {
+			v, err := l.scheme.Decrypt(c)
+			if err != nil {
+				return nil, fmt.Errorf("vfl: leader decrypting: %w", err)
+			}
+			dist[i] = v
+		}
+		l.counts.Add(costmodel.Raw{Decryptions: int64(len(ciphers))})
+	}
+	order := topk.KSmallest(dist, k)
+	neighbors := make([]int, k)
+	for i, idx := range order {
+		neighbors[i] = pids[idx]
+	}
+
+	// Step ⑦: gather each participant's plaintext partial sum over T.
+	sums := make([]float64, len(l.parties))
+	for pi, party := range l.parties {
+		raw, err := l.caller.Call(ctx, party, MethodNeighborSum,
+			mustGob(NeighborSumReq{Query: query, PseudoIDs: neighbors}))
+		if err != nil {
+			return nil, fmt.Errorf("vfl: neighbour sum from %s: %w", party, err)
+		}
+		var resp NeighborSumResp
+		if err := transport.DecodeGob(raw, &resp); err != nil {
+			return nil, err
+		}
+		sums[pi] = resp.Sum
+	}
+	return &QueryResult{Neighbors: neighbors, PartySums: sums, Fagin: stats}, nil
+}
+
+// thresholdScan drives the leader-assisted Threshold Algorithm for one
+// query: synchronized sorted access in batches, aggregate-and-decrypt for
+// every newly seen candidate, and an encrypted frontier bound τ per batch.
+// Returns the candidate pseudo IDs with their decrypted complete distances.
+func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []float64, FaginStats, error) {
+	var stats FaginStats
+	seen := make(map[int]bool)
+	var pids []int
+	var dist []float64
+	depth := 0
+	for {
+		// Sorted access: next batch of every party's ranking.
+		var newIDs []int
+		exhausted := true
+		for _, party := range l.parties {
+			raw, err := l.caller.Call(ctx, party, MethodRankingBatch,
+				mustGob(RankingBatchReq{Query: query, Offset: depth, Count: l.batch}))
+			if err != nil {
+				return nil, nil, stats, fmt.Errorf("vfl: TA ranking from %s: %w", party, err)
+			}
+			var resp RankingBatchResp
+			if err := transport.DecodeGob(raw, &resp); err != nil {
+				return nil, nil, stats, err
+			}
+			if len(resp.PseudoIDs) > 0 {
+				exhausted = false
+			}
+			for _, pid := range resp.PseudoIDs {
+				if !seen[pid] {
+					seen[pid] = true
+					newIDs = append(newIDs, pid)
+				}
+			}
+		}
+		stats.Rounds++
+		depth += l.batch
+
+		// Random access: aggregated ciphertexts for the new candidates.
+		if len(newIDs) > 0 {
+			raw, err := l.caller.Call(ctx, l.agg, MethodAggregateCandidates,
+				mustGob(AggregateCandidatesReq{Query: query, PseudoIDs: newIDs}))
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			var resp AggregateCandidatesResp
+			if err := transport.DecodeGob(raw, &resp); err != nil {
+				return nil, nil, stats, err
+			}
+			for i, c := range resp.Aggregated {
+				v, err := l.scheme.Decrypt(c)
+				if err != nil {
+					return nil, nil, stats, fmt.Errorf("vfl: TA decrypting candidate: %w", err)
+				}
+				pids = append(pids, newIDs[i])
+				dist = append(dist, v)
+			}
+			l.counts.Add(costmodel.Raw{Decryptions: int64(len(resp.Aggregated))})
+		}
+		if exhausted {
+			break
+		}
+
+		// Threshold: τ bounds every unseen instance's complete distance from
+		// below, because unseen instances rank deeper than the frontier in
+		// every list.
+		raw, err := l.caller.Call(ctx, l.agg, MethodAggregateFrontier,
+			mustGob(AggregateFrontierReq{Query: query, Rank: depth - 1}))
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		var fresp AggregateFrontierResp
+		if err := transport.DecodeGob(raw, &fresp); err != nil {
+			return nil, nil, stats, err
+		}
+		tau, err := l.scheme.Decrypt(fresp.Cipher)
+		if err != nil {
+			return nil, nil, stats, fmt.Errorf("vfl: TA decrypting threshold: %w", err)
+		}
+		l.counts.Add(costmodel.Raw{Decryptions: 1})
+		if len(dist) >= k {
+			order := topk.KSmallest(dist, k)
+			if dist[order[k-1]] <= tau {
+				break
+			}
+		}
+	}
+	stats.ScanDepth = depth
+	stats.Candidates = len(pids)
+	if len(pids) < k {
+		return nil, nil, stats, fmt.Errorf("vfl: TA terminated with %d candidates for k=%d", len(pids), k)
+	}
+	return pids, dist, stats, nil
+}
+
+// SimilarityReport is the output of a full selection-phase protocol run.
+type SimilarityReport struct {
+	// W[p][s] is the average similarity w(p,s) over the query set, the input
+	// to submodular maximization. W is symmetric with unit diagonal.
+	W [][]float64
+	// Queries is the number of query samples processed.
+	Queries int
+	// AvgCandidates is the mean per-query number of instances whose partial
+	// distances were encrypted and communicated — the Fig. 9 metric.
+	AvgCandidates float64
+	// TotalRounds accumulates Fagin mini-batch rounds across queries.
+	TotalRounds int
+}
+
+// Similarities runs the KNN oracle over the query set and accumulates the
+// pairwise participant similarity matrix of §III-A:
+//
+//	w_q(p1,p2) = (d_T − |d^p1_T − d^p2_T|) / d_T,   w = mean over queries.
+func (l *Leader) Similarities(ctx context.Context, queries []int, k int, variant Variant) (*SimilarityReport, error) {
+	return l.SimilaritiesParallel(ctx, queries, k, variant, 1)
+}
+
+// SimAccumulator incrementally aggregates per-query similarity
+// contributions, enabling adaptive protocols that add query batches until
+// the estimate stabilises.
+type SimAccumulator struct {
+	p      int
+	sums   [][]float64
+	n      int
+	cands  int
+	rounds int
+	// Record, when set before accumulation, keeps each query's neighbour
+	// set and per-party sums so the similarity matrix can later be extended
+	// to late-joining participants without re-running the encrypted KNN.
+	Record  bool
+	records []QueryRecord
+}
+
+// QueryRecord is one query's reusable protocol outcome.
+type QueryRecord struct {
+	Query     int
+	Neighbors []int // pseudo IDs of the k nearest samples
+	PartySums []float64
+}
+
+// NewAccumulator returns an empty similarity accumulator for this
+// consortium.
+func (l *Leader) NewAccumulator() *SimAccumulator {
+	p := len(l.parties)
+	sums := make([][]float64, p)
+	for i := range sums {
+		sums[i] = make([]float64, p)
+	}
+	return &SimAccumulator{p: p, sums: sums}
+}
+
+// Queries returns the number of query samples accumulated so far.
+func (a *SimAccumulator) Queries() int { return a.n }
+
+// add folds one query result into the accumulator.
+func (a *SimAccumulator) add(res *QueryResult) {
+	a.cands += res.Fagin.Candidates
+	a.rounds += res.Fagin.Rounds
+	var dT float64
+	for _, s := range res.PartySums {
+		dT += s
+	}
+	for i := 0; i < a.p; i++ {
+		for j := 0; j < a.p; j++ {
+			var w float64
+			if dT <= 0 {
+				// All neighbours coincide with the query on every party:
+				// no divergence information, treat parties as identical.
+				w = 1
+			} else {
+				w = (dT - math.Abs(res.PartySums[i]-res.PartySums[j])) / dT
+			}
+			a.sums[i][j] += w
+		}
+	}
+	a.n++
+}
+
+// Report materialises the current similarity estimate.
+func (a *SimAccumulator) Report() *SimilarityReport {
+	w := make([][]float64, a.p)
+	for i := range w {
+		w[i] = make([]float64, a.p)
+		for j := range w[i] {
+			w[i][j] = a.sums[i][j] / float64(a.n)
+		}
+		w[i][i] = 1
+	}
+	return &SimilarityReport{
+		W:             w,
+		Queries:       a.n,
+		AvgCandidates: float64(a.cands) / float64(a.n),
+		TotalRounds:   a.rounds,
+	}
+}
+
+// Accumulate runs the KNN oracle over additional queries and folds them into
+// acc, with up to `workers` queries in flight.
+func (l *Leader) Accumulate(ctx context.Context, queries []int, k int, variant Variant, workers int, acc *SimAccumulator) error {
+	results, err := l.runQueries(ctx, queries, k, variant, workers)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		acc.add(res)
+		if acc.Record {
+			acc.records = append(acc.records, QueryRecord{
+				Query:     queries[i],
+				Neighbors: res.Neighbors,
+				PartySums: res.PartySums,
+			})
+		}
+	}
+	l.counts.Add(costmodel.Raw{PlainAdds: int64(len(queries) * acc.p * acc.p)})
+	return nil
+}
+
+// ExtendWithParties warm-starts the similarity matrix for late-joining
+// participants: instead of re-running the encrypted KNN protocol, the leader
+// asks only the new parties for their plaintext partial sums over each
+// recorded query's existing neighbour set (|Q| cheap messages per joiner).
+//
+// This is an approximation: the neighbour sets were computed over the
+// original consortium's joint feature space, so the new parties' features do
+// not influence which samples count as neighbours. For parties whose data
+// correlates with the consortium (the common case in VFL, where records
+// describe the same users) the approximation is close; re-run Similarities
+// from scratch when exactness matters. Requires an accumulator built with
+// Record set.
+func (l *Leader) ExtendWithParties(ctx context.Context, newParties []string, acc *SimAccumulator) (*SimilarityReport, error) {
+	if !acc.Record || len(acc.records) == 0 {
+		return nil, fmt.Errorf("vfl: extension requires a recording accumulator with at least one query")
+	}
+	if len(newParties) == 0 {
+		return nil, fmt.Errorf("vfl: no new parties to extend with")
+	}
+	oldP := acc.p
+	newP := oldP + len(newParties)
+	ext := &SimAccumulator{p: newP}
+	ext.sums = make([][]float64, newP)
+	for i := range ext.sums {
+		ext.sums[i] = make([]float64, newP)
+	}
+	for _, rec := range acc.records {
+		sums := make([]float64, newP)
+		copy(sums, rec.PartySums)
+		for ni, party := range newParties {
+			raw, err := l.caller.Call(ctx, party, MethodNeighborSum,
+				mustGob(NeighborSumReq{Query: rec.Query, PseudoIDs: rec.Neighbors}))
+			if err != nil {
+				return nil, fmt.Errorf("vfl: extending with %s: %w", party, err)
+			}
+			var resp NeighborSumResp
+			if err := transport.DecodeGob(raw, &resp); err != nil {
+				return nil, err
+			}
+			sums[oldP+ni] = resp.Sum
+		}
+		ext.add(&QueryResult{Neighbors: rec.Neighbors, PartySums: sums})
+	}
+	l.counts.Add(costmodel.Raw{PlainAdds: int64(len(acc.records) * newP * newP)})
+	return ext.Report(), nil
+}
+
+// SimilaritiesParallel is Similarities with up to `workers` queries in
+// flight concurrently. Results are accumulated in query order, so the
+// report is bit-identical to the sequential run.
+func (l *Leader) SimilaritiesParallel(ctx context.Context, queries []int, k int, variant Variant, workers int) (*SimilarityReport, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("vfl: empty query set")
+	}
+	acc := l.NewAccumulator()
+	if err := l.Accumulate(ctx, queries, k, variant, workers, acc); err != nil {
+		return nil, err
+	}
+	return acc.Report(), nil
+}
+
+// runQueries executes the KNN oracle for every query, optionally in
+// parallel, preserving query order in the results.
+func (l *Leader) runQueries(ctx context.Context, queries []int, k int, variant Variant, workers int) ([]*QueryResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("vfl: empty query set")
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]*QueryResult, len(queries))
+	if workers == 1 {
+		for qi, q := range queries {
+			res, err := l.RunQuery(ctx, q, k, variant)
+			if err != nil {
+				return nil, fmt.Errorf("vfl: query %d: %w", q, err)
+			}
+			results[qi] = res
+		}
+	} else {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var wg sync.WaitGroup
+		var errOnce sync.Once
+		var firstErr error
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for qi := range next {
+					res, err := l.RunQuery(ctx, queries[qi], k, variant)
+					if err != nil {
+						errOnce.Do(func() {
+							firstErr = fmt.Errorf("vfl: query %d: %w", queries[qi], err)
+							cancel()
+						})
+						return
+					}
+					results[qi] = res
+				}
+			}()
+		}
+	feed:
+		for qi := range queries {
+			select {
+			case next <- qi:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(next)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		// Cancellation can stop the feed before any worker reports an error,
+		// leaving gaps; surface that instead of returning partial results.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			if r == nil {
+				return nil, fmt.Errorf("vfl: query processing incomplete")
+			}
+		}
+	}
+
+	return results, nil
+}
+
+// GatherCounts pulls operation counters from every node plus the leader's
+// own, keyed by node name ("leader" for the local counters).
+func (l *Leader) GatherCounts(ctx context.Context) (map[string]costmodel.Raw, error) {
+	out := map[string]costmodel.Raw{"leader": l.counts.Snapshot()}
+	for _, node := range append([]string{l.agg}, l.parties...) {
+		raw, err := l.caller.Call(ctx, node, MethodCounts, nil)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: counts from %s: %w", node, err)
+		}
+		var resp CountsResp
+		if err := transport.DecodeGob(raw, &resp); err != nil {
+			return nil, err
+		}
+		out[node] = resp.Counts
+	}
+	return out, nil
+}
+
+// TotalCounts sums GatherCounts over all roles.
+func (l *Leader) TotalCounts(ctx context.Context) (costmodel.Raw, error) {
+	per, err := l.GatherCounts(ctx)
+	if err != nil {
+		return costmodel.Raw{}, err
+	}
+	var total costmodel.Raw
+	for _, r := range per {
+		total = total.Plus(r)
+	}
+	return total, nil
+}
+
+// ResetAllCounts zeroes the counters on every node including the leader.
+func (l *Leader) ResetAllCounts(ctx context.Context) error {
+	l.counts.Reset()
+	for _, node := range append([]string{l.agg}, l.parties...) {
+		if _, err := l.caller.Call(ctx, node, MethodResetCounts, nil); err != nil {
+			return fmt.Errorf("vfl: resetting %s: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// Scheme exposes the leader's HE scheme (used by integration tests).
+func (l *Leader) Scheme() he.Scheme { return l.scheme }

@@ -1,0 +1,201 @@
+// Package vfl implements the vertical-federated-learning runtime of the
+// paper's §IV: the three system roles (key server, aggregation server,
+// participants with one leader), the vertical KNN oracle in both the
+// baseline variant (encrypt all N partial distances per query) and the
+// Fagin-optimized variant (encrypt candidates only), pseudo-ID shuffling for
+// identity security, and per-role operation accounting for the cost model.
+//
+// Message flow per query q (optimized variant, Fig. 3):
+//
+//	leader ──FaginCollect──▶ aggregation server
+//	   agg ──RankingBatch──▶ each participant   (Step ①–②, mini-batches)
+//	   agg runs Fagin until k ids seen in all lists (Step ③)
+//	   agg ──EncryptCandidates──▶ each participant (Step ④)
+//	   agg homomorphically sums the candidate ciphertexts (Step ⑤)
+//	leader decrypts candidate totals, picks the k nearest T (Step ⑥)
+//	leader ──NeighborSum(T)──▶ each participant (Step ⑦)
+//	leader computes w_q(p1,p2) from the returned d^p_T (Step ⑧)
+package vfl
+
+import (
+	"vfps/internal/costmodel"
+)
+
+// Node names used by both the in-memory cluster and cmd/vfpsnode.
+const (
+	KeyServerName = "keyserver"
+	AggServerName = "aggserver"
+)
+
+// Method names served by the roles.
+const (
+	// Key server.
+	MethodPublicKey  = "key.public"
+	MethodPrivateKey = "key.private"
+
+	// Participants.
+	MethodRankingBatch      = "party.rankingBatch"
+	MethodEncryptAll        = "party.encryptAll"
+	MethodEncryptCandidates = "party.encryptCandidates"
+	MethodNeighborSum       = "party.neighborSum"
+	MethodCounts            = "node.counts"
+	MethodResetCounts       = "node.resetCounts"
+
+	// Aggregation server.
+	MethodCollectAll          = "agg.collectAll"
+	MethodFaginCollect        = "agg.faginCollect"
+	MethodAggregateCandidates = "agg.aggregateCandidates"
+	MethodAggregateFrontier   = "agg.aggregateFrontier"
+
+	// Participant methods used only by the Threshold-Algorithm variant.
+	MethodEncryptRankScore = "party.encryptRankScore"
+)
+
+// PublicKeyResp carries the protection-scheme choice plus its key material:
+// the serialised public key for Paillier, or the consortium masking
+// parameters for secagg.
+type PublicKeyResp struct {
+	Scheme   string  // "paillier", "plain", "secagg" or "dp"
+	Key      []byte  // Paillier public key; nil otherwise
+	Parties  int     // secagg consortium size
+	MaskSeed int64   // secagg masking seed / dp noise seed
+	Epsilon  float64 // dp privacy parameters
+	Delta    float64
+}
+
+// PrivateKeyResp carries the serialised private key to the leader.
+type PrivateKeyResp struct {
+	Scheme   string
+	Key      []byte
+	Parties  int
+	MaskSeed int64
+	Epsilon  float64
+	Delta    float64
+}
+
+// RankingBatchReq asks a participant for the next mini-batch of its
+// ascending-distance sub-ranking for a query.
+type RankingBatchReq struct {
+	Query  int // original instance id of the query sample
+	Offset int // rank offset into the sorted list
+	Count  int // mini-batch size b
+}
+
+// RankingBatchResp returns pseudo IDs in ascending partial-distance order.
+type RankingBatchResp struct {
+	PseudoIDs []int
+}
+
+// EncryptAllReq asks for encrypted partial distances of every instance
+// (except the query itself), the VFPS-SM-BASE access pattern.
+type EncryptAllReq struct {
+	Query int
+}
+
+// EncryptAllResp returns ciphertexts aligned with ascending pseudo IDs.
+type EncryptAllResp struct {
+	PseudoIDs []int
+	Ciphers   [][]byte
+}
+
+// EncryptCandidatesReq asks for encrypted partial distances of the given
+// candidate pseudo IDs only (the Fagin-pruned set).
+type EncryptCandidatesReq struct {
+	Query     int
+	PseudoIDs []int
+}
+
+// EncryptCandidatesResp returns ciphertexts aligned with the request order.
+type EncryptCandidatesResp struct {
+	Ciphers [][]byte
+}
+
+// NeighborSumReq asks for d^p_T = Σ_{t∈T} d^p_t over the pseudo IDs of the
+// query's k nearest neighbours.
+type NeighborSumReq struct {
+	Query     int
+	PseudoIDs []int
+}
+
+// NeighborSumResp returns the plaintext partial-distance sum.
+type NeighborSumResp struct {
+	Sum float64
+}
+
+// CountsResp returns a node's operation counters.
+type CountsResp struct {
+	Counts costmodel.Raw
+}
+
+// EncryptRankScoreReq asks a participant to encrypt the partial distance of
+// the instance at the given rank of its sorted list (the TA scan frontier).
+// Ranks past the end of the list clamp to the last entry.
+type EncryptRankScoreReq struct {
+	Query int
+	Rank  int
+}
+
+// EncryptRankScoreResp returns the frontier ciphertext.
+type EncryptRankScoreResp struct {
+	Cipher []byte
+}
+
+// AggregateCandidatesReq asks the aggregation server to collect and
+// homomorphically sum the parties' encrypted partial distances for specific
+// pseudo IDs (TA random-access phase).
+type AggregateCandidatesReq struct {
+	Query     int
+	PseudoIDs []int
+}
+
+// AggregateCandidatesResp returns aggregated ciphertexts aligned with the
+// request order.
+type AggregateCandidatesResp struct {
+	Aggregated [][]byte
+}
+
+// AggregateFrontierReq asks the aggregation server for the encrypted TA
+// threshold: the sum over parties of each party's score at the given rank.
+type AggregateFrontierReq struct {
+	Query int
+	Rank  int
+}
+
+// AggregateFrontierResp returns the aggregated threshold ciphertext.
+type AggregateFrontierResp struct {
+	Cipher []byte
+}
+
+// CollectAllReq drives the BASE variant for one query.
+type CollectAllReq struct {
+	Query int
+}
+
+// CollectAllResp returns the homomorphically aggregated complete distances
+// for every pseudo ID.
+type CollectAllResp struct {
+	PseudoIDs  []int
+	Aggregated [][]byte
+}
+
+// FaginCollectReq drives the optimized variant for one query.
+type FaginCollectReq struct {
+	Query int
+	K     int
+	Batch int
+}
+
+// FaginStats reports the pruning achieved by the top-k phase for one query.
+type FaginStats struct {
+	Rounds     int
+	ScanDepth  int
+	Candidates int
+}
+
+// FaginCollectResp returns aggregated complete distances for the candidate
+// set only.
+type FaginCollectResp struct {
+	PseudoIDs  []int
+	Aggregated [][]byte
+	Stats      FaginStats
+}

@@ -1,0 +1,335 @@
+package vfl
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"vfps/internal/costmodel"
+	"vfps/internal/he"
+	"vfps/internal/mat"
+	"vfps/internal/transport"
+)
+
+// PartyName returns the canonical node name of participant p.
+func PartyName(p int) string { return fmt.Sprintf("party/%d", p) }
+
+// Participant is one data-holding organisation: it owns a vertical slice of
+// the feature space for all N instances and serves partial-distance queries.
+// All participants share the shuffle seed, so they agree on the pseudo-ID
+// permutation without the servers ever learning it (identity security,
+// §IV-C).
+type Participant struct {
+	index  int
+	x      *mat.Matrix // N × F_p local features
+	scheme he.Scheme
+
+	perm []int // original id -> pseudo id
+	inv  []int // pseudo id -> original id
+
+	counts costmodel.Counts
+
+	mu         sync.Mutex
+	cache      map[int]*queryCache
+	cacheOrder []int // FIFO eviction order
+}
+
+// cacheLimit bounds the per-participant query cache so concurrent query
+// processing does not retain every query's distance vector.
+const cacheLimit = 32
+
+// queryCache holds the per-query artefacts that several protocol steps
+// reuse: partial distances by original id and the ascending sub-ranking of
+// pseudo IDs.
+type queryCache struct {
+	query     int
+	dist      []float64 // by original id; query itself = +Inf sentinel, excluded from ranking
+	sortedPid []int     // pseudo ids in ascending distance order (query excluded)
+}
+
+// NewParticipant constructs participant p over its local features.
+// shuffleSeed must be identical across all participants of a consortium.
+func NewParticipant(index int, x *mat.Matrix, scheme he.Scheme, shuffleSeed int64) (*Participant, error) {
+	if x == nil || x.Rows == 0 || x.Cols == 0 {
+		return nil, fmt.Errorf("vfl: participant %d has no data", index)
+	}
+	if scheme == nil {
+		return nil, fmt.Errorf("vfl: participant %d has no HE scheme", index)
+	}
+	// Index-bound schemes are distributed as unbound templates; bind them so
+	// pairwise masks take the right sign (secagg) or noise streams are
+	// independent across participants (dp).
+	switch s := scheme.(type) {
+	case *he.SecAgg:
+		bound, err := s.WithIndex(index)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: participant %d: %w", index, err)
+		}
+		scheme = bound
+	case *he.DP:
+		bound, err := s.WithIndex(index)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: participant %d: %w", index, err)
+		}
+		scheme = bound
+	}
+	n := x.Rows
+	perm := rand.New(rand.NewSource(shuffleSeed)).Perm(n)
+	inv := make([]int, n)
+	for orig, pid := range perm {
+		inv[pid] = orig
+	}
+	return &Participant{
+		index:  index,
+		x:      x,
+		scheme: scheme,
+		perm:   perm,
+		inv:    inv,
+		cache:  make(map[int]*queryCache),
+	}, nil
+}
+
+// N returns the instance count.
+func (p *Participant) N() int { return p.x.Rows }
+
+// Features returns the local feature dimension F_p.
+func (p *Participant) Features() int { return p.x.Cols }
+
+// Counts exposes the participant's operation counters.
+func (p *Participant) Counts() costmodel.Raw { return p.counts.Snapshot() }
+
+// encryptValue protects one protocol value, using item-bound masking when
+// the scheme requires it (SecAgg) and plain HE encryption otherwise.
+func (p *Participant) encryptValue(domain byte, query, key int, v float64) ([]byte, error) {
+	if cs, ok := p.scheme.(he.Contextual); ok {
+		return cs.EncryptAt(domain, query, key, v)
+	}
+	return p.scheme.Encrypt(v)
+}
+
+// distances returns the cached per-query artefacts, computing them on first
+// use. The query itself is excluded from the ranking (a KNN query drawn from
+// the dataset is its own 0-distance neighbour).
+func (p *Participant) distances(query int) (*queryCache, error) {
+	if query < 0 || query >= p.N() {
+		return nil, fmt.Errorf("vfl: query %d out of range [0,%d)", query, p.N())
+	}
+	p.mu.Lock()
+	if qc, ok := p.cache[query]; ok {
+		p.mu.Unlock()
+		return qc, nil
+	}
+	p.mu.Unlock()
+	// Compute outside the lock so concurrent queries for different samples
+	// proceed in parallel; a rare duplicate computation is harmless.
+	n := p.N()
+	qRow := p.x.Row(query)
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if i == query {
+			continue
+		}
+		dist[i] = mat.SqDist(qRow, p.x.Row(i))
+	}
+	p.counts.Add(costmodel.Raw{DistanceFlops: int64((n - 1) * p.x.Cols)})
+	ranking := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != query {
+			ranking = append(ranking, i)
+		}
+	}
+	sort.Slice(ranking, func(a, b int) bool {
+		i, j := ranking[a], ranking[b]
+		if dist[i] != dist[j] {
+			return dist[i] < dist[j]
+		}
+		// Tie-break on pseudo id so all parties and the servers see a
+		// consistent order without leaking original ids.
+		return p.perm[i] < p.perm[j]
+	})
+	pids := make([]int, len(ranking))
+	for r, orig := range ranking {
+		pids[r] = p.perm[orig]
+	}
+	qc := &queryCache{query: query, dist: dist, sortedPid: pids}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if existing, ok := p.cache[query]; ok {
+		return existing, nil // another goroutine won the race
+	}
+	if len(p.cacheOrder) >= cacheLimit {
+		oldest := p.cacheOrder[0]
+		p.cacheOrder = p.cacheOrder[1:]
+		delete(p.cache, oldest)
+	}
+	p.cache[query] = qc
+	p.cacheOrder = append(p.cacheOrder, query)
+	return qc, nil
+}
+
+// Handler returns the participant's RPC handler.
+func (p *Participant) Handler() transport.Handler {
+	return func(ctx context.Context, method string, req []byte) ([]byte, error) {
+		switch method {
+		case MethodRankingBatch:
+			var r RankingBatchReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return p.rankingBatch(r)
+		case MethodEncryptAll:
+			var r EncryptAllReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return p.encryptAll(r)
+		case MethodEncryptCandidates:
+			var r EncryptCandidatesReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return p.encryptCandidates(r)
+		case MethodEncryptRankScore:
+			var r EncryptRankScoreReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return p.encryptRankScore(r)
+		case MethodNeighborSum:
+			var r NeighborSumReq
+			if err := transport.DecodeGob(req, &r); err != nil {
+				return nil, err
+			}
+			return p.neighborSum(r)
+		case MethodCounts:
+			return transport.EncodeGob(CountsResp{Counts: p.counts.Snapshot()})
+		case MethodResetCounts:
+			p.counts.Reset()
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("%w: %s", transport.ErrUnknownMethod, method)
+		}
+	}
+}
+
+func (p *Participant) rankingBatch(r RankingBatchReq) ([]byte, error) {
+	if r.Count <= 0 {
+		return nil, fmt.Errorf("vfl: ranking batch count %d must be positive", r.Count)
+	}
+	qc, err := p.distances(r.Query)
+	if err != nil {
+		return nil, err
+	}
+	if r.Offset < 0 || r.Offset > len(qc.sortedPid) {
+		return nil, fmt.Errorf("vfl: ranking offset %d out of range", r.Offset)
+	}
+	end := r.Offset + r.Count
+	if end > len(qc.sortedPid) {
+		end = len(qc.sortedPid)
+	}
+	batch := qc.sortedPid[r.Offset:end]
+	p.counts.Add(costmodel.Raw{ItemsSent: int64(len(batch)), Messages: 1})
+	return transport.EncodeGob(RankingBatchResp{PseudoIDs: batch})
+}
+
+func (p *Participant) encryptAll(r EncryptAllReq) ([]byte, error) {
+	qc, err := p.distances(r.Query)
+	if err != nil {
+		return nil, err
+	}
+	n := p.N()
+	queryPid := p.perm[r.Query]
+	pids := make([]int, 0, n-1)
+	ciphers := make([][]byte, 0, n-1)
+	for pid := 0; pid < n; pid++ {
+		if pid == queryPid {
+			continue
+		}
+		c, err := p.encryptValue(he.DomainItem, r.Query, pid, qc.dist[p.inv[pid]])
+		if err != nil {
+			return nil, fmt.Errorf("vfl: party %d encrypting: %w", p.index, err)
+		}
+		pids = append(pids, pid)
+		ciphers = append(ciphers, c)
+	}
+	p.counts.Add(costmodel.Raw{
+		Encryptions: int64(len(ciphers)),
+		ItemsSent:   int64(len(ciphers)),
+		BytesSent:   int64(len(ciphers) * p.scheme.CiphertextSize()),
+		Messages:    1,
+	})
+	return transport.EncodeGob(EncryptAllResp{PseudoIDs: pids, Ciphers: ciphers})
+}
+
+func (p *Participant) encryptCandidates(r EncryptCandidatesReq) ([]byte, error) {
+	qc, err := p.distances(r.Query)
+	if err != nil {
+		return nil, err
+	}
+	queryPid := p.perm[r.Query]
+	ciphers := make([][]byte, len(r.PseudoIDs))
+	for i, pid := range r.PseudoIDs {
+		if pid < 0 || pid >= p.N() || pid == queryPid {
+			return nil, fmt.Errorf("vfl: candidate pseudo id %d invalid", pid)
+		}
+		c, err := p.encryptValue(he.DomainItem, r.Query, pid, qc.dist[p.inv[pid]])
+		if err != nil {
+			return nil, fmt.Errorf("vfl: party %d encrypting candidate: %w", p.index, err)
+		}
+		ciphers[i] = c
+	}
+	p.counts.Add(costmodel.Raw{
+		Encryptions: int64(len(ciphers)),
+		ItemsSent:   int64(len(ciphers)),
+		BytesSent:   int64(len(ciphers) * p.scheme.CiphertextSize()),
+		Messages:    1,
+	})
+	return transport.EncodeGob(EncryptCandidatesResp{Ciphers: ciphers})
+}
+
+func (p *Participant) encryptRankScore(r EncryptRankScoreReq) ([]byte, error) {
+	qc, err := p.distances(r.Query)
+	if err != nil {
+		return nil, err
+	}
+	if r.Rank < 0 {
+		return nil, fmt.Errorf("vfl: rank %d must be non-negative", r.Rank)
+	}
+	rank := r.Rank
+	if rank >= len(qc.sortedPid) {
+		rank = len(qc.sortedPid) - 1
+	}
+	// The mask key is the *requested* rank: every party is asked the same
+	// rank in a TA round, so their masks cancel at aggregation even when the
+	// effective rank was clamped.
+	c, err := p.encryptValue(he.DomainRank, r.Query, r.Rank, qc.dist[p.inv[qc.sortedPid[rank]]])
+	if err != nil {
+		return nil, fmt.Errorf("vfl: party %d encrypting frontier: %w", p.index, err)
+	}
+	p.counts.Add(costmodel.Raw{
+		Encryptions: 1,
+		ItemsSent:   1,
+		BytesSent:   int64(p.scheme.CiphertextSize()),
+		Messages:    1,
+	})
+	return transport.EncodeGob(EncryptRankScoreResp{Cipher: c})
+}
+
+func (p *Participant) neighborSum(r NeighborSumReq) ([]byte, error) {
+	qc, err := p.distances(r.Query)
+	if err != nil {
+		return nil, err
+	}
+	queryPid := p.perm[r.Query]
+	var sum float64
+	for _, pid := range r.PseudoIDs {
+		if pid < 0 || pid >= p.N() || pid == queryPid {
+			return nil, fmt.Errorf("vfl: neighbour pseudo id %d invalid", pid)
+		}
+		sum += qc.dist[p.inv[pid]]
+	}
+	p.counts.Add(costmodel.Raw{PlainAdds: int64(len(r.PseudoIDs)), ItemsSent: 1, Messages: 1})
+	return transport.EncodeGob(NeighborSumResp{Sum: sum})
+}

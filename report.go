@@ -1,0 +1,39 @@
+package vfps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatSelection renders a Selection as a human-readable report: the chosen
+// sub-consortium, per-step marginal gains, the similarity matrix, and the
+// protocol cost summary. Intended for CLI and log output.
+func FormatSelection(sel *Selection) string {
+	if sel == nil {
+		return "<nil selection>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "selected participants: %v (objective %.4f", sel.Selected, sel.Value)
+	if sel.QueriesUsed > 0 {
+		fmt.Fprintf(&b, ", %d queries", sel.QueriesUsed)
+	}
+	b.WriteString(")\n")
+	for i, p := range sel.Selected {
+		fmt.Fprintf(&b, "  step %d: party %d  marginal gain %.4f\n", i+1, p, sel.Gains[i])
+	}
+	b.WriteString("similarity matrix w(p,s):\n")
+	for _, row := range sel.W {
+		b.WriteString(" ")
+		for _, v := range row {
+			fmt.Fprintf(&b, " %.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	if sel.AvgCandidates > 0 {
+		fmt.Fprintf(&b, "avg encrypted candidates per query: %.1f\n", sel.AvgCandidates)
+	}
+	fmt.Fprintf(&b, "protocol ops: %s\n", sel.Counts.String())
+	fmt.Fprintf(&b, "wall time %s; projected %.2fs at calibrated HE rates\n",
+		sel.WallTime.Round(1e6), sel.ProjectedSeconds)
+	return b.String()
+}

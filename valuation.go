@@ -1,0 +1,18 @@
+package vfps
+
+import (
+	"vfps/internal/baselines"
+)
+
+// KNNShapley computes exact per-sample Shapley values under the KNN utility
+// (Jia et al., VLDB 2019) in O(N log N) per test point — the data-valuation
+// companion to participant-level selection: once a sub-consortium is
+// selected, rank which training records help or hurt the proxy model.
+//
+// trainPt/testPt must share the same party layout (e.g. both produced by
+// Partition.ApplyRows on the same vertical split). A positive value means
+// the sample improves KNN predictions on the test set; noisy or mislabelled
+// samples come out negative.
+func KNNShapley(trainPt *Partition, yTrain []int, testPt *Partition, yTest []int, k int) ([]float64, error) {
+	return baselines.KNNShapleySamples(trainPt, yTrain, testPt, yTest, k)
+}

@@ -1,0 +1,489 @@
+package vfps
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testConsortium(t *testing.T, name string, rows, parties int) *Consortium {
+	t.Helper()
+	d, err := GenerateDataset(name, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := VerticalSplit(d, parties, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsortium(context.Background(), Config{
+		Partition: pt, Labels: d.Y, Classes: d.Classes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cons
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 10 {
+		t.Fatalf("expected 10 datasets, got %v", names)
+	}
+}
+
+func TestNewConsortiumValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := NewConsortium(ctx, Config{}); err == nil {
+		t.Fatal("expected partition error")
+	}
+	d, _ := GenerateDataset("Rice", 100)
+	pt, _ := VerticalSplit(d, 3, 1)
+	if _, err := NewConsortium(ctx, Config{Partition: pt, Labels: d.Y[:5], Classes: 2}); err == nil {
+		t.Fatal("expected label length error")
+	}
+	if _, err := NewConsortium(ctx, Config{Partition: pt, Labels: d.Y, Classes: 1}); err == nil {
+		t.Fatal("expected classes error")
+	}
+}
+
+func TestSelectPublicAPI(t *testing.T) {
+	cons := testConsortium(t, "Bank", 200, 4)
+	sel, err := cons.Select(context.Background(), 2, SelectOptions{K: 5, NumQueries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 2 {
+		t.Fatalf("selected %v", sel.Selected)
+	}
+	if sel.Counts.Encryptions == 0 {
+		t.Fatal("no cost accounting")
+	}
+}
+
+func TestSelectWithAllMethods(t *testing.T) {
+	cons := testConsortium(t, "Bank", 150, 4)
+	ctx := context.Background()
+	opts := SelectOptions{K: 5, NumQueries: 10, Seed: 2}
+	for _, m := range []Method{MethodVFPS, MethodVFPSBase, MethodRandom, MethodShapley, MethodVFMine} {
+		sel, err := cons.SelectWith(ctx, m, 2, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(sel.Selected) != 2 || sel.Selected[0] == sel.Selected[1] {
+			t.Fatalf("%s: selection %v", m, sel.Selected)
+		}
+		if sel.Method != m {
+			t.Fatalf("method echo wrong: %s", sel.Method)
+		}
+	}
+	if _, err := cons.SelectWith(ctx, Method("astrology"), 2, opts); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+func TestSelectWithCostOrdering(t *testing.T) {
+	// The paper's core efficiency claims, end to end through the public API:
+	// shapley >> vfmine > vfps-sm, and vfps-sm-base > vfps-sm.
+	cons := testConsortium(t, "Credit", 150, 4)
+	ctx := context.Background()
+	opts := SelectOptions{K: 5, NumQueries: 8, Seed: 2}
+	get := func(m Method) float64 {
+		sel, err := cons.SelectWith(ctx, m, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel.ProjectedSeconds
+	}
+	sm := get(MethodVFPS)
+	base := get(MethodVFPSBase)
+	sh := get(MethodShapley)
+	vm := get(MethodVFMine)
+	if !(sh > vm && vm > sm) {
+		t.Fatalf("projected cost ordering violated: shapley %g, vfmine %g, vfps %g", sh, vm, sm)
+	}
+	if base <= sm {
+		t.Fatalf("base %g should cost more than fagin %g", base, sm)
+	}
+}
+
+func TestEvaluateDownstreamModels(t *testing.T) {
+	cons := testConsortium(t, "Rice", 600, 3)
+	for _, m := range []ModelName{ModelKNN, ModelLR, ModelMLP} {
+		ev, err := cons.Evaluate(m, nil, EvalOptions{K: 5, MaxEpochs: 6, LRGrid: []float64{0.01}, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if ev.Accuracy < 0.7 {
+			t.Fatalf("%s accuracy %.3f too low", m, ev.Accuracy)
+		}
+		if ev.Counts.Encryptions == 0 {
+			t.Fatalf("%s: no federated cost accounted", m)
+		}
+	}
+	if _, err := cons.Evaluate(ModelName("SVM"), nil, EvalOptions{}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func TestEvaluateSubsetCheaperThanAll(t *testing.T) {
+	cons := testConsortium(t, "Credit", 400, 4)
+	all, err := cons.Evaluate(ModelLR, nil, EvalOptions{MaxEpochs: 3, LRGrid: []float64{0.01}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cons.Evaluate(ModelLR, []int{0, 1}, EvalOptions{MaxEpochs: 3, LRGrid: []float64{0.01}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Counts.Encryptions >= all.Counts.Encryptions {
+		t.Fatalf("subset training should be cheaper: %d vs %d",
+			sub.Counts.Encryptions, all.Counts.Encryptions)
+	}
+}
+
+func TestEvaluateInvalidParties(t *testing.T) {
+	cons := testConsortium(t, "Rice", 200, 3)
+	if _, err := cons.Evaluate(ModelKNN, []int{7}, EvalOptions{}); err == nil {
+		t.Fatal("expected party range error")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	cons := testConsortium(t, "Rice", 100, 3)
+	if cons.P() != 3 || cons.N() != 100 || cons.Classes() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	if cons.Partition().P() != 3 || len(cons.Labels()) != 100 {
+		t.Fatal("partition/labels accessors wrong")
+	}
+}
+
+func TestSelectDeterministicPublic(t *testing.T) {
+	cons := testConsortium(t, "Bank", 150, 4)
+	ctx := context.Background()
+	a, err := cons.Select(ctx, 2, SelectOptions{K: 5, NumQueries: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cons.Select(ctx, 2, SelectOptions{K: 5, NumQueries: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Selected, b.Selected) {
+		t.Fatal("selection not deterministic")
+	}
+}
+
+func TestSelectParallelismMatchesSequential(t *testing.T) {
+	cons := testConsortium(t, "Credit", 200, 4)
+	ctx := context.Background()
+	opts := SelectOptions{K: 5, NumQueries: 12, Seed: 6}
+	seq, err := cons.Select(ctx, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	par, err := cons.Select(ctx, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Selected, par.Selected) {
+		t.Fatalf("parallel selection diverges: %v vs %v", seq.Selected, par.Selected)
+	}
+	for i := range seq.W {
+		for j := range seq.W[i] {
+			if seq.W[i][j] != par.W[i][j] {
+				t.Fatal("parallel similarity matrix diverges")
+			}
+		}
+	}
+}
+
+func TestSelectThresholdProtocol(t *testing.T) {
+	cons := testConsortium(t, "Bank", 150, 4)
+	ctx := context.Background()
+	fagin, err := cons.Select(ctx, 2, SelectOptions{K: 5, NumQueries: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := cons.Select(ctx, 2, SelectOptions{K: 5, NumQueries: 8, Seed: 2, TopK: "threshold"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fagin.Selected, ta.Selected) {
+		t.Fatalf("TA selection diverges: %v vs %v", fagin.Selected, ta.Selected)
+	}
+	if ta.AvgCandidates > fagin.AvgCandidates {
+		t.Fatalf("TA candidates %g exceed fagin %g", ta.AvgCandidates, fagin.AvgCandidates)
+	}
+}
+
+func TestSelectAdaptivePublic(t *testing.T) {
+	cons := testConsortium(t, "Rice", 300, 3)
+	sel, err := cons.SelectAdaptive(context.Background(), 2, AdaptiveOptions{
+		SelectOptions: SelectOptions{K: 5, NumQueries: 64, Seed: 4},
+		Tolerance:     0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 2 {
+		t.Fatalf("selected %v", sel.Selected)
+	}
+	if sel.QueriesUsed <= 0 || sel.QueriesUsed > 64 {
+		t.Fatalf("queries used %d", sel.QueriesUsed)
+	}
+}
+
+func TestSecAggConsortiumPublic(t *testing.T) {
+	d, err := GenerateDataset("Bank", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := VerticalSplit(d, 4, 1)
+	ctx := context.Background()
+	masked, err := NewConsortium(ctx, Config{
+		Partition: pt, Labels: d.Y, Classes: d.Classes, Scheme: "secagg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewConsortium(ctx, Config{
+		Partition: pt, Labels: d.Y, Classes: d.Classes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SelectOptions{K: 5, NumQueries: 10, Seed: 2}
+	a, err := masked.Select(ctx, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.Select(ctx, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Selected, b.Selected) {
+		t.Fatalf("secagg selection %v differs from plain %v", a.Selected, b.Selected)
+	}
+	// Masking must project far cheaper than HE.
+	if a.ProjectedSeconds >= b.ProjectedSeconds {
+		t.Fatalf("secagg %g not cheaper than HE pricing %g", a.ProjectedSeconds, b.ProjectedSeconds)
+	}
+}
+
+func TestEvaluateGBDT(t *testing.T) {
+	cons := testConsortium(t, "Rice", 600, 3)
+	ev, err := cons.Evaluate(ModelGBDT, nil, EvalOptions{MaxEpochs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy < 0.8 {
+		t.Fatalf("GBDT accuracy %.3f too low", ev.Accuracy)
+	}
+	if ev.Counts.Encryptions == 0 || ev.Counts.Decryptions == 0 {
+		t.Fatal("GBDT federated cost not accounted")
+	}
+}
+
+func TestRewardSharesPublic(t *testing.T) {
+	cons := testConsortium(t, "Rice", 200, 3)
+	sel, err := cons.Select(context.Background(), 2, SelectOptions{K: 5, NumQueries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := RewardShares(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 3 {
+		t.Fatalf("shares %v", shares)
+	}
+	var sum float64
+	for _, s := range shares {
+		if s < 0 {
+			t.Fatalf("negative share %g", s)
+		}
+		sum += s
+	}
+	if sum <= 0 {
+		t.Fatal("shares sum to nothing")
+	}
+	if _, err := RewardShares(nil); err == nil {
+		t.Fatal("expected nil-selection error")
+	}
+}
+
+func TestDPConsortiumPublic(t *testing.T) {
+	d, _ := GenerateDataset("Rice", 150)
+	pt, _ := VerticalSplit(d, 3, 1)
+	cons, err := NewConsortium(context.Background(), Config{
+		Partition: pt, Labels: d.Y, Classes: d.Classes,
+		Scheme: "dp", DPEpsilon: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := cons.Select(context.Background(), 2, SelectOptions{K: 5, NumQueries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 2 {
+		t.Fatalf("selected %v", sel.Selected)
+	}
+}
+
+func TestSelectStratifiedQueries(t *testing.T) {
+	cons := testConsortium(t, "Bank", 200, 4)
+	sel, err := cons.Select(context.Background(), 2,
+		SelectOptions{K: 5, NumQueries: 12, Seed: 2, Stratified: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 2 {
+		t.Fatalf("selected %v", sel.Selected)
+	}
+	if sel.QueriesUsed != 12 {
+		t.Fatalf("queries used %d", sel.QueriesUsed)
+	}
+}
+
+func TestEvaluateReportsAUCAndF1(t *testing.T) {
+	cons := testConsortium(t, "Rice", 500, 3)
+	for _, m := range []ModelName{ModelKNN, ModelLR, ModelGBDT} {
+		ev, err := cons.Evaluate(m, nil, EvalOptions{K: 5, MaxEpochs: 8, LRGrid: []float64{0.01}, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if ev.AUC < 0.85 {
+			t.Fatalf("%s: AUC %.3f too low", m, ev.AUC)
+		}
+		if ev.MacroF1 <= 0 || ev.MacroF1 > 1 {
+			t.Fatalf("%s: F1 %.3f out of range", m, ev.MacroF1)
+		}
+	}
+}
+
+// multiclassConsortium builds a 4-class consortium from a custom generator
+// shape (the paper's suite is binary; the library is not).
+func multiclassConsortium(t *testing.T) *Consortium {
+	t.Helper()
+	// Reuse the Rice generator geometry but with 4 classes via CSV-free
+	// direct construction: generate binary twice and remap? Simpler: build
+	// from a custom spec through the internal dataset API is not exported,
+	// so synthesise directly.
+	d, err := GenerateDataset("Rice", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derive a 4-class labelling from feature quadrants so the task stays
+	// learnable: class = 2*y + sign(first feature).
+	y4 := make([]int, d.N())
+	for i := range y4 {
+		q := 0
+		if d.X.At(i, 0) > 0 {
+			q = 1
+		}
+		y4[i] = 2*d.Y[i] + q
+	}
+	pt, err := VerticalSplit(d, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsortium(context.Background(), Config{
+		Partition: pt, Labels: y4, Classes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cons
+}
+
+func TestMulticlassEndToEnd(t *testing.T) {
+	cons := multiclassConsortium(t)
+	ctx := context.Background()
+	// Selection is label-free and must work unchanged.
+	sel, err := cons.Select(ctx, 2, SelectOptions{K: 5, NumQueries: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) != 2 {
+		t.Fatalf("selected %v", sel.Selected)
+	}
+	// Downstream multiclass training: KNN and LR support C > 2.
+	for _, m := range []ModelName{ModelKNN, ModelLR} {
+		ev, err := cons.Evaluate(m, sel.Selected, EvalOptions{K: 5, MaxEpochs: 8, LRGrid: []float64{0.01}, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if ev.Accuracy < 0.4 { // 4 classes, chance = 0.25
+			t.Fatalf("%s: multiclass accuracy %.3f at chance level", m, ev.Accuracy)
+		}
+		if ev.AUC != 0 {
+			t.Fatalf("%s: AUC must be skipped for multiclass", m)
+		}
+	}
+	// GBDT is binary-only and must refuse loudly.
+	if _, err := cons.Evaluate(ModelGBDT, nil, EvalOptions{MaxEpochs: 5}); err == nil {
+		t.Fatal("expected GBDT multiclass rejection")
+	}
+	// Shapley baseline uses labels and must handle 4 classes.
+	if _, err := cons.SelectWith(ctx, MethodShapley, 2, SelectOptions{K: 5, NumQueries: 8, Seed: 1}); err != nil {
+		t.Fatalf("shapley multiclass: %v", err)
+	}
+}
+
+func TestKNNShapleyPublic(t *testing.T) {
+	d, _ := GenerateDataset("Rice", 300)
+	pt, _ := VerticalSplit(d, 3, 1)
+	trainRows, _, testRows, err := SplitIndices(d.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, err := KNNShapley(
+		pt.ApplyRows(trainRows), SelectLabels(d.Y, trainRows),
+		pt.ApplyRows(testRows), SelectLabels(d.Y, testRows), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != len(trainRows) {
+		t.Fatalf("got %d values for %d samples", len(values), len(trainRows))
+	}
+	var sum float64
+	negatives := 0
+	for _, v := range values {
+		sum += v
+		if v < 0 {
+			negatives++
+		}
+	}
+	if sum <= 0.5 {
+		t.Fatalf("total value %g implausibly low on learnable data", sum)
+	}
+	// Label noise in the generator guarantees some harmful samples.
+	if negatives == 0 {
+		t.Fatal("expected some negative-value (harmful) samples")
+	}
+}
+
+func TestFormatSelection(t *testing.T) {
+	cons := testConsortium(t, "Rice", 120, 3)
+	sel, err := cons.Select(context.Background(), 2, SelectOptions{K: 5, NumQueries: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSelection(sel)
+	for _, want := range []string{
+		"selected participants:", "marginal gain", "similarity matrix",
+		"encrypted candidates", "projected",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if FormatSelection(nil) != "<nil selection>" {
+		t.Fatal("nil selection formatting wrong")
+	}
+}
