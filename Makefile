@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench experiments fuzz cover clean
+.PHONY: build test check race bench microbench experiments fuzz cover clean
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,21 @@ build:
 test:
 	$(GO) test ./...
 
+# Vet first, then the full suite — the pre-commit gate.
+check:
+	$(GO) vet ./...
+	$(GO) test ./...
+
 race:
 	$(GO) test ./... -race
 
+# Benchmark the parallel HE pipeline (serial vs worker-pool vs pooled
+# randomizers, plus end-to-end selection) and record it for comparison.
 bench:
+	$(GO) run ./cmd/vfpsbench -exp parallel -json BENCH_parallel.json
+
+# Go-test microbenchmarks across all packages.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure plus the extension studies.

@@ -224,6 +224,45 @@ func BenchmarkPaillierSelection(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSelection measures the parallel HE pipeline end to end:
+// the same real-Paillier selection pinned fully serial (Parallelism=1, no
+// randomizer pool) versus the default worker-pool degree. The selected set
+// and operation counts are identical by construction; only wall clock moves.
+// cmd/vfpsbench -exp parallel records the same comparison to JSON.
+func BenchmarkParallelSelection(b *testing.B) {
+	d, err := vfps.GenerateDataset("Bank", 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt, err := vfps.VerticalSplit(d, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cons, err := vfps.NewConsortium(context.Background(), vfps.Config{
+				Partition: pt, Labels: d.Y, Classes: d.Classes,
+				Scheme: "paillier", KeyBits: 512, ShuffleSeed: 7,
+				Parallelism: mode.parallelism,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cons.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cons.Select(context.Background(), 2,
+					vfps.SelectOptions{K: 5, NumQueries: 4, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSelectionVariants isolates the Fagin optimization: the same
 // selection with and without candidate pruning on one mid-size dataset.
 func BenchmarkSelectionVariants(b *testing.B) {

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|exttopk|extscheme|extdp|extpruning|extbatch|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|exttopk|extscheme|extdp|extpruning|extbatch|parallel|all")
 		rows      = flag.Int("rows", 800, "max instances per dataset")
 		queries   = flag.Int("queries", 32, "KNN query samples for selection")
 		k         = flag.Int("k", 10, "proxy-KNN neighbour count")
@@ -78,7 +78,10 @@ func main() {
 		"extdp":      func() (any, error) { return experiments.ExtDP(ctx, opt) },
 		"extpruning": func() (any, error) { return experiments.ExtPruning(ctx, opt) },
 		"extbatch":   func() (any, error) { return experiments.ExtBatch(ctx, opt) },
+		"parallel":   func() (any, error) { return experiments.Parallel(ctx, opt) },
 	}
+	// "parallel" is a machine-dependent wall-clock benchmark, so it is run
+	// explicitly (-exp parallel) rather than folded into -exp all.
 	order := []string{"table1", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"exttopk", "extscheme", "extdp", "extpruning", "extbatch"}
 

@@ -28,9 +28,24 @@ import (
 
 	"vfps/internal/costmodel"
 	"vfps/internal/dataset"
+	"vfps/internal/he"
 	"vfps/internal/transport"
 	"vfps/internal/vfl"
 )
+
+// tuneScheme applies the -parallelism flag to an HE scheme; only Paillier has
+// tunables. Parties that bulk-encrypt also get a randomizer pool unless the
+// node is pinned fully serial.
+func tuneScheme(s he.Scheme, parallelism int, pool bool) {
+	p, ok := s.(*he.Paillier)
+	if !ok {
+		return
+	}
+	p.SetParallelism(parallelism)
+	if pool && parallelism != 1 {
+		p.StartRandomizerPool(4*p.Parallelism(), 1)
+	}
+}
 
 func main() {
 	var (
@@ -50,6 +65,7 @@ func main() {
 		queries     = flag.Int("queries", 32, "query sample count (role=leader)")
 		batch       = flag.Int("batch", 32, "Fagin mini-batch size (role=leader)")
 		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
+		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -85,10 +101,12 @@ func main() {
 		if err != nil {
 			fatal("fetching public key: %v", err)
 		}
+		tuneScheme(pub, *parallelism, true)
 		part, err := vfl.NewParticipant(*index, pt.Parties[*index], pub, *shuffleSeed)
 		if err != nil {
 			fatal("%v", err)
 		}
+		part.SetParallelism(*parallelism)
 		serve(*addr, fmt.Sprintf("participant %d (%d features)", *index, part.Features()), part.Handler())
 	case "aggserver":
 		cli := transport.NewTCPClient(dir)
@@ -101,10 +119,12 @@ func main() {
 		if len(names) == 0 {
 			fatal("directory lists no party/<i> entries")
 		}
+		tuneScheme(pub, *parallelism, false)
 		agg, err := vfl.NewAggServer(cli, names, pub)
 		if err != nil {
 			fatal("%v", err)
 		}
+		agg.SetParallelism(*parallelism)
 		serve(*addr, fmt.Sprintf("aggregation server (%d participants)", len(names)), agg.Handler())
 	case "leader":
 		cli := transport.NewTCPClient(dir)
@@ -113,11 +133,13 @@ func main() {
 		if err != nil {
 			fatal("fetching private key: %v", err)
 		}
+		tuneScheme(priv, *parallelism, false)
 		names := partyNames(dir)
 		leader, err := vfl.NewLeader(cli, vfl.AggServerName, names, priv, *batch)
 		if err != nil {
 			fatal("%v", err)
 		}
+		leader.SetParallelism(*parallelism)
 		runLeader(ctx, leader, *rows, *selCount, *k, *queries, vfl.Variant(*variant))
 	default:
 		fatal("unknown role %q (want keyserver|aggserver|party|leader)", *role)

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParallelBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{
+		Rows:    60,
+		Queries: 4,
+		K:       3,
+		Parties: 3,
+		Seed:    1,
+		Out:     &buf,
+	}
+	// Shrunken kernel sizes: the real harness uses N=1000 at 1024-bit keys.
+	res, err := parallelAt(context.Background(), opt, 32, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GOMAXPROCS < 1 || res.Parallelism < 1 {
+		t.Fatalf("degrees: %+v", res)
+	}
+	v := res.Vec
+	if v.EncryptSerialSeconds <= 0 || v.EncryptParallelSeconds <= 0 ||
+		v.EncryptPooledSeconds <= 0 || v.DecryptSerialSeconds <= 0 {
+		t.Fatalf("missing kernel timings: %+v", v)
+	}
+	if v.EncryptParallelSpeedup <= 0 || v.EncryptPooledSpeedup <= 0 {
+		t.Fatalf("missing speedups: %+v", v)
+	}
+	if len(res.EndToEnd) != 2 {
+		t.Fatalf("want base+fagin end-to-end rows, got %d", len(res.EndToEnd))
+	}
+	for _, e := range res.EndToEnd {
+		if !e.SelectedMatch {
+			t.Fatalf("%s: parallel run selected a different set", e.Variant)
+		}
+		if !e.CountsMatch {
+			t.Fatalf("%s: operation counts differ under concurrency", e.Variant)
+		}
+		if len(e.Selected) == 0 || e.SerialSeconds <= 0 || e.ParallelSeconds <= 0 {
+			t.Fatalf("%s: incomplete row %+v", e.Variant, e)
+		}
+	}
+	if !strings.Contains(buf.String(), "Parallel HE pipeline") {
+		t.Fatalf("table not printed:\n%s", buf.String())
+	}
+}

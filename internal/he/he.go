@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"math/big"
+	"sync"
 
 	"vfps/internal/fixed"
 	"vfps/internal/paillier"
@@ -48,11 +49,20 @@ var ErrNoPrivateKey = errors.New("he: no private key")
 
 // Paillier implements Scheme over the Paillier cryptosystem with fixed-point
 // encoding. If sk is nil the scheme is encrypt/add-only.
+//
+// A Paillier scheme is safe for concurrent use. SetParallelism and
+// StartRandomizerPool tune the vector fast paths (see vec.go); both default
+// to off/serial-compatible settings so a freshly constructed scheme behaves
+// exactly like the original single-threaded implementation.
 type Paillier struct {
 	pk     *paillier.PublicKey
 	sk     *paillier.PrivateKey
 	codec  *fixed.Codec
 	random io.Reader
+
+	mu          sync.RWMutex
+	parallelism int // 0 → par.Degree()
+	rz          *paillier.Randomizer
 }
 
 // NewPaillier wraps a key pair. sk may be nil for participant-side
@@ -70,7 +80,12 @@ func (p *Paillier) Encrypt(v float64) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := p.pk.Encrypt(p.random, m)
+	var c *paillier.Ciphertext
+	if rz := p.pool(); rz != nil {
+		c, err = p.pk.EncryptWith(rz, m)
+	} else {
+		c, err = p.pk.Encrypt(p.random, m)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +97,11 @@ func (p *Paillier) Decrypt(c []byte) (float64, error) {
 	if p.sk == nil {
 		return 0, ErrNoPrivateKey
 	}
-	m, err := p.sk.Decrypt(paillier.CiphertextFromBytes(c))
+	ct, err := p.pk.ParseCiphertext(c)
+	if err != nil {
+		return 0, err
+	}
+	m, err := p.sk.Decrypt(ct)
 	if err != nil {
 		return 0, err
 	}
@@ -91,7 +110,15 @@ func (p *Paillier) Decrypt(c []byte) (float64, error) {
 
 // Add implements Scheme.
 func (p *Paillier) Add(a, b []byte) ([]byte, error) {
-	c, err := p.pk.AddCipher(paillier.CiphertextFromBytes(a), paillier.CiphertextFromBytes(b))
+	ca, err := p.pk.ParseCiphertext(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := p.pk.ParseCiphertext(b)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.pk.AddCipher(ca, cb)
 	if err != nil {
 		return nil, err
 	}

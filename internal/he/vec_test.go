@@ -1,0 +1,177 @@
+package he
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"vfps/internal/paillier"
+)
+
+func vecVals() []float64 {
+	vs := make([]float64, 41)
+	for i := range vs {
+		vs[i] = float64(i)*0.25 - 3
+	}
+	return vs
+}
+
+func TestVecRoundTripAllSchemes(t *testing.T) {
+	ctx := context.Background()
+	dp, err := NewDP(1, 1e-5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := schemes(t)
+	all["dp"] = dp // exercises the serial fallback path
+	vs := vecVals()
+	for name, s := range all {
+		cs, err := EncryptVec(ctx, s, vs)
+		if err != nil {
+			t.Fatalf("%s EncryptVec: %v", name, err)
+		}
+		got, err := DecryptVec(ctx, s, cs)
+		if err != nil {
+			t.Fatalf("%s DecryptVec: %v", name, err)
+		}
+		if len(got) != len(vs) {
+			t.Fatalf("%s: %d values decrypted from %d", name, len(got), len(vs))
+		}
+		for i := range vs {
+			if name == "dp" { // Gaussian noise: check sanity, not the value
+				if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+					t.Fatalf("dp item %d: %g", i, got[i])
+				}
+				continue
+			}
+			if math.Abs(got[i]-vs[i]) > 1e-9 {
+				t.Fatalf("%s item %d: %g -> %g", name, i, vs[i], got[i])
+			}
+		}
+	}
+}
+
+func TestPaillierVecMatchesScalarAtEveryParallelism(t *testing.T) {
+	ctx := context.Background()
+	k := testKey(t)
+	vs := vecVals()
+	for _, parallelism := range []int{1, 3, 0} {
+		p := NewPaillier(&k.PublicKey, k)
+		p.SetParallelism(parallelism)
+		cs, err := p.EncryptVec(ctx, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.DecryptVec(ctx, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vs {
+			if math.Abs(got[i]-vs[i]) > 1e-9 {
+				t.Fatalf("parallelism=%d item %d: %g -> %g", parallelism, i, vs[i], got[i])
+			}
+			// Cross-check against the scalar path: same codec, same key.
+			sv, err := p.Decrypt(cs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sv != got[i] {
+				t.Fatalf("scalar/vector decrypt disagree: %g vs %g", sv, got[i])
+			}
+		}
+	}
+}
+
+func TestPaillierPooledEncryptVec(t *testing.T) {
+	ctx := context.Background()
+	k := testKey(t)
+	p := NewPaillier(&k.PublicKey, k)
+	p.StartRandomizerPool(8, 1)
+	p.StartRandomizerPool(8, 1) // idempotent
+	defer p.Close()
+	if added, err := p.PrefillRandomizers(8); err != nil {
+		t.Fatal(err)
+	} else if added == 0 {
+		t.Fatal("PrefillRandomizers added nothing")
+	}
+	vs := vecVals()
+	cs, err := p.EncryptVec(ctx, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.DecryptVec(ctx, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if math.Abs(got[i]-vs[i]) > 1e-9 {
+			t.Fatalf("pooled item %d: %g -> %g", i, vs[i], got[i])
+		}
+	}
+	// Scalar Encrypt also uses the pool's fast path and must stay correct.
+	c, err := p.Encrypt(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := p.Decrypt(c); err != nil || math.Abs(v-2.5) > 1e-9 {
+		t.Fatalf("pooled scalar Encrypt -> %g, %v", v, err)
+	}
+	p.Close()
+	p.Close() // idempotent; scheme stays usable
+	if _, err := p.EncryptVec(ctx, vs[:3]); err != nil {
+		t.Fatalf("EncryptVec after Close: %v", err)
+	}
+}
+
+func TestPaillierVecErrors(t *testing.T) {
+	ctx := context.Background()
+	k := testKey(t)
+	pub := NewPaillier(&k.PublicKey, nil)
+	if _, err := pub.DecryptVec(ctx, [][]byte{{1}}); !errors.Is(err, ErrNoPrivateKey) {
+		t.Fatalf("public-only DecryptVec err = %v, want ErrNoPrivateKey", err)
+	}
+	p := NewPaillier(&k.PublicKey, k)
+	if _, err := p.DecryptVec(ctx, [][]byte{nil}); !errors.Is(err, paillier.ErrCiphertextBytes) {
+		t.Fatalf("DecryptVec(nil bytes) err = %v, want ErrCiphertextBytes", err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.EncryptVec(cctx, vecVals()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EncryptVec on cancelled ctx = %v", err)
+	}
+}
+
+func TestPaillierScalarDecodeErrorsAreTyped(t *testing.T) {
+	k := testKey(t)
+	p := NewPaillier(&k.PublicKey, k)
+	if _, err := p.Decrypt(nil); !errors.Is(err, paillier.ErrCiphertextBytes) {
+		t.Fatalf("Decrypt(nil) err = %v, want ErrCiphertextBytes", err)
+	}
+	good, err := p.Encrypt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Add(good, []byte{}); !errors.Is(err, paillier.ErrCiphertextBytes) {
+		t.Fatalf("Add(good, empty) err = %v, want ErrCiphertextBytes", err)
+	}
+	if _, err := p.Add([]byte{0}, good); !errors.Is(err, paillier.ErrCiphertextBytes) {
+		t.Fatalf("Add(zero, good) err = %v, want ErrCiphertextBytes", err)
+	}
+}
+
+func TestSerialFallbackHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewPlain()
+	if _, err := EncryptVec(ctx, s, vecVals()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fallback EncryptVec on cancelled ctx = %v", err)
+	}
+	cs, err := EncryptVec(context.Background(), s, vecVals())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptVec(ctx, s, cs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fallback DecryptVec on cancelled ctx = %v", err)
+	}
+}

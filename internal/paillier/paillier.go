@@ -57,6 +57,11 @@ var ErrCiphertextRange = errors.New("paillier: ciphertext out of range")
 // signed embedding of Z_n.
 var ErrMessageRange = errors.New("paillier: message out of range")
 
+// ErrCiphertextBytes reports serialised ciphertext bytes that cannot encode
+// any element of Z_{n²}: empty input or a value outside the ring. Catching
+// this at decode time keeps corrupt wire data out of the modular arithmetic.
+var ErrCiphertextBytes = errors.New("paillier: malformed ciphertext bytes")
+
 // GenerateKey creates a Paillier key pair with an n of the given bit length.
 // Bits of 1024+ are cryptographically meaningful; the test suite uses smaller
 // keys for speed.
@@ -140,25 +145,47 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 	if err != nil {
 		return nil, err
 	}
-	// Sample r in Z_n* (gcd(r, n) == 1).
-	var r *big.Int
+	rn, err := pk.randomizerValue(random)
+	if err != nil {
+		return nil, err
+	}
+	return pk.encryptWithRn(em, rn), nil
+}
+
+// sampleR samples r uniformly from Z_n* (gcd(r, n) == 1).
+func (pk *PublicKey) sampleR(random io.Reader) (*big.Int, error) {
 	for {
-		r, err = rand.Int(random, pk.N)
+		r, err := rand.Int(random, pk.N)
 		if err != nil {
 			return nil, fmt.Errorf("paillier: sampling randomness: %w", err)
 		}
 		if r.Sign() != 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
-			break
+			return r, nil
 		}
 	}
-	// c = g^m · r^n mod n². With g = n+1, g^m = 1 + m·n (mod n²).
+}
+
+// randomizerValue computes r^n mod n² for a fresh r — the modexp that
+// dominates encryption cost. Randomizer pools precompute these off the
+// latency path.
+func (pk *PublicKey) randomizerValue(random io.Reader) (*big.Int, error) {
+	r, err := pk.sampleR(random)
+	if err != nil {
+		return nil, err
+	}
+	return r.Exp(r, pk.N, pk.N2), nil
+}
+
+// encryptWithRn assembles a ciphertext from an already encoded message and a
+// precomputed randomizer r^n mod n² — two modular multiplications.
+// c = g^m · r^n mod n²; with g = n+1, g^m = 1 + m·n (mod n²).
+func (pk *PublicKey) encryptWithRn(em, rn *big.Int) *Ciphertext {
 	gm := new(big.Int).Mul(em, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: c}
 }
 
 // validate checks that a ciphertext is a plausible element of Z_{n²}.
@@ -258,9 +285,27 @@ func (pk *PublicKey) Sum(cs ...*Ciphertext) (*Ciphertext, error) {
 // Bytes serialises a ciphertext to a big-endian byte slice.
 func (c *Ciphertext) Bytes() []byte { return c.C.Bytes() }
 
-// CiphertextFromBytes reconstructs a ciphertext from Bytes output.
+// CiphertextFromBytes reconstructs a ciphertext from Bytes output without
+// validation; operations on the result re-validate against a key. Prefer
+// PublicKey.ParseCiphertext when a key is at hand, which rejects malformed
+// bytes immediately with a typed error.
 func CiphertextFromBytes(b []byte) *Ciphertext {
 	return &Ciphertext{C: new(big.Int).SetBytes(b)}
+}
+
+// ParseCiphertext reconstructs a ciphertext from Bytes output and validates
+// it against pk. Zero-length input and encodings outside (0, n²) are rejected
+// with ErrCiphertextBytes instead of surfacing later as a range error or
+// garbage plaintext deep inside the modular arithmetic.
+func (pk *PublicKey) ParseCiphertext(b []byte) (*Ciphertext, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrCiphertextBytes)
+	}
+	c := &Ciphertext{C: new(big.Int).SetBytes(b)}
+	if c.C.Sign() <= 0 || c.C.Cmp(pk.N2) >= 0 {
+		return nil, fmt.Errorf("%w: value outside (0, n²)", ErrCiphertextBytes)
+	}
+	return c, nil
 }
 
 // CiphertextSize returns the serialised size in bytes of a ciphertext under

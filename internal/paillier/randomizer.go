@@ -1,0 +1,130 @@
+package paillier
+
+import (
+	"io"
+	"math/big"
+	"sync"
+)
+
+// Randomizer precomputes encryption randomizers r^n mod n² into a bounded
+// pool. The modexp is ~99% of Paillier encryption cost and is independent of
+// the message, so background goroutines can compute randomizers during idle
+// time; Encrypt then collapses to two modular multiplications on the fast
+// path. Each pooled value is consumed exactly once (channel semantics), so
+// ciphertext randomness is never reused.
+//
+// A Randomizer is safe for concurrent use. Close stops the background
+// workers; Next keeps working after Close by computing inline.
+type Randomizer struct {
+	pk     *PublicKey
+	random io.Reader
+	randMu sync.Mutex // serialises reads of random across goroutines
+	ch     chan *big.Int
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewRandomizer starts a pool of precomputed randomizers for pk, filled by
+// the given number of background workers (minimum 1) into a buffer of the
+// given size (default 64 when <= 0). random must tolerate the pool's
+// internally serialised concurrent reads; crypto/rand.Reader is the usual
+// choice.
+func NewRandomizer(pk *PublicKey, random io.Reader, buffer, workers int) *Randomizer {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	rz := &Randomizer{
+		pk:     pk,
+		random: random,
+		ch:     make(chan *big.Int, buffer),
+		done:   make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		go rz.fill()
+	}
+	return rz
+}
+
+// value computes one randomizer inline, serialising access to the entropy
+// source.
+func (rz *Randomizer) value() (*big.Int, error) {
+	rz.randMu.Lock()
+	r, err := rz.pk.sampleR(rz.random)
+	rz.randMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return r.Exp(r, rz.pk.N, rz.pk.N2), nil
+}
+
+func (rz *Randomizer) fill() {
+	for {
+		select {
+		case <-rz.done:
+			return
+		default:
+		}
+		rn, err := rz.value()
+		if err != nil {
+			return // entropy source failed; Next falls back to inline compute
+		}
+		select {
+		case rz.ch <- rn:
+		case <-rz.done:
+			return
+		}
+	}
+}
+
+// Next returns a fresh randomizer, preferring the precomputed pool and
+// computing inline when the pool is empty — it never blocks waiting for the
+// background workers.
+func (rz *Randomizer) Next() (*big.Int, error) {
+	select {
+	case rn := <-rz.ch:
+		return rn, nil
+	default:
+		return rz.value()
+	}
+}
+
+// Prefill synchronously computes up to n randomizers into the pool (bounded
+// by spare buffer capacity) and returns how many were added. Call it at
+// startup to guarantee the first burst of encryptions hits the fast path.
+func (rz *Randomizer) Prefill(n int) (int, error) {
+	added := 0
+	for added < n {
+		rn, err := rz.value()
+		if err != nil {
+			return added, err
+		}
+		select {
+		case rz.ch <- rn:
+			added++
+		default:
+			return added, nil // buffer full
+		}
+	}
+	return added, nil
+}
+
+// Close stops the background workers. Pending pooled values remain usable.
+func (rz *Randomizer) Close() {
+	rz.once.Do(func() { close(rz.done) })
+}
+
+// EncryptWith encrypts m drawing its randomizer from the pool.
+func (pk *PublicKey) EncryptWith(rz *Randomizer, m *big.Int) (*Ciphertext, error) {
+	em, err := pk.encode(m)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := rz.Next()
+	if err != nil {
+		return nil, err
+	}
+	return pk.encryptWithRn(em, rn), nil
+}

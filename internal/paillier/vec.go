@@ -1,0 +1,74 @@
+package paillier
+
+import (
+	"context"
+	"io"
+	"math/big"
+	"sync"
+
+	"vfps/internal/par"
+)
+
+// lockedReader serialises access to an entropy source shared by the vector
+// workers. crypto/rand.Reader is already safe for concurrent use, but the
+// deterministic readers tests substitute are not; the lock costs nothing
+// next to a modexp.
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(p)
+}
+
+// EncryptVec encrypts ms with up to workers goroutines (workers <= 0 uses
+// par.Degree(), 1 is fully serial), drawing randomizers from rz when non-nil
+// and computing them inline otherwise. ctx is polled between chunks, so a
+// cancelled caller stops mid-vector instead of grinding through all N
+// modexps.
+func (pk *PublicKey) EncryptVec(ctx context.Context, random io.Reader, rz *Randomizer, ms []*big.Int, workers int) ([]*Ciphertext, error) {
+	shared := &lockedReader{r: random}
+	out := make([]*Ciphertext, len(ms))
+	err := par.For(ctx, len(ms), workers, func(i int) error {
+		em, err := pk.encode(ms[i])
+		if err != nil {
+			return err
+		}
+		var rn *big.Int
+		if rz != nil {
+			rn, err = rz.Next()
+		} else {
+			rn, err = pk.randomizerValue(shared)
+		}
+		if err != nil {
+			return err
+		}
+		out[i] = pk.encryptWithRn(em, rn)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecryptVec decrypts cs with up to workers goroutines (workers <= 0 uses
+// par.Degree(), 1 is fully serial), polling ctx between chunks.
+func (sk *PrivateKey) DecryptVec(ctx context.Context, cs []*Ciphertext, workers int) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cs))
+	err := par.For(ctx, len(cs), workers, func(i int) error {
+		m, err := sk.Decrypt(cs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Package par provides the shared parallel-execution primitives of the VFL
+// runtime: the process-wide parallelism degree (the VFPS_PARALLELISM knob)
+// and a chunked, context-aware parallel for-loop used by the HE vector
+// kernels and the protocol fan-out paths.
+//
+// Degree 1 always restores fully serial execution, which determinism tests
+// rely on; any higher degree must not change results, only wall-clock time.
+package par
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable that pins the default parallelism.
+const EnvVar = "VFPS_PARALLELISM"
+
+// chunk is the number of loop iterations handed to a worker at a time, and
+// the interval at which the serial path polls ctx. Items on the HE hot path
+// cost ~ms each, so a small chunk keeps the load balanced without measurable
+// dispatch overhead.
+const chunk = 8
+
+// Degree returns the default parallelism: VFPS_PARALLELISM when set to a
+// positive integer, otherwise runtime.GOMAXPROCS(0).
+func Degree() int {
+	if s := os.Getenv(EnvVar); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Normalize resolves a parallelism setting: values <= 0 mean "use Degree()".
+func Normalize(n int) int {
+	if n <= 0 {
+		return Degree()
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) using up to workers goroutines
+// (workers <= 0 means Degree(); workers == 1 runs serially on the calling
+// goroutine). Iterations are dispatched in fixed-size chunks and ctx is
+// polled between chunks, so a cancelled context stops the loop within one
+// chunk rather than after all n iterations.
+//
+// All scheduled iterations run to completion even if some fail; the error
+// for the lowest index is returned, matching the error a serial loop would
+// surface. If ctx is cancelled before every iteration ran, the context error
+// is returned unless an fn error at a lower index precedes it.
+func For(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Normalize(workers)
+	if workers > (n+chunk-1)/chunk {
+		workers = (n + chunk - 1) / chunk
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if i%chunk == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					return
+				}
+				start := int(next.Add(chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					if err := fn(i); err != nil {
+						record(i, err)
+						break // abandon this chunk, keep other indices running
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

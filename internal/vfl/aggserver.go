@@ -3,9 +3,11 @@ package vfl
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
+	"vfps/internal/par"
 	"vfps/internal/transport"
 )
 
@@ -13,11 +15,17 @@ import (
 // sub-rankings with Fagin's algorithm and homomorphically sums encrypted
 // partial distances. It never holds the private key, so it only ever sees
 // pseudo IDs and ciphertexts.
+//
+// Party requests fan out concurrently (indexed result slots keep pseudo-ID
+// ordering and error precedence identical to the serial implementation) and
+// ciphertext vectors are tree-reduced with a chunked worker pool; see
+// SetParallelism.
 type AggServer struct {
-	caller  transport.Caller
-	parties []string // node names of the participants
-	scheme  he.Scheme
-	counts  costmodel.Counts
+	caller      transport.Caller
+	parties     []string // node names of the participants
+	scheme      he.Scheme
+	counts      costmodel.Counts
+	parallelism int // 0 → par.Degree(); 1 → fully serial
 }
 
 // NewAggServer wires the server to its participants through the given
@@ -33,6 +41,17 @@ func NewAggServer(caller transport.Caller, parties []string, scheme he.Scheme) (
 		return nil, fmt.Errorf("vfl: aggregation server needs an HE scheme")
 	}
 	return &AggServer{caller: caller, parties: parties, scheme: scheme}, nil
+}
+
+// SetParallelism pins the server's concurrency: 1 restores the serial party
+// loop and serial reduction (the determinism baseline), <= 0 restores the
+// default degree. Results are identical at every setting; only wall-clock
+// time changes.
+func (a *AggServer) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	a.parallelism = n
 }
 
 // Counts exposes the server's operation counters.
@@ -86,105 +105,170 @@ func (a *AggServer) Handler() transport.Handler {
 	}
 }
 
-// aggregateCandidates pulls every party's encrypted partial distances for
-// the given pseudo IDs and sums them element-wise.
-func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int) ([][]byte, error) {
-	var agg [][]byte
+// fanOut runs fn once per party, concurrently unless parallelism is pinned
+// to 1. Results land in caller-provided indexed slots, so ordering is
+// independent of completion order; the lowest-indexed party's error wins,
+// matching the serial loop's error precedence.
+func (a *AggServer) fanOut(ctx context.Context, fn func(pi int, party string) error) error {
+	if a.parallelism == 1 {
+		for pi, party := range a.parties {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(pi, party); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(a.parties))
+	var wg sync.WaitGroup
 	for pi, party := range a.parties {
+		wg.Add(1)
+		go func(pi int, party string) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[pi] = err
+				return
+			}
+			errs[pi] = fn(pi, party)
+		}(pi, party)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reduceVectors tree-reduces the per-party ciphertext vectors element-wise
+// into vecs[0]: pairwise combination over the party dimension with the
+// element loop spread over the worker pool. The reduction shape is fixed by
+// party index, so results do not depend on the parallelism setting. It
+// charges the performed CipherAdds — (P−1)·len, exactly what the serial
+// left fold performed.
+func (a *AggServer) reduceVectors(ctx context.Context, vecs [][][]byte) ([][]byte, error) {
+	p := len(vecs)
+	if p == 1 {
+		return vecs[0], nil
+	}
+	adds := 0
+	for span := 1; span < p; span *= 2 {
+		for lo := 0; lo+span < p; lo += 2 * span {
+			left, right := vecs[lo], vecs[lo+span]
+			err := par.For(ctx, len(left), a.parallelism, func(i int) error {
+				sum, err := a.scheme.Add(left[i], right[i])
+				if err != nil {
+					return fmt.Errorf("vfl: aggregating: %w", err)
+				}
+				left[i] = sum
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			adds += len(left)
+		}
+	}
+	a.counts.Add(costmodel.Raw{CipherAdds: int64(adds)})
+	return vecs[0], nil
+}
+
+// aggregateCandidates pulls every party's encrypted partial distances for
+// the given pseudo IDs concurrently and sums them element-wise.
+func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int) ([][]byte, error) {
+	vecs := make([][][]byte, len(a.parties))
+	err := a.fanOut(ctx, func(pi int, party string) error {
 		raw, err := a.caller.Call(ctx, party, MethodEncryptCandidates,
 			mustGob(EncryptCandidatesReq{Query: query, PseudoIDs: pseudoIDs}))
 		if err != nil {
-			return nil, fmt.Errorf("vfl: collecting candidates from %s: %w", party, err)
+			return fmt.Errorf("vfl: collecting candidates from %s: %w", party, err)
 		}
 		var resp EncryptCandidatesResp
 		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return nil, err
+			return err
 		}
 		if len(resp.Ciphers) != len(pseudoIDs) {
-			return nil, fmt.Errorf("vfl: %s returned %d ciphertexts, want %d", party, len(resp.Ciphers), len(pseudoIDs))
+			return fmt.Errorf("vfl: %s returned %d ciphertexts, want %d", party, len(resp.Ciphers), len(pseudoIDs))
 		}
-		if pi == 0 {
-			agg = resp.Ciphers
-			continue
-		}
-		for i := range agg {
-			sum, err := a.scheme.Add(agg[i], resp.Ciphers[i])
-			if err != nil {
-				return nil, fmt.Errorf("vfl: aggregating candidates: %w", err)
-			}
-			agg[i] = sum
-		}
-		a.counts.Add(costmodel.Raw{CipherAdds: int64(len(agg))})
+		vecs[pi] = resp.Ciphers
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return agg, nil
+	return a.reduceVectors(ctx, vecs)
 }
 
 // aggregateFrontier sums the parties' encrypted scores at one scan rank —
 // the encrypted Threshold-Algorithm bound τ.
 func (a *AggServer) aggregateFrontier(ctx context.Context, r AggregateFrontierReq) ([]byte, error) {
-	var acc []byte
-	for pi, party := range a.parties {
+	singles := make([][][]byte, len(a.parties))
+	err := a.fanOut(ctx, func(pi int, party string) error {
 		raw, err := a.caller.Call(ctx, party, MethodEncryptRankScore,
 			mustGob(EncryptRankScoreReq{Query: r.Query, Rank: r.Rank}))
 		if err != nil {
-			return nil, fmt.Errorf("vfl: frontier from %s: %w", party, err)
+			return fmt.Errorf("vfl: frontier from %s: %w", party, err)
 		}
 		var resp EncryptRankScoreResp
 		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return nil, err
+			return err
 		}
-		if pi == 0 {
-			acc = resp.Cipher
-			continue
-		}
-		sum, err := a.scheme.Add(acc, resp.Cipher)
-		if err != nil {
-			return nil, fmt.Errorf("vfl: aggregating frontier: %w", err)
-		}
-		acc = sum
-		a.counts.Add(costmodel.Raw{CipherAdds: 1})
+		singles[pi] = [][]byte{resp.Cipher}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg, err := a.reduceVectors(ctx, singles)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: aggregating frontier: %w", err)
 	}
 	a.counts.Add(costmodel.Raw{
 		ItemsSent: 1,
 		BytesSent: int64(a.scheme.CiphertextSize()),
 		Messages:  1,
 	})
-	return transport.EncodeGob(AggregateFrontierResp{Cipher: acc})
+	return transport.EncodeGob(AggregateFrontierResp{Cipher: agg[0]})
 }
 
 // collectAll implements the BASE variant: pull every participant's full
-// encrypted partial-distance vector and sum them per pseudo ID.
+// encrypted partial-distance vector concurrently and sum them per pseudo ID.
 func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, error) {
-	var pids []int
-	var agg [][]byte
-	for pi, party := range a.parties {
+	pidSets := make([][]int, len(a.parties))
+	vecs := make([][][]byte, len(a.parties))
+	err := a.fanOut(ctx, func(pi int, party string) error {
 		raw, err := a.caller.Call(ctx, party, MethodEncryptAll, mustGob(EncryptAllReq{Query: r.Query}))
 		if err != nil {
-			return nil, fmt.Errorf("vfl: collecting from %s: %w", party, err)
+			return fmt.Errorf("vfl: collecting from %s: %w", party, err)
 		}
 		var resp EncryptAllResp
 		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return nil, err
+			return err
 		}
-		if pi == 0 {
-			pids = resp.PseudoIDs
-			agg = resp.Ciphers
-			continue
-		}
-		if len(resp.PseudoIDs) != len(pids) {
-			return nil, fmt.Errorf("vfl: %s returned %d items, want %d", party, len(resp.PseudoIDs), len(pids))
+		pidSets[pi] = resp.PseudoIDs
+		vecs[pi] = resp.Ciphers
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pids := pidSets[0]
+	for pi := 1; pi < len(a.parties); pi++ {
+		if len(pidSets[pi]) != len(pids) {
+			return nil, fmt.Errorf("vfl: %s returned %d items, want %d", a.parties[pi], len(pidSets[pi]), len(pids))
 		}
 		for i := range pids {
-			if resp.PseudoIDs[i] != pids[i] {
-				return nil, fmt.Errorf("vfl: %s pseudo-id order mismatch at %d", party, i)
+			if pidSets[pi][i] != pids[i] {
+				return nil, fmt.Errorf("vfl: %s pseudo-id order mismatch at %d", a.parties[pi], i)
 			}
-			sum, err := a.scheme.Add(agg[i], resp.Ciphers[i])
-			if err != nil {
-				return nil, fmt.Errorf("vfl: aggregating: %w", err)
-			}
-			agg[i] = sum
 		}
-		a.counts.Add(costmodel.Raw{CipherAdds: int64(len(pids))})
+	}
+	agg, err := a.reduceVectors(ctx, vecs)
+	if err != nil {
+		return nil, err
 	}
 	a.counts.Add(costmodel.Raw{
 		ItemsSent: int64(len(agg)),
@@ -195,8 +279,9 @@ func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, er
 }
 
 // faginCollect implements the optimized variant: run Fagin's algorithm over
-// the participants' sub-rankings (pulled in mini-batches), then collect and
-// aggregate encrypted partial distances for the candidate set only.
+// the participants' sub-rankings (pulled in mini-batches, all parties in
+// flight concurrently), then collect and aggregate encrypted partial
+// distances for the candidate set only.
 func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte, error) {
 	if r.K <= 0 {
 		return nil, fmt.Errorf("vfl: k=%d must be positive", r.K)
@@ -211,22 +296,35 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 	depth := 0
 	stats := FaginStats{}
 	for fullySeen < r.K {
-		// Pull the next mini-batch from every list in parallel ranks.
-		exhausted := true
-		for _, party := range a.parties {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Pull the next mini-batch from every list concurrently; merge the
+		// indexed responses in party order so the candidate first-seen order
+		// is identical to the serial scan.
+		batches := make([][]int, p)
+		err := a.fanOut(ctx, func(pi int, party string) error {
 			raw, err := a.caller.Call(ctx, party, MethodRankingBatch,
 				mustGob(RankingBatchReq{Query: r.Query, Offset: depth, Count: r.Batch}))
 			if err != nil {
-				return nil, fmt.Errorf("vfl: pulling ranking from %s: %w", party, err)
+				return fmt.Errorf("vfl: pulling ranking from %s: %w", party, err)
 			}
 			var resp RankingBatchResp
 			if err := transport.DecodeGob(raw, &resp); err != nil {
-				return nil, err
+				return err
 			}
-			if len(resp.PseudoIDs) > 0 {
+			batches[pi] = resp.PseudoIDs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		exhausted := true
+		for _, batch := range batches {
+			if len(batch) > 0 {
 				exhausted = false
 			}
-			for _, pid := range resp.PseudoIDs {
+			for _, pid := range batch {
 				c := seenCount[pid]
 				if c == 0 {
 					candidates = append(candidates, pid)
@@ -236,7 +334,7 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 					fullySeen++
 				}
 			}
-			a.counts.Add(costmodel.Raw{PlainAdds: int64(len(resp.PseudoIDs))})
+			a.counts.Add(costmodel.Raw{PlainAdds: int64(len(batch))})
 		}
 		stats.Rounds++
 		depth += r.Batch

@@ -25,6 +25,16 @@ type ClusterConfig struct {
 	ShuffleSeed int64
 	// Batch is the Fagin mini-batch size b (default 32).
 	Batch int
+	// Parallelism pins the concurrency of the HE pipeline on every role
+	// (party fan-out, worker-pool encryption/decryption): 1 restores fully
+	// serial execution, 0 or negative uses the default degree
+	// (VFPS_PARALLELISM or GOMAXPROCS). Results are identical at every
+	// setting.
+	Parallelism int
+	// RandomizerPool sizes the Paillier pool of precomputed encryption
+	// randomizers (0 → a default when Parallelism != 1; negative disables).
+	// Ignored by the other schemes.
+	RandomizerPool int
 }
 
 // Cluster is a fully wired in-process deployment: key server, aggregation
@@ -38,6 +48,38 @@ type Cluster struct {
 
 	shuffleSeed int64
 	pubScheme   he.Scheme
+	privScheme  he.Scheme
+	parallelism int
+}
+
+// configureScheme applies the cluster parallelism settings to an HE scheme;
+// only Paillier has tunables today. A randomizer pool is started unless the
+// cluster is pinned fully serial (the determinism baseline) or the pool is
+// explicitly disabled.
+func configureScheme(s he.Scheme, parallelism, pool int) {
+	p, ok := s.(*he.Paillier)
+	if !ok {
+		return
+	}
+	p.SetParallelism(parallelism)
+	if parallelism == 1 || pool < 0 {
+		return
+	}
+	if pool == 0 {
+		pool = 4 * p.Parallelism()
+	}
+	p.StartRandomizerPool(pool, 1)
+}
+
+// Close releases background resources (Paillier randomizer pools). The
+// cluster stays usable afterwards; encryption just computes randomizers
+// inline again.
+func (c *Cluster) Close() {
+	for _, s := range []he.Scheme{c.pubScheme, c.privScheme} {
+		if p, ok := s.(*he.Paillier); ok {
+			p.Close()
+		}
+	}
 }
 
 // NewLocalCluster builds the full topology over the in-memory transport,
@@ -80,6 +122,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	configureScheme(pubScheme, cfg.Parallelism, cfg.RandomizerPool)
 	p := cfg.Partition.P()
 	partyNames := make([]string, p)
 	parties := make([]*Participant, p)
@@ -88,6 +131,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		part.SetParallelism(cfg.Parallelism)
 		parties[i] = part
 		partyNames[i] = PartyName(i)
 		tr.Register(partyNames[i], part.Handler())
@@ -96,16 +140,20 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	agg.SetParallelism(cfg.Parallelism)
 	tr.Register(AggServerName, agg.Handler())
 
 	privScheme, err := FetchPrivateScheme(ctx, tr, KeyServerName)
 	if err != nil {
 		return nil, err
 	}
+	// The leader decrypts but never bulk-encrypts, so it gets no pool.
+	configureScheme(privScheme, cfg.Parallelism, -1)
 	leader, err := NewLeader(tr, AggServerName, partyNames, privScheme, cfg.Batch)
 	if err != nil {
 		return nil, err
 	}
+	leader.SetParallelism(cfg.Parallelism)
 	return &Cluster{
 		Transport:   tr,
 		Leader:      leader,
@@ -114,6 +162,8 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		Keys:        ks,
 		shuffleSeed: cfg.ShuffleSeed,
 		pubScheme:   pubScheme,
+		privScheme:  privScheme,
+		parallelism: cfg.Parallelism,
 	}, nil
 }
 
@@ -133,6 +183,7 @@ func (c *Cluster) AddParticipant(x *mat.Matrix) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	part.SetParallelism(c.parallelism)
 	name := PartyName(index)
 	c.Transport.Register(name, part.Handler())
 	c.Parties = append(c.Parties, part)

@@ -36,12 +36,13 @@ const (
 // determines the k nearest neighbours, and accumulates the pairwise
 // participant similarities w(p,s) that feed submodular selection.
 type Leader struct {
-	caller  transport.Caller
-	agg     string
-	parties []string
-	scheme  he.Scheme // full scheme (with private key)
-	batch   int       // Fagin mini-batch size b
-	counts  costmodel.Counts
+	caller      transport.Caller
+	agg         string
+	parties     []string
+	scheme      he.Scheme // full scheme (with private key)
+	batch       int       // Fagin mini-batch size b
+	counts      costmodel.Counts
+	parallelism int // 0 → par.Degree(); 1 → fully serial party fan-out
 }
 
 // NewLeader wires the leader to the cluster. batch is the Fagin mini-batch
@@ -64,6 +65,16 @@ func NewLeader(caller transport.Caller, aggNode string, parties []string, scheme
 
 // Counts exposes the leader's operation counters.
 func (l *Leader) Counts() costmodel.Raw { return l.counts.Snapshot() }
+
+// SetParallelism pins the leader's party fan-out concurrency: 1 restores the
+// serial loops, <= 0 restores the default degree. Vector decryption
+// parallelism is governed by the HE scheme itself (he.Paillier.SetParallelism).
+func (l *Leader) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	l.parallelism = n
+}
 
 // P returns the number of participants.
 func (l *Leader) P() int { return len(l.parties) }
@@ -131,37 +142,81 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 	// Decrypt complete distances for the candidates and take the k nearest
 	// (the Threshold variant arrives pre-decrypted).
 	if dist == nil {
-		dist = make([]float64, len(ciphers))
-		for i, c := range ciphers {
-			v, err := l.scheme.Decrypt(c)
-			if err != nil {
-				return nil, fmt.Errorf("vfl: leader decrypting: %w", err)
-			}
-			dist[i] = v
+		dist, err := he.DecryptVec(ctx, l.scheme, ciphers)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: leader decrypting: %w", err)
 		}
 		l.counts.Add(costmodel.Raw{Decryptions: int64(len(ciphers))})
+		return l.finishQuery(ctx, query, k, pids, dist, stats)
 	}
+	return l.finishQuery(ctx, query, k, pids, dist, stats)
+}
+
+// finishQuery ranks the decrypted candidate distances and gathers the
+// parties' plaintext partial sums over the neighbour set (Step ⑦),
+// fanning the NeighborSum requests out concurrently.
+func (l *Leader) finishQuery(ctx context.Context, query, k int, pids []int, dist []float64, stats FaginStats) (*QueryResult, error) {
 	order := topk.KSmallest(dist, k)
 	neighbors := make([]int, k)
 	for i, idx := range order {
 		neighbors[i] = pids[idx]
 	}
 
-	// Step ⑦: gather each participant's plaintext partial sum over T.
 	sums := make([]float64, len(l.parties))
-	for pi, party := range l.parties {
+	err := l.fanOut(ctx, func(pi int, party string) error {
 		raw, err := l.caller.Call(ctx, party, MethodNeighborSum,
 			mustGob(NeighborSumReq{Query: query, PseudoIDs: neighbors}))
 		if err != nil {
-			return nil, fmt.Errorf("vfl: neighbour sum from %s: %w", party, err)
+			return fmt.Errorf("vfl: neighbour sum from %s: %w", party, err)
 		}
 		var resp NeighborSumResp
 		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return nil, err
+			return err
 		}
 		sums[pi] = resp.Sum
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &QueryResult{Neighbors: neighbors, PartySums: sums, Fagin: stats}, nil
+}
+
+// fanOut runs fn once per party, concurrently unless parallelism is pinned
+// to 1, with indexed result slots and lowest-index error precedence (the
+// same semantics as the serial loop).
+func (l *Leader) fanOut(ctx context.Context, fn func(pi int, party string) error) error {
+	if l.parallelism == 1 {
+		for pi, party := range l.parties {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(pi, party); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(l.parties))
+	var wg sync.WaitGroup
+	for pi, party := range l.parties {
+		wg.Add(1)
+		go func(pi int, party string) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[pi] = err
+				return
+			}
+			errs[pi] = fn(pi, party)
+		}(pi, party)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // thresholdScan drives the leader-assisted Threshold Algorithm for one
@@ -175,23 +230,35 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 	var dist []float64
 	depth := 0
 	for {
-		// Sorted access: next batch of every party's ranking.
-		var newIDs []int
-		exhausted := true
-		for _, party := range l.parties {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, stats, err
+		}
+		// Sorted access: next batch of every party's ranking, all parties in
+		// flight concurrently; merge in party order for determinism.
+		batches := make([][]int, len(l.parties))
+		err := l.fanOut(ctx, func(pi int, party string) error {
 			raw, err := l.caller.Call(ctx, party, MethodRankingBatch,
 				mustGob(RankingBatchReq{Query: query, Offset: depth, Count: l.batch}))
 			if err != nil {
-				return nil, nil, stats, fmt.Errorf("vfl: TA ranking from %s: %w", party, err)
+				return fmt.Errorf("vfl: TA ranking from %s: %w", party, err)
 			}
 			var resp RankingBatchResp
 			if err := transport.DecodeGob(raw, &resp); err != nil {
-				return nil, nil, stats, err
+				return err
 			}
-			if len(resp.PseudoIDs) > 0 {
+			batches[pi] = resp.PseudoIDs
+			return nil
+		})
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		var newIDs []int
+		exhausted := true
+		for _, batch := range batches {
+			if len(batch) > 0 {
 				exhausted = false
 			}
-			for _, pid := range resp.PseudoIDs {
+			for _, pid := range batch {
 				if !seen[pid] {
 					seen[pid] = true
 					newIDs = append(newIDs, pid)
@@ -212,14 +279,15 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 			if err := transport.DecodeGob(raw, &resp); err != nil {
 				return nil, nil, stats, err
 			}
-			for i, c := range resp.Aggregated {
-				v, err := l.scheme.Decrypt(c)
-				if err != nil {
-					return nil, nil, stats, fmt.Errorf("vfl: TA decrypting candidate: %w", err)
-				}
-				pids = append(pids, newIDs[i])
-				dist = append(dist, v)
+			if len(resp.Aggregated) != len(newIDs) {
+				return nil, nil, stats, fmt.Errorf("vfl: TA got %d aggregates for %d candidates", len(resp.Aggregated), len(newIDs))
 			}
+			vs, err := he.DecryptVec(ctx, l.scheme, resp.Aggregated)
+			if err != nil {
+				return nil, nil, stats, fmt.Errorf("vfl: TA decrypting candidate: %w", err)
+			}
+			pids = append(pids, newIDs...)
+			dist = append(dist, vs...)
 			l.counts.Add(costmodel.Raw{Decryptions: int64(len(resp.Aggregated))})
 		}
 		if exhausted {

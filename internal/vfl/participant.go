@@ -10,6 +10,7 @@ import (
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
 	"vfps/internal/mat"
+	"vfps/internal/par"
 	"vfps/internal/transport"
 )
 
@@ -29,7 +30,8 @@ type Participant struct {
 	perm []int // original id -> pseudo id
 	inv  []int // pseudo id -> original id
 
-	counts costmodel.Counts
+	counts      costmodel.Counts
+	parallelism int // 0 → par.Degree(); 1 → fully serial encryption
 
 	mu         sync.Mutex
 	cache      map[int]*queryCache
@@ -100,6 +102,15 @@ func (p *Participant) Features() int { return p.x.Cols }
 // Counts exposes the participant's operation counters.
 func (p *Participant) Counts() costmodel.Raw { return p.counts.Snapshot() }
 
+// SetParallelism pins the participant's encryption concurrency: 1 restores
+// the serial loop, <= 0 restores the default degree.
+func (p *Participant) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.parallelism = n
+}
+
 // encryptValue protects one protocol value, using item-bound masking when
 // the scheme requires it (SecAgg) and plain HE encryption otherwise.
 func (p *Participant) encryptValue(domain byte, query, key int, v float64) ([]byte, error) {
@@ -107,6 +118,31 @@ func (p *Participant) encryptValue(domain byte, query, key int, v float64) ([]by
 		return cs.EncryptAt(domain, query, key, v)
 	}
 	return p.scheme.Encrypt(v)
+}
+
+// encryptItems protects a vector of item-keyed protocol values. Contextual
+// (mask-based) schemes are pure functions of (domain, query, key, value), so
+// their items parallelise over the worker pool; everything else goes through
+// the scheme's own vector path (he.EncryptVec), which parallelises Paillier
+// and keeps order-dependent schemes serial. ctx is polled per chunk so a
+// dead client stops the encryption sweep early.
+func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, vals []float64) ([][]byte, error) {
+	if cs, ok := p.scheme.(he.Contextual); ok {
+		out := make([][]byte, len(pids))
+		err := par.For(ctx, len(pids), p.parallelism, func(i int) error {
+			c, err := cs.EncryptAt(he.DomainItem, query, pids[i], vals[i])
+			if err != nil {
+				return err
+			}
+			out[i] = c
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return he.EncryptVec(ctx, p.scheme, vals)
 }
 
 // distances returns the cached per-query artefacts, computing them on first
@@ -184,13 +220,13 @@ func (p *Participant) Handler() transport.Handler {
 			if err := transport.DecodeGob(req, &r); err != nil {
 				return nil, err
 			}
-			return p.encryptAll(r)
+			return p.encryptAll(ctx, r)
 		case MethodEncryptCandidates:
 			var r EncryptCandidatesReq
 			if err := transport.DecodeGob(req, &r); err != nil {
 				return nil, err
 			}
-			return p.encryptCandidates(r)
+			return p.encryptCandidates(ctx, r)
 		case MethodEncryptRankScore:
 			var r EncryptRankScoreReq
 			if err := transport.DecodeGob(req, &r); err != nil {
@@ -234,7 +270,7 @@ func (p *Participant) rankingBatch(r RankingBatchReq) ([]byte, error) {
 	return transport.EncodeGob(RankingBatchResp{PseudoIDs: batch})
 }
 
-func (p *Participant) encryptAll(r EncryptAllReq) ([]byte, error) {
+func (p *Participant) encryptAll(ctx context.Context, r EncryptAllReq) ([]byte, error) {
 	qc, err := p.distances(r.Query)
 	if err != nil {
 		return nil, err
@@ -242,17 +278,17 @@ func (p *Participant) encryptAll(r EncryptAllReq) ([]byte, error) {
 	n := p.N()
 	queryPid := p.perm[r.Query]
 	pids := make([]int, 0, n-1)
-	ciphers := make([][]byte, 0, n-1)
+	vals := make([]float64, 0, n-1)
 	for pid := 0; pid < n; pid++ {
 		if pid == queryPid {
 			continue
 		}
-		c, err := p.encryptValue(he.DomainItem, r.Query, pid, qc.dist[p.inv[pid]])
-		if err != nil {
-			return nil, fmt.Errorf("vfl: party %d encrypting: %w", p.index, err)
-		}
 		pids = append(pids, pid)
-		ciphers = append(ciphers, c)
+		vals = append(vals, qc.dist[p.inv[pid]])
+	}
+	ciphers, err := p.encryptItems(ctx, r.Query, pids, vals)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: party %d encrypting: %w", p.index, err)
 	}
 	p.counts.Add(costmodel.Raw{
 		Encryptions: int64(len(ciphers)),
@@ -263,22 +299,22 @@ func (p *Participant) encryptAll(r EncryptAllReq) ([]byte, error) {
 	return transport.EncodeGob(EncryptAllResp{PseudoIDs: pids, Ciphers: ciphers})
 }
 
-func (p *Participant) encryptCandidates(r EncryptCandidatesReq) ([]byte, error) {
+func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidatesReq) ([]byte, error) {
 	qc, err := p.distances(r.Query)
 	if err != nil {
 		return nil, err
 	}
 	queryPid := p.perm[r.Query]
-	ciphers := make([][]byte, len(r.PseudoIDs))
+	vals := make([]float64, len(r.PseudoIDs))
 	for i, pid := range r.PseudoIDs {
 		if pid < 0 || pid >= p.N() || pid == queryPid {
 			return nil, fmt.Errorf("vfl: candidate pseudo id %d invalid", pid)
 		}
-		c, err := p.encryptValue(he.DomainItem, r.Query, pid, qc.dist[p.inv[pid]])
-		if err != nil {
-			return nil, fmt.Errorf("vfl: party %d encrypting candidate: %w", p.index, err)
-		}
-		ciphers[i] = c
+		vals[i] = qc.dist[p.inv[pid]]
+	}
+	ciphers, err := p.encryptItems(ctx, r.Query, r.PseudoIDs, vals)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: party %d encrypting candidate: %w", p.index, err)
 	}
 	p.counts.Add(costmodel.Raw{
 		Encryptions: int64(len(ciphers)),

@@ -92,6 +92,12 @@ type Config struct {
 	// FaginBatch is the mini-batch size b for ranked-list streaming
 	// (default 32).
 	FaginBatch int
+	// Parallelism pins the HE pipeline's concurrency on every role (party
+	// fan-out, worker-pool encryption/decryption, randomizer precompute):
+	// 1 forces fully serial execution, 0 uses the default degree
+	// (VFPS_PARALLELISM or GOMAXPROCS). Selection results are identical at
+	// every setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // Consortium is a wired VFL deployment ready to run participant selection
@@ -124,12 +130,17 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		Batch:       cfg.FaginBatch,
 		DPEpsilon:   cfg.DPEpsilon,
 		DPDelta:     cfg.DPDelta,
+		Parallelism: cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Consortium{cluster: cl, pt: cfg.Partition, labels: cfg.Labels, classes: cfg.Classes}, nil
 }
+
+// Close releases the consortium's background resources (randomizer
+// precompute pools). The consortium stays usable afterwards.
+func (c *Consortium) Close() { c.cluster.Close() }
 
 // P returns the number of participants.
 func (c *Consortium) P() int { return c.pt.P() }
