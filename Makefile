@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench microbench experiments fuzz cover clean
+.PHONY: build test check race bench microbench experiments fuzz cover obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Vet first, then the full suite — the pre-commit gate.
+# Vet first, then the full suite, then the live observability surface —
+# the pre-commit gate.
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(MAKE) obs-smoke
+
+# Start vfpsserve, drive an encrypted selection, and assert the /metrics,
+# /metrics.json, /v1/trace and /debug/vars endpoints expose every wired
+# metric family (see scripts/obs_smoke.sh).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 race:
 	$(GO) test ./... -race

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"vfps/internal/experiments"
+	"vfps/internal/obs"
 )
 
 func main() {
@@ -39,8 +41,20 @@ func main() {
 		jsonPath  = flag.String("json", "", "also write structured results to this JSON file")
 		withGBDT  = flag.Bool("gbdt", false, "add the GBDT extension model to the table4/table5 grids")
 		repeats   = flag.Int("repeats", 1, "average the table4/table5 grids over this many seeded runs (paper: 5)")
+		tracePath = flag.String("trace", "", "record protocol phase spans and write the trace report to this JSON file")
 	)
 	flag.Parse()
+
+	// With -trace, install a process-default observer so every cluster the
+	// experiments build (they do not set ClusterConfig.Obs themselves) records
+	// phase spans and metrics into it.
+	var observer *obs.Observer
+	if *tracePath != "" {
+		// Experiments run many selections; size the ring generously so early
+		// phases are not evicted before the report is written.
+		observer = obs.NewObserver(8 * obs.DefaultTraceCapacity)
+		obs.SetDefault(observer)
+	}
 
 	opt := experiments.Options{
 		Rows:        *rows,
@@ -63,22 +77,22 @@ func main() {
 	}
 
 	ctx := context.Background()
-	runners := map[string]func() (any, error){
-		"table1":     func() (any, error) { return experiments.Table1(ctx, opt) },
-		"table4":     func() (any, error) { return experiments.Grid(ctx, opt) },
-		"table5":     func() (any, error) { return experiments.Grid(ctx, opt) },
-		"fig4":       func() (any, error) { return experiments.Fig4(ctx, opt) },
-		"fig5":       func() (any, error) { return experiments.Fig5(ctx, opt) },
-		"fig6":       func() (any, error) { return experiments.Fig6(ctx, opt) },
-		"fig7":       func() (any, error) { return experiments.Fig7(ctx, opt) },
-		"fig8":       func() (any, error) { return experiments.Fig8(ctx, opt) },
-		"fig9":       func() (any, error) { return experiments.Fig9(ctx, opt) },
-		"exttopk":    func() (any, error) { return experiments.ExtTopk(ctx, opt) },
-		"extscheme":  func() (any, error) { return experiments.ExtScheme(ctx, opt) },
-		"extdp":      func() (any, error) { return experiments.ExtDP(ctx, opt) },
-		"extpruning": func() (any, error) { return experiments.ExtPruning(ctx, opt) },
-		"extbatch":   func() (any, error) { return experiments.ExtBatch(ctx, opt) },
-		"parallel":   func() (any, error) { return experiments.Parallel(ctx, opt) },
+	runners := map[string]func(context.Context) (any, error){
+		"table1":     func(ctx context.Context) (any, error) { return experiments.Table1(ctx, opt) },
+		"table4":     func(ctx context.Context) (any, error) { return experiments.Grid(ctx, opt) },
+		"table5":     func(ctx context.Context) (any, error) { return experiments.Grid(ctx, opt) },
+		"fig4":       func(ctx context.Context) (any, error) { return experiments.Fig4(ctx, opt) },
+		"fig5":       func(ctx context.Context) (any, error) { return experiments.Fig5(ctx, opt) },
+		"fig6":       func(ctx context.Context) (any, error) { return experiments.Fig6(ctx, opt) },
+		"fig7":       func(ctx context.Context) (any, error) { return experiments.Fig7(ctx, opt) },
+		"fig8":       func(ctx context.Context) (any, error) { return experiments.Fig8(ctx, opt) },
+		"fig9":       func(ctx context.Context) (any, error) { return experiments.Fig9(ctx, opt) },
+		"exttopk":    func(ctx context.Context) (any, error) { return experiments.ExtTopk(ctx, opt) },
+		"extscheme":  func(ctx context.Context) (any, error) { return experiments.ExtScheme(ctx, opt) },
+		"extdp":      func(ctx context.Context) (any, error) { return experiments.ExtDP(ctx, opt) },
+		"extpruning": func(ctx context.Context) (any, error) { return experiments.ExtPruning(ctx, opt) },
+		"extbatch":   func(ctx context.Context) (any, error) { return experiments.ExtBatch(ctx, opt) },
+		"parallel":   func(ctx context.Context) (any, error) { return experiments.Parallel(ctx, opt) },
 	}
 	// "parallel" is a machine-dependent wall-clock benchmark, so it is run
 	// explicitly (-exp parallel) rather than folded into -exp all.
@@ -86,12 +100,18 @@ func main() {
 		"exttopk", "extscheme", "extdp", "extpruning", "extbatch"}
 
 	results := map[string]any{}
+	start := time.Now()
 	runOne := func(name string) {
 		run, ok := runners[name]
 		if !ok {
 			fatal("unknown experiment %q", name)
 		}
-		res, err := run()
+		// Each experiment runs under its own root span so the trace report's
+		// top-level phases decompose the benchmark wall clock; the protocol
+		// spans (select.similarity, vfl.query, ...) nest beneath it.
+		rctx, sp := observer.Tracer().Start(ctx, "bench."+name)
+		res, err := run(rctx)
+		sp.End()
 		if err != nil {
 			fatal("%s: %v", name, err)
 		}
@@ -105,6 +125,7 @@ func main() {
 	} else {
 		runOne(*exp)
 	}
+	wall := time.Since(start)
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -120,6 +141,38 @@ func main() {
 			fatal("closing %s: %v", *jsonPath, err)
 		}
 		fmt.Printf("\nstructured results written to %s\n", *jsonPath)
+	}
+
+	if *tracePath != "" {
+		dump := struct {
+			WallNs   int64                `json:"wallNs"`
+			WallSecs float64              `json:"wallSecs"`
+			Trace    obs.TraceReport      `json:"trace"`
+			Metrics  []obs.FamilySnapshot `json:"metrics"`
+		}{
+			WallNs:   wall.Nanoseconds(),
+			WallSecs: wall.Seconds(),
+			Trace:    observer.Tracer().Report(),
+			Metrics:  observer.Registry().Snapshot(),
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("creating %s: %v", *tracePath, err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			fatal("writing %s: %v", *tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("closing %s: %v", *tracePath, err)
+		}
+		var phaseSecs float64
+		for _, p := range dump.Trace.Phases {
+			phaseSecs += p.TotalSecs
+		}
+		fmt.Printf("trace written to %s (%d spans, phases %.3fs of %.3fs wall)\n",
+			*tracePath, len(dump.Trace.Spans), phaseSecs, wall.Seconds())
 	}
 }
 

@@ -21,14 +21,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"vfps/internal/costmodel"
 	"vfps/internal/dataset"
 	"vfps/internal/he"
+	"vfps/internal/obs"
 	"vfps/internal/transport"
 	"vfps/internal/vfl"
 )
@@ -66,6 +69,7 @@ func main() {
 		batch       = flag.Int("batch", 32, "Fagin mini-batch size (role=leader)")
 		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
 		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
+		obsAddr     = flag.String("obs-addr", "", "optional debug listen address serving /metrics, /v1/trace and /debug/pprof")
 	)
 	flag.Parse()
 
@@ -74,6 +78,26 @@ func main() {
 		fatal("%v", err)
 	}
 	ctx := context.Background()
+
+	// Observability is opt-in: without -obs-addr every instrument stays a
+	// nil no-op. With it, this node's metrics and spans are served on a
+	// separate debug listener.
+	var o *obs.Observer
+	if *obsAddr != "" {
+		o = obs.NewObserver(obs.DefaultTraceCapacity)
+		obs.SetDefault(o)
+		reg := o.Registry()
+		transport.DeclareMetrics(reg)
+		he.DeclareMetrics(reg)
+		costmodel.DeclareMetrics(reg)
+		dbg := &http.Server{Addr: *obsAddr, Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("observability endpoints on http://%s/metrics\n", *obsAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "vfpsnode: obs listener: %v\n", err)
+			}
+		}()
+	}
 
 	switch *role {
 	case "keyserver":
@@ -86,7 +110,7 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		serve(*addr, "key server", ks.Handler())
+		serve(*addr, "key server", ks.Handler(), o)
 	case "party":
 		pt, _, err := localPartition(*ds, *rows, *parties, *splitSeed)
 		if err != nil {
@@ -97,20 +121,24 @@ func main() {
 		}
 		cli := transport.NewTCPClient(dir)
 		defer cli.Close()
+		cli.SetObserver(o)
 		pub, err := vfl.FetchPublicScheme(ctx, cli, vfl.KeyServerName)
 		if err != nil {
 			fatal("fetching public key: %v", err)
 		}
 		tuneScheme(pub, *parallelism, true)
+		observeScheme(pub, o, "party")
 		part, err := vfl.NewParticipant(*index, pt.Parties[*index], pub, *shuffleSeed)
 		if err != nil {
 			fatal("%v", err)
 		}
 		part.SetParallelism(*parallelism)
-		serve(*addr, fmt.Sprintf("participant %d (%d features)", *index, part.Features()), part.Handler())
+		part.SetObserver(o, "node")
+		serve(*addr, fmt.Sprintf("participant %d (%d features)", *index, part.Features()), part.Handler(), o)
 	case "aggserver":
 		cli := transport.NewTCPClient(dir)
 		defer cli.Close()
+		cli.SetObserver(o)
 		pub, err := vfl.FetchPublicScheme(ctx, cli, vfl.KeyServerName)
 		if err != nil {
 			fatal("fetching public key: %v", err)
@@ -120,26 +148,31 @@ func main() {
 			fatal("directory lists no party/<i> entries")
 		}
 		tuneScheme(pub, *parallelism, false)
+		observeScheme(pub, o, "aggserver")
 		agg, err := vfl.NewAggServer(cli, names, pub)
 		if err != nil {
 			fatal("%v", err)
 		}
 		agg.SetParallelism(*parallelism)
-		serve(*addr, fmt.Sprintf("aggregation server (%d participants)", len(names)), agg.Handler())
+		agg.SetObserver(o, "node")
+		serve(*addr, fmt.Sprintf("aggregation server (%d participants)", len(names)), agg.Handler(), o)
 	case "leader":
 		cli := transport.NewTCPClient(dir)
 		defer cli.Close()
+		cli.SetObserver(o)
 		priv, err := vfl.FetchPrivateScheme(ctx, cli, vfl.KeyServerName)
 		if err != nil {
 			fatal("fetching private key: %v", err)
 		}
 		tuneScheme(priv, *parallelism, false)
+		observeScheme(priv, o, "leader")
 		names := partyNames(dir)
 		leader, err := vfl.NewLeader(cli, vfl.AggServerName, names, priv, *batch)
 		if err != nil {
 			fatal("%v", err)
 		}
 		leader.SetParallelism(*parallelism)
+		leader.SetObserver(o, "node")
 		runLeader(ctx, leader, *rows, *selCount, *k, *queries, vfl.Variant(*variant))
 	default:
 		fatal("unknown role %q (want keyserver|aggserver|party|leader)", *role)
@@ -190,11 +223,20 @@ func localPartition(name string, rows, parties int, splitSeed int64) (*dataset.P
 	return pt, d, nil
 }
 
-func serve(addr, what string, h transport.Handler) {
+// observeScheme installs HE op instrumentation when the node has an observer
+// and the scheme supports it.
+func observeScheme(s he.Scheme, o *obs.Observer, instance string) {
+	if ob, ok := s.(he.Observable); ok {
+		ob.SetObserver(o.Registry(), instance)
+	}
+}
+
+func serve(addr, what string, h transport.Handler, o *obs.Observer) {
 	srv, err := transport.ListenTCP(addr, h)
 	if err != nil {
 		fatal("%v", err)
 	}
+	srv.SetObserver(o)
 	fmt.Printf("%s listening on %s\n", what, srv.Addr())
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)

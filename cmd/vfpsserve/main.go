@@ -1,26 +1,60 @@
 // Command vfpsserve exposes participant selection as a JSON-over-HTTP
-// service (see internal/server for the endpoint reference).
+// service (see internal/server for the endpoint reference, including the
+// /metrics, /v1/trace and /debug observability surface).
 //
 //	vfpsserve -addr :8080
 //	curl -X POST localhost:8080/v1/consortiums -d '{"dataset":"Bank","parties":4}'
 //	curl -X POST localhost:8080/v1/consortiums/c1/select -d '{"count":2}'
+//	curl localhost:8080/metrics
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vfps/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("vfpsserve listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, server.New()); err != nil {
-		fmt.Fprintf(os.Stderr, "vfpsserve: %v\n", err)
-		os.Exit(1)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "vfpsserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling so a second ^C kills us
+		fmt.Println("vfpsserve: shutting down...")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "vfpsserve: drain deadline exceeded: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
 	}
 }

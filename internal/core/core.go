@@ -167,16 +167,30 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 		cfg.Optimizer = OptGreedy
 	}
 
+	// Each protocol phase — count reset, similarity estimation, submodular
+	// maximization, cost accounting — opens a sequential root span so a trace
+	// report's per-phase durations decompose the selection wall clock.
+	tracer := leader.Observer().Tracer()
 	start := time.Now()
-	if err := leader.ResetAllCounts(ctx); err != nil {
+	pctx, psp := tracer.Start(ctx, "select.prepare")
+	err := leader.ResetAllCounts(pctx)
+	psp.End()
+	if err != nil {
 		return nil, err
 	}
-	rep, err := leader.SimilaritiesParallel(ctx, cfg.Queries, cfg.K, cfg.Variant, cfg.Parallelism)
+	sctx, ssp := tracer.Start(ctx, "select.similarity")
+	ssp.SetLabelInt("queries", int64(len(cfg.Queries)))
+	ssp.SetLabelInt("k", int64(cfg.K))
+	rep, err := leader.SimilaritiesParallel(sctx, cfg.Queries, cfg.K, cfg.Variant, cfg.Parallelism)
+	ssp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: similarity phase: %w", err)
 	}
+	_, msp := tracer.Start(ctx, "select.maximize")
+	msp.SetLabel("optimizer", string(cfg.Optimizer))
 	obj, err := submod.NewFacilityLocation(rep.W)
 	if err != nil {
+		msp.End()
 		return nil, fmt.Errorf("core: building objective: %w", err)
 	}
 	var res *submod.Result
@@ -188,12 +202,18 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 	case OptStochastic:
 		res, err = submod.StochasticGreedy(obj, selectCount, 0.1, rand.New(rand.NewSource(cfg.Seed)))
 	default:
+		msp.End()
 		return nil, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
 	}
 	if err != nil {
+		msp.End()
 		return nil, fmt.Errorf("core: maximization: %w", err)
 	}
-	perRole, err := leader.GatherCounts(ctx)
+	msp.SetLabelInt("evaluations", int64(res.Evaluations))
+	msp.End()
+	gctx, gsp := tracer.Start(ctx, "select.accounting")
+	perRole, err := leader.GatherCounts(gctx)
+	gsp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vfps/internal/dataset"
+	"vfps/internal/obs"
+	"vfps/internal/vfl"
+)
+
+// TestSelectPhaseSpans asserts a traced selection decomposes into the four
+// sequential root phases — count reset, similarity estimation, submodular
+// maximization, cost accounting — whose durations sum to within the measured
+// wall clock, with every query span nested inside the similarity phase.
+func TestSelectPhaseSpans(t *testing.T) {
+	spec, err := dataset.SpecByName("Bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := spec.Generate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := dataset.VerticalSplit(d, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.NewObserver(4096)
+	cl, err := vfl.NewLocalCluster(context.Background(), vfl.ClusterConfig{
+		Partition:   pt,
+		Scheme:      "plain",
+		ShuffleSeed: 7,
+		Batch:       8,
+		Obs:         o,
+		Instance:    "phase-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	o.Tracer().Reset() // drop cluster-construction spans
+
+	start := time.Now()
+	sel, err := Select(context.Background(), cl.Leader, 2, Config{
+		K:       5,
+		Queries: SampleQueries(100, 10, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	rep := o.Tracer().Report()
+	wantPhases := []string{"select.prepare", "select.similarity", "select.maximize", "select.accounting"}
+	if len(rep.Phases) != len(wantPhases) {
+		t.Fatalf("phases = %+v, want %v", rep.Phases, wantPhases)
+	}
+	for i, w := range wantPhases {
+		if rep.Phases[i].Name != w {
+			t.Fatalf("phase %d = %s, want %s (all: %+v)", i, rep.Phases[i].Name, w, rep.Phases)
+		}
+	}
+	var phaseNs int64
+	for _, p := range rep.Phases {
+		if p.Count != 1 || p.TotalNs <= 0 {
+			t.Fatalf("degenerate phase %+v", p)
+		}
+		phaseNs += p.TotalNs
+	}
+	if phaseNs > wall.Nanoseconds() {
+		t.Fatalf("phase total %dns exceeds wall clock %dns", phaseNs, wall.Nanoseconds())
+	}
+
+	// All query spans run inside the similarity phase, none at the root.
+	var simID uint64
+	for _, s := range rep.Spans {
+		if s.Name == "select.similarity" {
+			simID = s.ID
+		}
+	}
+	queries := 0
+	for _, s := range rep.Spans {
+		if s.Name == vfl.SpanQuery {
+			queries++
+			if s.Parent != simID {
+				t.Fatalf("%s span parented to %d, want similarity phase %d", vfl.SpanQuery, s.Parent, simID)
+			}
+		}
+	}
+	if queries != sel.QueriesUsed {
+		t.Fatalf("traced %d query spans, selection used %d", queries, sel.QueriesUsed)
+	}
+}

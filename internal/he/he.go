@@ -20,6 +20,8 @@ import (
 	"math"
 	"math/big"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vfps/internal/fixed"
 	"vfps/internal/paillier"
@@ -63,6 +65,8 @@ type Paillier struct {
 	mu          sync.RWMutex
 	parallelism int // 0 → par.Degree()
 	rz          *paillier.Randomizer
+
+	om atomic.Pointer[heMetrics] // nil until SetObserver; one load per op
 }
 
 // NewPaillier wraps a key pair. sk may be nil for participant-side
@@ -76,6 +80,9 @@ func (p *Paillier) Name() string { return "paillier" }
 
 // Encrypt implements Scheme.
 func (p *Paillier) Encrypt(v float64) ([]byte, error) {
+	if om := p.om.Load(); om != nil {
+		defer om.op("encrypt", time.Now())
+	}
 	m, err := p.codec.Encode(v)
 	if err != nil {
 		return nil, err
@@ -97,6 +104,9 @@ func (p *Paillier) Decrypt(c []byte) (float64, error) {
 	if p.sk == nil {
 		return 0, ErrNoPrivateKey
 	}
+	if om := p.om.Load(); om != nil {
+		defer om.op("decrypt", time.Now())
+	}
 	ct, err := p.pk.ParseCiphertext(c)
 	if err != nil {
 		return 0, err
@@ -110,6 +120,9 @@ func (p *Paillier) Decrypt(c []byte) (float64, error) {
 
 // Add implements Scheme.
 func (p *Paillier) Add(a, b []byte) ([]byte, error) {
+	if om := p.om.Load(); om != nil {
+		defer om.op("add", time.Now())
+	}
 	ca, err := p.pk.ParseCiphertext(a)
 	if err != nil {
 		return nil, err

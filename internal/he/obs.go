@@ -1,0 +1,83 @@
+package he
+
+import (
+	"time"
+
+	"vfps/internal/obs"
+)
+
+// Metric families recorded by the Paillier scheme. The instance label
+// distinguishes the public (participant/aggregator) and private (leader)
+// scheme copies sharing one registry.
+const (
+	metricOps       = "vfps_he_ops_total"
+	metricOpSecs    = "vfps_he_op_seconds"
+	metricPoolDepth = "vfps_he_randomizer_pool_depth"
+)
+
+// Observable is implemented by schemes that can be instrumented; today only
+// Paillier has anything worth measuring (Plain ops cost nanoseconds and are
+// already accounted by the cost model).
+type Observable interface {
+	SetObserver(reg *obs.Registry, instance string)
+}
+
+// DeclareMetrics pre-declares the HE metric families on reg so they are
+// visible on /metrics before the first operation. Safe on a nil registry.
+func DeclareMetrics(reg *obs.Registry) {
+	declareHE(reg)
+}
+
+func declareHE(reg *obs.Registry) (ops *obs.CounterVec, secs *obs.HistogramVec, depth *obs.GaugeVec) {
+	ops = reg.Counter(metricOps, "Homomorphic-encryption operations performed (φe/φd/γ in the paper's cost model).", "scheme", "instance", "op")
+	secs = reg.Histogram(metricOpSecs, "HE operation latency in seconds; *_vec entries time whole vector calls.", obs.LatencyBuckets, "scheme", "instance", "op")
+	depth = reg.Gauge(metricPoolDepth, "Precomputed Paillier randomizers currently pooled.", "instance")
+	return
+}
+
+// heMetrics is the resolved instrument set, installed atomically so the hot
+// path pays one pointer load when observability is off.
+type heMetrics struct {
+	instance string
+	ops      *obs.CounterVec
+	secs     *obs.HistogramVec
+}
+
+// op records one scalar operation; it is used as a defer with time.Now()
+// evaluated at registration, so the observed duration spans the whole call.
+func (m *heMetrics) op(op string, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.ops.With("paillier", m.instance, op).Inc()
+	m.secs.With("paillier", m.instance, op).ObserveSince(start)
+}
+
+// vec records a whole-vector call: n scalar ops on the base counter plus one
+// "<op>_vec" latency sample covering the batch.
+func (m *heMetrics) vec(op string, n int, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.ops.With("paillier", m.instance, op).Add(int64(n))
+	m.secs.With("paillier", m.instance, op+"_vec").ObserveSince(start)
+}
+
+// SetObserver installs op counters and latency histograms on the scheme and
+// registers the randomizer-pool depth gauge, all labelled with instance
+// (e.g. "public", "leader", or a node role). A nil registry restores the
+// no-op default.
+func (p *Paillier) SetObserver(reg *obs.Registry, instance string) {
+	if reg == nil {
+		p.om.Store(nil)
+		return
+	}
+	ops, secs, depth := declareHE(reg)
+	p.om.Store(&heMetrics{instance: instance, ops: ops, secs: secs})
+	depth.Func(func() float64 {
+		if rz := p.pool(); rz != nil {
+			return float64(rz.Depth())
+		}
+		return 0
+	}, instance)
+}

@@ -3,6 +3,7 @@ package he
 import (
 	"context"
 	"math/big"
+	"time"
 
 	"vfps/internal/paillier"
 	"vfps/internal/par"
@@ -137,6 +138,9 @@ func (p *Paillier) pool() *paillier.Randomizer {
 // followed by chunked worker-pool encryption drawing from the randomizer
 // pool when one is running.
 func (p *Paillier) EncryptVec(ctx context.Context, vs []float64) ([][]byte, error) {
+	if om := p.om.Load(); om != nil {
+		defer om.vec("encrypt", len(vs), time.Now())
+	}
 	ms := make([]*big.Int, len(vs))
 	for i, v := range vs {
 		m, err := p.codec.Encode(v)
@@ -160,6 +164,9 @@ func (p *Paillier) EncryptVec(ctx context.Context, vs []float64) ([][]byte, erro
 func (p *Paillier) DecryptVec(ctx context.Context, cs [][]byte) ([]float64, error) {
 	if p.sk == nil {
 		return nil, ErrNoPrivateKey
+	}
+	if om := p.om.Load(); om != nil {
+		defer om.vec("decrypt", len(cs), time.Now())
 	}
 	cts := make([]*paillier.Ciphertext, len(cs))
 	for i, c := range cs {

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Observer bundles the two observability facilities a component needs: the
+// metrics registry and the phase tracer. A nil *Observer (the default
+// everywhere) disables both at the cost of a nil check; the accessors are
+// nil-safe so call sites never guard.
+type Observer struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// NewObserver returns an enabled observer with a fresh registry and a tracer
+// of the given span capacity (<= 0 → DefaultTraceCapacity).
+func NewObserver(traceCapacity int) *Observer {
+	return &Observer{Metrics: New(), Trace: NewTracer(traceCapacity)}
+}
+
+// Registry returns the metrics registry (nil on a nil observer).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Tracer returns the span tracer (nil on a nil observer).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// defaultObs is the process-wide observer used by components that were not
+// handed one explicitly. It starts nil — fully disabled — so observability
+// is strictly opt-in.
+var defaultObs atomic.Pointer[Observer]
+
+// SetDefault installs the process-wide default observer (pass nil to
+// disable). Binaries call this once at startup, before building clusters.
+func SetDefault(o *Observer) { defaultObs.Store(o) }
+
+// Default returns the process-wide observer, which is nil unless SetDefault
+// was called.
+func Default() *Observer { return defaultObs.Load() }
+
+// Or returns o itself when non-nil and the process default otherwise — the
+// one-line fallback used by constructors with an optional Obs field.
+func (o *Observer) Or(fallback *Observer) *Observer {
+	if o != nil {
+		return o
+	}
+	return fallback
+}
+
+// ---- HTTP surface ----
+
+// Routes mounts the observability endpoints onto mux:
+//
+//	GET /metrics       Prometheus text exposition
+//	GET /metrics.json  registry snapshot as JSON
+//	GET /v1/trace      span report (?reset=1 clears the ring after the dump)
+//	GET /debug/vars    expvar (includes the registry as "vfps_metrics")
+//	GET /debug/pprof/  runtime profiling (net/http/pprof)
+func (o *Observer) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(o.Registry().Snapshot())
+	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		rep := o.Tracer().Report()
+		if r.URL.Query().Get("reset") == "1" {
+			o.Tracer().Reset()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	o.publishExpvar()
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a standalone mux with just the observability endpoints —
+// the vfpsnode -obs-addr debug listener.
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	o.Routes(mux)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+	})
+	return mux
+}
+
+// expvar.Publish panics on duplicate names and offers no unpublish, so the
+// registry var is installed once per process and resolves the registry to
+// export at read time.
+var expvarOnce sync.Once
+var expvarReg atomic.Pointer[Registry]
+
+func (o *Observer) publishExpvar() {
+	if reg := o.Registry(); reg != nil {
+		expvarReg.Store(reg)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("vfps_metrics", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}

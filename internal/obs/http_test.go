@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestObserverHandlerEndpoints(t *testing.T) {
+	o := NewObserver(16)
+	o.Registry().Counter("vfps_http_test_total", "t", "x").With("a").Inc()
+	_, sp := o.Tracer().Start(context.Background(), "phase")
+	sp.End()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		return resp, string(b)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics: status %d, content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `vfps_http_test_total{x="a"} 1`) {
+		t.Fatalf("/metrics body missing series:\n%s", body)
+	}
+
+	resp, body = get("/metrics.json")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics.json: %d", resp.StatusCode)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal([]byte(body), &fams); err != nil {
+		t.Fatalf("/metrics.json parse: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Name != "vfps_http_test_total" {
+		t.Fatalf("/metrics.json families = %+v", fams)
+	}
+
+	resp, body = get("/v1/trace?reset=1")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/trace: %d", resp.StatusCode)
+	}
+	var rep TraceReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/v1/trace parse: %v", err)
+	}
+	if len(rep.Spans) != 1 || rep.Spans[0].Name != "phase" {
+		t.Fatalf("/v1/trace spans = %+v", rep.Spans)
+	}
+	if o.Tracer().Len() != 0 {
+		t.Fatal("?reset=1 must clear the ring")
+	}
+
+	resp, body = get("/debug/vars")
+	if resp.StatusCode != 200 || !strings.Contains(body, "vfps_metrics") {
+		t.Fatalf("/debug/vars: status %d, body %q", resp.StatusCode, body)
+	}
+
+	resp, _ = get("/healthz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4). Families are emitted in name order and every
+// declared family appears — with its HELP and TYPE lines even when it has no
+// series yet — so scrapers and smoke tests can assert the full metric
+// surface immediately after startup. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.sortedFamilies() {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// snapshotSeries copies the family's series references in insertion order.
+func (f *family) snapshotSeries() []*series {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*series, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.series[key])
+	}
+	return out
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range f.snapshotSeries() {
+		switch f.kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labelNames, s.labelVals, ""), s.n.Load())
+		case KindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(f.labelNames, s.labelVals, ""), formatFloat(s.value()))
+		case KindHistogram:
+			d := s.h.snapshot()
+			cum := int64(0)
+			for i, bound := range d.Buckets {
+				cum += d.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labelNames, s.labelVals, formatFloat(bound)), cum)
+			}
+			cum += d.Counts[len(d.Counts)-1]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, labelString(f.labelNames, s.labelVals, "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(f.labelNames, s.labelVals, ""), formatFloat(d.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(f.labelNames, s.labelVals, ""), d.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as the
+// histogram bucket bound label. No labels at all renders as the empty string.
+func labelString(names, vals []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, integers without exponent where possible.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---- JSON snapshot ----
+
+// SeriesSnapshot is one labelled series in a registry snapshot.
+type SeriesSnapshot struct {
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     float64           `json:"value"`
+	Histogram *HistogramData    `json:"histogram,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a registry snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help"`
+	Kind   Kind             `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot captures every family and series as plain values, in name order.
+// A nil registry snapshots to nil.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	fams := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, Series: []SeriesSnapshot{}}
+		for _, s := range f.snapshotSeries() {
+			ss := SeriesSnapshot{}
+			if len(f.labelNames) > 0 {
+				ss.Labels = make(map[string]string, len(f.labelNames))
+				for i, n := range f.labelNames {
+					ss.Labels[n] = s.labelVals[i]
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(s.n.Load())
+			case KindGauge:
+				ss.Value = s.value()
+			case KindHistogram:
+				d := s.h.snapshot()
+				ss.Histogram = &d
+				ss.Value = float64(d.Count)
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// MarshalJSON exports the snapshot, so a registry can be dropped straight
+// into an expvar.Func or a JSON response body.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records completed spans into a bounded in-memory ring buffer. It is
+// deliberately minimal: no sampling, no export pipeline — just enough to
+// answer "where did this selection run spend its time" from a live process.
+// A nil *Tracer is a valid disabled tracer: Start returns a nil span and the
+// instrumented path pays one nil check.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu      sync.Mutex
+	cap     int
+	buf     []SpanData // ring, insertion position = next % cap once full
+	next    int
+	dropped uint64
+}
+
+// DefaultTraceCapacity bounds the span ring when no capacity is given.
+const DefaultTraceCapacity = 8192
+
+// NewTracer returns a tracer keeping up to capacity completed spans
+// (DefaultTraceCapacity when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity, buf: make([]SpanData, 0, capacity)}
+}
+
+// SpanData is one completed span as it appears in a trace report.
+type SpanData struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Start  time.Time         `json:"start"`
+	// DurationNs is End-Start in nanoseconds.
+	DurationNs int64             `json:"durationNs"`
+	Labels     map[string]string `json:"labels,omitempty"`
+}
+
+// Span is an in-flight operation. End records it; labels may be attached at
+// any point before End. A nil *Span no-ops everywhere.
+type Span struct {
+	t *Tracer
+
+	mu     sync.Mutex
+	data   SpanData
+	ended  bool
+	labels map[string]string
+}
+
+// Start begins a span. If ctx carries a span (from an enclosing Start), the
+// new span is linked as its child; the returned context carries the new span
+// for deeper nesting. A nil tracer returns (ctx, nil) without touching ctx,
+// so disabled tracing allocates nothing.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{t: t}
+	s.data.ID = t.ids.Add(1)
+	s.data.Name = name
+	s.data.Start = time.Now()
+	if parent := SpanFromContext(ctx); parent != nil {
+		s.data.Parent = parent.data.ID
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// SetLabel attaches a key/value pair to the span.
+func (s *Span) SetLabel(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.labels == nil {
+		s.labels = make(map[string]string, 4)
+	}
+	s.labels[k] = v
+	s.mu.Unlock()
+}
+
+// SetLabelInt attaches an integer label.
+func (s *Span) SetLabelInt(k string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetLabel(k, strconv.FormatInt(v, 10))
+}
+
+// End completes the span and commits it to the tracer's ring buffer.
+// Ending twice is harmless (the second call is ignored).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.DurationNs = time.Since(s.data.Start).Nanoseconds()
+	s.data.Labels = s.labels
+	data := s.data
+	s.mu.Unlock()
+	s.t.record(data)
+}
+
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, d)
+	} else {
+		t.buf[t.next%t.cap] = d
+		t.dropped++
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// ctxKey carries the active span through a context chain.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// PhaseSummary aggregates the root spans (those without a parent) sharing a
+// name: the protocol phases. Because root spans do not overlap within one
+// driver goroutine, their total durations sum to (at most) the run's wall
+// clock.
+type PhaseSummary struct {
+	Name      string  `json:"name"`
+	Count     int     `json:"count"`
+	TotalNs   int64   `json:"totalNs"`
+	TotalSecs float64 `json:"totalSecs"`
+}
+
+// TraceReport is the JSON dump of the tracer's ring buffer.
+type TraceReport struct {
+	Capacity int            `json:"capacity"`
+	Dropped  uint64         `json:"dropped"` // spans evicted from the ring
+	Phases   []PhaseSummary `json:"phases"`  // root spans aggregated by name
+	Spans    []SpanData     `json:"spans"`   // all retained spans, by start time
+}
+
+// Report snapshots the retained spans sorted by start time, with a per-name
+// summary of the root spans. A nil tracer reports an empty trace.
+func (t *Tracer) Report() TraceReport {
+	if t == nil {
+		return TraceReport{}
+	}
+	t.mu.Lock()
+	spans := append([]SpanData(nil), t.buf...)
+	rep := TraceReport{Capacity: t.cap, Dropped: t.dropped}
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	rep.Spans = spans
+	byName := map[string]*PhaseSummary{}
+	var names []string
+	for _, s := range spans {
+		if s.Parent != 0 {
+			continue
+		}
+		p := byName[s.Name]
+		if p == nil {
+			p = &PhaseSummary{Name: s.Name}
+			byName[s.Name] = p
+			names = append(names, s.Name)
+		}
+		p.Count++
+		p.TotalNs += s.DurationNs
+	}
+	for _, n := range names {
+		p := byName[n]
+		p.TotalSecs = float64(p.TotalNs) / 1e9
+		rep.Phases = append(rep.Phases, *p)
+	}
+	return rep
+}
+
+// Reset discards all retained spans.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// Len reports the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}

@@ -111,6 +111,11 @@ func (rz *Randomizer) Prefill(n int) (int, error) {
 	return added, nil
 }
 
+// Depth reports how many precomputed randomizers are currently pooled — the
+// observability gauge that shows whether the background workers keep up with
+// encryption demand.
+func (rz *Randomizer) Depth() int { return len(rz.ch) }
+
 // Close stops the background workers. Pending pooled values remain usable.
 func (rz *Randomizer) Close() {
 	rz.once.Do(func() { close(rz.done) })

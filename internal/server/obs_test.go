@@ -1,0 +1,87 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"vfps/internal/obs"
+)
+
+// TestObservabilityEndpoints drives one selection through the API and then
+// scrapes the observability surface: /metrics must expose the transport,
+// HE and cost-model families labelled with the consortium id, and /v1/trace
+// must hold the selection's phase spans.
+func TestObservabilityEndpoints(t *testing.T) {
+	ts := startServer(t)
+	var created CreateResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/consortiums",
+		CreateRequest{Dataset: "Rice", Rows: 150, Parties: 3, Scheme: "paillier"}, &created); code != http.StatusCreated {
+		t.Fatalf("create %d", code)
+	}
+	id := created.ID
+	var sel SelectResponse
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/select", ts.URL, id),
+		SelectRequest{Count: 2, K: 5, NumQueries: 6, Seed: 1}, &sel); code != 200 {
+		t.Fatalf("select %d", code)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"# TYPE vfps_transport_call_seconds histogram",
+		"# TYPE vfps_he_ops_total counter",
+		"# TYPE vfps_cost_ops gauge",
+		"# TYPE vfps_http_requests_total counter",
+		`instance="` + id + `"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var fams []obs.FamilySnapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &fams); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("/metrics.json empty")
+	}
+
+	var rep obs.TraceReport
+	if err := json.Unmarshal([]byte(get("/v1/trace")), &rep); err != nil {
+		t.Fatalf("/v1/trace: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, p := range rep.Phases {
+		phases[p.Name] = true
+	}
+	for _, want := range []string{"select.similarity", "select.maximize"} {
+		if !phases[want] {
+			t.Fatalf("trace phases missing %s: %+v", want, rep.Phases)
+		}
+	}
+
+	if !strings.Contains(get("/debug/vars"), "vfps_metrics") {
+		t.Fatal("/debug/vars missing vfps_metrics")
+	}
+}

@@ -11,6 +11,15 @@
 //	POST /v1/consortiums/{id}/select    run a selection method
 //	POST /v1/consortiums/{id}/evaluate  train a downstream model
 //	POST /v1/consortiums/{id}/rewards   fair reward shares for a selection
+//
+// Observability (internal/obs; consortium metric series are labelled with
+// the consortium id as instance):
+//
+//	GET  /metrics                       Prometheus text exposition
+//	GET  /metrics.json                  same registry as JSON
+//	GET  /v1/trace                      protocol span dump (?reset=1 clears)
+//	GET  /debug/vars                    expvar, including the registry
+//	GET  /debug/pprof/...               net/http/pprof profiles
 package server
 
 import (
@@ -23,6 +32,10 @@ import (
 	"sync"
 
 	"vfps"
+	"vfps/internal/costmodel"
+	"vfps/internal/he"
+	"vfps/internal/obs"
+	"vfps/internal/transport"
 )
 
 // Server is the HTTP handler with its consortium registry.
@@ -31,11 +44,23 @@ type Server struct {
 	nextID int
 	pool   map[string]*vfps.Consortium
 	mux    *http.ServeMux
+	obs    *obs.Observer
+	reqs   *obs.CounterVec
 }
 
-// New builds the server with its routes.
+// New builds the server with its routes and a live observer: every consortium
+// it creates reports metrics and spans through the /metrics, /v1/trace and
+// /debug endpoints.
 func New() *Server {
-	s := &Server{pool: map[string]*vfps.Consortium{}, mux: http.NewServeMux()}
+	o := obs.NewObserver(obs.DefaultTraceCapacity)
+	s := &Server{pool: map[string]*vfps.Consortium{}, mux: http.NewServeMux(), obs: o}
+	reg := o.Registry()
+	// Pre-declare the protocol metric families so scrapers see them before
+	// the first consortium runs.
+	transport.DeclareMetrics(reg)
+	he.DeclareMetrics(reg)
+	costmodel.DeclareMetrics(reg)
+	s.reqs = reg.Counter("vfps_http_requests_total", "API requests served.", "method")
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -47,11 +72,18 @@ func New() *Server {
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/select", s.selectParticipants)
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/evaluate", s.evaluate)
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/rewards", s.rewards)
+	o.Routes(s.mux)
 	return s
 }
 
+// Observer exposes the server's observer (for embedding and tests).
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.reqs.With(r.Method).Inc()
+	s.mux.ServeHTTP(w, r)
+}
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -131,6 +163,12 @@ func (s *Server) createConsortium(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Allocate the id first so the consortium's metric series carry it as
+	// their instance label.
+	s.mu.Lock()
+	s.nextID++
+	id := "c" + strconv.Itoa(s.nextID)
+	s.mu.Unlock()
 	cons, err := vfps.NewConsortium(context.Background(), vfps.Config{
 		Partition:   pt,
 		Labels:      d.Y,
@@ -138,14 +176,14 @@ func (s *Server) createConsortium(w http.ResponseWriter, r *http.Request) {
 		Scheme:      req.Scheme,
 		DPEpsilon:   req.DPEpsilon,
 		ShuffleSeed: req.ShuffleSeed,
+		Obs:         s.obs,
+		Instance:    id,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	s.mu.Lock()
-	s.nextID++
-	id := "c" + strconv.Itoa(s.nextID)
 	s.pool[id] = cons
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, CreateResponse{

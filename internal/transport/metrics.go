@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"context"
+	"time"
+
+	"vfps/internal/obs"
+)
+
+// Metric families recorded by the transports. The same families are used by
+// the Memory and TCP client paths (distinguished by the transport label), so
+// dashboards aggregate over deployments transparently.
+const (
+	metricCalls     = "vfps_transport_calls_total"
+	metricErrors    = "vfps_transport_errors_total"
+	metricLatency   = "vfps_transport_call_seconds"
+	metricReqBytes  = "vfps_transport_request_bytes"
+	metricRespBytes = "vfps_transport_response_bytes"
+	metricServed    = "vfps_transport_served_total"
+	metricServeSecs = "vfps_transport_serve_seconds"
+)
+
+// DeclareMetrics pre-declares the transport metric families on reg, so a
+// freshly started process exposes the full metric surface (HELP/TYPE lines)
+// before any traffic flows. Safe to call more than once; a nil registry is a
+// no-op.
+func DeclareMetrics(reg *obs.Registry) {
+	clientFamilies(reg)
+	serverFamilies(reg)
+}
+
+// instruments is the resolved client-side metric set plus the tracer. It is
+// installed atomically via SetObserver; a nil *instruments (the default)
+// costs one pointer load per call.
+type instruments struct {
+	kind    string // transport label value: "memory" or "tcp"
+	tracer  *obs.Tracer
+	calls   *obs.CounterVec
+	errors  *obs.CounterVec
+	latency *obs.HistogramVec
+	reqB    *obs.HistogramVec
+	respB   *obs.HistogramVec
+}
+
+func clientFamilies(reg *obs.Registry) (calls, errors *obs.CounterVec, latency, reqB, respB *obs.HistogramVec) {
+	calls = reg.Counter(metricCalls, "RPC calls issued, by transport, peer and method.", "transport", "peer", "method")
+	errors = reg.Counter(metricErrors, "RPC calls that returned an error.", "transport", "peer", "method")
+	latency = reg.Histogram(metricLatency, "End-to-end RPC call latency in seconds.", obs.LatencyBuckets, "transport", "peer", "method")
+	reqB = reg.Histogram(metricReqBytes, "RPC request payload size in bytes.", obs.SizeBuckets, "transport", "peer", "method")
+	respB = reg.Histogram(metricRespBytes, "RPC response payload size in bytes.", obs.SizeBuckets, "transport", "peer", "method")
+	return
+}
+
+func serverFamilies(reg *obs.Registry) (served *obs.CounterVec, secs *obs.HistogramVec) {
+	served = reg.Counter(metricServed, "RPC requests served by the TCP server, by method.", "method")
+	secs = reg.Histogram(metricServeSecs, "Handler execution time on the TCP server in seconds.", obs.LatencyBuckets, "method")
+	return
+}
+
+// newInstruments resolves the client instrument set against an observer,
+// returning nil when the observer carries nothing to record into.
+func newInstruments(o *obs.Observer, kind string) *instruments {
+	if o.Registry() == nil && o.Tracer() == nil {
+		return nil
+	}
+	ins := &instruments{kind: kind, tracer: o.Tracer()}
+	ins.calls, ins.errors, ins.latency, ins.reqB, ins.respB = clientFamilies(o.Registry())
+	return ins
+}
+
+// record accounts one finished call. The latency histogram includes failed
+// calls (timeouts must be visible in tail latency); byte histograms record
+// only what actually crossed the wire.
+func (ins *instruments) record(peer, method string, reqLen, respLen int, start time.Time, err error) {
+	if ins == nil {
+		return
+	}
+	ins.calls.With(ins.kind, peer, method).Inc()
+	ins.latency.With(ins.kind, peer, method).ObserveSince(start)
+	ins.reqB.With(ins.kind, peer, method).Observe(float64(reqLen))
+	if err != nil {
+		ins.errors.With(ins.kind, peer, method).Inc()
+		return
+	}
+	ins.respB.With(ins.kind, peer, method).Observe(float64(respLen))
+}
+
+// span opens an "rpc" span as a child of any span already in ctx.
+func (ins *instruments) span(ctx context.Context, peer, method string) (context.Context, *obs.Span) {
+	if ins == nil || ins.tracer == nil {
+		return ctx, nil
+	}
+	ctx, sp := ins.tracer.Start(ctx, "rpc")
+	sp.SetLabel("peer", peer)
+	sp.SetLabel("method", method)
+	return ctx, sp
+}

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"vfps/internal/obs"
+)
+
+// runScript drives one fixed call sequence — two successes, one handler
+// error, one unknown method — against any Caller and returns the per-call
+// errors. Both transports must account it identically.
+func runScript(t *testing.T, c Caller, peer string) {
+	t.Helper()
+	if _, err := c.Call(context.Background(), peer, "echo", []byte("abcd")); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	if _, err := c.Call(context.Background(), peer, "upper", []byte("xy")); err != nil {
+		t.Fatalf("upper: %v", err)
+	}
+	if _, err := c.Call(context.Background(), peer, "fail", []byte("zzz")); err == nil {
+		t.Fatal("fail must error")
+	}
+	if _, err := c.Call(context.Background(), peer, "nope", nil); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+// TestStatsSymmetry pins the contract documented on Stats: the in-memory and
+// TCP transports increment the same counters on the same events, so cost
+// accounting (η) and error rates are transport-independent.
+func TestStatsSymmetry(t *testing.T) {
+	var m Memory
+	m.Register("peer", echoHandler)
+	runScript(t, &m, "peer")
+	mem := m.Stats().Snapshot()
+
+	_, cli := startTCP(t)
+	runScript(t, cli, "srv")
+	tcp := cli.Stats().Snapshot()
+
+	if mem != tcp {
+		t.Fatalf("stats diverge:\n  memory %+v\n  tcp    %+v", mem, tcp)
+	}
+	want := StatsSnapshot{CallsSent: 4, BytesSent: 4 + 2 + 3 + 0, BytesReceived: 4 + 2, Errors: 2}
+	if mem != want {
+		t.Fatalf("stats = %+v, want %+v", mem, want)
+	}
+}
+
+// TestTransportMetrics runs the script on both observed transports and
+// asserts the metric families agree on call, error, and latency-sample
+// counts, with only the transport label differing.
+func TestTransportMetrics(t *testing.T) {
+	script := func(install func(o *obs.Observer) Caller, peer string) *obs.Registry {
+		o := obs.NewObserver(64)
+		DeclareMetrics(o.Registry())
+		c := install(o)
+		runScript(t, c, peer)
+		return o.Registry()
+	}
+
+	check := func(reg *obs.Registry, transportLabel, peer string) {
+		t.Helper()
+		fams := map[string]obs.FamilySnapshot{}
+		for _, f := range reg.Snapshot() {
+			fams[f.Name] = f
+		}
+		total := func(name string) float64 {
+			var tot float64
+			for _, s := range fams[name].Series {
+				if s.Labels["transport"] == transportLabel {
+					tot += s.Value
+				}
+			}
+			return tot
+		}
+		if got := total("vfps_transport_calls_total"); got != 4 {
+			t.Fatalf("%s calls = %g, want 4", transportLabel, got)
+		}
+		if got := total("vfps_transport_errors_total"); got != 2 {
+			t.Fatalf("%s errors = %g, want 2", transportLabel, got)
+		}
+		// Latency is observed for every call, including failures.
+		if got := total("vfps_transport_call_seconds"); got != 4 {
+			t.Fatalf("%s latency samples = %g, want 4", transportLabel, got)
+		}
+		// Response sizes are success-only.
+		if got := total("vfps_transport_response_bytes"); got != 2 {
+			t.Fatalf("%s response samples = %g, want 2", transportLabel, got)
+		}
+		for _, s := range fams["vfps_transport_calls_total"].Series {
+			if s.Labels["peer"] != peer {
+				t.Fatalf("%s peer label = %q, want %q", transportLabel, s.Labels["peer"], peer)
+			}
+		}
+	}
+
+	memReg := script(func(o *obs.Observer) Caller {
+		var m Memory
+		m.Register("peer", echoHandler)
+		m.SetObserver(o)
+		return &m
+	}, "peer")
+	check(memReg, "memory", "peer")
+
+	tcpReg := script(func(o *obs.Observer) Caller {
+		_, cli := startTCP(t)
+		cli.SetObserver(o)
+		return cli
+	}, "srv")
+	check(tcpReg, "tcp", "srv")
+}
+
+// TestTCPServerMetrics asserts the serving side records one sample per
+// request with per-method labels.
+func TestTCPServerMetrics(t *testing.T) {
+	o := obs.NewObserver(64)
+	DeclareMetrics(o.Registry())
+	srv, cli := startTCP(t)
+	srv.SetObserver(o)
+	runScript(t, cli, "srv")
+
+	var served float64
+	for _, f := range o.Registry().Snapshot() {
+		if f.Name != "vfps_transport_served_total" {
+			continue
+		}
+		methods := map[string]bool{}
+		for _, s := range f.Series {
+			served += s.Value
+			methods[s.Labels["method"]] = true
+		}
+		for _, m := range []string{"echo", "upper", "fail", "nope"} {
+			if !methods[m] {
+				t.Fatalf("served_total missing method %q (have %v)", m, methods)
+			}
+		}
+	}
+	if served != 4 {
+		t.Fatalf("served_total = %g, want 4", served)
+	}
+}
+
+// TestMetricsPrometheusExport sanity-checks the declared transport families
+// render as valid exposition text even before traffic.
+func TestMetricsPrometheusExport(t *testing.T) {
+	reg := obs.New()
+	DeclareMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"vfps_transport_calls_total",
+		"vfps_transport_errors_total",
+		"vfps_transport_call_seconds",
+		"vfps_transport_request_bytes",
+		"vfps_transport_response_bytes",
+		"vfps_transport_served_total",
+		"vfps_transport_serve_seconds",
+	} {
+		if !strings.Contains(b.String(), "# TYPE "+fam+" ") {
+			t.Fatalf("missing family %s in:\n%s", fam, b.String())
+		}
+	}
+}

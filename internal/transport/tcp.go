@@ -8,7 +8,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"vfps/internal/obs"
 )
 
 // Wire format, both directions, all integers big-endian:
@@ -30,6 +33,19 @@ type TCPServer struct {
 	mu      sync.Mutex
 	closed  bool
 	conns   map[net.Conn]struct{}
+
+	served    *obs.CounterVec
+	serveSecs *obs.HistogramVec
+	obsOn     atomic.Bool
+}
+
+// SetObserver installs per-method served-request counters and handler
+// latency histograms on the server side.
+func (s *TCPServer) SetObserver(o *obs.Observer) {
+	s.mu.Lock()
+	s.served, s.serveSecs = serverFamilies(o.Registry())
+	s.mu.Unlock()
+	s.obsOn.Store(o.Registry() != nil)
 }
 
 // ListenTCP starts serving handler on addr (e.g. "127.0.0.1:0") and returns
@@ -81,7 +97,15 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
+		start := time.Now()
 		resp, herr := s.handler(context.Background(), method, body)
+		if s.obsOn.Load() {
+			s.mu.Lock()
+			served, secs := s.served, s.serveSecs
+			s.mu.Unlock()
+			served.With(method).Inc()
+			secs.With(method).ObserveSince(start)
+		}
 		if werr := writeResponse(conn, resp, herr); werr != nil {
 			return
 		}
@@ -113,7 +137,14 @@ type TCPClient struct {
 	mu        sync.Mutex
 	pools     map[string][]net.Conn
 	stats     Stats
+	ins       atomic.Pointer[instruments]
 	closed    bool
+}
+
+// SetObserver installs metrics and tracing on the client: the same per-peer
+// and per-method families as the Memory transport, labelled transport="tcp".
+func (c *TCPClient) SetObserver(o *obs.Observer) {
+	c.ins.Store(newInstruments(o, "tcp"))
 }
 
 // NewTCPClient builds a client over a name→"host:port" directory.
@@ -164,6 +195,23 @@ func (c *TCPClient) putConn(peer string, conn net.Conn) {
 // Call implements Caller over TCP. A context deadline, if set, bounds the
 // whole exchange.
 func (c *TCPClient) Call(ctx context.Context, peer, method string, req []byte) ([]byte, error) {
+	c.stats.CallsSent.Add(1)
+	c.stats.BytesSent.Add(int64(len(req)))
+	ins := c.ins.Load()
+	start := time.Now()
+	_, sp := ins.span(ctx, peer, method)
+	resp, err := c.exchange(ctx, peer, method, req)
+	ins.record(peer, method, len(req), len(resp), start, err)
+	sp.End()
+	if err != nil {
+		c.stats.Errors.Add(1)
+		return nil, err
+	}
+	c.stats.BytesReceived.Add(int64(len(resp)))
+	return resp, nil
+}
+
+func (c *TCPClient) exchange(ctx context.Context, peer, method string, req []byte) ([]byte, error) {
 	conn, err := c.getConn(peer)
 	if err != nil {
 		return nil, err
@@ -177,8 +225,6 @@ func (c *TCPClient) Call(ctx context.Context, peer, method string, req []byte) (
 		conn.Close()
 		return nil, err
 	}
-	c.stats.CallsSent.Add(1)
-	c.stats.BytesSent.Add(int64(len(req)))
 	if err := writeRequest(conn, method, req); err != nil {
 		conn.Close()
 		return nil, err
@@ -189,7 +235,6 @@ func (c *TCPClient) Call(ctx context.Context, peer, method string, req []byte) (
 		return nil, err
 	}
 	c.putConn(peer, conn)
-	c.stats.BytesReceived.Add(int64(len(resp)))
 	if rerr != nil {
 		return nil, rerr
 	}

@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"vfps/internal/obs"
 )
 
 // Handler processes one request addressed to a node and returns the response
@@ -29,16 +32,35 @@ type Caller interface {
 }
 
 // Stats counts traffic through a transport endpoint; the cost model uses
-// these to account communication (η in the paper's cost analysis).
+// these to account communication (η in the paper's cost analysis). Both
+// transports record the same counters on the same events: CallsSent and
+// BytesSent when a call is dispatched (even if it subsequently fails),
+// BytesReceived when a successful response arrives, and Errors whenever Call
+// returns a non-nil error — so error rate is Errors/CallsSent on any
+// transport.
 type Stats struct {
 	CallsSent     atomic.Int64
 	BytesSent     atomic.Int64
 	BytesReceived atomic.Int64
+	Errors        atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of the counters.
+type StatsSnapshot struct {
+	CallsSent     int64
+	BytesSent     int64
+	BytesReceived int64
+	Errors        int64
 }
 
 // Snapshot returns a plain-value copy of the counters.
-func (s *Stats) Snapshot() (calls, sent, received int64) {
-	return s.CallsSent.Load(), s.BytesSent.Load(), s.BytesReceived.Load()
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		CallsSent:     s.CallsSent.Load(),
+		BytesSent:     s.BytesSent.Load(),
+		BytesReceived: s.BytesReceived.Load(),
+		Errors:        s.Errors.Load(),
+	}
 }
 
 // ErrUnknownPeer reports a Call to a peer that is not registered.
@@ -53,9 +75,18 @@ type Memory struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	stats    Stats
+	ins      atomic.Pointer[instruments]
 	// FailPeer, when non-empty, makes calls to that peer fail with
 	// ErrInjectedFailure — used by failure-injection tests.
 	failPeer atomic.Value // string
+}
+
+// SetObserver installs metrics and tracing on the transport: per-peer and
+// per-method call counters, latency and payload-size histograms, plus an
+// "rpc" span per call when the observer carries a tracer. A nil observer
+// restores the no-op default.
+func (m *Memory) SetObserver(o *obs.Observer) {
+	m.ins.Store(newInstruments(o, "memory"))
 }
 
 // ErrInjectedFailure is returned for peers marked faulty via InjectFailure.
@@ -78,6 +109,23 @@ func (m *Memory) InjectFailure(peer string) { m.failPeer.Store(peer) }
 
 // Call dispatches directly to the registered handler.
 func (m *Memory) Call(ctx context.Context, peer, method string, req []byte) ([]byte, error) {
+	m.stats.CallsSent.Add(1)
+	m.stats.BytesSent.Add(int64(len(req)))
+	ins := m.ins.Load()
+	start := time.Now()
+	ctx, sp := ins.span(ctx, peer, method)
+	resp, err := m.dispatch(ctx, peer, method, req)
+	ins.record(peer, method, len(req), len(resp), start, err)
+	sp.End()
+	if err != nil {
+		m.stats.Errors.Add(1)
+		return nil, err
+	}
+	m.stats.BytesReceived.Add(int64(len(resp)))
+	return resp, nil
+}
+
+func (m *Memory) dispatch(ctx context.Context, peer, method string, req []byte) ([]byte, error) {
 	if fp, _ := m.failPeer.Load().(string); fp != "" && fp == peer {
 		return nil, fmt.Errorf("calling %s: %w", peer, ErrInjectedFailure)
 	}
@@ -90,14 +138,7 @@ func (m *Memory) Call(ctx context.Context, peer, method string, req []byte) ([]b
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	m.stats.CallsSent.Add(1)
-	m.stats.BytesSent.Add(int64(len(req)))
-	resp, err := h(ctx, method, req)
-	if err != nil {
-		return nil, err
-	}
-	m.stats.BytesReceived.Add(int64(len(resp)))
-	return resp, nil
+	return h(ctx, method, req)
 }
 
 // Stats exposes the traffic counters.

@@ -80,9 +80,9 @@ func TestMemoryStats(t *testing.T) {
 	if _, err := m.Call(context.Background(), "n", "echo", []byte("abcd")); err != nil {
 		t.Fatal(err)
 	}
-	calls, sent, recv := m.Stats().Snapshot()
-	if calls != 1 || sent != 4 || recv != 4 {
-		t.Fatalf("stats %d/%d/%d", calls, sent, recv)
+	s := m.Stats().Snapshot()
+	if s.CallsSent != 1 || s.BytesSent != 4 || s.BytesReceived != 4 || s.Errors != 0 {
+		t.Fatalf("stats %+v", s)
 	}
 }
 
@@ -263,9 +263,9 @@ func TestTCPStats(t *testing.T) {
 	if _, err := cli.Call(context.Background(), "srv", "echo", []byte("12345")); err != nil {
 		t.Fatal(err)
 	}
-	calls, sent, recv := cli.Stats().Snapshot()
-	if calls != 1 || sent != 5 || recv != 5 {
-		t.Fatalf("stats %d/%d/%d", calls, sent, recv)
+	s := cli.Stats().Snapshot()
+	if s.CallsSent != 1 || s.BytesSent != 5 || s.BytesReceived != 5 || s.Errors != 0 {
+		t.Fatalf("stats %+v", s)
 	}
 }
 

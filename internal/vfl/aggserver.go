@@ -7,6 +7,7 @@ import (
 
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
+	"vfps/internal/obs"
 	"vfps/internal/par"
 	"vfps/internal/transport"
 )
@@ -21,6 +22,7 @@ import (
 // ciphertext vectors are tree-reduced with a chunked worker pool; see
 // SetParallelism.
 type AggServer struct {
+	roleObs
 	caller      transport.Caller
 	parties     []string // node names of the participants
 	scheme      he.Scheme
@@ -56,6 +58,13 @@ func (a *AggServer) SetParallelism(n int) {
 
 // Counts exposes the server's operation counters.
 func (a *AggServer) Counts() costmodel.Raw { return a.counts.Snapshot() }
+
+// SetObserver installs metrics and tracing on the server: aggregation-phase
+// spans and cost-model gauges labelled {instance, role="aggserver"}.
+func (a *AggServer) SetObserver(o *obs.Observer, instance string) {
+	a.store(o)
+	a.counts.Register(o.Registry(), instance, AggServerName)
+}
 
 // Handler returns the server's RPC handler.
 func (a *AggServer) Handler() transport.Handler {
@@ -154,6 +163,9 @@ func (a *AggServer) reduceVectors(ctx context.Context, vecs [][][]byte) ([][]byt
 	if p == 1 {
 		return vecs[0], nil
 	}
+	ctx, rsp := a.tracer().Start(ctx, SpanReduce)
+	rsp.SetLabelInt("n", int64(len(vecs[0])))
+	defer rsp.End()
 	adds := 0
 	for span := 1; span < p; span *= 2 {
 		for lo := 0; lo+span < p; lo += 2 * span {
@@ -179,6 +191,9 @@ func (a *AggServer) reduceVectors(ctx context.Context, vecs [][][]byte) ([][]byt
 // aggregateCandidates pulls every party's encrypted partial distances for
 // the given pseudo IDs concurrently and sums them element-wise.
 func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int) ([][]byte, error) {
+	ctx, asp := a.tracer().Start(ctx, SpanAggregate)
+	asp.SetLabelInt("candidates", int64(len(pseudoIDs)))
+	defer asp.End()
 	vecs := make([][][]byte, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
 		raw, err := a.caller.Call(ctx, party, MethodEncryptCandidates,
@@ -205,6 +220,8 @@ func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoID
 // aggregateFrontier sums the parties' encrypted scores at one scan rank —
 // the encrypted Threshold-Algorithm bound τ.
 func (a *AggServer) aggregateFrontier(ctx context.Context, r AggregateFrontierReq) ([]byte, error) {
+	ctx, fsp := a.tracer().Start(ctx, SpanFrontier)
+	defer fsp.End()
 	singles := make([][][]byte, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
 		raw, err := a.caller.Call(ctx, party, MethodEncryptRankScore,
@@ -237,6 +254,8 @@ func (a *AggServer) aggregateFrontier(ctx context.Context, r AggregateFrontierRe
 // collectAll implements the BASE variant: pull every participant's full
 // encrypted partial-distance vector concurrently and sum them per pseudo ID.
 func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, error) {
+	ctx, csp := a.tracer().Start(ctx, SpanCollectAll)
+	defer csp.End()
 	pidSets := make([][]int, len(a.parties))
 	vecs := make([][][]byte, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
@@ -289,6 +308,8 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 	if r.Batch <= 0 {
 		return nil, fmt.Errorf("vfl: batch=%d must be positive", r.Batch)
 	}
+	ctx, fsp := a.tracer().Start(ctx, SpanFagin)
+	defer fsp.End()
 	p := len(a.parties)
 	seenCount := map[int]int{}
 	var candidates []int // in first-seen order
@@ -347,6 +368,8 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 	}
 	stats.ScanDepth = depth
 	stats.Candidates = len(candidates)
+	fsp.SetLabelInt("rounds", int64(stats.Rounds))
+	fsp.SetLabelInt("candidates", int64(stats.Candidates))
 
 	// Random-access phase: encrypted partial distances for candidates only.
 	agg, err := a.aggregateCandidates(ctx, r.Query, candidates)

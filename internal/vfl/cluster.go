@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"vfps/internal/costmodel"
 	"vfps/internal/dataset"
 	"vfps/internal/he"
 	"vfps/internal/mat"
+	"vfps/internal/obs"
 	"vfps/internal/transport"
 )
 
@@ -35,6 +37,14 @@ type ClusterConfig struct {
 	// randomizers (0 → a default when Parallelism != 1; negative disables).
 	// Ignored by the other schemes.
 	RandomizerPool int
+	// Obs installs metrics and tracing on the transport, every role and the
+	// HE schemes. Nil falls back to the process-wide default observer
+	// (obs.SetDefault); when that is also unset, observability stays fully
+	// disabled at no measurable cost.
+	Obs *obs.Observer
+	// Instance labels this cluster's metric series so several consortiums
+	// can share one registry (default "local").
+	Instance string
 }
 
 // Cluster is a fully wired in-process deployment: key server, aggregation
@@ -50,7 +60,12 @@ type Cluster struct {
 	pubScheme   he.Scheme
 	privScheme  he.Scheme
 	parallelism int
+	observer    *obs.Observer
+	instance    string
 }
+
+// Observer returns the cluster's observer (nil when observability is off).
+func (c *Cluster) Observer() *obs.Observer { return c.observer }
 
 // configureScheme applies the cluster parallelism settings to an HE scheme;
 // only Paillier has tunables today. A randomizer pool is started unless the
@@ -95,7 +110,18 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.KeyBits == 0 {
 		cfg.KeyBits = 512
 	}
+	o := cfg.Obs.Or(obs.Default())
+	instance := cfg.Instance
+	if instance == "" {
+		instance = "local"
+	}
+	if reg := o.Registry(); reg != nil {
+		transport.DeclareMetrics(reg)
+		he.DeclareMetrics(reg)
+		costmodel.DeclareMetrics(reg)
+	}
 	tr := &transport.Memory{}
+	tr.SetObserver(o)
 	var ks *KeyServer
 	var err error
 	switch cfg.Scheme {
@@ -123,6 +149,9 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	configureScheme(pubScheme, cfg.Parallelism, cfg.RandomizerPool)
+	if ob, ok := pubScheme.(he.Observable); ok {
+		ob.SetObserver(o.Registry(), instance+"/public")
+	}
 	p := cfg.Partition.P()
 	partyNames := make([]string, p)
 	parties := make([]*Participant, p)
@@ -132,6 +161,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		part.SetParallelism(cfg.Parallelism)
+		part.SetObserver(o, instance)
 		parties[i] = part
 		partyNames[i] = PartyName(i)
 		tr.Register(partyNames[i], part.Handler())
@@ -141,6 +171,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	agg.SetParallelism(cfg.Parallelism)
+	agg.SetObserver(o, instance)
 	tr.Register(AggServerName, agg.Handler())
 
 	privScheme, err := FetchPrivateScheme(ctx, tr, KeyServerName)
@@ -149,11 +180,15 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	}
 	// The leader decrypts but never bulk-encrypts, so it gets no pool.
 	configureScheme(privScheme, cfg.Parallelism, -1)
+	if ob, ok := privScheme.(he.Observable); ok {
+		ob.SetObserver(o.Registry(), instance+"/leader")
+	}
 	leader, err := NewLeader(tr, AggServerName, partyNames, privScheme, cfg.Batch)
 	if err != nil {
 		return nil, err
 	}
 	leader.SetParallelism(cfg.Parallelism)
+	leader.SetObserver(o, instance)
 	return &Cluster{
 		Transport:   tr,
 		Leader:      leader,
@@ -164,6 +199,8 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		pubScheme:   pubScheme,
 		privScheme:  privScheme,
 		parallelism: cfg.Parallelism,
+		observer:    o,
+		instance:    instance,
 	}, nil
 }
 
@@ -184,6 +221,7 @@ func (c *Cluster) AddParticipant(x *mat.Matrix) (string, error) {
 		return "", err
 	}
 	part.SetParallelism(c.parallelism)
+	part.SetObserver(c.observer, c.instance)
 	name := PartyName(index)
 	c.Transport.Register(name, part.Handler())
 	c.Parties = append(c.Parties, part)

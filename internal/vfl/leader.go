@@ -8,6 +8,7 @@ import (
 
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
+	"vfps/internal/obs"
 	"vfps/internal/topk"
 	"vfps/internal/transport"
 )
@@ -36,6 +37,7 @@ const (
 // determines the k nearest neighbours, and accumulates the pairwise
 // participant similarities w(p,s) that feed submodular selection.
 type Leader struct {
+	roleObs
 	caller      transport.Caller
 	agg         string
 	parties     []string
@@ -65,6 +67,13 @@ func NewLeader(caller transport.Caller, aggNode string, parties []string, scheme
 
 // Counts exposes the leader's operation counters.
 func (l *Leader) Counts() costmodel.Raw { return l.counts.Snapshot() }
+
+// SetObserver installs metrics and tracing on the leader: per-query protocol
+// spans and cost-model gauges labelled {instance, role="leader"}.
+func (l *Leader) SetObserver(o *obs.Observer, instance string) {
+	l.store(o)
+	l.counts.Register(o.Registry(), instance, "leader")
+}
 
 // SetParallelism pins the leader's party fan-out concurrency: 1 restores the
 // serial loops, <= 0 restores the default degree. Vector decryption
@@ -97,6 +106,10 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 	if k <= 0 {
 		return nil, fmt.Errorf("vfl: k=%d must be positive", k)
 	}
+	ctx, qsp := l.tracer().Start(ctx, SpanQuery)
+	qsp.SetLabel("variant", string(variant))
+	qsp.SetLabelInt("k", int64(k))
+	defer qsp.End()
 	var pids []int
 	var ciphers [][]byte
 	var dist []float64
@@ -142,7 +155,10 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 	// Decrypt complete distances for the candidates and take the k nearest
 	// (the Threshold variant arrives pre-decrypted).
 	if dist == nil {
-		dist, err := he.DecryptVec(ctx, l.scheme, ciphers)
+		dctx, dsp := l.tracer().Start(ctx, SpanDecrypt)
+		dsp.SetLabelInt("n", int64(len(ciphers)))
+		dist, err := he.DecryptVec(dctx, l.scheme, ciphers)
+		dsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("vfl: leader decrypting: %w", err)
 		}
@@ -162,6 +178,8 @@ func (l *Leader) finishQuery(ctx context.Context, query, k int, pids []int, dist
 		neighbors[i] = pids[idx]
 	}
 
+	nctx, nsp := l.tracer().Start(ctx, SpanNeighborSums)
+	ctx = nctx
 	sums := make([]float64, len(l.parties))
 	err := l.fanOut(ctx, func(pi int, party string) error {
 		raw, err := l.caller.Call(ctx, party, MethodNeighborSum,
@@ -176,6 +194,7 @@ func (l *Leader) finishQuery(ctx context.Context, query, k int, pids []int, dist
 		sums[pi] = resp.Sum
 		return nil
 	})
+	nsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +243,8 @@ func (l *Leader) fanOut(ctx context.Context, fn func(pi int, party string) error
 // every newly seen candidate, and an encrypted frontier bound τ per batch.
 // Returns the candidate pseudo IDs with their decrypted complete distances.
 func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []float64, FaginStats, error) {
+	ctx, tsp := l.tracer().Start(ctx, SpanTAScan)
+	defer tsp.End()
 	var stats FaginStats
 	seen := make(map[int]bool)
 	var pids []int

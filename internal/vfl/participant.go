@@ -10,6 +10,7 @@ import (
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
 	"vfps/internal/mat"
+	"vfps/internal/obs"
 	"vfps/internal/par"
 	"vfps/internal/transport"
 )
@@ -23,6 +24,7 @@ func PartyName(p int) string { return fmt.Sprintf("party/%d", p) }
 // permutation without the servers ever learning it (identity security,
 // §IV-C).
 type Participant struct {
+	roleObs
 	index  int
 	x      *mat.Matrix // N × F_p local features
 	scheme he.Scheme
@@ -102,6 +104,13 @@ func (p *Participant) Features() int { return p.x.Cols }
 // Counts exposes the participant's operation counters.
 func (p *Participant) Counts() costmodel.Raw { return p.counts.Snapshot() }
 
+// SetObserver installs metrics and tracing on the participant: distance and
+// encryption spans plus cost-model gauges labelled {instance, role="party/i"}.
+func (p *Participant) SetObserver(o *obs.Observer, instance string) {
+	p.store(o)
+	p.counts.Register(o.Registry(), instance, PartyName(p.index))
+}
+
 // SetParallelism pins the participant's encryption concurrency: 1 restores
 // the serial loop, <= 0 restores the default degree.
 func (p *Participant) SetParallelism(n int) {
@@ -127,6 +136,9 @@ func (p *Participant) encryptValue(domain byte, query, key int, v float64) ([]by
 // and keeps order-dependent schemes serial. ctx is polled per chunk so a
 // dead client stops the encryption sweep early.
 func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, vals []float64) ([][]byte, error) {
+	ctx, esp := p.tracer().Start(ctx, SpanEncrypt)
+	esp.SetLabelInt("n", int64(len(pids)))
+	defer esp.End()
 	if cs, ok := p.scheme.(he.Contextual); ok {
 		out := make([][]byte, len(pids))
 		err := par.For(ctx, len(pids), p.parallelism, func(i int) error {
@@ -148,7 +160,7 @@ func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, v
 // distances returns the cached per-query artefacts, computing them on first
 // use. The query itself is excluded from the ranking (a KNN query drawn from
 // the dataset is its own 0-distance neighbour).
-func (p *Participant) distances(query int) (*queryCache, error) {
+func (p *Participant) distances(ctx context.Context, query int) (*queryCache, error) {
 	if query < 0 || query >= p.N() {
 		return nil, fmt.Errorf("vfl: query %d out of range [0,%d)", query, p.N())
 	}
@@ -160,6 +172,9 @@ func (p *Participant) distances(query int) (*queryCache, error) {
 	p.mu.Unlock()
 	// Compute outside the lock so concurrent queries for different samples
 	// proceed in parallel; a rare duplicate computation is harmless.
+	_, dsp := p.tracer().Start(ctx, SpanDistances)
+	dsp.SetLabelInt("party", int64(p.index))
+	defer dsp.End()
 	n := p.N()
 	qRow := p.x.Row(query)
 	dist := make([]float64, n)
@@ -214,7 +229,7 @@ func (p *Participant) Handler() transport.Handler {
 			if err := transport.DecodeGob(req, &r); err != nil {
 				return nil, err
 			}
-			return p.rankingBatch(r)
+			return p.rankingBatch(ctx, r)
 		case MethodEncryptAll:
 			var r EncryptAllReq
 			if err := transport.DecodeGob(req, &r); err != nil {
@@ -232,13 +247,13 @@ func (p *Participant) Handler() transport.Handler {
 			if err := transport.DecodeGob(req, &r); err != nil {
 				return nil, err
 			}
-			return p.encryptRankScore(r)
+			return p.encryptRankScore(ctx, r)
 		case MethodNeighborSum:
 			var r NeighborSumReq
 			if err := transport.DecodeGob(req, &r); err != nil {
 				return nil, err
 			}
-			return p.neighborSum(r)
+			return p.neighborSum(ctx, r)
 		case MethodCounts:
 			return transport.EncodeGob(CountsResp{Counts: p.counts.Snapshot()})
 		case MethodResetCounts:
@@ -250,11 +265,11 @@ func (p *Participant) Handler() transport.Handler {
 	}
 }
 
-func (p *Participant) rankingBatch(r RankingBatchReq) ([]byte, error) {
+func (p *Participant) rankingBatch(ctx context.Context, r RankingBatchReq) ([]byte, error) {
 	if r.Count <= 0 {
 		return nil, fmt.Errorf("vfl: ranking batch count %d must be positive", r.Count)
 	}
-	qc, err := p.distances(r.Query)
+	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +286,7 @@ func (p *Participant) rankingBatch(r RankingBatchReq) ([]byte, error) {
 }
 
 func (p *Participant) encryptAll(ctx context.Context, r EncryptAllReq) ([]byte, error) {
-	qc, err := p.distances(r.Query)
+	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +315,7 @@ func (p *Participant) encryptAll(ctx context.Context, r EncryptAllReq) ([]byte, 
 }
 
 func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidatesReq) ([]byte, error) {
-	qc, err := p.distances(r.Query)
+	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -325,8 +340,8 @@ func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidates
 	return transport.EncodeGob(EncryptCandidatesResp{Ciphers: ciphers})
 }
 
-func (p *Participant) encryptRankScore(r EncryptRankScoreReq) ([]byte, error) {
-	qc, err := p.distances(r.Query)
+func (p *Participant) encryptRankScore(ctx context.Context, r EncryptRankScoreReq) ([]byte, error) {
+	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -353,8 +368,8 @@ func (p *Participant) encryptRankScore(r EncryptRankScoreReq) ([]byte, error) {
 	return transport.EncodeGob(EncryptRankScoreResp{Cipher: c})
 }
 
-func (p *Participant) neighborSum(r NeighborSumReq) ([]byte, error) {
-	qc, err := p.distances(r.Query)
+func (p *Participant) neighborSum(ctx context.Context, r NeighborSumReq) ([]byte, error) {
+	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
 	}

@@ -102,7 +102,7 @@ func TestTranscriptDoesNotLeakPlaintextDistances(t *testing.T) {
 				t.Fatal(err)
 			}
 			// The secrets: party 0's true partial distances for this query.
-			qc, err := cl.Parties[0].distances(query)
+			qc, err := cl.Parties[0].distances(context.Background(), query)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -136,7 +136,7 @@ func TestTranscriptDetectorFindsPlainLeaks(t *testing.T) {
 	if _, err := cl.Leader.Similarities(ctx, []int{query}, 4, VariantBase); err != nil {
 		t.Fatal(err)
 	}
-	qc, err := cl.Parties[0].distances(query)
+	qc, err := cl.Parties[0].distances(context.Background(), query)
 	if err != nil {
 		t.Fatal(err)
 	}

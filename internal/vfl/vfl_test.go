@@ -343,7 +343,7 @@ func TestIdentitySecurityPseudoIDs(t *testing.T) {
 	_, pt := testPartition(t, "Rice", 50, 2)
 	cl := newCluster(t, pt, "plain")
 	party := cl.Parties[0]
-	qc, err := party.distances(0)
+	qc, err := party.distances(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -604,7 +604,7 @@ func TestParticipantCacheEviction(t *testing.T) {
 	party := cl.Parties[0]
 	// Touch more queries than the cache holds.
 	for q := 0; q < cacheLimit+10; q++ {
-		if _, err := party.distances(q); err != nil {
+		if _, err := party.distances(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -615,7 +615,7 @@ func TestParticipantCacheEviction(t *testing.T) {
 		t.Fatalf("cache grew to %d entries (limit %d)", size, cacheLimit)
 	}
 	// Evicted entries must still be recomputable.
-	if _, err := party.distances(0); err != nil {
+	if _, err := party.distances(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -660,7 +660,7 @@ func TestSecAggHidesValuesFromServer(t *testing.T) {
 	if err := transport.DecodeGob(raw, &resp); err != nil {
 		t.Fatal(err)
 	}
-	qc, err := party.distances(0)
+	qc, err := party.distances(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end observability smoke test.
+#
+# Builds vfpsserve, starts it on a loopback port, drives one encrypted
+# selection through the API, then asserts the /metrics exposition carries
+# every wired family (transport histograms, HE counters, cost-model gauges)
+# and that /metrics.json, /v1/trace and /debug/vars respond. Exits non-zero
+# on the first failed assertion.
+set -euo pipefail
+
+PORT="${OBS_SMOKE_PORT:-18974}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+BIN="$(mktemp -d)/vfpsserve"
+LOG="$(mktemp)"
+
+cleanup() {
+    [[ -n "${SRV_PID:-}" ]] && kill "${SRV_PID}" 2>/dev/null || true
+    [[ -n "${SRV_PID:-}" ]] && wait "${SRV_PID}" 2>/dev/null || true
+    rm -f "${BIN}" "${LOG}"
+}
+trap cleanup EXIT
+
+echo "obs-smoke: building vfpsserve"
+go build -o "${BIN}" ./cmd/vfpsserve
+
+"${BIN}" -addr "${ADDR}" >"${LOG}" 2>&1 &
+SRV_PID=$!
+
+echo "obs-smoke: waiting for ${BASE}/healthz"
+for i in $(seq 1 50); do
+    if curl -sf "${BASE}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "${SRV_PID}" 2>/dev/null; then
+        echo "obs-smoke: server died during startup:" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -sf "${BASE}/healthz" >/dev/null
+
+echo "obs-smoke: driving one encrypted selection"
+ID=$(curl -sf -X POST "${BASE}/v1/consortiums" \
+    -d '{"dataset":"Rice","rows":150,"parties":3,"scheme":"paillier"}' \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[[ -n "${ID}" ]] || { echo "obs-smoke: consortium creation failed" >&2; exit 1; }
+curl -sf -X POST "${BASE}/v1/consortiums/${ID}/select" \
+    -d '{"count":2,"k":5,"numQueries":6,"seed":1}' >/dev/null
+
+echo "obs-smoke: scraping /metrics"
+METRICS=$(curl -sf "${BASE}/metrics")
+for family in \
+    vfps_transport_calls_total \
+    vfps_transport_errors_total \
+    vfps_transport_call_seconds \
+    vfps_transport_request_bytes \
+    vfps_transport_response_bytes \
+    vfps_he_ops_total \
+    vfps_he_op_seconds \
+    vfps_he_randomizer_pool_depth \
+    vfps_cost_ops \
+    vfps_http_requests_total; do
+    if ! grep -q "^# TYPE ${family} " <<<"${METRICS}"; then
+        echo "obs-smoke: /metrics missing family ${family}" >&2
+        exit 1
+    fi
+done
+# Traffic must actually have been recorded, not just declared.
+if ! grep -q "^vfps_he_ops_total{.*} [1-9]" <<<"${METRICS}"; then
+    echo "obs-smoke: no HE ops recorded after an encrypted selection" >&2
+    exit 1
+fi
+
+echo "obs-smoke: checking /metrics.json, /v1/trace, /debug/vars"
+curl -sf "${BASE}/metrics.json" | grep -q '"name"'
+curl -sf "${BASE}/v1/trace" | grep -q '"select.similarity"'
+curl -sf "${BASE}/debug/vars" | grep -q 'vfps_metrics'
+
+echo "obs-smoke: OK"

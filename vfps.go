@@ -36,6 +36,7 @@ import (
 	"vfps/internal/core"
 	"vfps/internal/costmodel"
 	"vfps/internal/dataset"
+	"vfps/internal/obs"
 	"vfps/internal/vfl"
 )
 
@@ -98,6 +99,13 @@ type Config struct {
 	// (VFPS_PARALLELISM or GOMAXPROCS). Selection results are identical at
 	// every setting; only wall-clock time changes.
 	Parallelism int
+	// Obs installs metrics and tracing on every role of the consortium. Nil
+	// falls back to the process default observer (obs.SetDefault); when that
+	// is also unset, observability stays disabled at no measurable cost.
+	Obs *obs.Observer
+	// Instance labels the consortium's metric series when several
+	// consortiums share one registry (default "local").
+	Instance string
 }
 
 // Consortium is a wired VFL deployment ready to run participant selection
@@ -131,6 +139,8 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		DPEpsilon:   cfg.DPEpsilon,
 		DPDelta:     cfg.DPDelta,
 		Parallelism: cfg.Parallelism,
+		Obs:         cfg.Obs,
+		Instance:    cfg.Instance,
 	})
 	if err != nil {
 		return nil, err
