@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench microbench experiments fuzz cover obs-smoke clean
+.PHONY: build test check race bench bench-packed microbench experiments fuzz cover obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ race:
 # randomizers, plus end-to-end selection) and record it for comparison.
 bench:
 	$(GO) run ./cmd/vfpsbench -exp parallel -json BENCH_parallel.json
+
+# Benchmark the batched Paillier hot path (CRT decryption, slot-packed
+# ciphertexts, packed end-to-end selection) and gate the result against the
+# checked-in baseline: identical selections, ≥4x fewer ciphertext bytes,
+# ≥3x CRT decrypt speedup, and no packed wall-clock regression.
+bench-packed:
+	$(GO) run ./cmd/vfpsbench -exp packed -json BENCH_packed.json
+	./scripts/bench_compare.sh BENCH_packed.json
 
 # Go-test microbenchmarks across all packages.
 microbench:

@@ -36,10 +36,13 @@ import (
 	"vfps/internal/vfl"
 )
 
-// tuneScheme applies the -parallelism flag to an HE scheme; only Paillier has
-// tunables. Parties that bulk-encrypt also get a randomizer pool unless the
-// node is pinned fully serial.
-func tuneScheme(s he.Scheme, parallelism int, pool bool) {
+// tuneScheme applies the -parallelism and -pack flags to an HE scheme; only
+// Paillier has tunables. Parties that bulk-encrypt also get a randomizer pool
+// unless the node is pinned fully serial. Packing must be set consistently on
+// every participant and the leader (the aggregation server validates the pack
+// factors it sees); maxAdds is the consortium size, matching the one-
+// ciphertext-per-party aggregation tree.
+func tuneScheme(s he.Scheme, parallelism int, pool, pack bool, maxAdds int) {
 	p, ok := s.(*he.Paillier)
 	if !ok {
 		return
@@ -47,6 +50,11 @@ func tuneScheme(s he.Scheme, parallelism int, pool bool) {
 	p.SetParallelism(parallelism)
 	if pool && parallelism != 1 {
 		p.StartRandomizerPool(4*p.Parallelism(), 1)
+	}
+	if pack {
+		if err := p.EnablePacking(maxAdds); err != nil {
+			fatal("enabling packing: %v", err)
+		}
 	}
 }
 
@@ -69,6 +77,7 @@ func main() {
 		batch       = flag.Int("batch", 32, "Fagin mini-batch size (role=leader)")
 		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
 		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
+		pack        = flag.Bool("pack", false, "slot-pack Paillier ciphertexts (set identically on all parties and the leader)")
 		obsAddr     = flag.String("obs-addr", "", "optional debug listen address serving /metrics, /v1/trace and /debug/pprof")
 	)
 	flag.Parse()
@@ -126,7 +135,7 @@ func main() {
 		if err != nil {
 			fatal("fetching public key: %v", err)
 		}
-		tuneScheme(pub, *parallelism, true)
+		tuneScheme(pub, *parallelism, true, *pack, pt.P())
 		observeScheme(pub, o, "party")
 		part, err := vfl.NewParticipant(*index, pt.Parties[*index], pub, *shuffleSeed)
 		if err != nil {
@@ -147,7 +156,7 @@ func main() {
 		if len(names) == 0 {
 			fatal("directory lists no party/<i> entries")
 		}
-		tuneScheme(pub, *parallelism, false)
+		tuneScheme(pub, *parallelism, false, false, 0) // agg only adds; packing config lives on parties and leader
 		observeScheme(pub, o, "aggserver")
 		agg, err := vfl.NewAggServer(cli, names, pub)
 		if err != nil {
@@ -164,9 +173,9 @@ func main() {
 		if err != nil {
 			fatal("fetching private key: %v", err)
 		}
-		tuneScheme(priv, *parallelism, false)
-		observeScheme(priv, o, "leader")
 		names := partyNames(dir)
+		tuneScheme(priv, *parallelism, false, *pack, len(names))
+		observeScheme(priv, o, "leader")
 		leader, err := vfl.NewLeader(cli, vfl.AggServerName, names, priv, *batch)
 		if err != nil {
 			fatal("%v", err)

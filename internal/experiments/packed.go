@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"runtime"
+	"time"
+
+	"vfps"
+	"vfps/internal/he"
+	"vfps/internal/paillier"
+	"vfps/internal/par"
+)
+
+// PackedCRT reports the CRT decryption microbenchmark: the same N-ciphertext
+// decryption run with the CRT fast path (two half-width exponentiations plus
+// Garner recombination) against the textbook λ/μ path, both fully serial so
+// the ratio isolates the arithmetic.
+type PackedCRT struct {
+	N    int
+	Bits int
+	// CRTSeconds and PlainSeconds time the serial decryption passes.
+	CRTSeconds   float64
+	PlainSeconds float64
+	// Speedup is PlainSeconds/CRTSeconds (≥ 3 expected at 1024-bit keys).
+	Speedup float64
+}
+
+// PackedWire reports the slot-packing wire microbenchmark: how many
+// ciphertexts and bytes N fixed-point values occupy scalar versus packed.
+type PackedWire struct {
+	N          int
+	Bits       int
+	PackFactor int
+	// Ciphertext counts and total marshalled bytes for the two encodings.
+	CiphertextsScalar int
+	CiphertextsPacked int
+	BytesScalar       int64
+	BytesPacked       int64
+	// ByteReduction is BytesScalar/BytesPacked (≈ the pack factor).
+	ByteReduction float64
+	// EncryptScalarSeconds/EncryptPackedSeconds wall-clock the two passes at
+	// the default parallelism: packing also cuts encryption work because
+	// every ciphertext costs one modular exponentiation regardless of how
+	// many slots it carries.
+	EncryptScalarSeconds float64
+	EncryptPackedSeconds float64
+	EncryptSpeedup       float64
+}
+
+// PackedE2E reports one scalar-vs-packed end-to-end selection pair under real
+// Paillier. SelectedMatch asserts the packing contract: the packed consortium
+// selects the exact same participants. Byte counters come from the protocol
+// cost model, so ByteReduction reflects real message payloads (pseudo-IDs and
+// stats included), not just ciphertext arithmetic.
+type PackedE2E struct {
+	Variant       string
+	ScalarSeconds float64
+	PackedSeconds float64
+	Speedup       float64
+	Selected      []int
+	SelectedMatch bool
+	BytesScalar   int64
+	BytesPacked   int64
+	ByteReduction float64
+}
+
+// PackedResult is the structured output of the packed-pipeline benchmark.
+type PackedResult struct {
+	GOMAXPROCS  int
+	Parallelism int
+	Rows        int
+	Queries     int
+	Parties     int
+	KeyBits     int
+	CRT         PackedCRT
+	Wire        PackedWire
+	EndToEnd    []PackedE2E
+	Table       *Table
+}
+
+// Packed benchmarks the batched Paillier hot path: CRT decryption against the
+// λ/μ baseline at N=1000 under 1024-bit keys, the ciphertext/byte footprint
+// of slot packing at the same size, and full BASE and SM (Fagin) selections
+// wall-clocked with packing off versus on. The selected sets must match
+// exactly; the byte reduction approaches the pack factor.
+func Packed(ctx context.Context, opt Options) (*PackedResult, error) {
+	return packedAt(ctx, opt, 1000, 1024, 512)
+}
+
+// packedAt is Packed with the microbenchmark size and key widths injectable
+// so unit tests can shrink them.
+func packedAt(ctx context.Context, opt Options, vecN, vecBits, e2eBits int) (*PackedResult, error) {
+	opt = opt.withDefaults()
+	res := &PackedResult{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: par.Degree(),
+		Parties:     opt.Parties,
+		KeyBits:     e2eBits,
+	}
+	res.Rows = opt.Rows
+	if res.Rows > 200 {
+		res.Rows = 200
+	}
+	res.Queries = opt.Queries
+	if res.Queries > 8 {
+		res.Queries = 8
+	}
+
+	if err := packedCRT(ctx, &res.CRT, vecN, vecBits); err != nil {
+		return nil, err
+	}
+	if err := packedWire(ctx, &res.Wire, opt, vecN, vecBits); err != nil {
+		return nil, err
+	}
+	for _, variant := range []string{"base", "fagin"} {
+		e2e, err := packedE2E(ctx, opt, res, variant)
+		if err != nil {
+			return nil, err
+		}
+		res.EndToEnd = append(res.EndToEnd, *e2e)
+	}
+
+	res.Table = packedTable(res)
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}
+
+// packedCRT times serial decryption of the same ciphertexts with and without
+// the CRT fast path. Both passes run at parallelism 1: worker pools would
+// measure the scheduler, not the arithmetic.
+func packedCRT(ctx context.Context, c *PackedCRT, n, bits int) error {
+	c.N, c.Bits = n, bits
+	key, err := paillier.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return err
+	}
+	ms := make([]*big.Int, n)
+	for i := range ms {
+		ms[i] = big.NewInt(int64(i%97) + 1)
+	}
+	cs, err := key.PublicKey.EncryptVec(ctx, rand.Reader, nil, ms, 0)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	if _, err := key.DecryptVec(ctx, cs, 1); err != nil {
+		return err
+	}
+	c.CRTSeconds = time.Since(start).Seconds()
+
+	plain := key.WithoutCRT()
+	start = time.Now()
+	if _, err := plain.DecryptVec(ctx, cs, 1); err != nil {
+		return err
+	}
+	c.PlainSeconds = time.Since(start).Seconds()
+	c.Speedup = speedup(c.PlainSeconds, c.CRTSeconds)
+	return nil
+}
+
+// packedWire encrypts the same N values scalar and packed on one scheme
+// instance and compares ciphertext counts, marshalled bytes and wall clock.
+func packedWire(ctx context.Context, w *PackedWire, opt Options, n, bits int) error {
+	w.N, w.Bits = n, bits
+	key, err := paillier.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return err
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i%97) / 97
+	}
+
+	p := he.NewPaillier(&key.PublicKey, nil)
+	start := time.Now()
+	scalarCS, err := p.EncryptVec(ctx, vals)
+	if err != nil {
+		return err
+	}
+	w.EncryptScalarSeconds = time.Since(start).Seconds()
+
+	if err := p.EnablePacking(opt.Parties); err != nil {
+		return err
+	}
+	w.PackFactor = p.PackFactor()
+	start = time.Now()
+	packedCS, err := p.EncryptPacked(ctx, vals)
+	if err != nil {
+		return err
+	}
+	w.EncryptPackedSeconds = time.Since(start).Seconds()
+
+	w.CiphertextsScalar = len(scalarCS)
+	w.CiphertextsPacked = len(packedCS)
+	for _, c := range scalarCS {
+		w.BytesScalar += int64(len(c))
+	}
+	for _, c := range packedCS {
+		w.BytesPacked += int64(len(c))
+	}
+	w.ByteReduction = speedup(float64(w.BytesScalar), float64(w.BytesPacked))
+	w.EncryptSpeedup = speedup(w.EncryptScalarSeconds, w.EncryptPackedSeconds)
+	return nil
+}
+
+// packedE2E wall-clocks one selection variant on a scalar consortium and a
+// packed one, then checks both selected identical participants and compares
+// total protocol bytes.
+func packedE2E(ctx context.Context, opt Options, res *PackedResult, variant string) (*PackedE2E, error) {
+	run := func(pack bool) (*vfps.Selection, error) {
+		d, err := vfps.GenerateDataset("Bank", res.Rows)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := vfps.VerticalSplit(d, res.Parties, opt.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		cons, err := vfps.NewConsortium(ctx, vfps.Config{
+			Partition:   pt,
+			Labels:      d.Y,
+			Classes:     d.Classes,
+			Scheme:      "paillier",
+			KeyBits:     res.KeyBits,
+			ShuffleSeed: opt.Seed + 303,
+			Pack:        pack,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer cons.Close()
+		return cons.Select(ctx, opt.SelectCount, vfps.SelectOptions{
+			K:          opt.K,
+			NumQueries: res.Queries,
+			Seed:       opt.Seed,
+			TopK:       variant,
+		})
+	}
+	scalar, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("%s scalar: %w", variant, err)
+	}
+	packed, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("%s packed: %w", variant, err)
+	}
+	e2e := &PackedE2E{
+		Variant:       variant,
+		ScalarSeconds: scalar.WallTime.Seconds(),
+		PackedSeconds: packed.WallTime.Seconds(),
+		Selected:      packed.Selected,
+		SelectedMatch: equalInts(scalar.Selected, packed.Selected),
+		BytesScalar:   scalar.Counts.BytesSent,
+		BytesPacked:   packed.Counts.BytesSent,
+	}
+	e2e.Speedup = speedup(e2e.ScalarSeconds, e2e.PackedSeconds)
+	e2e.ByteReduction = speedup(float64(e2e.BytesScalar), float64(e2e.BytesPacked))
+	return e2e, nil
+}
+
+func packedTable(r *PackedResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Batched Paillier hot path (GOMAXPROCS=%d, degree=%d, pack=%d)",
+			r.GOMAXPROCS, r.Parallelism, r.Wire.PackFactor),
+		Header: []string{"workload", "baseline", "batched", "gain"},
+	}
+	c := r.CRT
+	w := r.Wire
+	t.Rows = append(t.Rows,
+		[]string{fmt.Sprintf("Decrypt n=%d b=%d (λ/μ vs CRT)", c.N, c.Bits),
+			fmtSeconds(c.PlainSeconds), fmtSeconds(c.CRTSeconds),
+			fmt.Sprintf("%.2fx", c.Speedup)},
+		[]string{fmt.Sprintf("Wire bytes n=%d b=%d (S=%d)", w.N, w.Bits, w.PackFactor),
+			fmt.Sprintf("%d B", w.BytesScalar), fmt.Sprintf("%d B", w.BytesPacked),
+			fmt.Sprintf("%.2fx", w.ByteReduction)},
+		[]string{"Encrypt scalar vs packed",
+			fmtSeconds(w.EncryptScalarSeconds), fmtSeconds(w.EncryptPackedSeconds),
+			fmt.Sprintf("%.2fx", w.EncryptSpeedup)},
+	)
+	for _, e := range r.EndToEnd {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("selection %s n=%d q=%d (match=%v, %.2fx fewer bytes)",
+				e.Variant, r.Rows, r.Queries, e.SelectedMatch, e.ByteReduction),
+			fmtSeconds(e.ScalarSeconds), fmtSeconds(e.PackedSeconds),
+			fmt.Sprintf("%.2fx", e.Speedup),
+		})
+	}
+	return t
+}

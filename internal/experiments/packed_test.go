@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestPackedBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{
+		Rows:    60,
+		Queries: 4,
+		K:       3,
+		Parties: 3,
+		Seed:    1,
+		Out:     &buf,
+	}
+	// Shrunken kernel sizes: the real harness uses N=1000 at 1024-bit keys.
+	res, err := packedAt(context.Background(), opt, 32, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.CRT
+	if c.CRTSeconds <= 0 || c.PlainSeconds <= 0 || c.Speedup <= 0 {
+		t.Fatalf("missing CRT timings: %+v", c)
+	}
+	w := res.Wire
+	if w.PackFactor < 2 {
+		t.Fatalf("pack factor %d at %d-bit keys, want ≥ 2", w.PackFactor, w.Bits)
+	}
+	if w.CiphertextsPacked >= w.CiphertextsScalar {
+		t.Fatalf("packing did not reduce ciphertexts: %+v", w)
+	}
+	if w.ByteReduction <= 1 {
+		t.Fatalf("packing did not reduce bytes: %+v", w)
+	}
+	if len(res.EndToEnd) != 2 {
+		t.Fatalf("want base+fagin end-to-end rows, got %d", len(res.EndToEnd))
+	}
+	for _, e := range res.EndToEnd {
+		if !e.SelectedMatch {
+			t.Fatalf("%s: packed run selected a different set", e.Variant)
+		}
+		if e.BytesPacked >= e.BytesScalar {
+			t.Fatalf("%s: packed run sent %d bytes, scalar %d", e.Variant, e.BytesPacked, e.BytesScalar)
+		}
+		if len(e.Selected) == 0 || e.ScalarSeconds <= 0 || e.PackedSeconds <= 0 {
+			t.Fatalf("%s: incomplete row %+v", e.Variant, e)
+		}
+	}
+	if !strings.Contains(buf.String(), "Batched Paillier hot path") {
+		t.Fatalf("table not printed:\n%s", buf.String())
+	}
+}

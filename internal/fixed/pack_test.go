@@ -1,0 +1,242 @@
+package fixed
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+func mustPacker(t testing.TB, usable, valueBits uint, maxAdds int) *Packer {
+	t.Helper()
+	p, err := NewPacker(usable, valueBits, maxAdds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPackerGeometry pins the W = V + 1 + ceil(log2 A) derivation.
+func TestPackerGeometry(t *testing.T) {
+	cases := []struct {
+		usable, valueBits uint
+		maxAdds           int
+		wantW             uint
+		wantS             int
+	}{
+		{1022, 64, 1, 65, 15},  // no headroom needed for a single addend
+		{1022, 64, 2, 66, 15},  // one carry bit
+		{1022, 64, 3, 67, 15},  // ceil(log2 3) = 2
+		{1022, 64, 4, 67, 15},  // exact power of two
+		{1022, 64, 16, 69, 14}, // larger consortium shrinks the pack factor
+		{254, 64, 4, 67, 3},    // 256-bit key
+		{70, 64, 4, 67, 1},     // degenerate single slot
+	}
+	for _, c := range cases {
+		p := mustPacker(t, c.usable, c.valueBits, c.maxAdds)
+		if p.SlotBits() != c.wantW || p.Slots() != c.wantS {
+			t.Errorf("NewPacker(%d,%d,%d): W=%d S=%d, want W=%d S=%d",
+				c.usable, c.valueBits, c.maxAdds, p.SlotBits(), p.Slots(), c.wantW, c.wantS)
+		}
+	}
+	if _, err := NewPacker(60, 64, 4); !errors.Is(err, ErrPackShape) {
+		t.Errorf("zero-slot geometry: got %v, want ErrPackShape", err)
+	}
+	if _, err := NewPacker(1022, 64, 0); !errors.Is(err, ErrPackAdds) {
+		t.Errorf("maxAdds=0: got %v, want ErrPackAdds", err)
+	}
+}
+
+// TestPackRoundTrip covers single-vector pack/unpack including partial fills.
+func TestPackRoundTrip(t *testing.T) {
+	p := mustPacker(t, 1022, 48, 8)
+	for count := 1; count <= p.Slots(); count++ {
+		vals := make([]*big.Int, count)
+		for i := range vals {
+			v := big.NewInt(int64(i*i + 1))
+			if i%2 == 1 {
+				v.Neg(v)
+			}
+			vals[i] = v
+		}
+		m, err := p.Pack(vals)
+		if err != nil {
+			t.Fatalf("count=%d: %v", count, err)
+		}
+		got, err := p.Unpack(m, count, 1)
+		if err != nil {
+			t.Fatalf("count=%d: %v", count, err)
+		}
+		for i := range vals {
+			if got[i].Cmp(vals[i]) != 0 {
+				t.Fatalf("count=%d slot %d: got %v want %v", count, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+// TestPackSumAtHeadroomLimit adds exactly maxAdds packed vectors of
+// extreme-magnitude values and checks no slot bleeds into its neighbour —
+// the headroom bound is tight, not approximate.
+func TestPackSumAtHeadroomLimit(t *testing.T) {
+	const adds = 8 // power of two: A·(2^(V+1)−1) = 2^W − A, the tightest fit
+	p := mustPacker(t, 1022, 40, adds)
+	maxVal := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), p.ValueBits()), big.NewInt(1))
+	minVal := new(big.Int).Neg(maxVal)
+	count := p.Slots()
+	// Alternate extremes across slots so a carry in either direction would
+	// visibly corrupt a neighbour.
+	vals := make([]*big.Int, count)
+	want := make([]*big.Int, count)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = maxVal
+		} else {
+			vals[i] = minVal
+		}
+		want[i] = new(big.Int).Mul(vals[i], big.NewInt(adds))
+	}
+	sum := new(big.Int)
+	for a := 0; a < adds; a++ {
+		m, err := p.Pack(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Add(sum, m) // plaintext addition mirrors the homomorphic sum
+	}
+	got, err := p.Unpack(sum, count, adds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Cmp(want[i]) != 0 {
+			t.Fatalf("slot %d after %d adds: got %v want %v", i, adds, got[i], want[i])
+		}
+	}
+	// One addition beyond the budget is refused rather than silently wrong.
+	if _, err := p.Unpack(sum, count, adds+1); !errors.Is(err, ErrPackAdds) {
+		t.Fatalf("adds beyond headroom: got %v, want ErrPackAdds", err)
+	}
+}
+
+// TestPackNegativeBoundaries exercises sign handling right at the slot edges.
+func TestPackNegativeBoundaries(t *testing.T) {
+	p := mustPacker(t, 300, 16, 4)
+	edge := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), p.ValueBits()), big.NewInt(1))
+	vals := []*big.Int{
+		new(big.Int).Neg(edge),                // −(2^V − 1), most negative legal
+		big.NewInt(-1),                        // all-ones biased pattern below 2^V
+		big.NewInt(0),                         // exactly the bias value
+		new(big.Int).Set(edge),                // most positive legal
+		new(big.Int).Neg(big.NewInt(1 << 15)), // half-range negative
+	}
+	if n := p.Slots(); len(vals) > n {
+		vals = vals[:n]
+	}
+	m, err := p.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Unpack(m, len(vals), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i].Cmp(vals[i]) != 0 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+	// Out-of-range magnitudes are rejected with the typed error.
+	over := new(big.Int).Lsh(big.NewInt(1), p.ValueBits())
+	for _, bad := range []*big.Int{over, new(big.Int).Neg(over)} {
+		if _, err := p.Pack([]*big.Int{bad}); !errors.Is(err, ErrPackValueRange) {
+			t.Fatalf("Pack(%v): got %v, want ErrPackValueRange", bad, err)
+		}
+	}
+}
+
+// TestPackDegenerateSingleSlot checks the S=1 geometry still round-trips and
+// enforces shape limits (it is the fallback when keys are too small to pack).
+func TestPackDegenerateSingleSlot(t *testing.T) {
+	p := mustPacker(t, 70, 48, 4)
+	if p.Slots() != 1 {
+		t.Fatalf("expected degenerate single slot, got %d", p.Slots())
+	}
+	v := big.NewInt(-123456789)
+	m, err := p.Pack([]*big.Int{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Unpack(m, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Cmp(v) != 0 {
+		t.Fatalf("got %v want %v", got[0], v)
+	}
+	if _, err := p.Pack([]*big.Int{v, v}); !errors.Is(err, ErrPackShape) {
+		t.Fatalf("two values into one slot: got %v, want ErrPackShape", err)
+	}
+	if _, err := p.Pack(nil); !errors.Is(err, ErrPackShape) {
+		t.Fatalf("empty pack: got %v, want ErrPackShape", err)
+	}
+	if _, err := p.Unpack(m, 2, 1); !errors.Is(err, ErrPackShape) {
+		t.Fatalf("unpack beyond slots: got %v, want ErrPackShape", err)
+	}
+	if _, err := p.Unpack(new(big.Int).Neg(m), 1, 1); !errors.Is(err, ErrPackShape) {
+		t.Fatalf("negative packed integer: got %v, want ErrPackShape", err)
+	}
+}
+
+// FuzzPackRoundTrip drives random signed values (masked into slot range)
+// through pack → simulated homomorphic sum → unpack.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(1), uint8(3), uint8(2))
+	f.Add(int64(-99999), int64(42), uint8(1), uint8(1))
+	f.Add(int64(1)<<47, int64(-(1)<<47), uint8(7), uint8(4))
+	f.Fuzz(func(t *testing.T, a, b int64, countSeed, addsSeed uint8) {
+		p, err := NewPacker(508, 48, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := int(countSeed)%p.Slots() + 1
+		adds := int(addsSeed)%p.MaxAdds() + 1
+		mask := int64(1)<<p.ValueBits() - 1
+		mk := func(seed int64, i int) *big.Int {
+			v := (seed + int64(i)*7919) & mask
+			x := big.NewInt(v)
+			if (seed+int64(i))%2 != 0 {
+				x.Neg(x)
+			}
+			return x
+		}
+		want := make([]*big.Int, count)
+		sum := new(big.Int)
+		for add := 0; add < adds; add++ {
+			vals := make([]*big.Int, count)
+			for i := range vals {
+				vals[i] = mk(a+int64(add)*b, i)
+			}
+			m, err := p.Pack(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum.Add(sum, m)
+			for i := range vals {
+				if want[i] == nil {
+					want[i] = new(big.Int)
+				}
+				want[i].Add(want[i], vals[i])
+			}
+		}
+		got, err := p.Unpack(sum, count, adds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Cmp(want[i]) != 0 {
+				t.Fatalf("slot %d: got %v want %v (a=%d b=%d count=%d adds=%d)",
+					i, got[i], want[i], a, b, count, adds)
+			}
+		}
+	})
+}

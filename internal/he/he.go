@@ -65,6 +65,7 @@ type Paillier struct {
 	mu          sync.RWMutex
 	parallelism int // 0 → par.Degree()
 	rz          *paillier.Randomizer
+	packer      *fixed.Packer // nil until EnablePacking (see pack.go)
 
 	om atomic.Pointer[heMetrics] // nil until SetObserver; one load per op
 }
@@ -105,7 +106,11 @@ func (p *Paillier) Decrypt(c []byte) (float64, error) {
 		return 0, ErrNoPrivateKey
 	}
 	if om := p.om.Load(); om != nil {
-		defer om.op("decrypt", time.Now())
+		start := time.Now()
+		defer func() {
+			om.op("decrypt", start)
+			om.dec(p.sk.HasCRT(), start)
+		}()
 	}
 	ct, err := p.pk.ParseCiphertext(c)
 	if err != nil {
@@ -219,19 +224,31 @@ func UnmarshalPublicKey(b []byte) (*paillier.PublicKey, error) {
 	}, nil
 }
 
-// MarshalPrivateKey serialises a Paillier private key.
+// MarshalPrivateKey serialises a Paillier private key. Keys carrying their
+// factorisation (the normal case) marshal as five integers so the receiver
+// can rebuild the CRT decryption fast path; legacy keys without P, Q marshal
+// in the original three-integer format.
 func MarshalPrivateKey(sk *paillier.PrivateKey) []byte {
+	if sk.P != nil && sk.Q != nil {
+		return marshalBigInts(sk.N, sk.Lambda, sk.Mu, sk.P, sk.Q)
+	}
 	return marshalBigInts(sk.N, sk.Lambda, sk.Mu)
 }
 
-// UnmarshalPrivateKey reconstructs a private key.
+// UnmarshalPrivateKey reconstructs a private key from either wire format:
+// five integers (n, λ, μ, p, q — CRT-enabled) or the legacy three-integer
+// layout (n, λ, μ — λ/μ decryption only).
 func UnmarshalPrivateKey(b []byte) (*paillier.PrivateKey, error) {
-	ints, err := unmarshalBigInts(b, 3)
+	ints, err := unmarshalBigInts(b, 5)
 	if err != nil {
-		return nil, fmt.Errorf("he: bad private key: %w", err)
+		if ints3, err3 := unmarshalBigInts(b, 3); err3 == nil {
+			ints = ints3
+		} else {
+			return nil, fmt.Errorf("he: bad private key: %w", err)
+		}
 	}
 	n := ints[0]
-	return &paillier.PrivateKey{
+	sk := &paillier.PrivateKey{
 		PublicKey: paillier.PublicKey{
 			N:  n,
 			N2: new(big.Int).Mul(n, n),
@@ -239,7 +256,14 @@ func UnmarshalPrivateKey(b []byte) (*paillier.PrivateKey, error) {
 		},
 		Lambda: ints[1],
 		Mu:     ints[2],
-	}, nil
+	}
+	if len(ints) == 5 {
+		sk.P, sk.Q = ints[3], ints[4]
+	}
+	if err := sk.Precompute(); err != nil {
+		return nil, fmt.Errorf("he: bad private key: %w", err)
+	}
+	return sk, nil
 }
 
 func marshalBigInts(xs ...*big.Int) []byte {

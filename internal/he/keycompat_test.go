@@ -1,0 +1,64 @@
+package he
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"vfps/internal/paillier"
+)
+
+// TestPrivateKeyMarshalCRT checks that the five-integer wire format carries
+// the factorisation across (un)marshal, so remote leaders get CRT decryption.
+func TestPrivateKeyMarshalCRT(t *testing.T) {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := UnmarshalPrivateKey(MarshalPrivateKey(sk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.HasCRT() {
+		t.Fatal("unmarshalled key lost the CRT fast path")
+	}
+	c, err := sk.Encrypt(rand.Reader, big.NewInt(-12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != -12345 {
+		t.Fatalf("round-tripped key decrypts to %v", m)
+	}
+}
+
+// TestPrivateKeyUnmarshalLegacy accepts the pre-CRT three-integer layout and
+// degrades gracefully to λ/μ decryption.
+func TestPrivateKeyUnmarshalLegacy(t *testing.T) {
+	sk, err := paillier.GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := MarshalPrivateKey(sk.WithoutCRT())
+	rt, err := UnmarshalPrivateKey(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.HasCRT() {
+		t.Fatal("legacy key should not claim a CRT path")
+	}
+	c, err := sk.Encrypt(rand.Reader, big.NewInt(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rt.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 777 {
+		t.Fatalf("legacy key decrypts to %v", m)
+	}
+}

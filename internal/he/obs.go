@@ -13,6 +13,8 @@ const (
 	metricOps       = "vfps_he_ops_total"
 	metricOpSecs    = "vfps_he_op_seconds"
 	metricPoolDepth = "vfps_he_randomizer_pool_depth"
+	metricPackRatio = "vfps_he_pack_ratio"
+	metricDecSecs   = "vfps_he_decrypt_seconds"
 )
 
 // Observable is implemented by schemes that can be instrumented; today only
@@ -28,10 +30,12 @@ func DeclareMetrics(reg *obs.Registry) {
 	declareHE(reg)
 }
 
-func declareHE(reg *obs.Registry) (ops *obs.CounterVec, secs *obs.HistogramVec, depth *obs.GaugeVec) {
+func declareHE(reg *obs.Registry) (ops *obs.CounterVec, secs *obs.HistogramVec, depth *obs.GaugeVec, pack *obs.GaugeVec, dec *obs.HistogramVec) {
 	ops = reg.Counter(metricOps, "Homomorphic-encryption operations performed (φe/φd/γ in the paper's cost model).", "scheme", "instance", "op")
 	secs = reg.Histogram(metricOpSecs, "HE operation latency in seconds; *_vec entries time whole vector calls.", obs.LatencyBuckets, "scheme", "instance", "op")
 	depth = reg.Gauge(metricPoolDepth, "Precomputed Paillier randomizers currently pooled.", "instance")
+	pack = reg.Gauge(metricPackRatio, "Values carried per ciphertext (slot-packing factor S; 1 = unpacked).", "instance")
+	dec = reg.Histogram(metricDecSecs, "Whole-call decryption latency in seconds, split by CRT fast-path use.", obs.LatencyBuckets, "instance", "crt")
 	return
 }
 
@@ -41,6 +45,7 @@ type heMetrics struct {
 	instance string
 	ops      *obs.CounterVec
 	secs     *obs.HistogramVec
+	decSecs  *obs.HistogramVec
 }
 
 // op records one scalar operation; it is used as a defer with time.Now()
@@ -63,21 +68,36 @@ func (m *heMetrics) vec(op string, n int, start time.Time) {
 	m.secs.With("paillier", m.instance, op+"_vec").ObserveSince(start)
 }
 
+// dec records one whole decryption call (scalar, vector or packed) on the
+// CRT-labelled latency histogram, so the fast-path win shows up directly in
+// /metrics instead of only in offline benchmarks.
+func (m *heMetrics) dec(crt bool, start time.Time) {
+	if m == nil {
+		return
+	}
+	label := "off"
+	if crt {
+		label = "on"
+	}
+	m.decSecs.With(m.instance, label).ObserveSince(start)
+}
+
 // SetObserver installs op counters and latency histograms on the scheme and
-// registers the randomizer-pool depth gauge, all labelled with instance
-// (e.g. "public", "leader", or a node role). A nil registry restores the
-// no-op default.
+// registers the randomizer-pool depth and pack-ratio gauges, all labelled
+// with instance (e.g. "public", "leader", or a node role). A nil registry
+// restores the no-op default.
 func (p *Paillier) SetObserver(reg *obs.Registry, instance string) {
 	if reg == nil {
 		p.om.Store(nil)
 		return
 	}
-	ops, secs, depth := declareHE(reg)
-	p.om.Store(&heMetrics{instance: instance, ops: ops, secs: secs})
+	ops, secs, depth, pack, dec := declareHE(reg)
+	p.om.Store(&heMetrics{instance: instance, ops: ops, secs: secs, decSecs: dec})
 	depth.Func(func() float64 {
 		if rz := p.pool(); rz != nil {
 			return float64(rz.Depth())
 		}
 		return 0
 	}, instance)
+	pack.Func(func() float64 { return float64(p.PackFactor()) }, instance)
 }

@@ -1,0 +1,174 @@
+package he
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"vfps/internal/fixed"
+)
+
+// DefaultPackIntBits bounds the integer part of each packed value: slots hold
+// |v| < 2^(scaleBits+DefaultPackIntBits) in fixed point, i.e. real values up
+// to ~16.7M with the default 40-bit scale — orders of magnitude above any
+// squared partial distance the protocol aggregates.
+const DefaultPackIntBits = 24
+
+// ErrPackingOff reports a packed-path call on a scheme where EnablePacking
+// was never called (or was undone by DisablePacking).
+var ErrPackingOff = errors.New("he: packing not enabled")
+
+// EnablePacking derives the slot-packing geometry for this scheme's key and
+// installs it: EncryptPacked will lay PackFactor fixed-point values side by
+// side in each plaintext, with enough per-slot headroom that up to maxAdds
+// packed ciphertexts can be summed homomorphically without slot overflow
+// (maxAdds is the party count in the VFPS-SM aggregation tree).
+//
+// The geometry uses modulusBits−2 plaintext bits, which keeps every packed
+// plaintext — and every sum of up to maxAdds of them — strictly below n/2,
+// inside the positive half of the signed embedding. It fails when the key is
+// too small to hold even one slot; keys that fit only one slot are accepted
+// (PackFactor 1), callers can check PackFactor to skip the pointless packed
+// path.
+func (p *Paillier) EnablePacking(maxAdds int) error {
+	valueBits := p.codec.ScaleBits() + DefaultPackIntBits
+	usable := uint(p.pk.N.BitLen() - 2)
+	packer, err := fixed.NewPacker(usable, valueBits, maxAdds)
+	if err != nil {
+		return fmt.Errorf("he: enabling packing: %w", err)
+	}
+	p.mu.Lock()
+	p.packer = packer
+	p.mu.Unlock()
+	return nil
+}
+
+// DisablePacking removes the packing geometry; packed calls fail again with
+// ErrPackingOff.
+func (p *Paillier) DisablePacking() {
+	p.mu.Lock()
+	p.packer = nil
+	p.mu.Unlock()
+}
+
+// PackFactor reports how many values ride in one ciphertext: S after
+// EnablePacking, 1 otherwise.
+func (p *Paillier) PackFactor() int {
+	if packer := p.packing(); packer != nil {
+		return packer.Slots()
+	}
+	return 1
+}
+
+// MaxPackAdds reports the addition budget the packing headroom covers, 0 when
+// packing is off.
+func (p *Paillier) MaxPackAdds() int {
+	if packer := p.packing(); packer != nil {
+		return packer.MaxAdds()
+	}
+	return 0
+}
+
+// PackedCiphertexts returns how many ciphertexts carry n packed values:
+// ceil(n / PackFactor).
+func (p *Paillier) PackedCiphertexts(n int) int {
+	s := p.PackFactor()
+	return (n + s - 1) / s
+}
+
+func (p *Paillier) packing() *fixed.Packer {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.packer
+}
+
+// EncryptPacked encrypts vs into ceil(len(vs)/PackFactor) ciphertexts,
+// PackFactor values per plaintext (the last one partially filled). It shares
+// the scalar path's randomizer pool and worker-pool parallelism; only the
+// exponentiation count shrinks. The ciphertext sequence is aggregation-
+// compatible slot by slot: summing the i-th packed ciphertext of several
+// parties and decrypting with DecryptPacked yields the per-slot sums.
+func (p *Paillier) EncryptPacked(ctx context.Context, vs []float64) ([][]byte, error) {
+	packer := p.packing()
+	if packer == nil {
+		return nil, ErrPackingOff
+	}
+	if om := p.om.Load(); om != nil {
+		defer om.vec("encrypt_packed", len(vs), time.Now())
+	}
+	s := packer.Slots()
+	ms := make([]*big.Int, 0, (len(vs)+s-1)/s)
+	slots := make([]*big.Int, 0, s)
+	for lo := 0; lo < len(vs); lo += s {
+		slots = slots[:0]
+		for _, v := range vs[lo:min(lo+s, len(vs))] {
+			m, err := p.codec.Encode(v)
+			if err != nil {
+				return nil, err
+			}
+			slots = append(slots, m)
+		}
+		m, err := packer.Pack(slots)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	cs, err := p.pk.EncryptVec(ctx, p.random, p.pool(), ms, p.Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(cs))
+	for i, c := range cs {
+		out[i] = c.Bytes()
+	}
+	return out, nil
+}
+
+// DecryptPacked recovers count real values from packed ciphertexts that are
+// each the homomorphic sum of adds EncryptPacked outputs (adds == 1 for
+// never-summed ciphertexts). adds must not exceed the headroom budget passed
+// to EnablePacking. len(cs) must equal PackedCiphertexts(count).
+func (p *Paillier) DecryptPacked(ctx context.Context, cs [][]byte, count, adds int) ([]float64, error) {
+	if p.sk == nil {
+		return nil, ErrNoPrivateKey
+	}
+	packer := p.packing()
+	if packer == nil {
+		return nil, ErrPackingOff
+	}
+	if count < 0 || len(cs) != p.PackedCiphertexts(count) {
+		return nil, fmt.Errorf("he: %d packed ciphertexts cannot hold %d values (want %d)",
+			len(cs), count, p.PackedCiphertexts(count))
+	}
+	if om := p.om.Load(); om != nil {
+		start := time.Now()
+		defer func() {
+			om.vec("decrypt_packed", count, start)
+			om.dec(p.sk.HasCRT(), start)
+		}()
+	}
+	cts, err := p.parseAll(cs)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := p.sk.DecryptVec(ctx, cts, p.Parallelism())
+	if err != nil {
+		return nil, err
+	}
+	s := packer.Slots()
+	out := make([]float64, 0, count)
+	for i, m := range ms {
+		n := min(s, count-i*s)
+		vals, err := packer.Unpack(m, n, adds)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			out = append(out, p.codec.Decode(v))
+		}
+	}
+	return out, nil
+}

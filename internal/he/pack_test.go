@@ -1,0 +1,177 @@
+package he
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"math"
+	"testing"
+
+	"vfps/internal/paillier"
+)
+
+func packedScheme(t *testing.T, bits, maxAdds int) *Paillier {
+	t.Helper()
+	sk, err := paillier.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPaillier(&sk.PublicKey, sk)
+	if err := p.EnablePacking(maxAdds); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPackedRoundTrip checks EncryptPacked/DecryptPacked over lengths that
+// exercise full, partial and single-chunk layouts.
+func TestPackedRoundTrip(t *testing.T) {
+	p := packedScheme(t, 512, 4)
+	if p.PackFactor() < 2 {
+		t.Fatalf("512-bit key should pack several slots, got %d", p.PackFactor())
+	}
+	ctx := context.Background()
+	for _, n := range []int{1, p.PackFactor(), p.PackFactor() + 1, 3*p.PackFactor() - 1} {
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = float64(i)*1.5 - 3.25
+		}
+		cs, err := p.EncryptPacked(ctx, vs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(cs) != p.PackedCiphertexts(n) {
+			t.Fatalf("n=%d: %d ciphertexts, want %d", n, len(cs), p.PackedCiphertexts(n))
+		}
+		got, err := p.DecryptPacked(ctx, cs, n, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range vs {
+			if math.Abs(got[i]-vs[i]) > 1e-9 {
+				t.Fatalf("n=%d slot %d: got %g want %g", n, i, got[i], vs[i])
+			}
+		}
+	}
+}
+
+// TestPackedAggregation sums packed ciphertexts across simulated parties and
+// checks per-slot sums match the scalar-path aggregate exactly.
+func TestPackedAggregation(t *testing.T) {
+	const parties = 4
+	p := packedScheme(t, 512, parties)
+	ctx := context.Background()
+	n := 2*p.PackFactor() + 1
+	want := make([]float64, n)
+	var agg [][]byte
+	for pt := 0; pt < parties; pt++ {
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = float64(pt+1)*0.5 + float64(i)
+			if i%2 == 1 {
+				vs[i] = -vs[i]
+			}
+			want[i] += vs[i]
+		}
+		cs, err := p.EncryptPacked(ctx, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg == nil {
+			agg = cs
+			continue
+		}
+		for i := range cs {
+			sum, err := p.Add(agg[i], cs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg[i] = sum
+		}
+	}
+	got, err := p.DecryptPacked(ctx, agg, n, parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("slot %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPackedGuards covers the error surface: disabled packing, shape
+// mismatches, headroom violations, and public-only decryption.
+func TestPackedGuards(t *testing.T) {
+	p := packedScheme(t, 512, 2)
+	ctx := context.Background()
+	vs := []float64{1, 2, 3}
+	cs, err := p.EncryptPacked(ctx, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DecryptPacked(ctx, cs, len(vs), 3); err == nil {
+		t.Fatal("adds beyond EnablePacking budget must fail")
+	}
+	if _, err := p.DecryptPacked(ctx, cs, len(vs)+2*p.PackFactor(), 1); err == nil {
+		t.Fatal("ciphertext/count mismatch must fail")
+	}
+	pub := NewPaillier(p.pk, nil)
+	if err := pub.EnablePacking(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.DecryptPacked(ctx, cs, len(vs), 1); !errors.Is(err, ErrNoPrivateKey) {
+		t.Fatalf("public-only DecryptPacked: got %v, want ErrNoPrivateKey", err)
+	}
+	p.DisablePacking()
+	if p.PackFactor() != 1 {
+		t.Fatalf("PackFactor after disable = %d, want 1", p.PackFactor())
+	}
+	if _, err := p.EncryptPacked(ctx, vs); !errors.Is(err, ErrPackingOff) {
+		t.Fatalf("EncryptPacked while off: got %v, want ErrPackingOff", err)
+	}
+	if _, err := p.DecryptPacked(ctx, cs, len(vs), 1); !errors.Is(err, ErrPackingOff) {
+		t.Fatalf("DecryptPacked while off: got %v, want ErrPackingOff", err)
+	}
+	// Keys too small for even one slot refuse to enable.
+	tiny, err := paillier.GenerateKey(rand.Reader, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewPaillier(&tiny.PublicKey, tiny).EnablePacking(2); err == nil {
+		t.Fatal("64-bit key cannot hold a slot; EnablePacking must fail")
+	}
+}
+
+// TestPackedMatchesScalarValues pins that the packed path decodes to exactly
+// the same float64s as the scalar path — the bit-identical selection
+// guarantee rests on this.
+func TestPackedMatchesScalarValues(t *testing.T) {
+	p := packedScheme(t, 512, 3)
+	ctx := context.Background()
+	vs := []float64{0.125, -17.75, 3.1415926535, 1e6, -0.0009765625, 42}
+	scalarCs, err := p.EncryptVec(ctx, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := p.DecryptVec(ctx, scalarCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedCs, err := p.EncryptPacked(ctx, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := p.DecryptPacked(ctx, packedCs, len(vs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scalar {
+		if scalar[i] != packed[i] {
+			t.Fatalf("value %d: scalar %v != packed %v", i, scalar[i], packed[i])
+		}
+	}
+	if len(packedCs) >= len(scalarCs) {
+		t.Fatalf("packing produced %d ciphertexts vs %d scalar — no reduction", len(packedCs), len(scalarCs))
+	}
+}

@@ -160,14 +160,8 @@ func (p *Paillier) EncryptVec(ctx context.Context, vs []float64) ([][]byte, erro
 	return out, nil
 }
 
-// DecryptVec implements VecScheme with a chunked worker pool.
-func (p *Paillier) DecryptVec(ctx context.Context, cs [][]byte) ([]float64, error) {
-	if p.sk == nil {
-		return nil, ErrNoPrivateKey
-	}
-	if om := p.om.Load(); om != nil {
-		defer om.vec("decrypt", len(cs), time.Now())
-	}
+// parseAll decodes and validates a batch of serialised ciphertexts.
+func (p *Paillier) parseAll(cs [][]byte) ([]*paillier.Ciphertext, error) {
 	cts := make([]*paillier.Ciphertext, len(cs))
 	for i, c := range cs {
 		ct, err := p.pk.ParseCiphertext(c)
@@ -175,6 +169,25 @@ func (p *Paillier) DecryptVec(ctx context.Context, cs [][]byte) ([]float64, erro
 			return nil, err
 		}
 		cts[i] = ct
+	}
+	return cts, nil
+}
+
+// DecryptVec implements VecScheme with a chunked worker pool.
+func (p *Paillier) DecryptVec(ctx context.Context, cs [][]byte) ([]float64, error) {
+	if p.sk == nil {
+		return nil, ErrNoPrivateKey
+	}
+	if om := p.om.Load(); om != nil {
+		start := time.Now()
+		defer func() {
+			om.vec("decrypt", len(cs), start)
+			om.dec(p.sk.HasCRT(), start)
+		}()
+	}
+	cts, err := p.parseAll(cs)
+	if err != nil {
+		return nil, err
 	}
 	ms, err := p.sk.DecryptVec(ctx, cts, p.Parallelism())
 	if err != nil {

@@ -1,0 +1,155 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// TestCRTMatchesLambdaPath cross-checks the CRT decryption fast path against
+// the classic λ/μ path over positive, negative and boundary plaintexts.
+func TestCRTMatchesLambdaPath(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.HasCRT() {
+		t.Fatal("generated key should carry CRT constants")
+	}
+	slow := sk.WithoutCRT()
+	if slow.HasCRT() {
+		t.Fatal("WithoutCRT must disable the fast path")
+	}
+	max := new(big.Int).Sub(sk.maxMessage(), big.NewInt(1))
+	cases := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(-1),
+		big.NewInt(123456789),
+		big.NewInt(-987654321),
+		max,
+		new(big.Int).Neg(max),
+	}
+	for i := 0; i < 32; i++ {
+		m, err := rand.Int(rand.Reader, sk.maxMessage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			m.Neg(m)
+		}
+		cases = append(cases, m)
+	}
+	for _, m := range cases {
+		c, err := sk.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatalf("encrypting %v: %v", m, err)
+		}
+		fast, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatalf("CRT decrypting %v: %v", m, err)
+		}
+		ref, err := slow.Decrypt(c)
+		if err != nil {
+			t.Fatalf("λ/μ decrypting %v: %v", m, err)
+		}
+		if fast.Cmp(m) != 0 {
+			t.Fatalf("CRT path: got %v want %v", fast, m)
+		}
+		if fast.Cmp(ref) != 0 {
+			t.Fatalf("paths disagree: CRT %v vs λ/μ %v", fast, ref)
+		}
+	}
+}
+
+// TestCRTHomomorphicSum checks that CRT decryption also agrees after
+// homomorphic additions (the protocol's actual decryption inputs).
+func TestCRTHomomorphicSum(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{41, -7, 1000003, -250000, 9}
+	var want int64
+	cs := make([]*Ciphertext, len(vals))
+	for i, v := range vals {
+		want += v
+		c, err := sk.Encrypt(rand.Reader, big.NewInt(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[i] = c
+	}
+	sum, err := sk.Sum(cs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != want {
+		t.Fatalf("sum: got %v want %d", got, want)
+	}
+	ref, err := sk.WithoutCRT().Decrypt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Cmp(got) != 0 {
+		t.Fatalf("paths disagree on aggregate: %v vs %v", got, ref)
+	}
+}
+
+// TestPrecomputeRejectsBadFactors guards the factor consistency check.
+func TestPrecomputeRejectsBadFactors(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &PrivateKey{PublicKey: sk.PublicKey, Lambda: sk.Lambda, Mu: sk.Mu,
+		P: new(big.Int).Add(sk.P, big.NewInt(2)), Q: sk.Q}
+	if err := bad.Precompute(); err == nil {
+		t.Fatal("Precompute accepted inconsistent factors")
+	}
+}
+
+// TestAddCipherInto checks the in-place accumulate variant against AddCipher
+// and that src operands are left untouched.
+func TestAddCipherInto(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := sk.Encrypt(rand.Reader, big.NewInt(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.Encrypt(rand.Reader, big.NewInt(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2Orig := new(big.Int).Set(c2.C)
+	ref, err := sk.AddCipher(c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.AddCipherInto(c1, c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.C.Cmp(ref.C) != 0 {
+		t.Fatal("AddCipherInto disagrees with AddCipher")
+	}
+	if c2.C.Cmp(c2Orig) != 0 {
+		t.Fatal("AddCipherInto modified its src operand")
+	}
+	m, err := sk.Decrypt(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 42 {
+		t.Fatalf("in-place sum decrypts to %v, want 42", m)
+	}
+	if err := sk.AddCipherInto(c1, &Ciphertext{C: big.NewInt(0)}); err == nil {
+		t.Fatal("AddCipherInto accepted an out-of-range src")
+	}
+}

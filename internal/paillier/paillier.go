@@ -38,10 +38,65 @@ type PublicKey struct {
 }
 
 // PrivateKey holds the Paillier secret values along with the public key.
+//
+// When the factorisation P, Q is present (keys from GenerateKey, or
+// unmarshalled from the current wire format), Decrypt runs the CRT fast path:
+// two half-size exponentiations mod p² and q² instead of one full-size
+// exponentiation mod n², the classic ~4× decryption win. Keys without P, Q
+// (legacy serialisations, hand-built literals) fall back to the λ/μ path and
+// remain fully functional.
 type PrivateKey struct {
 	PublicKey
 	Lambda *big.Int // lcm(p-1, q-1)
 	Mu     *big.Int // (L(g^lambda mod n²))⁻¹ mod n
+	P, Q   *big.Int // prime factors of n; nil on legacy keys (disables CRT)
+
+	crt *crtPrecomp // non-nil once Precompute succeeds
+}
+
+// crtPrecomp caches the constants of CRT decryption. All fields are
+// read-only after Precompute, so concurrent Decrypt calls share them safely.
+type crtPrecomp struct {
+	p2, q2 *big.Int // p², q²
+	ep, eq *big.Int // decryption exponents p−1, q−1
+	hp, hq *big.Int // L_p(g^{p−1} mod p²)⁻¹ mod p, L_q(g^{q−1} mod q²)⁻¹ mod q
+	pinv   *big.Int // p⁻¹ mod q (Garner recombination)
+}
+
+// Precompute derives the CRT decryption constants from P and Q. It is called
+// by GenerateKey and UnmarshalPrivateKey; call it manually only on hand-built
+// keys. A key without P, Q precomputes nothing and keeps the λ/μ path. It
+// must not race with in-flight Decrypt calls.
+func (sk *PrivateKey) Precompute() error {
+	sk.crt = nil
+	if sk.P == nil || sk.Q == nil {
+		return nil
+	}
+	if new(big.Int).Mul(sk.P, sk.Q).Cmp(sk.N) != 0 {
+		return errors.New("paillier: private key factors do not multiply to n")
+	}
+	p2 := new(big.Int).Mul(sk.P, sk.P)
+	q2 := new(big.Int).Mul(sk.Q, sk.Q)
+	ep := new(big.Int).Sub(sk.P, one)
+	eq := new(big.Int).Sub(sk.Q, one)
+	// hp = L_p(g^{p−1} mod p²)⁻¹ mod p, with L_p(x) = (x−1)/p.
+	hp := new(big.Int).ModInverse(lFunc(new(big.Int).Exp(sk.G, ep, p2), sk.P), sk.P)
+	hq := new(big.Int).ModInverse(lFunc(new(big.Int).Exp(sk.G, eq, q2), sk.Q), sk.Q)
+	pinv := new(big.Int).ModInverse(sk.P, sk.Q)
+	if hp == nil || hq == nil || pinv == nil {
+		return errors.New("paillier: CRT constants not invertible")
+	}
+	sk.crt = &crtPrecomp{p2: p2, q2: q2, ep: ep, eq: eq, hp: hp, hq: hq, pinv: pinv}
+	return nil
+}
+
+// HasCRT reports whether decryption runs the CRT fast path.
+func (sk *PrivateKey) HasCRT() bool { return sk.crt != nil }
+
+// WithoutCRT returns a key that decrypts through the classic λ/μ path — the
+// baseline that CRT benchmarks and cross-checks compare against.
+func (sk *PrivateKey) WithoutCRT() *PrivateKey {
+	return &PrivateKey{PublicKey: sk.PublicKey, Lambda: sk.Lambda, Mu: sk.Mu}
 }
 
 // Ciphertext is a Paillier ciphertext: an element of Z_{n²}.
@@ -100,11 +155,17 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 		if mu == nil {
 			continue
 		}
-		return &PrivateKey{
+		sk := &PrivateKey{
 			PublicKey: PublicKey{N: n, N2: n2, G: g},
 			Lambda:    lambda,
 			Mu:        mu,
-		}, nil
+			P:         p,
+			Q:         q,
+		}
+		if err := sk.Precompute(); err != nil {
+			continue
+		}
+		return sk, nil
 	}
 }
 
@@ -199,17 +260,41 @@ func (pk *PublicKey) validate(c *Ciphertext) error {
 	return nil
 }
 
-// Decrypt recovers the signed message from c.
+// Decrypt recovers the signed message from c, through the CRT fast path when
+// the key carries its factorisation and the λ/μ path otherwise. Both paths
+// produce identical plaintexts.
 func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	if err := sk.validate(c); err != nil {
 		return nil, err
+	}
+	return sk.decode(sk.decryptRing(c)), nil
+}
+
+// decryptRing recovers the Z_n representative of c's plaintext.
+func (sk *PrivateKey) decryptRing(c *Ciphertext) *big.Int {
+	if t := sk.crt; t != nil {
+		// mp = L_p(c^{p−1} mod p²)·hp mod p, and symmetrically mod q: two
+		// half-width exponentiations with half-length exponents instead of one
+		// full-width exponentiation, ~4× cheaper in big.Int word operations.
+		mp := lFunc(new(big.Int).Exp(c.C, t.ep, t.p2), sk.P)
+		mp.Mul(mp, t.hp)
+		mp.Mod(mp, sk.P)
+		mq := lFunc(new(big.Int).Exp(c.C, t.eq, t.q2), sk.Q)
+		mq.Mul(mq, t.hq)
+		mq.Mod(mq, sk.Q)
+		// Garner: m = mp + p·((mq − mp)·p⁻¹ mod q) ∈ [0, n).
+		u := new(big.Int).Sub(mq, mp)
+		u.Mul(u, t.pinv)
+		u.Mod(u, sk.Q)
+		u.Mul(u, sk.P)
+		return u.Add(u, mp)
 	}
 	// m = L(c^lambda mod n²) · mu mod n
 	cl := new(big.Int).Exp(c.C, sk.Lambda, sk.N2)
 	m := lFunc(cl, sk.N)
 	m.Mul(m, sk.Mu)
 	m.Mod(m, sk.N)
-	return sk.decode(m), nil
+	return m
 }
 
 // AddCipher returns a ciphertext of m1 + m2 given ciphertexts of m1 and m2.
@@ -223,6 +308,23 @@ func (pk *PublicKey) AddCipher(c1, c2 *Ciphertext) (*Ciphertext, error) {
 	c := new(big.Int).Mul(c1.C, c2.C)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
+}
+
+// AddCipherInto homomorphically accumulates src into dst in place:
+// dst ← Enc(m_dst + m_src), reusing dst's big.Int storage. On the aggregation
+// server's tree reduce this trades AddCipher's two fresh big.Int allocations
+// per addition for amortised zero — the accumulator's buffer is grown once and
+// reused across the whole fold (see BenchmarkSum*).
+func (pk *PublicKey) AddCipherInto(dst, src *Ciphertext) error {
+	if err := pk.validate(dst); err != nil {
+		return err
+	}
+	if err := pk.validate(src); err != nil {
+		return err
+	}
+	dst.C.Mul(dst.C, src.C)
+	dst.C.Mod(dst.C, pk.N2)
+	return nil
 }
 
 // AddPlain returns a ciphertext of m + k given a ciphertext of m and a
@@ -266,16 +368,19 @@ func (pk *PublicKey) MulPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
 }
 
 // Sum homomorphically adds a sequence of ciphertexts. It returns an error on
-// an empty input.
+// an empty input. The inputs are not modified: the fold runs in a single
+// accumulator via AddCipherInto, so Sum allocates one ciphertext regardless
+// of len(cs).
 func (pk *PublicKey) Sum(cs ...*Ciphertext) (*Ciphertext, error) {
 	if len(cs) == 0 {
 		return nil, errors.New("paillier: Sum of no ciphertexts")
 	}
-	acc := cs[0]
-	var err error
+	if err := pk.validate(cs[0]); err != nil {
+		return nil, err
+	}
+	acc := &Ciphertext{C: new(big.Int).Set(cs[0].C)}
 	for _, c := range cs[1:] {
-		acc, err = pk.AddCipher(acc, c)
-		if err != nil {
+		if err := pk.AddCipherInto(acc, c); err != nil {
 			return nil, err
 		}
 	}

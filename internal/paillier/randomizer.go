@@ -1,6 +1,7 @@
 package paillier
 
 import (
+	"context"
 	"io"
 	"math/big"
 	"sync"
@@ -16,12 +17,13 @@ import (
 // A Randomizer is safe for concurrent use. Close stops the background
 // workers; Next keeps working after Close by computing inline.
 type Randomizer struct {
-	pk     *PublicKey
-	random io.Reader
-	randMu sync.Mutex // serialises reads of random across goroutines
-	ch     chan *big.Int
-	done   chan struct{}
-	once   sync.Once
+	pk      *PublicKey
+	random  io.Reader
+	randMu  sync.Mutex // serialises reads of random across goroutines
+	ch      chan *big.Int
+	done    chan struct{}
+	once    sync.Once
+	workers sync.WaitGroup // tracks fill goroutines (and the context watcher)
 }
 
 // NewRandomizer starts a pool of precomputed randomizers for pk, filled by
@@ -43,7 +45,31 @@ func NewRandomizer(pk *PublicKey, random io.Reader, buffer, workers int) *Random
 		done:   make(chan struct{}),
 	}
 	for w := 0; w < workers; w++ {
+		rz.workers.Add(1)
 		go rz.fill()
+	}
+	return rz
+}
+
+// NewRandomizerContext is NewRandomizer with the pool's lifetime additionally
+// bound to ctx: cancelling ctx closes the pool, so callers that forget the
+// explicit Close still release the precompute goroutines when their request
+// or process context unwinds. Close remains safe to call as well.
+func NewRandomizerContext(ctx context.Context, pk *PublicKey, random io.Reader, buffer, workers int) *Randomizer {
+	rz := NewRandomizer(pk, random, buffer, workers)
+	if ctx == nil {
+		return rz
+	}
+	if done := ctx.Done(); done != nil {
+		rz.workers.Add(1)
+		go func() {
+			defer rz.workers.Done()
+			select {
+			case <-done:
+				rz.Close()
+			case <-rz.done:
+			}
+		}()
 	}
 	return rz
 }
@@ -61,6 +87,7 @@ func (rz *Randomizer) value() (*big.Int, error) {
 }
 
 func (rz *Randomizer) fill() {
+	defer rz.workers.Done()
 	for {
 		select {
 		case <-rz.done:

@@ -1,0 +1,79 @@
+package paillier
+
+import (
+	"context"
+	"crypto/rand"
+	"testing"
+	"time"
+)
+
+// waitWorkers fails the test if the pool's background goroutines are still
+// running after the deadline.
+func waitWorkers(t *testing.T, rz *Randomizer) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		rz.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("randomizer workers still running after close")
+	}
+}
+
+// TestRandomizerCloseStopsWorkers verifies Close releases every fill
+// goroutine, including workers parked on a full buffer.
+func TestRandomizerCloseStopsWorkers(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz := NewRandomizer(&sk.PublicKey, rand.Reader, 4, 3)
+	// Let the workers fill the buffer so at least some of them block in the
+	// send path before Close fires.
+	deadline := time.Now().Add(10 * time.Second)
+	for rz.Depth() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	rz.Close()
+	waitWorkers(t, rz)
+	// Pooled values stay usable and Next falls back to inline compute after.
+	for i := 0; i < 6; i++ {
+		if _, err := rz.Next(); err != nil {
+			t.Fatalf("Next after Close: %v", err)
+		}
+	}
+}
+
+// TestRandomizerContextCancelStopsWorkers verifies the ctx-bound constructor
+// tears the pool down on cancellation without an explicit Close.
+func TestRandomizerContextCancelStopsWorkers(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rz := NewRandomizerContext(ctx, &sk.PublicKey, rand.Reader, 4, 2)
+	cancel()
+	waitWorkers(t, rz)
+	if _, err := rz.Next(); err != nil {
+		t.Fatalf("Next after cancel: %v", err)
+	}
+	rz.Close() // explicit Close after cancel must stay a no-op
+}
+
+// TestRandomizerCloseUnblocksWatcher checks the inverse path: an explicit
+// Close with a still-live context must also release the watcher goroutine.
+func TestRandomizerCloseUnblocksWatcher(t *testing.T) {
+	sk, err := GenerateKey(rand.Reader, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rz := NewRandomizerContext(ctx, &sk.PublicKey, rand.Reader, 2, 1)
+	rz.Close()
+	waitWorkers(t, rz)
+}

@@ -1,0 +1,79 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// benchCiphertexts encrypts n small plaintexts under a fresh key.
+func benchCiphertexts(b *testing.B, bits, n int) (*PrivateKey, []*Ciphertext) {
+	b.Helper()
+	sk, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := make([]*Ciphertext, n)
+	for i := range cs {
+		c, err := sk.Encrypt(rand.Reader, big.NewInt(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i] = c
+	}
+	return sk, cs
+}
+
+// BenchmarkSumPairwise is the pre-accumulator baseline: a left fold through
+// AddCipher, allocating a fresh ciphertext (two big.Ints) per addition.
+func BenchmarkSumPairwise(b *testing.B) {
+	sk, cs := benchCiphertexts(b, 1024, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := cs[0]
+		var err error
+		for _, c := range cs[1:] {
+			acc, err = sk.AddCipher(acc, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSumInPlace folds the same vector through the single-accumulator
+// Sum (AddCipherInto); allocs/op should drop to ~one accumulator per fold.
+func BenchmarkSumInPlace(b *testing.B) {
+	sk, cs := benchCiphertexts(b, 1024, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Sum(cs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecryptCRT and BenchmarkDecryptNoCRT expose the CRT fast-path
+// ratio directly (the experiments harness measures the same pair end-to-end).
+func BenchmarkDecryptCRT(b *testing.B) {
+	sk, cs := benchCiphertexts(b, 1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(cs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptNoCRT(b *testing.B) {
+	sk, cs := benchCiphertexts(b, 1024, 1)
+	slow := sk.WithoutCRT()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slow.Decrypt(cs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -87,7 +87,7 @@ func (a *AggServer) Handler() transport.Handler {
 			if err := transport.DecodeGob(req, &r); err != nil {
 				return nil, err
 			}
-			agg, err := a.aggregateCandidates(ctx, r.Query, r.PseudoIDs)
+			agg, factor, err := a.aggregateCandidates(ctx, r.Query, r.PseudoIDs)
 			if err != nil {
 				return nil, err
 			}
@@ -96,7 +96,7 @@ func (a *AggServer) Handler() transport.Handler {
 				BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
 				Messages:  1,
 			})
-			return transport.EncodeGob(AggregateCandidatesResp{Aggregated: agg})
+			return transport.EncodeGob(AggregateCandidatesResp{Aggregated: agg, PackFactor: factor})
 		case MethodAggregateFrontier:
 			var r AggregateFrontierReq
 			if err := transport.DecodeGob(req, &r); err != nil {
@@ -189,12 +189,16 @@ func (a *AggServer) reduceVectors(ctx context.Context, vecs [][][]byte) ([][]byt
 }
 
 // aggregateCandidates pulls every party's encrypted partial distances for
-// the given pseudo IDs concurrently and sums them element-wise.
-func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int) ([][]byte, error) {
+// the given pseudo IDs concurrently and sums them element-wise. When the
+// parties slot-pack, every party must use the same pack factor — slotwise
+// addition is only meaningful over identical layouts — and the factor is
+// returned for the response.
+func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int) ([][]byte, int, error) {
 	ctx, asp := a.tracer().Start(ctx, SpanAggregate)
 	asp.SetLabelInt("candidates", int64(len(pseudoIDs)))
 	defer asp.End()
 	vecs := make([][][]byte, len(a.parties))
+	factors := make([]int, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
 		raw, err := a.caller.Call(ctx, party, MethodEncryptCandidates,
 			mustGob(EncryptCandidatesReq{Query: query, PseudoIDs: pseudoIDs}))
@@ -205,16 +209,37 @@ func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoID
 		if err := transport.DecodeGob(raw, &resp); err != nil {
 			return err
 		}
-		if len(resp.Ciphers) != len(pseudoIDs) {
-			return fmt.Errorf("vfl: %s returned %d ciphertexts, want %d", party, len(resp.Ciphers), len(pseudoIDs))
+		factors[pi] = normFactor(resp.PackFactor)
+		if want := packedLen(len(pseudoIDs), factors[pi]); len(resp.Ciphers) != want {
+			return fmt.Errorf("vfl: %s returned %d ciphertexts, want %d", party, len(resp.Ciphers), want)
 		}
 		vecs[pi] = resp.Ciphers
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return a.reduceVectors(ctx, vecs)
+	factor, err := a.uniformFactor(factors)
+	if err != nil {
+		return nil, 0, err
+	}
+	agg, err := a.reduceVectors(ctx, vecs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return agg, factor, nil
+}
+
+// uniformFactor checks that all parties reported the same pack factor.
+func (a *AggServer) uniformFactor(factors []int) (int, error) {
+	factor := factors[0]
+	for pi, f := range factors {
+		if f != factor {
+			return 0, fmt.Errorf("vfl: %s pack factor %d differs from %s's %d — inconsistent packing configuration",
+				a.parties[pi], f, a.parties[0], factor)
+		}
+	}
+	return factor, nil
 }
 
 // aggregateFrontier sums the parties' encrypted scores at one scan rank —
@@ -258,6 +283,7 @@ func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, er
 	defer csp.End()
 	pidSets := make([][]int, len(a.parties))
 	vecs := make([][][]byte, len(a.parties))
+	factors := make([]int, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
 		raw, err := a.caller.Call(ctx, party, MethodEncryptAll, mustGob(EncryptAllReq{Query: r.Query}))
 		if err != nil {
@@ -266,6 +292,11 @@ func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, er
 		var resp EncryptAllResp
 		if err := transport.DecodeGob(raw, &resp); err != nil {
 			return err
+		}
+		factors[pi] = normFactor(resp.PackFactor)
+		if want := packedLen(len(resp.PseudoIDs), factors[pi]); len(resp.Ciphers) != want {
+			return fmt.Errorf("vfl: %s returned %d ciphertexts for %d items, want %d",
+				party, len(resp.Ciphers), len(resp.PseudoIDs), want)
 		}
 		pidSets[pi] = resp.PseudoIDs
 		vecs[pi] = resp.Ciphers
@@ -285,6 +316,10 @@ func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, er
 			}
 		}
 	}
+	factor, err := a.uniformFactor(factors)
+	if err != nil {
+		return nil, err
+	}
 	agg, err := a.reduceVectors(ctx, vecs)
 	if err != nil {
 		return nil, err
@@ -294,7 +329,7 @@ func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, er
 		BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
 		Messages:  1,
 	})
-	return transport.EncodeGob(CollectAllResp{PseudoIDs: pids, Aggregated: agg})
+	return transport.EncodeGob(CollectAllResp{PseudoIDs: pids, Aggregated: agg, PackFactor: factor})
 }
 
 // faginCollect implements the optimized variant: run Fagin's algorithm over
@@ -372,7 +407,7 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 	fsp.SetLabelInt("candidates", int64(stats.Candidates))
 
 	// Random-access phase: encrypted partial distances for candidates only.
-	agg, err := a.aggregateCandidates(ctx, r.Query, candidates)
+	agg, factor, err := a.aggregateCandidates(ctx, r.Query, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +416,7 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 		BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
 		Messages:  1,
 	})
-	return transport.EncodeGob(FaginCollectResp{PseudoIDs: candidates, Aggregated: agg, Stats: stats})
+	return transport.EncodeGob(FaginCollectResp{PseudoIDs: candidates, Aggregated: agg, PackFactor: factor, Stats: stats})
 }
 
 // mustGob encodes a value that cannot fail (our message structs); a failure

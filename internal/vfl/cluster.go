@@ -37,6 +37,15 @@ type ClusterConfig struct {
 	// randomizers (0 → a default when Parallelism != 1; negative disables).
 	// Ignored by the other schemes.
 	RandomizerPool int
+	// Pack enables Paillier slot packing: participants lay several
+	// fixed-point partial distances side by side in each plaintext, cutting
+	// ciphertext count and bytes on the wire by the pack factor (key-size
+	// dependent; ~15× at 2048-bit keys). The headroom is provisioned for
+	// summing one ciphertext per party, exactly what the aggregation tree
+	// performs. Selection results are bit-identical with packing on or off.
+	// Ignored by non-Paillier schemes; fails cluster construction when the
+	// key is too small to hold even one slot.
+	Pack bool
 	// Obs installs metrics and tracing on the transport, every role and the
 	// HE schemes. Nil falls back to the process-wide default observer
 	// (obs.SetDefault); when that is also unset, observability stays fully
@@ -84,6 +93,20 @@ func configureScheme(s he.Scheme, parallelism, pool int) {
 		pool = 4 * p.Parallelism()
 	}
 	p.StartRandomizerPool(pool, 1)
+}
+
+// configurePacking enables Paillier slot packing with headroom for one
+// addition per party. Non-Paillier schemes ignore the knob: SecAgg/DP
+// ciphertexts are item-bound masks and Plain already ships 8-byte values.
+func configurePacking(s he.Scheme, pack bool, parties int) error {
+	if !pack {
+		return nil
+	}
+	p, ok := s.(*he.Paillier)
+	if !ok {
+		return nil
+	}
+	return p.EnablePacking(parties)
 }
 
 // Close releases background resources (Paillier randomizer pools). The
@@ -149,6 +172,9 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	configureScheme(pubScheme, cfg.Parallelism, cfg.RandomizerPool)
+	if err := configurePacking(pubScheme, cfg.Pack, cfg.Partition.P()); err != nil {
+		return nil, err
+	}
 	if ob, ok := pubScheme.(he.Observable); ok {
 		ob.SetObserver(o.Registry(), instance+"/public")
 	}
@@ -180,6 +206,9 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	}
 	// The leader decrypts but never bulk-encrypts, so it gets no pool.
 	configureScheme(privScheme, cfg.Parallelism, -1)
+	if err := configurePacking(privScheme, cfg.Pack, cfg.Partition.P()); err != nil {
+		return nil, err
+	}
 	if ob, ok := privScheme.(he.Observable); ok {
 		ob.SetObserver(o.Registry(), instance+"/leader")
 	}

@@ -112,6 +112,7 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 	defer qsp.End()
 	var pids []int
 	var ciphers [][]byte
+	var packFactor int
 	var dist []float64
 	var stats FaginStats
 	switch variant {
@@ -130,7 +131,7 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 		if err := transport.DecodeGob(raw, &resp); err != nil {
 			return nil, err
 		}
-		pids, ciphers = resp.PseudoIDs, resp.Aggregated
+		pids, ciphers, packFactor = resp.PseudoIDs, resp.Aggregated, resp.PackFactor
 		stats.Candidates = len(pids)
 		stats.Rounds = 1
 		stats.ScanDepth = len(pids)
@@ -144,7 +145,7 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 		if err := transport.DecodeGob(raw, &resp); err != nil {
 			return nil, err
 		}
-		pids, ciphers, stats = resp.PseudoIDs, resp.Aggregated, resp.Stats
+		pids, ciphers, packFactor, stats = resp.PseudoIDs, resp.Aggregated, resp.PackFactor, resp.Stats
 	default:
 		return nil, fmt.Errorf("vfl: unknown variant %q", variant)
 	}
@@ -157,7 +158,7 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 	if dist == nil {
 		dctx, dsp := l.tracer().Start(ctx, SpanDecrypt)
 		dsp.SetLabelInt("n", int64(len(ciphers)))
-		dist, err := he.DecryptVec(dctx, l.scheme, ciphers)
+		dist, err := l.decryptAggregates(dctx, ciphers, packFactor, len(pids))
 		dsp.End()
 		if err != nil {
 			return nil, fmt.Errorf("vfl: leader decrypting: %w", err)
@@ -166,6 +167,29 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 		return l.finishQuery(ctx, query, k, pids, dist, stats)
 	}
 	return l.finishQuery(ctx, query, k, pids, dist, stats)
+}
+
+// decryptAggregates recovers count aggregate distances from the ciphertexts
+// of one collection round. packFactor <= 1 is the classic one-value-per-
+// ciphertext layout; packFactor > 1 means the parties slot-packed, so every
+// ciphertext is a per-slot sum over all parties and is decrypted through the
+// packed path with the party count as the accumulated addition count. The
+// decoded values are bit-identical to the scalar path — packing changes the
+// carrier layout, not the fixed-point arithmetic — so selection results do
+// not depend on the packing setting.
+func (l *Leader) decryptAggregates(ctx context.Context, ciphers [][]byte, packFactor, count int) ([]float64, error) {
+	packFactor = normFactor(packFactor)
+	if packFactor == 1 {
+		return he.DecryptVec(ctx, l.scheme, ciphers)
+	}
+	pp, ok := l.scheme.(*he.Paillier)
+	if !ok {
+		return nil, fmt.Errorf("vfl: packed aggregates under non-paillier scheme %q", l.scheme.Name())
+	}
+	if lf := pp.PackFactor(); lf != packFactor {
+		return nil, fmt.Errorf("vfl: aggregates packed %d-wide but the leader's geometry is %d-wide — inconsistent packing configuration", packFactor, lf)
+	}
+	return pp.DecryptPacked(ctx, ciphers, count, len(l.parties))
 }
 
 // finishQuery ranks the decrypted candidate distances and gathers the
@@ -300,10 +324,10 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 			if err := transport.DecodeGob(raw, &resp); err != nil {
 				return nil, nil, stats, err
 			}
-			if len(resp.Aggregated) != len(newIDs) {
-				return nil, nil, stats, fmt.Errorf("vfl: TA got %d aggregates for %d candidates", len(resp.Aggregated), len(newIDs))
+			if want := packedLen(len(newIDs), normFactor(resp.PackFactor)); len(resp.Aggregated) != want {
+				return nil, nil, stats, fmt.Errorf("vfl: TA got %d aggregates for %d candidates, want %d", len(resp.Aggregated), len(newIDs), want)
 			}
-			vs, err := he.DecryptVec(ctx, l.scheme, resp.Aggregated)
+			vs, err := l.decryptAggregates(ctx, resp.Aggregated, resp.PackFactor, len(newIDs))
 			if err != nil {
 				return nil, nil, stats, fmt.Errorf("vfl: TA decrypting candidate: %w", err)
 			}

@@ -93,9 +93,15 @@ type EncryptAllReq struct {
 }
 
 // EncryptAllResp returns ciphertexts aligned with ascending pseudo IDs.
+// PackFactor > 1 means each ciphertext carries that many consecutive values
+// (slot packing; the last one partially filled), so len(Ciphers) is
+// ceil(len(PseudoIDs)/PackFactor). 0 or 1 means one value per ciphertext —
+// the pre-packing wire format, which old peers emit implicitly via gob's
+// zero-value defaulting.
 type EncryptAllResp struct {
-	PseudoIDs []int
-	Ciphers   [][]byte
+	PseudoIDs  []int
+	Ciphers    [][]byte
+	PackFactor int
 }
 
 // EncryptCandidatesReq asks for encrypted partial distances of the given
@@ -105,9 +111,11 @@ type EncryptCandidatesReq struct {
 	PseudoIDs []int
 }
 
-// EncryptCandidatesResp returns ciphertexts aligned with the request order.
+// EncryptCandidatesResp returns ciphertexts aligned with the request order
+// (slot-packed when PackFactor > 1, see EncryptAllResp).
 type EncryptCandidatesResp struct {
-	Ciphers [][]byte
+	Ciphers    [][]byte
+	PackFactor int
 }
 
 // NeighborSumReq asks for d^p_T = Σ_{t∈T} d^p_t over the pseudo IDs of the
@@ -149,9 +157,10 @@ type AggregateCandidatesReq struct {
 }
 
 // AggregateCandidatesResp returns aggregated ciphertexts aligned with the
-// request order.
+// request order (slot-packed when PackFactor > 1, see EncryptAllResp).
 type AggregateCandidatesResp struct {
 	Aggregated [][]byte
+	PackFactor int
 }
 
 // AggregateFrontierReq asks the aggregation server for the encrypted TA
@@ -172,10 +181,11 @@ type CollectAllReq struct {
 }
 
 // CollectAllResp returns the homomorphically aggregated complete distances
-// for every pseudo ID.
+// for every pseudo ID (slot-packed when PackFactor > 1, see EncryptAllResp).
 type CollectAllResp struct {
 	PseudoIDs  []int
 	Aggregated [][]byte
+	PackFactor int
 }
 
 // FaginCollectReq drives the optimized variant for one query.
@@ -183,6 +193,24 @@ type FaginCollectReq struct {
 	Query int
 	K     int
 	Batch int
+}
+
+// packedLen returns how many ciphertexts carry n values at the given pack
+// factor: ceil(n/factor), with 0 and 1 both meaning one value per ciphertext.
+func packedLen(n, packFactor int) int {
+	if packFactor <= 1 {
+		return n
+	}
+	return (n + packFactor - 1) / packFactor
+}
+
+// normFactor maps the wire encoding of an absent pack factor (gob zero value
+// from pre-packing peers) to the explicit unpacked factor 1.
+func normFactor(f int) int {
+	if f <= 1 {
+		return 1
+	}
+	return f
 }
 
 // FaginStats reports the pruning achieved by the top-k phase for one query.
@@ -193,9 +221,10 @@ type FaginStats struct {
 }
 
 // FaginCollectResp returns aggregated complete distances for the candidate
-// set only.
+// set only (slot-packed when PackFactor > 1, see EncryptAllResp).
 type FaginCollectResp struct {
 	PseudoIDs  []int
 	Aggregated [][]byte
+	PackFactor int
 	Stats      FaginStats
 }

@@ -129,13 +129,15 @@ func (p *Participant) encryptValue(domain byte, query, key int, v float64) ([]by
 	return p.scheme.Encrypt(v)
 }
 
-// encryptItems protects a vector of item-keyed protocol values. Contextual
+// encryptItems protects a vector of item-keyed protocol values and reports
+// the pack factor of the result (1 = one ciphertext per value). Contextual
 // (mask-based) schemes are pure functions of (domain, query, key, value), so
-// their items parallelise over the worker pool; everything else goes through
-// the scheme's own vector path (he.EncryptVec), which parallelises Paillier
-// and keeps order-dependent schemes serial. ctx is polled per chunk so a
-// dead client stops the encryption sweep early.
-func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, vals []float64) ([][]byte, error) {
+// their items parallelise over the worker pool; a pack-enabled Paillier
+// scheme slot-packs PackFactor values per ciphertext (he.EncryptPacked);
+// everything else goes through the scheme's own vector path (he.EncryptVec),
+// which parallelises Paillier and keeps order-dependent schemes serial. ctx
+// is polled per chunk so a dead client stops the encryption sweep early.
+func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, vals []float64) ([][]byte, int, error) {
 	ctx, esp := p.tracer().Start(ctx, SpanEncrypt)
 	esp.SetLabelInt("n", int64(len(pids)))
 	defer esp.End()
@@ -150,11 +152,24 @@ func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, v
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return out, nil
+		return out, 1, nil
 	}
-	return he.EncryptVec(ctx, p.scheme, vals)
+	if pp, ok := p.scheme.(*he.Paillier); ok && pp.PackFactor() > 1 {
+		factor := pp.PackFactor()
+		esp.SetLabelInt("pack", int64(factor))
+		cs, err := pp.EncryptPacked(ctx, vals)
+		if err != nil {
+			return nil, 0, err
+		}
+		return cs, factor, nil
+	}
+	cs, err := he.EncryptVec(ctx, p.scheme, vals)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cs, 1, nil
 }
 
 // distances returns the cached per-query artefacts, computing them on first
@@ -301,17 +316,19 @@ func (p *Participant) encryptAll(ctx context.Context, r EncryptAllReq) ([]byte, 
 		pids = append(pids, pid)
 		vals = append(vals, qc.dist[p.inv[pid]])
 	}
-	ciphers, err := p.encryptItems(ctx, r.Query, pids, vals)
+	ciphers, factor, err := p.encryptItems(ctx, r.Query, pids, vals)
 	if err != nil {
 		return nil, fmt.Errorf("vfl: party %d encrypting: %w", p.index, err)
 	}
+	// Counters reflect actual work and wire traffic: with packing on, the
+	// exponentiation count and ciphertext count drop by the pack factor.
 	p.counts.Add(costmodel.Raw{
 		Encryptions: int64(len(ciphers)),
 		ItemsSent:   int64(len(ciphers)),
 		BytesSent:   int64(len(ciphers) * p.scheme.CiphertextSize()),
 		Messages:    1,
 	})
-	return transport.EncodeGob(EncryptAllResp{PseudoIDs: pids, Ciphers: ciphers})
+	return transport.EncodeGob(EncryptAllResp{PseudoIDs: pids, Ciphers: ciphers, PackFactor: factor})
 }
 
 func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidatesReq) ([]byte, error) {
@@ -327,7 +344,7 @@ func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidates
 		}
 		vals[i] = qc.dist[p.inv[pid]]
 	}
-	ciphers, err := p.encryptItems(ctx, r.Query, r.PseudoIDs, vals)
+	ciphers, factor, err := p.encryptItems(ctx, r.Query, r.PseudoIDs, vals)
 	if err != nil {
 		return nil, fmt.Errorf("vfl: party %d encrypting candidate: %w", p.index, err)
 	}
@@ -337,7 +354,7 @@ func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidates
 		BytesSent:   int64(len(ciphers) * p.scheme.CiphertextSize()),
 		Messages:    1,
 	})
-	return transport.EncodeGob(EncryptCandidatesResp{Ciphers: ciphers})
+	return transport.EncodeGob(EncryptCandidatesResp{Ciphers: ciphers, PackFactor: factor})
 }
 
 func (p *Participant) encryptRankScore(ctx context.Context, r EncryptRankScoreReq) ([]byte, error) {

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# bench_compare.sh — gate the batched Paillier hot path against regressions.
+#
+# Usage:
+#   scripts/bench_compare.sh [candidate.json] [baseline.json]
+#
+# The candidate (default BENCH_packed.json, freshly produced by
+# `make bench-packed`) must uphold the absolute contracts of the packed
+# pipeline regardless of machine:
+#
+#   * every end-to-end selection matches the scalar run exactly,
+#   * slot packing cuts ciphertext bytes by at least MIN_BYTE_REDUCTION,
+#   * CRT decryption is at least MIN_CRT_SPEEDUP over the λ/μ path.
+#
+# When a baseline (default: the checked-in BENCH_packed.json from git HEAD)
+# is available and distinct from the candidate, the packed end-to-end wall
+# clocks must also stay within TOLERANCE of it. Wall clocks are machine
+# dependent, so the relative gate only fires when the baseline was produced
+# on a comparable machine; the absolute gates always fire.
+set -euo pipefail
+
+CANDIDATE=${1:-BENCH_packed.json}
+BASELINE=${2:-}
+MIN_CRT_SPEEDUP=${MIN_CRT_SPEEDUP:-3.0}
+MIN_BYTE_REDUCTION=${MIN_BYTE_REDUCTION:-4.0}
+TOLERANCE=${TOLERANCE:-1.5}
+
+command -v jq >/dev/null || { echo "bench_compare: jq not found" >&2; exit 1; }
+[ -f "$CANDIDATE" ] || { echo "bench_compare: candidate $CANDIDATE not found (run make bench-packed)" >&2; exit 1; }
+
+fail=0
+say() { echo "bench_compare: $*"; }
+bad() { echo "bench_compare: FAIL: $*" >&2; fail=1; }
+
+# --- absolute gates on the candidate ----------------------------------------
+crt=$(jq -r '.packed.CRT.Speedup' "$CANDIDATE")
+bytered=$(jq -r '.packed.Wire.ByteReduction' "$CANDIDATE")
+packf=$(jq -r '.packed.Wire.PackFactor' "$CANDIDATE")
+
+jq -e --argjson min "$MIN_CRT_SPEEDUP" '.packed.CRT.Speedup >= $min' "$CANDIDATE" >/dev/null \
+  && say "CRT decrypt speedup ${crt}x (floor ${MIN_CRT_SPEEDUP}x)" \
+  || bad "CRT decrypt speedup ${crt}x below floor ${MIN_CRT_SPEEDUP}x"
+
+jq -e --argjson min "$MIN_BYTE_REDUCTION" '.packed.Wire.ByteReduction >= $min' "$CANDIDATE" >/dev/null \
+  && say "ciphertext byte reduction ${bytered}x at pack factor ${packf} (floor ${MIN_BYTE_REDUCTION}x)" \
+  || bad "byte reduction ${bytered}x below floor ${MIN_BYTE_REDUCTION}x"
+
+while IFS=$'\t' read -r variant match; do
+  if [ "$match" = "true" ]; then
+    say "selection $variant: packed run selected the identical set"
+  else
+    bad "selection $variant: packed run selected a DIFFERENT set"
+  fi
+done < <(jq -r '.packed.EndToEnd[] | [.Variant, (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
+
+while IFS=$'\t' read -r variant scalar packed; do
+  if jq -n --argjson s "$scalar" --argjson p "$packed" '$p < $s' >/dev/null 2>&1 \
+     && [ "$(jq -n --argjson s "$scalar" --argjson p "$packed" '$p < $s')" = "true" ]; then
+    say "selection $variant: packed bytes $packed < scalar bytes $scalar"
+  else
+    bad "selection $variant: packed run sent $packed bytes, scalar $scalar"
+  fi
+done < <(jq -r '.packed.EndToEnd[] | [.Variant, (.BytesScalar|tostring), (.BytesPacked|tostring)] | @tsv' "$CANDIDATE")
+
+# --- relative gate against the baseline -------------------------------------
+cleanup=""
+if [ -z "$BASELINE" ]; then
+  # Default baseline: the checked-in BENCH_packed.json at git HEAD.
+  if git cat-file -e "HEAD:BENCH_packed.json" 2>/dev/null; then
+    BASELINE=$(mktemp)
+    cleanup=$BASELINE
+    git show HEAD:BENCH_packed.json > "$BASELINE"
+  fi
+fi
+if [ -n "$BASELINE" ] && [ -f "$BASELINE" ] && ! cmp -s "$CANDIDATE" "$BASELINE"; then
+  while IFS=$'\t' read -r variant cand base; do
+    limit=$(jq -n --argjson b "$base" --argjson t "$TOLERANCE" '$b * $t')
+    if [ "$(jq -n --argjson c "$cand" --argjson l "$limit" '$c <= $l')" = "true" ]; then
+      say "selection $variant: packed wall clock ${cand}s within ${TOLERANCE}x of baseline ${base}s"
+    else
+      bad "selection $variant: packed wall clock ${cand}s regressed past ${TOLERANCE}x baseline ${base}s"
+    fi
+  done < <(join -t $'\t' \
+      <(jq -r '.packed.EndToEnd[] | [.Variant, (.PackedSeconds|tostring)] | @tsv' "$CANDIDATE" | sort) \
+      <(jq -r '.packed.EndToEnd[] | [.Variant, (.PackedSeconds|tostring)] | @tsv' "$BASELINE" | sort))
+else
+  say "no distinct baseline — skipping relative wall-clock gate"
+fi
+[ -n "$cleanup" ] && rm -f "$cleanup"
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_compare: REGRESSION DETECTED" >&2
+  exit 1
+fi
+say "all gates passed"

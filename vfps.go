@@ -99,6 +99,12 @@ type Config struct {
 	// (VFPS_PARALLELISM or GOMAXPROCS). Selection results are identical at
 	// every setting; only wall-clock time changes.
 	Parallelism int
+	// Pack enables Paillier slot packing: several fixed-point partial
+	// distances travel in each ciphertext, dividing encryption count,
+	// decryption count and bytes on the wire by the pack factor. Selection
+	// results are bit-identical with packing on or off. Ignored by the other
+	// schemes.
+	Pack bool
 	// Obs installs metrics and tracing on every role of the consortium. Nil
 	// falls back to the process default observer (obs.SetDefault); when that
 	// is also unset, observability stays disabled at no measurable cost.
@@ -139,6 +145,7 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		DPEpsilon:   cfg.DPEpsilon,
 		DPDelta:     cfg.DPDelta,
 		Parallelism: cfg.Parallelism,
+		Pack:        cfg.Pack,
 		Obs:         cfg.Obs,
 		Instance:    cfg.Instance,
 	})
