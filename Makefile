@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-packed microbench experiments fuzz cover obs-smoke clean
+.PHONY: build test check race bench bench-packed bench-wire microbench experiments fuzz cover obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Vet first, then the full suite, then the live observability surface —
-# the pre-commit gate.
+# Formatting and vet first, then the full suite, a wire-codec fuzz smoke,
+# and the live observability surface — the pre-commit gate.
 check:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzWire$$' -fuzztime=5s
 	$(MAKE) obs-smoke
 
 # Start vfpsserve, drive an encrypted selection, and assert the /metrics,
@@ -37,6 +39,13 @@ bench-packed:
 	$(GO) run ./cmd/vfpsbench -exp packed -json BENCH_packed.json
 	./scripts/bench_compare.sh BENCH_packed.json
 
+# Benchmark the compact binary codec against gob (message sizes plus gob/binary
+# end-to-end selections, packed and unpacked) and gate the result: identical
+# selections and ≥2x fewer framing (non-ciphertext) bytes on the Fagin variant.
+bench-wire:
+	$(GO) run ./cmd/vfpsbench -exp wire -json BENCH_wire.json
+	./scripts/bench_compare.sh BENCH_wire.json
+
 # Go-test microbenchmarks across all packages.
 microbench:
 	$(GO) test -bench=. -benchmem ./...
@@ -51,6 +60,7 @@ cover:
 fuzz:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz=FuzzLoadCSV -fuzztime=30s
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzReadRequest -fuzztime=30s
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzWire$$' -fuzztime=30s
 
 clean:
 	rm -f cover.out vfpsbench vfpsnode vfpsselect vfpsserve

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|exttopk|extscheme|extdp|extpruning|extbatch|parallel|packed|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table4|table5|fig4|fig5|fig6|fig7|fig8|fig9|exttopk|extscheme|extdp|extpruning|extbatch|parallel|packed|wire|all")
 		rows      = flag.Int("rows", 800, "max instances per dataset")
 		queries   = flag.Int("queries", 32, "KNN query samples for selection")
 		k         = flag.Int("k", 10, "proxy-KNN neighbour count")
@@ -94,10 +94,11 @@ func main() {
 		"extbatch":   func(ctx context.Context) (any, error) { return experiments.ExtBatch(ctx, opt) },
 		"parallel":   func(ctx context.Context) (any, error) { return experiments.Parallel(ctx, opt) },
 		"packed":     func(ctx context.Context) (any, error) { return experiments.Packed(ctx, opt) },
+		"wire":       func(ctx context.Context) (any, error) { return experiments.Wire(ctx, opt) },
 	}
-	// "parallel" and "packed" are machine-dependent wall-clock benchmarks, so
-	// they are run explicitly (-exp parallel / -exp packed) rather than folded
-	// into -exp all.
+	// "parallel", "packed" and "wire" are machine-dependent wall-clock
+	// benchmarks, so they are run explicitly (-exp parallel / -exp packed /
+	// -exp wire) rather than folded into -exp all.
 	order := []string{"table1", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"exttopk", "extscheme", "extdp", "extpruning", "extbatch"}
 

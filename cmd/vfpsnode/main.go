@@ -78,11 +78,16 @@ func main() {
 		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
 		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
 		pack        = flag.Bool("pack", false, "slot-pack Paillier ciphertexts (set identically on all parties and the leader)")
+		wireName    = flag.String("wire", "", "protocol codec: gob|binary (default VFPS_WIRE or gob; mixed clusters negotiate down to gob per peer)")
 		obsAddr     = flag.String("obs-addr", "", "optional debug listen address serving /metrics, /v1/trace and /debug/pprof")
 	)
 	flag.Parse()
 
 	dir, err := parseDirectory(*directory)
+	if err != nil {
+		fatal("%v", err)
+	}
+	codec, err := vfl.ResolveWireCodec(*wireName)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -119,6 +124,7 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
+		ks.SetCodec(codec)
 		serve(*addr, "key server", ks.Handler(), o)
 	case "party":
 		pt, _, err := localPartition(*ds, *rows, *parties, *splitSeed)
@@ -131,7 +137,7 @@ func main() {
 		cli := transport.NewTCPClient(dir)
 		defer cli.Close()
 		cli.SetObserver(o)
-		pub, err := vfl.FetchPublicScheme(ctx, cli, vfl.KeyServerName)
+		pub, err := vfl.FetchPublicSchemeWire(ctx, transport.NewCodecCaller(cli, codec), vfl.KeyServerName)
 		if err != nil {
 			fatal("fetching public key: %v", err)
 		}
@@ -143,12 +149,13 @@ func main() {
 		}
 		part.SetParallelism(*parallelism)
 		part.SetObserver(o, "node")
+		part.SetCodec(codec)
 		serve(*addr, fmt.Sprintf("participant %d (%d features)", *index, part.Features()), part.Handler(), o)
 	case "aggserver":
 		cli := transport.NewTCPClient(dir)
 		defer cli.Close()
 		cli.SetObserver(o)
-		pub, err := vfl.FetchPublicScheme(ctx, cli, vfl.KeyServerName)
+		pub, err := vfl.FetchPublicSchemeWire(ctx, transport.NewCodecCaller(cli, codec), vfl.KeyServerName)
 		if err != nil {
 			fatal("fetching public key: %v", err)
 		}
@@ -164,12 +171,13 @@ func main() {
 		}
 		agg.SetParallelism(*parallelism)
 		agg.SetObserver(o, "node")
+		agg.SetCodec(codec)
 		serve(*addr, fmt.Sprintf("aggregation server (%d participants)", len(names)), agg.Handler(), o)
 	case "leader":
 		cli := transport.NewTCPClient(dir)
 		defer cli.Close()
 		cli.SetObserver(o)
-		priv, err := vfl.FetchPrivateScheme(ctx, cli, vfl.KeyServerName)
+		priv, err := vfl.FetchPrivateSchemeWire(ctx, transport.NewCodecCaller(cli, codec), vfl.KeyServerName)
 		if err != nil {
 			fatal("fetching private key: %v", err)
 		}
@@ -182,6 +190,7 @@ func main() {
 		}
 		leader.SetParallelism(*parallelism)
 		leader.SetObserver(o, "node")
+		leader.SetCodec(codec)
 		runLeader(ctx, leader, *rows, *selCount, *k, *queries, vfl.Variant(*variant))
 	default:
 		fatal("unknown role %q (want keyserver|aggserver|party|leader)", *role)

@@ -40,9 +40,20 @@ type Raw struct {
 	// ciphertexts) and Messages counts protocol round trips.
 	ItemsSent int64
 	Messages  int64
-	// BytesSent tracks actual payload volume for reporting.
+	// BytesSent tracks the payload share of transmitted traffic: the value
+	// content a message fundamentally has to move — ciphertext and key
+	// blobs, 8 bytes per float scalar — as actually encoded on the wire.
 	BytesSent int64
+	// FramingBytes tracks the wire overhead around that payload: codec
+	// envelopes, field tags, length prefixes, pseudo-ID lists and (for gob)
+	// type descriptors. BytesSent+FramingBytes is the full encoded volume;
+	// earlier revisions lumped both into BytesSent.
+	FramingBytes int64
 }
+
+// WireBytes returns the full encoded traffic volume, payload plus framing —
+// the quantity BytesSent alone used to approximate.
+func (r Raw) WireBytes() int64 { return r.BytesSent + r.FramingBytes }
 
 // Add atomically accumulates a snapshot into the counter.
 func (c *Counts) Add(r Raw) {
@@ -56,6 +67,7 @@ func (c *Counts) Add(r Raw) {
 	c.c.ItemsSent += r.ItemsSent
 	c.c.Messages += r.Messages
 	c.c.BytesSent += r.BytesSent
+	c.c.FramingBytes += r.FramingBytes
 }
 
 // Snapshot returns the current totals.
@@ -83,15 +95,16 @@ func (r Raw) Plus(o Raw) Raw {
 		ItemsSent:     r.ItemsSent + o.ItemsSent,
 		Messages:      r.Messages + o.Messages,
 		BytesSent:     r.BytesSent + o.BytesSent,
+		FramingBytes:  r.FramingBytes + o.FramingBytes,
 	}
 }
 
 // String formats the counts compactly.
 func (r Raw) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "flops=%d enc=%d dec=%d cadd=%d padd=%d items=%d msgs=%d bytes=%d",
+	fmt.Fprintf(&b, "flops=%d enc=%d dec=%d cadd=%d padd=%d items=%d msgs=%d bytes=%d framing=%d",
 		r.DistanceFlops, r.Encryptions, r.Decryptions, r.CipherAdds, r.PlainAdds,
-		r.ItemsSent, r.Messages, r.BytesSent)
+		r.ItemsSent, r.Messages, r.BytesSent, r.FramingBytes)
 	return b.String()
 }
 

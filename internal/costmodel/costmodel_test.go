@@ -45,10 +45,28 @@ func TestConcurrentAdd(t *testing.T) {
 
 func TestPlus(t *testing.T) {
 	a := Raw{DistanceFlops: 1, Encryptions: 2, Decryptions: 3, CipherAdds: 4,
-		PlainAdds: 5, ItemsSent: 6, Messages: 7, BytesSent: 8}
+		PlainAdds: 5, ItemsSent: 6, Messages: 7, BytesSent: 8, FramingBytes: 9}
 	b := a.Plus(a)
-	if b.DistanceFlops != 2 || b.BytesSent != 16 || b.Messages != 14 {
+	if b.DistanceFlops != 2 || b.BytesSent != 16 || b.Messages != 14 || b.FramingBytes != 18 {
 		t.Fatalf("Plus wrong: %+v", b)
+	}
+}
+
+func TestWireBytesBreakdown(t *testing.T) {
+	// The payload/framing split must accumulate independently and sum to the
+	// total traffic the pre-split revisions reported as BytesSent.
+	var c Counts
+	c.Add(Raw{BytesSent: 100, FramingBytes: 7})
+	c.Add(Raw{BytesSent: 50, FramingBytes: 3})
+	s := c.Snapshot()
+	if s.BytesSent != 150 || s.FramingBytes != 10 {
+		t.Fatalf("breakdown wrong: %+v", s)
+	}
+	if s.WireBytes() != 160 {
+		t.Fatalf("WireBytes = %d, want payload+framing = 160", s.WireBytes())
+	}
+	if !strings.Contains(s.String(), "framing=10") {
+		t.Fatalf("String() misses framing: %q", s.String())
 	}
 }
 

@@ -14,13 +14,14 @@ var opFields = []struct {
 	get func(Raw) int64
 }{
 	{"distance_flops", func(r Raw) int64 { return r.DistanceFlops }}, // β
-	{"encryptions", func(r Raw) int64 { return r.Encryptions }},     // φe
-	{"decryptions", func(r Raw) int64 { return r.Decryptions }},     // φd
-	{"cipher_adds", func(r Raw) int64 { return r.CipherAdds }},      // γ
-	{"plain_adds", func(r Raw) int64 { return r.PlainAdds }},        // δ
-	{"items_sent", func(r Raw) int64 { return r.ItemsSent }},        // η
+	{"encryptions", func(r Raw) int64 { return r.Encryptions }},      // φe
+	{"decryptions", func(r Raw) int64 { return r.Decryptions }},      // φd
+	{"cipher_adds", func(r Raw) int64 { return r.CipherAdds }},       // γ
+	{"plain_adds", func(r Raw) int64 { return r.PlainAdds }},         // δ
+	{"items_sent", func(r Raw) int64 { return r.ItemsSent }},         // η
 	{"messages", func(r Raw) int64 { return r.Messages }},
 	{"bytes_sent", func(r Raw) int64 { return r.BytesSent }},
+	{"framing_bytes", func(r Raw) int64 { return r.FramingBytes }},
 }
 
 // DeclareMetrics pre-declares the cost-model gauge family on reg so it shows

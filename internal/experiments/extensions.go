@@ -147,7 +147,7 @@ func ExtScheme(ctx context.Context, opt Options) (*ExtSchemeResult, error) {
 			return nil, fmt.Errorf("%s/%s: %w", ds, scheme, err)
 		}
 		res.Projected = append(res.Projected, sel.ProjectedSeconds)
-		res.Bytes = append(res.Bytes, sel.Counts.BytesSent)
+		res.Bytes = append(res.Bytes, sel.Counts.WireBytes())
 	}
 	res.Table = &Table{
 		Title:  fmt.Sprintf("Extension: protection-scheme comparison (%s)", ds),

@@ -254,8 +254,8 @@ func packedE2E(ctx context.Context, opt Options, res *PackedResult, variant stri
 		PackedSeconds: packed.WallTime.Seconds(),
 		Selected:      packed.Selected,
 		SelectedMatch: equalInts(scalar.Selected, packed.Selected),
-		BytesScalar:   scalar.Counts.BytesSent,
-		BytesPacked:   packed.Counts.BytesSent,
+		BytesScalar:   scalar.Counts.WireBytes(),
+		BytesPacked:   packed.Counts.WireBytes(),
 	}
 	e2e.Speedup = speedup(e2e.ScalarSeconds, e2e.PackedSeconds)
 	e2e.ByteReduction = speedup(float64(e2e.BytesScalar), float64(e2e.BytesPacked))

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"vfps"
+	"vfps/internal/par"
+	"vfps/internal/vfl"
+	"vfps/internal/wire"
+)
+
+// WireMsgBench compares one representative protocol message's encoded size
+// under the gob and binary codecs.
+type WireMsgBench struct {
+	Kind        string
+	GobBytes    int64
+	BinaryBytes int64
+	// Reduction is GobBytes/BinaryBytes.
+	Reduction float64
+}
+
+// WireE2E reports one gob-vs-binary end-to-end selection pair. SelectedMatch
+// asserts the codec contract: the binary consortium selects the exact same
+// participants. FramingReduction is the headline number — the shrink in
+// non-ciphertext wire bytes (envelopes, field keys, ID lists, gob type
+// descriptors), which is all a codec can change; ciphertext payload is fixed
+// by the HE scheme.
+type WireE2E struct {
+	Variant string
+	Packed  bool
+	// Wall-clock selection durations.
+	GobSeconds    float64
+	BinarySeconds float64
+	Selected      []int
+	SelectedMatch bool
+	// Total wire bytes (payload + framing) under each codec.
+	GobBytes    int64
+	BinaryBytes int64
+	// Framing-only bytes under each codec.
+	GobFramingBytes    int64
+	BinaryFramingBytes int64
+	// FramingReduction is GobFramingBytes/BinaryFramingBytes;
+	// TotalReduction the same over payload+framing.
+	FramingReduction float64
+	TotalReduction   float64
+}
+
+// WireResult is the structured output of the wire-codec benchmark.
+type WireResult struct {
+	GOMAXPROCS  int
+	Parallelism int
+	Rows        int
+	Queries     int
+	Parties     int
+	KeyBits     int
+	Messages    []WireMsgBench
+	EndToEnd    []WireE2E
+	Table       *Table
+}
+
+// Wire benchmarks the compact binary codec against gob: representative
+// message encodings in isolation, then full BASE and SM (Fagin) selections
+// under real Paillier with each codec, packed and unpacked. The selected
+// sets must match exactly; the framing (non-ciphertext) bytes shrink by the
+// factor recorded in FramingReduction.
+func Wire(ctx context.Context, opt Options) (*WireResult, error) {
+	return wireAt(ctx, opt, 512)
+}
+
+// wireAt is Wire with the end-to-end key width injectable so unit tests can
+// shrink it.
+func wireAt(ctx context.Context, opt Options, e2eBits int) (*WireResult, error) {
+	opt = opt.withDefaults()
+	res := &WireResult{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: par.Degree(),
+		Parties:     opt.Parties,
+		KeyBits:     e2eBits,
+	}
+	res.Rows = opt.Rows
+	if res.Rows > 200 {
+		res.Rows = 200
+	}
+	res.Queries = opt.Queries
+	if res.Queries > 8 {
+		res.Queries = 8
+	}
+
+	if err := wireMessages(res); err != nil {
+		return nil, err
+	}
+	for _, variant := range []string{"base", "fagin"} {
+		for _, packed := range []bool{false, true} {
+			e2e, err := wireE2E(ctx, opt, res, variant, packed)
+			if err != nil {
+				return nil, err
+			}
+			res.EndToEnd = append(res.EndToEnd, *e2e)
+		}
+	}
+
+	res.Table = wireTable(res)
+	res.Table.Fprint(opt.Out)
+	return res, nil
+}
+
+// wireMessages sizes representative protocol messages — the framing-heavy
+// kinds the Fagin rounds send constantly — under both codecs.
+func wireMessages(res *WireResult) error {
+	ids := make([]int, 32)
+	for i := range ids {
+		ids[i] = 1000 + 3*i // sorted pseudo-ID batch: small positive deltas
+	}
+	msgs := []struct {
+		kind string
+		msg  wire.Message
+	}{
+		{"RankingBatchReq", &vfl.RankingBatchReq{Query: 117, Offset: 64, Count: 32}},
+		{"RankingBatchResp b=32", &vfl.RankingBatchResp{PseudoIDs: ids}},
+		{"EncryptCandidatesReq n=32", &vfl.EncryptCandidatesReq{Query: 117, PseudoIDs: ids}},
+		{"NeighborSumReq k=10", &vfl.NeighborSumReq{Query: 117, PseudoIDs: ids[:10]}},
+		{"FaginCollectReq", &vfl.FaginCollectReq{Query: 117, K: 10, Batch: 32}},
+	}
+	for _, m := range msgs {
+		graw, err := wire.Gob().Marshal(m.msg)
+		if err != nil {
+			return err
+		}
+		braw, err := wire.Binary().Marshal(m.msg)
+		if err != nil {
+			return err
+		}
+		res.Messages = append(res.Messages, WireMsgBench{
+			Kind:        m.kind,
+			GobBytes:    int64(len(graw)),
+			BinaryBytes: int64(len(braw)),
+			Reduction:   speedup(float64(len(graw)), float64(len(braw))),
+		})
+	}
+	return nil
+}
+
+// wireE2E wall-clocks one selection variant on a gob consortium and a binary
+// one, then checks both selected identical participants and compares total
+// and framing-only protocol bytes.
+func wireE2E(ctx context.Context, opt Options, res *WireResult, variant string, packed bool) (*WireE2E, error) {
+	run := func(codec string) (*vfps.Selection, error) {
+		d, err := vfps.GenerateDataset("Bank", res.Rows)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := vfps.VerticalSplit(d, res.Parties, opt.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		cons, err := vfps.NewConsortium(ctx, vfps.Config{
+			Partition:   pt,
+			Labels:      d.Y,
+			Classes:     d.Classes,
+			Scheme:      "paillier",
+			KeyBits:     res.KeyBits,
+			ShuffleSeed: opt.Seed + 303,
+			Pack:        packed,
+			Wire:        codec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer cons.Close()
+		return cons.Select(ctx, opt.SelectCount, vfps.SelectOptions{
+			K:          opt.K,
+			NumQueries: res.Queries,
+			Seed:       opt.Seed,
+			TopK:       variant,
+		})
+	}
+	gob, err := run("gob")
+	if err != nil {
+		return nil, fmt.Errorf("%s gob: %w", variant, err)
+	}
+	bin, err := run("binary")
+	if err != nil {
+		return nil, fmt.Errorf("%s binary: %w", variant, err)
+	}
+	e2e := &WireE2E{
+		Variant:            variant,
+		Packed:             packed,
+		GobSeconds:         gob.WallTime.Seconds(),
+		BinarySeconds:      bin.WallTime.Seconds(),
+		Selected:           bin.Selected,
+		SelectedMatch:      equalInts(gob.Selected, bin.Selected),
+		GobBytes:           gob.Counts.WireBytes(),
+		BinaryBytes:        bin.Counts.WireBytes(),
+		GobFramingBytes:    gob.Counts.FramingBytes,
+		BinaryFramingBytes: bin.Counts.FramingBytes,
+	}
+	e2e.FramingReduction = speedup(float64(e2e.GobFramingBytes), float64(e2e.BinaryFramingBytes))
+	e2e.TotalReduction = speedup(float64(e2e.GobBytes), float64(e2e.BinaryBytes))
+	return e2e, nil
+}
+
+func wireTable(r *WireResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Wire codec: gob vs binary v1 (GOMAXPROCS=%d, degree=%d, b=%d-bit keys)",
+			r.GOMAXPROCS, r.Parallelism, r.KeyBits),
+		Header: []string{"workload", "gob", "binary", "gain"},
+	}
+	for _, m := range r.Messages {
+		t.Rows = append(t.Rows, []string{
+			"msg " + m.Kind,
+			fmt.Sprintf("%d B", m.GobBytes), fmt.Sprintf("%d B", m.BinaryBytes),
+			fmt.Sprintf("%.2fx", m.Reduction),
+		})
+	}
+	for _, e := range r.EndToEnd {
+		pack := "scalar"
+		if e.Packed {
+			pack = "packed"
+		}
+		t.Rows = append(t.Rows,
+			[]string{fmt.Sprintf("framing bytes %s/%s n=%d q=%d (match=%v)",
+				e.Variant, pack, r.Rows, r.Queries, e.SelectedMatch),
+				fmt.Sprintf("%d B", e.GobFramingBytes), fmt.Sprintf("%d B", e.BinaryFramingBytes),
+				fmt.Sprintf("%.2fx", e.FramingReduction)},
+			[]string{fmt.Sprintf("total bytes %s/%s", e.Variant, pack),
+				fmt.Sprintf("%d B", e.GobBytes), fmt.Sprintf("%d B", e.BinaryBytes),
+				fmt.Sprintf("%.2fx", e.TotalReduction)},
+			[]string{fmt.Sprintf("selection %s/%s wall clock", e.Variant, pack),
+				fmtSeconds(e.GobSeconds), fmtSeconds(e.BinarySeconds),
+				fmt.Sprintf("%.2fx", speedup(e.GobSeconds, e.BinarySeconds))},
+		)
+	}
+	return t
+}

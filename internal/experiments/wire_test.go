@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestWireBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{
+		Rows:    60,
+		Queries: 4,
+		K:       3,
+		Parties: 3,
+		Seed:    1,
+		Out:     &buf,
+	}
+	// Shrunken key width: the real harness runs 512-bit Paillier.
+	res, err := wireAt(context.Background(), opt, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Messages) == 0 {
+		t.Fatal("no message-level rows")
+	}
+	for _, m := range res.Messages {
+		if m.BinaryBytes <= 0 || m.GobBytes <= 0 {
+			t.Fatalf("%s: missing sizes %+v", m.Kind, m)
+		}
+		if m.Reduction <= 1 {
+			t.Fatalf("%s: binary (%d B) not smaller than gob (%d B)", m.Kind, m.BinaryBytes, m.GobBytes)
+		}
+	}
+	if len(res.EndToEnd) != 4 {
+		t.Fatalf("want base+fagin × scalar+packed rows, got %d", len(res.EndToEnd))
+	}
+	for _, e := range res.EndToEnd {
+		if !e.SelectedMatch {
+			t.Fatalf("%s packed=%v: binary run selected a different set", e.Variant, e.Packed)
+		}
+		if e.FramingReduction <= 1 {
+			t.Fatalf("%s packed=%v: framing not reduced: gob %d B, binary %d B",
+				e.Variant, e.Packed, e.GobFramingBytes, e.BinaryFramingBytes)
+		}
+		if e.BinaryBytes >= e.GobBytes {
+			t.Fatalf("%s packed=%v: binary run sent %d total bytes, gob %d",
+				e.Variant, e.Packed, e.BinaryBytes, e.GobBytes)
+		}
+		if len(e.Selected) == 0 || e.GobSeconds <= 0 || e.BinarySeconds <= 0 {
+			t.Fatalf("%s packed=%v: incomplete row %+v", e.Variant, e.Packed, e)
+		}
+	}
+	if !strings.Contains(buf.String(), "Wire codec: gob vs binary") {
+		t.Fatalf("table not printed:\n%s", buf.String())
+	}
+}

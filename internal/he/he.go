@@ -148,13 +148,16 @@ func (p *Paillier) CiphertextSize() int { return p.pk.CiphertextSize() }
 
 // ---- Plain (simulated) scheme ----
 
-// Plain implements Scheme by shipping raw IEEE-754 bytes. It preserves the
-// protocol's data flow and operation counts while removing cryptographic
-// cost; the cost model prices the counted ops at calibrated Paillier rates.
+// Plain implements Scheme by shipping IEEE-754 bytes padded to the simulated
+// ciphertext size. It preserves the protocol's data flow, operation counts
+// and wire volume while removing cryptographic cost; the cost model prices
+// the counted ops at calibrated Paillier rates.
 type Plain struct {
-	// SimulatedSize is reported by CiphertextSize so communication
-	// accounting matches an encrypted deployment. Defaults to 256 bytes
-	// (a 1024-bit-modulus Paillier ciphertext).
+	// SimulatedSize is the ciphertext blob size actually shipped (the value
+	// occupies the first 8 bytes, the rest is zero padding), so communication
+	// accounting matches an encrypted deployment byte for byte. Defaults to
+	// 256 bytes (a 1024-bit-modulus Paillier ciphertext); the zero value
+	// ships bare 8-byte floats.
 	SimulatedSize int
 }
 
@@ -169,15 +172,15 @@ func (p *Plain) Encrypt(v float64) ([]byte, error) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return nil, fmt.Errorf("he: cannot encrypt non-finite value %g", v)
 	}
-	b := make([]byte, 8)
+	b := make([]byte, max(p.CiphertextSize(), 8))
 	binary.BigEndian.PutUint64(b, math.Float64bits(v))
 	return b, nil
 }
 
 // Decrypt implements Scheme.
 func (p *Plain) Decrypt(c []byte) (float64, error) {
-	if len(c) != 8 {
-		return 0, fmt.Errorf("he: plain ciphertext must be 8 bytes, got %d", len(c))
+	if len(c) < 8 {
+		return 0, fmt.Errorf("he: plain ciphertext must be at least 8 bytes, got %d", len(c))
 	}
 	return math.Float64frombits(binary.BigEndian.Uint64(c)), nil
 }

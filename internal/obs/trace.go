@@ -38,10 +38,10 @@ func NewTracer(capacity int) *Tracer {
 
 // SpanData is one completed span as it appears in a trace report.
 type SpanData struct {
-	ID     uint64            `json:"id"`
-	Parent uint64            `json:"parent,omitempty"`
-	Name   string            `json:"name"`
-	Start  time.Time         `json:"start"`
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
 	// DurationNs is End-Start in nanoseconds.
 	DurationNs int64             `json:"durationNs"`
 	Labels     map[string]string `json:"labels,omitempty"`

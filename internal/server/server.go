@@ -132,6 +132,7 @@ type CreateRequest struct {
 	DPEpsilon   float64 `json:"dpEpsilon"`
 	SplitSeed   int64   `json:"splitSeed"`
 	ShuffleSeed int64   `json:"shuffleSeed"`
+	Wire        string  `json:"wire"` // protocol codec: "gob" (default) or "binary"
 }
 
 // CreateResponse identifies the new consortium.
@@ -176,6 +177,7 @@ func (s *Server) createConsortium(w http.ResponseWriter, r *http.Request) {
 		Scheme:      req.Scheme,
 		DPEpsilon:   req.DPEpsilon,
 		ShuffleSeed: req.ShuffleSeed,
+		Wire:        req.Wire,
 		Obs:         s.obs,
 		Instance:    id,
 	})

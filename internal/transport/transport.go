@@ -2,9 +2,11 @@
 // roles (participants, aggregation server, leader, key server). It replaces
 // the paper's proto3/gRPC stack with a stdlib-only request/response
 // abstraction and two implementations: an in-process transport for
-// single-binary runs and tests, and a TCP transport with gob encoding and
-// length-framed messages for genuinely distributed deployments
-// (cmd/vfpsnode).
+// single-binary runs and tests, and a TCP transport with length-framed
+// messages for genuinely distributed deployments (cmd/vfpsnode). Message
+// bodies are opaque here; CodecCaller layers internal/wire codecs (gob or
+// the compact binary format) with per-peer version negotiation on top of
+// either transport.
 package transport
 
 import (

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
 	"vfps/internal/obs"
 	"vfps/internal/par"
 	"vfps/internal/transport"
+	"vfps/internal/wire"
 )
 
 // AggServer is the aggregation server role: it merges the participants'
@@ -23,7 +25,9 @@ import (
 // SetParallelism.
 type AggServer struct {
 	roleObs
+	roleCodec
 	caller      transport.Caller
+	cc          atomic.Pointer[transport.CodecCaller]
 	parties     []string // node names of the participants
 	scheme      he.Scheme
 	counts      costmodel.Counts
@@ -42,7 +46,32 @@ func NewAggServer(caller transport.Caller, parties []string, scheme he.Scheme) (
 	if scheme == nil {
 		return nil, fmt.Errorf("vfl: aggregation server needs an HE scheme")
 	}
-	return &AggServer{caller: caller, parties: parties, scheme: scheme}, nil
+	a := &AggServer{caller: caller, parties: parties, scheme: scheme}
+	a.cc.Store(transport.NewCodecCaller(caller, wire.Gob()))
+	return a, nil
+}
+
+// SetCodec configures the codec the server prefers for its own calls to the
+// participants (negotiated down per peer when a participant only speaks gob)
+// and bounds which inbound protocol versions it accepts. Responses always
+// mirror the requester's codec.
+func (a *AggServer) SetCodec(c wire.Codec) {
+	a.setCodec(c)
+	a.cc.Store(transport.NewCodecCaller(a.caller, a.codec()))
+}
+
+// Negotiated reports the codec name in use towards one participant ("" before
+// the first call reaches that peer).
+func (a *AggServer) Negotiated(party string) string { return a.cc.Load().Negotiated(party) }
+
+// call performs one outbound RPC through the negotiated codec and charges the
+// encoded request/response bytes to the server's counters. The Messages
+// counter stays responder-side, so round trips are not double-counted.
+func (a *AggServer) call(ctx context.Context, node, method string, req, resp wire.Message) error {
+	stats, err := a.cc.Load().Invoke(ctx, node, method, req, resp)
+	a.counts.Add(costmodel.Raw{BytesSent: stats.Payload, FramingBytes: stats.Framing})
+	a.recordWire(stats.Codec, stats.Payload, stats.Framing)
+	return err
 }
 
 // SetParallelism pins the server's concurrency: 1 restores the serial party
@@ -66,45 +95,50 @@ func (a *AggServer) SetObserver(o *obs.Observer, instance string) {
 	a.counts.Register(o.Registry(), instance, AggServerName)
 }
 
-// Handler returns the server's RPC handler.
+// Handler returns the server's RPC handler. Requests are decoded with the
+// codec they arrived in (bounded by the configured codec's version) and
+// responses mirror it.
 func (a *AggServer) Handler() transport.Handler {
 	return func(ctx context.Context, method string, req []byte) ([]byte, error) {
+		if method == transport.MethodHello {
+			return wire.HandleHello(req, a.codec().Version())
+		}
+		codec, err := a.reqCodec(req)
+		if err != nil {
+			return nil, err
+		}
 		switch method {
 		case MethodCollectAll:
 			var r CollectAllReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return a.collectAll(ctx, r)
+			return a.collectAll(ctx, codec, r)
 		case MethodFaginCollect:
 			var r FaginCollectReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return a.faginCollect(ctx, r)
+			return a.faginCollect(ctx, codec, r)
 		case MethodAggregateCandidates:
 			var r AggregateCandidatesReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
 			agg, factor, err := a.aggregateCandidates(ctx, r.Query, r.PseudoIDs)
 			if err != nil {
 				return nil, err
 			}
-			a.counts.Add(costmodel.Raw{
-				ItemsSent: int64(len(agg)),
-				BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
-				Messages:  1,
-			})
-			return transport.EncodeGob(AggregateCandidatesResp{Aggregated: agg, PackFactor: factor})
+			return reply(codec, &AggregateCandidatesResp{Aggregated: agg, PackFactor: factor},
+				&a.counts, &a.roleObs, costmodel.Raw{ItemsSent: int64(len(agg)), Messages: 1})
 		case MethodAggregateFrontier:
 			var r AggregateFrontierReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return a.aggregateFrontier(ctx, r)
+			return a.aggregateFrontier(ctx, codec, r)
 		case MethodCounts:
-			return transport.EncodeGob(CountsResp{Counts: a.counts.Snapshot()})
+			return codec.Marshal(&CountsResp{Counts: a.counts.Snapshot()})
 		case MethodResetCounts:
 			a.counts.Reset()
 			return nil, nil
@@ -200,14 +234,10 @@ func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoID
 	vecs := make([][][]byte, len(a.parties))
 	factors := make([]int, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
-		raw, err := a.caller.Call(ctx, party, MethodEncryptCandidates,
-			mustGob(EncryptCandidatesReq{Query: query, PseudoIDs: pseudoIDs}))
-		if err != nil {
-			return fmt.Errorf("vfl: collecting candidates from %s: %w", party, err)
-		}
 		var resp EncryptCandidatesResp
-		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return err
+		if err := a.call(ctx, party, MethodEncryptCandidates,
+			&EncryptCandidatesReq{Query: query, PseudoIDs: pseudoIDs}, &resp); err != nil {
+			return fmt.Errorf("vfl: collecting candidates from %s: %w", party, err)
 		}
 		factors[pi] = normFactor(resp.PackFactor)
 		if want := packedLen(len(pseudoIDs), factors[pi]); len(resp.Ciphers) != want {
@@ -244,19 +274,15 @@ func (a *AggServer) uniformFactor(factors []int) (int, error) {
 
 // aggregateFrontier sums the parties' encrypted scores at one scan rank —
 // the encrypted Threshold-Algorithm bound τ.
-func (a *AggServer) aggregateFrontier(ctx context.Context, r AggregateFrontierReq) ([]byte, error) {
+func (a *AggServer) aggregateFrontier(ctx context.Context, codec wire.Codec, r AggregateFrontierReq) ([]byte, error) {
 	ctx, fsp := a.tracer().Start(ctx, SpanFrontier)
 	defer fsp.End()
 	singles := make([][][]byte, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
-		raw, err := a.caller.Call(ctx, party, MethodEncryptRankScore,
-			mustGob(EncryptRankScoreReq{Query: r.Query, Rank: r.Rank}))
-		if err != nil {
-			return fmt.Errorf("vfl: frontier from %s: %w", party, err)
-		}
 		var resp EncryptRankScoreResp
-		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return err
+		if err := a.call(ctx, party, MethodEncryptRankScore,
+			&EncryptRankScoreReq{Query: r.Query, Rank: r.Rank}, &resp); err != nil {
+			return fmt.Errorf("vfl: frontier from %s: %w", party, err)
 		}
 		singles[pi] = [][]byte{resp.Cipher}
 		return nil
@@ -268,30 +294,22 @@ func (a *AggServer) aggregateFrontier(ctx context.Context, r AggregateFrontierRe
 	if err != nil {
 		return nil, fmt.Errorf("vfl: aggregating frontier: %w", err)
 	}
-	a.counts.Add(costmodel.Raw{
-		ItemsSent: 1,
-		BytesSent: int64(a.scheme.CiphertextSize()),
-		Messages:  1,
-	})
-	return transport.EncodeGob(AggregateFrontierResp{Cipher: agg[0]})
+	return reply(codec, &AggregateFrontierResp{Cipher: agg[0]}, &a.counts, &a.roleObs,
+		costmodel.Raw{ItemsSent: 1, Messages: 1})
 }
 
 // collectAll implements the BASE variant: pull every participant's full
 // encrypted partial-distance vector concurrently and sum them per pseudo ID.
-func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, error) {
+func (a *AggServer) collectAll(ctx context.Context, codec wire.Codec, r CollectAllReq) ([]byte, error) {
 	ctx, csp := a.tracer().Start(ctx, SpanCollectAll)
 	defer csp.End()
 	pidSets := make([][]int, len(a.parties))
 	vecs := make([][][]byte, len(a.parties))
 	factors := make([]int, len(a.parties))
 	err := a.fanOut(ctx, func(pi int, party string) error {
-		raw, err := a.caller.Call(ctx, party, MethodEncryptAll, mustGob(EncryptAllReq{Query: r.Query}))
-		if err != nil {
-			return fmt.Errorf("vfl: collecting from %s: %w", party, err)
-		}
 		var resp EncryptAllResp
-		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return err
+		if err := a.call(ctx, party, MethodEncryptAll, &EncryptAllReq{Query: r.Query}, &resp); err != nil {
+			return fmt.Errorf("vfl: collecting from %s: %w", party, err)
 		}
 		factors[pi] = normFactor(resp.PackFactor)
 		if want := packedLen(len(resp.PseudoIDs), factors[pi]); len(resp.Ciphers) != want {
@@ -324,19 +342,15 @@ func (a *AggServer) collectAll(ctx context.Context, r CollectAllReq) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
-	a.counts.Add(costmodel.Raw{
-		ItemsSent: int64(len(agg)),
-		BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
-		Messages:  1,
-	})
-	return transport.EncodeGob(CollectAllResp{PseudoIDs: pids, Aggregated: agg, PackFactor: factor})
+	return reply(codec, &CollectAllResp{PseudoIDs: pids, Aggregated: agg, PackFactor: factor},
+		&a.counts, &a.roleObs, costmodel.Raw{ItemsSent: int64(len(agg)), Messages: 1})
 }
 
 // faginCollect implements the optimized variant: run Fagin's algorithm over
 // the participants' sub-rankings (pulled in mini-batches, all parties in
 // flight concurrently), then collect and aggregate encrypted partial
 // distances for the candidate set only.
-func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte, error) {
+func (a *AggServer) faginCollect(ctx context.Context, codec wire.Codec, r FaginCollectReq) ([]byte, error) {
 	if r.K <= 0 {
 		return nil, fmt.Errorf("vfl: k=%d must be positive", r.K)
 	}
@@ -360,14 +374,10 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 		// is identical to the serial scan.
 		batches := make([][]int, p)
 		err := a.fanOut(ctx, func(pi int, party string) error {
-			raw, err := a.caller.Call(ctx, party, MethodRankingBatch,
-				mustGob(RankingBatchReq{Query: r.Query, Offset: depth, Count: r.Batch}))
-			if err != nil {
-				return fmt.Errorf("vfl: pulling ranking from %s: %w", party, err)
-			}
 			var resp RankingBatchResp
-			if err := transport.DecodeGob(raw, &resp); err != nil {
-				return err
+			if err := a.call(ctx, party, MethodRankingBatch,
+				&RankingBatchReq{Query: r.Query, Offset: depth, Count: r.Batch}, &resp); err != nil {
+				return fmt.Errorf("vfl: pulling ranking from %s: %w", party, err)
 			}
 			batches[pi] = resp.PseudoIDs
 			return nil
@@ -411,12 +421,8 @@ func (a *AggServer) faginCollect(ctx context.Context, r FaginCollectReq) ([]byte
 	if err != nil {
 		return nil, err
 	}
-	a.counts.Add(costmodel.Raw{
-		ItemsSent: int64(len(agg)),
-		BytesSent: int64(len(agg) * a.scheme.CiphertextSize()),
-		Messages:  1,
-	})
-	return transport.EncodeGob(FaginCollectResp{PseudoIDs: candidates, Aggregated: agg, PackFactor: factor, Stats: stats})
+	return reply(codec, &FaginCollectResp{PseudoIDs: candidates, Aggregated: agg, PackFactor: factor, Stats: stats},
+		&a.counts, &a.roleObs, costmodel.Raw{ItemsSent: int64(len(agg)), Messages: 1})
 }
 
 // mustGob encodes a value that cannot fail (our message structs); a failure

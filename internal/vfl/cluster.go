@@ -3,6 +3,7 @@ package vfl
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"vfps/internal/costmodel"
 	"vfps/internal/dataset"
@@ -10,6 +11,7 @@ import (
 	"vfps/internal/mat"
 	"vfps/internal/obs"
 	"vfps/internal/transport"
+	"vfps/internal/wire"
 )
 
 // ClusterConfig describes an in-process VFL deployment.
@@ -46,6 +48,12 @@ type ClusterConfig struct {
 	// Ignored by non-Paillier schemes; fails cluster construction when the
 	// key is too small to hold even one slot.
 	Pack bool
+	// Wire selects the protocol codec every role speaks: "gob" (the
+	// self-describing stdlib encoding, the default) or "binary" (the compact
+	// versioned wire format of internal/wire). Empty falls back to the
+	// VFPS_WIRE environment variable, then "gob". Selection results are
+	// bit-identical across codecs; only bytes on the wire change.
+	Wire string
 	// Obs installs metrics and tracing on the transport, every role and the
 	// HE schemes. Nil falls back to the process-wide default observer
 	// (obs.SetDefault); when that is also unset, observability stays fully
@@ -69,8 +77,22 @@ type Cluster struct {
 	pubScheme   he.Scheme
 	privScheme  he.Scheme
 	parallelism int
+	codec       wire.Codec
 	observer    *obs.Observer
 	instance    string
+}
+
+// ResolveWireCodec maps a wire knob value to a codec: the explicit name wins,
+// an empty name falls back to the VFPS_WIRE environment variable, and an
+// empty environment means gob (the pre-wire default).
+func ResolveWireCodec(name string) (wire.Codec, error) {
+	if name == "" {
+		name = os.Getenv("VFPS_WIRE")
+	}
+	if name == "" {
+		return wire.Gob(), nil
+	}
+	return wire.ByName(name)
 }
 
 // Observer returns the cluster's observer (nil when observability is off).
@@ -138,15 +160,19 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if instance == "" {
 		instance = "local"
 	}
+	codec, err := ResolveWireCodec(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
 	if reg := o.Registry(); reg != nil {
 		transport.DeclareMetrics(reg)
 		he.DeclareMetrics(reg)
 		costmodel.DeclareMetrics(reg)
+		declareWire(reg)
 	}
 	tr := &transport.Memory{}
 	tr.SetObserver(o)
 	var ks *KeyServer
-	var err error
 	switch cfg.Scheme {
 	case "secagg":
 		ks, err = NewKeyServerSecAgg(cfg.Partition.P(), cfg.ShuffleSeed^0x5eca66)
@@ -165,9 +191,10 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	ks.SetCodec(codec)
 	tr.Register(KeyServerName, ks.Handler())
 
-	pubScheme, err := FetchPublicScheme(ctx, tr, KeyServerName)
+	pubScheme, err := FetchPublicSchemeWire(ctx, transport.NewCodecCaller(tr, codec), KeyServerName)
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +215,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		}
 		part.SetParallelism(cfg.Parallelism)
 		part.SetObserver(o, instance)
+		part.SetCodec(codec)
 		parties[i] = part
 		partyNames[i] = PartyName(i)
 		tr.Register(partyNames[i], part.Handler())
@@ -198,9 +226,10 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	}
 	agg.SetParallelism(cfg.Parallelism)
 	agg.SetObserver(o, instance)
+	agg.SetCodec(codec)
 	tr.Register(AggServerName, agg.Handler())
 
-	privScheme, err := FetchPrivateScheme(ctx, tr, KeyServerName)
+	privScheme, err := FetchPrivateSchemeWire(ctx, transport.NewCodecCaller(tr, codec), KeyServerName)
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +247,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	}
 	leader.SetParallelism(cfg.Parallelism)
 	leader.SetObserver(o, instance)
+	leader.SetCodec(codec)
 	return &Cluster{
 		Transport:   tr,
 		Leader:      leader,
@@ -228,6 +258,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		pubScheme:   pubScheme,
 		privScheme:  privScheme,
 		parallelism: cfg.Parallelism,
+		codec:       codec,
 		observer:    o,
 		instance:    instance,
 	}, nil
@@ -251,6 +282,7 @@ func (c *Cluster) AddParticipant(x *mat.Matrix) (string, error) {
 	}
 	part.SetParallelism(c.parallelism)
 	part.SetObserver(c.observer, c.instance)
+	part.SetCodec(c.codec)
 	name := PartyName(index)
 	c.Transport.Register(name, part.Handler())
 	c.Parties = append(c.Parties, part)

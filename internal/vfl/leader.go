@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
 	"vfps/internal/obs"
 	"vfps/internal/topk"
 	"vfps/internal/transport"
+	"vfps/internal/wire"
 )
 
 // Variant selects the vertical-KNN implementation.
@@ -38,7 +40,9 @@ const (
 // participant similarities w(p,s) that feed submodular selection.
 type Leader struct {
 	roleObs
+	roleCodec
 	caller      transport.Caller
+	cc          atomic.Pointer[transport.CodecCaller]
 	agg         string
 	parties     []string
 	scheme      he.Scheme // full scheme (with private key)
@@ -62,7 +66,30 @@ func NewLeader(caller transport.Caller, aggNode string, parties []string, scheme
 	if batch <= 0 {
 		batch = 32
 	}
-	return &Leader{caller: caller, agg: aggNode, parties: parties, scheme: scheme, batch: batch}, nil
+	l := &Leader{caller: caller, agg: aggNode, parties: parties, scheme: scheme, batch: batch}
+	l.cc.Store(transport.NewCodecCaller(caller, wire.Gob()))
+	return l, nil
+}
+
+// SetCodec configures the codec the leader prefers for its calls (negotiated
+// down per peer when a node only speaks gob).
+func (l *Leader) SetCodec(c wire.Codec) {
+	l.setCodec(c)
+	l.cc.Store(transport.NewCodecCaller(l.caller, l.codec()))
+}
+
+// Negotiated reports the codec name in use towards one node ("" before the
+// first call to it).
+func (l *Leader) Negotiated(node string) string { return l.cc.Load().Negotiated(node) }
+
+// call performs one outbound RPC through the negotiated codec and charges the
+// encoded request/response bytes to the leader's counters. The Messages
+// counter stays responder-side, so round trips are not double-counted.
+func (l *Leader) call(ctx context.Context, node, method string, req, resp wire.Message) error {
+	stats, err := l.cc.Load().Invoke(ctx, node, method, req, resp)
+	l.counts.Add(costmodel.Raw{BytesSent: stats.Payload, FramingBytes: stats.Framing})
+	l.recordWire(stats.Codec, stats.Payload, stats.Framing)
+	return err
 }
 
 // Counts exposes the leader's operation counters.
@@ -123,12 +150,8 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 			return nil, err
 		}
 	case VariantBase:
-		raw, err := l.caller.Call(ctx, l.agg, MethodCollectAll, mustGob(CollectAllReq{Query: query}))
-		if err != nil {
-			return nil, err
-		}
 		var resp CollectAllResp
-		if err := transport.DecodeGob(raw, &resp); err != nil {
+		if err := l.call(ctx, l.agg, MethodCollectAll, &CollectAllReq{Query: query}, &resp); err != nil {
 			return nil, err
 		}
 		pids, ciphers, packFactor = resp.PseudoIDs, resp.Aggregated, resp.PackFactor
@@ -136,13 +159,9 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 		stats.Rounds = 1
 		stats.ScanDepth = len(pids)
 	case VariantFagin:
-		raw, err := l.caller.Call(ctx, l.agg, MethodFaginCollect,
-			mustGob(FaginCollectReq{Query: query, K: k, Batch: l.batch}))
-		if err != nil {
-			return nil, err
-		}
 		var resp FaginCollectResp
-		if err := transport.DecodeGob(raw, &resp); err != nil {
+		if err := l.call(ctx, l.agg, MethodFaginCollect,
+			&FaginCollectReq{Query: query, K: k, Batch: l.batch}, &resp); err != nil {
 			return nil, err
 		}
 		pids, ciphers, packFactor, stats = resp.PseudoIDs, resp.Aggregated, resp.PackFactor, resp.Stats
@@ -206,14 +225,10 @@ func (l *Leader) finishQuery(ctx context.Context, query, k int, pids []int, dist
 	ctx = nctx
 	sums := make([]float64, len(l.parties))
 	err := l.fanOut(ctx, func(pi int, party string) error {
-		raw, err := l.caller.Call(ctx, party, MethodNeighborSum,
-			mustGob(NeighborSumReq{Query: query, PseudoIDs: neighbors}))
-		if err != nil {
-			return fmt.Errorf("vfl: neighbour sum from %s: %w", party, err)
-		}
 		var resp NeighborSumResp
-		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return err
+		if err := l.call(ctx, party, MethodNeighborSum,
+			&NeighborSumReq{Query: query, PseudoIDs: neighbors}, &resp); err != nil {
+			return fmt.Errorf("vfl: neighbour sum from %s: %w", party, err)
 		}
 		sums[pi] = resp.Sum
 		return nil
@@ -282,14 +297,10 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 		// flight concurrently; merge in party order for determinism.
 		batches := make([][]int, len(l.parties))
 		err := l.fanOut(ctx, func(pi int, party string) error {
-			raw, err := l.caller.Call(ctx, party, MethodRankingBatch,
-				mustGob(RankingBatchReq{Query: query, Offset: depth, Count: l.batch}))
-			if err != nil {
-				return fmt.Errorf("vfl: TA ranking from %s: %w", party, err)
-			}
 			var resp RankingBatchResp
-			if err := transport.DecodeGob(raw, &resp); err != nil {
-				return err
+			if err := l.call(ctx, party, MethodRankingBatch,
+				&RankingBatchReq{Query: query, Offset: depth, Count: l.batch}, &resp); err != nil {
+				return fmt.Errorf("vfl: TA ranking from %s: %w", party, err)
 			}
 			batches[pi] = resp.PseudoIDs
 			return nil
@@ -315,13 +326,9 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 
 		// Random access: aggregated ciphertexts for the new candidates.
 		if len(newIDs) > 0 {
-			raw, err := l.caller.Call(ctx, l.agg, MethodAggregateCandidates,
-				mustGob(AggregateCandidatesReq{Query: query, PseudoIDs: newIDs}))
-			if err != nil {
-				return nil, nil, stats, err
-			}
 			var resp AggregateCandidatesResp
-			if err := transport.DecodeGob(raw, &resp); err != nil {
+			if err := l.call(ctx, l.agg, MethodAggregateCandidates,
+				&AggregateCandidatesReq{Query: query, PseudoIDs: newIDs}, &resp); err != nil {
 				return nil, nil, stats, err
 			}
 			if want := packedLen(len(newIDs), normFactor(resp.PackFactor)); len(resp.Aggregated) != want {
@@ -342,13 +349,9 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 		// Threshold: τ bounds every unseen instance's complete distance from
 		// below, because unseen instances rank deeper than the frontier in
 		// every list.
-		raw, err := l.caller.Call(ctx, l.agg, MethodAggregateFrontier,
-			mustGob(AggregateFrontierReq{Query: query, Rank: depth - 1}))
-		if err != nil {
-			return nil, nil, stats, err
-		}
 		var fresp AggregateFrontierResp
-		if err := transport.DecodeGob(raw, &fresp); err != nil {
+		if err := l.call(ctx, l.agg, MethodAggregateFrontier,
+			&AggregateFrontierReq{Query: query, Rank: depth - 1}, &fresp); err != nil {
 			return nil, nil, stats, err
 		}
 		tau, err := l.scheme.Decrypt(fresp.Cipher)
@@ -523,14 +526,10 @@ func (l *Leader) ExtendWithParties(ctx context.Context, newParties []string, acc
 		sums := make([]float64, newP)
 		copy(sums, rec.PartySums)
 		for ni, party := range newParties {
-			raw, err := l.caller.Call(ctx, party, MethodNeighborSum,
-				mustGob(NeighborSumReq{Query: rec.Query, PseudoIDs: rec.Neighbors}))
-			if err != nil {
-				return nil, fmt.Errorf("vfl: extending with %s: %w", party, err)
-			}
 			var resp NeighborSumResp
-			if err := transport.DecodeGob(raw, &resp); err != nil {
-				return nil, err
+			if err := l.call(ctx, party, MethodNeighborSum,
+				&NeighborSumReq{Query: rec.Query, PseudoIDs: rec.Neighbors}, &resp); err != nil {
+				return nil, fmt.Errorf("vfl: extending with %s: %w", party, err)
 			}
 			sums[oldP+ni] = resp.Sum
 		}
@@ -630,15 +629,13 @@ func (l *Leader) runQueries(ctx context.Context, queries []int, k int, variant V
 // GatherCounts pulls operation counters from every node plus the leader's
 // own, keyed by node name ("leader" for the local counters).
 func (l *Leader) GatherCounts(ctx context.Context) (map[string]costmodel.Raw, error) {
+	// Meta-calls go through Invoke directly so gathering counters does not
+	// itself perturb the byte counters being gathered.
 	out := map[string]costmodel.Raw{"leader": l.counts.Snapshot()}
 	for _, node := range append([]string{l.agg}, l.parties...) {
-		raw, err := l.caller.Call(ctx, node, MethodCounts, nil)
-		if err != nil {
-			return nil, fmt.Errorf("vfl: counts from %s: %w", node, err)
-		}
 		var resp CountsResp
-		if err := transport.DecodeGob(raw, &resp); err != nil {
-			return nil, err
+		if _, err := l.cc.Load().Invoke(ctx, node, MethodCounts, nil, &resp); err != nil {
+			return nil, fmt.Errorf("vfl: counts from %s: %w", node, err)
 		}
 		out[node] = resp.Counts
 	}
@@ -662,7 +659,7 @@ func (l *Leader) TotalCounts(ctx context.Context) (costmodel.Raw, error) {
 func (l *Leader) ResetAllCounts(ctx context.Context) error {
 	l.counts.Reset()
 	for _, node := range append([]string{l.agg}, l.parties...) {
-		if _, err := l.caller.Call(ctx, node, MethodResetCounts, nil); err != nil {
+		if _, err := l.cc.Load().Invoke(ctx, node, MethodResetCounts, nil, nil); err != nil {
 			return fmt.Errorf("vfl: resetting %s: %w", node, err)
 		}
 	}

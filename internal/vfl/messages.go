@@ -19,6 +19,7 @@ package vfl
 
 import (
 	"vfps/internal/costmodel"
+	"vfps/internal/wire"
 )
 
 // Node names used by both the in-memory cluster and cmd/vfpsnode.
@@ -227,4 +228,462 @@ type FaginCollectResp struct {
 	Aggregated [][]byte
 	PackFactor int
 	Stats      FaginStats
+}
+
+// ---- wire codec layouts --------------------------------------------------
+//
+// Every message carries explicit MarshalWire/UnmarshalWire methods pinning
+// its v1 binary layout (see internal/wire for the field grammar and
+// golden_test.go for byte-level vectors). Tags are append-only: new fields
+// take fresh tags so v1 peers skip them, exactly how PackFactor rode on gob's
+// zero-value defaulting before. Absent fields decode as zero, which the
+// normFactor/packedLen helpers already normalise.
+
+// MarshalWire implements wire.Message. 1: scheme, 2: key, 3: parties,
+// 4: maskSeed, 5: epsilon, 6: delta.
+func (m *PublicKeyResp) MarshalWire(e *wire.Encoder) {
+	e.String(1, m.Scheme)
+	e.Bytes(2, m.Key)
+	e.Int(3, int64(m.Parties))
+	e.Int(4, m.MaskSeed)
+	e.Float(5, m.Epsilon)
+	e.Float(6, m.Delta)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *PublicKeyResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Scheme = d.String()
+		case 2:
+			m.Key = d.Bytes()
+		case 3:
+			m.Parties = int(d.Int())
+		case 4:
+			m.MaskSeed = d.Int()
+		case 5:
+			m.Epsilon = d.Float()
+		case 6:
+			m.Delta = d.Float()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message; same layout as PublicKeyResp.
+func (m *PrivateKeyResp) MarshalWire(e *wire.Encoder) {
+	(*PublicKeyResp)(m).MarshalWire(e)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *PrivateKeyResp) UnmarshalWire(d *wire.Decoder) error {
+	return (*PublicKeyResp)(m).UnmarshalWire(d)
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: offset, 3: count.
+func (m *RankingBatchReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.Int(2, int64(m.Offset))
+	e.Int(3, int64(m.Count))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *RankingBatchReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.Offset = int(d.Int())
+		case 3:
+			m.Count = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: pseudo IDs (delta block).
+func (m *RankingBatchResp) MarshalWire(e *wire.Encoder) { e.IDs(1, m.PseudoIDs) }
+
+// UnmarshalWire implements wire.Message.
+func (m *RankingBatchResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			m.PseudoIDs = d.IDs()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query.
+func (m *EncryptAllReq) MarshalWire(e *wire.Encoder) { e.Int(1, int64(m.Query)) }
+
+// UnmarshalWire implements wire.Message.
+func (m *EncryptAllReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			m.Query = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: pseudo IDs, 2: ciphertext blocks,
+// 3: pack factor.
+func (m *EncryptAllResp) MarshalWire(e *wire.Encoder) {
+	e.IDs(1, m.PseudoIDs)
+	e.Blobs(2, m.Ciphers)
+	e.Int(3, int64(m.PackFactor))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *EncryptAllResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.PseudoIDs = d.IDs()
+		case 2:
+			m.Ciphers = d.Blobs()
+		case 3:
+			m.PackFactor = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: pseudo IDs.
+func (m *EncryptCandidatesReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.IDs(2, m.PseudoIDs)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *EncryptCandidatesReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.PseudoIDs = d.IDs()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: ciphertext blocks, 2: pack factor.
+func (m *EncryptCandidatesResp) MarshalWire(e *wire.Encoder) {
+	e.Blobs(1, m.Ciphers)
+	e.Int(2, int64(m.PackFactor))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *EncryptCandidatesResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Ciphers = d.Blobs()
+		case 2:
+			m.PackFactor = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: pseudo IDs.
+func (m *NeighborSumReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.IDs(2, m.PseudoIDs)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *NeighborSumReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.PseudoIDs = d.IDs()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: sum (fixed64, bit-exact).
+func (m *NeighborSumResp) MarshalWire(e *wire.Encoder) { e.Float(1, m.Sum) }
+
+// UnmarshalWire implements wire.Message.
+func (m *NeighborSumResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			m.Sum = d.Float()
+		}
+	}
+	return d.Err()
+}
+
+// wireRaw pins costmodel.Raw's nested wire layout without coupling costmodel
+// to the codec. 1: flops, 2: enc, 3: dec, 4: cadd, 5: padd, 6: items,
+// 7: msgs, 8: bytes, 9: framing (framing was added with the codec itself, so
+// v1 defines it from the start).
+type wireRaw costmodel.Raw
+
+func (r *wireRaw) MarshalWire(e *wire.Encoder) {
+	e.Int(1, r.DistanceFlops)
+	e.Int(2, r.Encryptions)
+	e.Int(3, r.Decryptions)
+	e.Int(4, r.CipherAdds)
+	e.Int(5, r.PlainAdds)
+	e.Int(6, r.ItemsSent)
+	e.Int(7, r.Messages)
+	e.Int(8, r.BytesSent)
+	e.Int(9, r.FramingBytes)
+}
+
+func (r *wireRaw) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.DistanceFlops = d.Int()
+		case 2:
+			r.Encryptions = d.Int()
+		case 3:
+			r.Decryptions = d.Int()
+		case 4:
+			r.CipherAdds = d.Int()
+		case 5:
+			r.PlainAdds = d.Int()
+		case 6:
+			r.ItemsSent = d.Int()
+		case 7:
+			r.Messages = d.Int()
+		case 8:
+			r.BytesSent = d.Int()
+		case 9:
+			r.FramingBytes = d.Int()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: counts (nested wireRaw).
+func (m *CountsResp) MarshalWire(e *wire.Encoder) { e.Msg(1, (*wireRaw)(&m.Counts)) }
+
+// UnmarshalWire implements wire.Message.
+func (m *CountsResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			d.Msg((*wireRaw)(&m.Counts))
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: rank.
+func (m *EncryptRankScoreReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.Int(2, int64(m.Rank))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *EncryptRankScoreReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.Rank = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: ciphertext.
+func (m *EncryptRankScoreResp) MarshalWire(e *wire.Encoder) { e.Bytes(1, m.Cipher) }
+
+// UnmarshalWire implements wire.Message.
+func (m *EncryptRankScoreResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			m.Cipher = d.Bytes()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message; same layout as EncryptCandidatesReq.
+func (m *AggregateCandidatesReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.IDs(2, m.PseudoIDs)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *AggregateCandidatesReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.PseudoIDs = d.IDs()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: aggregated blocks, 2: pack factor.
+func (m *AggregateCandidatesResp) MarshalWire(e *wire.Encoder) {
+	e.Blobs(1, m.Aggregated)
+	e.Int(2, int64(m.PackFactor))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *AggregateCandidatesResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Aggregated = d.Blobs()
+		case 2:
+			m.PackFactor = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: rank.
+func (m *AggregateFrontierReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.Int(2, int64(m.Rank))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *AggregateFrontierReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.Rank = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: ciphertext.
+func (m *AggregateFrontierResp) MarshalWire(e *wire.Encoder) { e.Bytes(1, m.Cipher) }
+
+// UnmarshalWire implements wire.Message.
+func (m *AggregateFrontierResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			m.Cipher = d.Bytes()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query.
+func (m *CollectAllReq) MarshalWire(e *wire.Encoder) { e.Int(1, int64(m.Query)) }
+
+// UnmarshalWire implements wire.Message.
+func (m *CollectAllReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		if d.Tag() == 1 {
+			m.Query = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: pseudo IDs, 2: aggregated blocks,
+// 3: pack factor.
+func (m *CollectAllResp) MarshalWire(e *wire.Encoder) {
+	e.IDs(1, m.PseudoIDs)
+	e.Blobs(2, m.Aggregated)
+	e.Int(3, int64(m.PackFactor))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *CollectAllResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.PseudoIDs = d.IDs()
+		case 2:
+			m.Aggregated = d.Blobs()
+		case 3:
+			m.PackFactor = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: k, 3: batch.
+func (m *FaginCollectReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.Int(2, int64(m.K))
+	e.Int(3, int64(m.Batch))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *FaginCollectReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.K = int(d.Int())
+		case 3:
+			m.Batch = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: rounds, 2: scan depth,
+// 3: candidates.
+func (m *FaginStats) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Rounds))
+	e.Int(2, int64(m.ScanDepth))
+	e.Int(3, int64(m.Candidates))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *FaginStats) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Rounds = int(d.Int())
+		case 2:
+			m.ScanDepth = int(d.Int())
+		case 3:
+			m.Candidates = int(d.Int())
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: pseudo IDs, 2: aggregated blocks,
+// 3: pack factor, 4: Fagin stats (nested).
+func (m *FaginCollectResp) MarshalWire(e *wire.Encoder) {
+	e.IDs(1, m.PseudoIDs)
+	e.Blobs(2, m.Aggregated)
+	e.Int(3, int64(m.PackFactor))
+	e.Msg(4, &m.Stats)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *FaginCollectResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.PseudoIDs = d.IDs()
+		case 2:
+			m.Aggregated = d.Blobs()
+		case 3:
+			m.PackFactor = int(d.Int())
+		case 4:
+			d.Msg(&m.Stats)
+		}
+	}
+	return d.Err()
 }

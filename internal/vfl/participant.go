@@ -13,6 +13,7 @@ import (
 	"vfps/internal/obs"
 	"vfps/internal/par"
 	"vfps/internal/transport"
+	"vfps/internal/wire"
 )
 
 // PartyName returns the canonical node name of participant p.
@@ -25,6 +26,7 @@ func PartyName(p int) string { return fmt.Sprintf("party/%d", p) }
 // §IV-C).
 type Participant struct {
 	roleObs
+	roleCodec
 	index  int
 	x      *mat.Matrix // N × F_p local features
 	scheme he.Scheme
@@ -110,6 +112,11 @@ func (p *Participant) SetObserver(o *obs.Observer, instance string) {
 	p.store(o)
 	p.counts.Register(o.Registry(), instance, PartyName(p.index))
 }
+
+// SetCodec configures the participant's wire codec (gob by default).
+// Responses always mirror the requester's codec; the setting bounds which
+// inbound protocol versions are accepted.
+func (p *Participant) SetCodec(c wire.Codec) { p.setCodec(c) }
 
 // SetParallelism pins the participant's encryption concurrency: 1 restores
 // the serial loop, <= 0 restores the default degree.
@@ -235,42 +242,52 @@ func (p *Participant) distances(ctx context.Context, query int) (*queryCache, er
 	return qc, nil
 }
 
-// Handler returns the participant's RPC handler.
+// Handler returns the participant's RPC handler. Requests are decoded with
+// the codec they arrived in (bounded by the configured codec's version) and
+// responses mirror it, so one participant can serve gob and binary callers
+// side by side.
 func (p *Participant) Handler() transport.Handler {
 	return func(ctx context.Context, method string, req []byte) ([]byte, error) {
+		if method == transport.MethodHello {
+			return wire.HandleHello(req, p.codec().Version())
+		}
+		codec, err := p.reqCodec(req)
+		if err != nil {
+			return nil, err
+		}
 		switch method {
 		case MethodRankingBatch:
 			var r RankingBatchReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return p.rankingBatch(ctx, r)
+			return p.rankingBatch(ctx, codec, r)
 		case MethodEncryptAll:
 			var r EncryptAllReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return p.encryptAll(ctx, r)
+			return p.encryptAll(ctx, codec, r)
 		case MethodEncryptCandidates:
 			var r EncryptCandidatesReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return p.encryptCandidates(ctx, r)
+			return p.encryptCandidates(ctx, codec, r)
 		case MethodEncryptRankScore:
 			var r EncryptRankScoreReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return p.encryptRankScore(ctx, r)
+			return p.encryptRankScore(ctx, codec, r)
 		case MethodNeighborSum:
 			var r NeighborSumReq
-			if err := transport.DecodeGob(req, &r); err != nil {
+			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			return p.neighborSum(ctx, r)
+			return p.neighborSum(ctx, codec, r)
 		case MethodCounts:
-			return transport.EncodeGob(CountsResp{Counts: p.counts.Snapshot()})
+			return codec.Marshal(&CountsResp{Counts: p.counts.Snapshot()})
 		case MethodResetCounts:
 			p.counts.Reset()
 			return nil, nil
@@ -280,7 +297,7 @@ func (p *Participant) Handler() transport.Handler {
 	}
 }
 
-func (p *Participant) rankingBatch(ctx context.Context, r RankingBatchReq) ([]byte, error) {
+func (p *Participant) rankingBatch(ctx context.Context, codec wire.Codec, r RankingBatchReq) ([]byte, error) {
 	if r.Count <= 0 {
 		return nil, fmt.Errorf("vfl: ranking batch count %d must be positive", r.Count)
 	}
@@ -296,11 +313,11 @@ func (p *Participant) rankingBatch(ctx context.Context, r RankingBatchReq) ([]by
 		end = len(qc.sortedPid)
 	}
 	batch := qc.sortedPid[r.Offset:end]
-	p.counts.Add(costmodel.Raw{ItemsSent: int64(len(batch)), Messages: 1})
-	return transport.EncodeGob(RankingBatchResp{PseudoIDs: batch})
+	return reply(codec, &RankingBatchResp{PseudoIDs: batch}, &p.counts, &p.roleObs,
+		costmodel.Raw{ItemsSent: int64(len(batch)), Messages: 1})
 }
 
-func (p *Participant) encryptAll(ctx context.Context, r EncryptAllReq) ([]byte, error) {
+func (p *Participant) encryptAll(ctx context.Context, codec wire.Codec, r EncryptAllReq) ([]byte, error) {
 	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
@@ -321,17 +338,17 @@ func (p *Participant) encryptAll(ctx context.Context, r EncryptAllReq) ([]byte, 
 		return nil, fmt.Errorf("vfl: party %d encrypting: %w", p.index, err)
 	}
 	// Counters reflect actual work and wire traffic: with packing on, the
-	// exponentiation count and ciphertext count drop by the pack factor.
-	p.counts.Add(costmodel.Raw{
-		Encryptions: int64(len(ciphers)),
-		ItemsSent:   int64(len(ciphers)),
-		BytesSent:   int64(len(ciphers) * p.scheme.CiphertextSize()),
-		Messages:    1,
-	})
-	return transport.EncodeGob(EncryptAllResp{PseudoIDs: pids, Ciphers: ciphers, PackFactor: factor})
+	// exponentiation count and ciphertext count drop by the pack factor, and
+	// reply charges the bytes as actually encoded on the wire.
+	return reply(codec, &EncryptAllResp{PseudoIDs: pids, Ciphers: ciphers, PackFactor: factor},
+		&p.counts, &p.roleObs, costmodel.Raw{
+			Encryptions: int64(len(ciphers)),
+			ItemsSent:   int64(len(ciphers)),
+			Messages:    1,
+		})
 }
 
-func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidatesReq) ([]byte, error) {
+func (p *Participant) encryptCandidates(ctx context.Context, codec wire.Codec, r EncryptCandidatesReq) ([]byte, error) {
 	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
@@ -348,16 +365,15 @@ func (p *Participant) encryptCandidates(ctx context.Context, r EncryptCandidates
 	if err != nil {
 		return nil, fmt.Errorf("vfl: party %d encrypting candidate: %w", p.index, err)
 	}
-	p.counts.Add(costmodel.Raw{
-		Encryptions: int64(len(ciphers)),
-		ItemsSent:   int64(len(ciphers)),
-		BytesSent:   int64(len(ciphers) * p.scheme.CiphertextSize()),
-		Messages:    1,
-	})
-	return transport.EncodeGob(EncryptCandidatesResp{Ciphers: ciphers, PackFactor: factor})
+	return reply(codec, &EncryptCandidatesResp{Ciphers: ciphers, PackFactor: factor},
+		&p.counts, &p.roleObs, costmodel.Raw{
+			Encryptions: int64(len(ciphers)),
+			ItemsSent:   int64(len(ciphers)),
+			Messages:    1,
+		})
 }
 
-func (p *Participant) encryptRankScore(ctx context.Context, r EncryptRankScoreReq) ([]byte, error) {
+func (p *Participant) encryptRankScore(ctx context.Context, codec wire.Codec, r EncryptRankScoreReq) ([]byte, error) {
 	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
@@ -376,16 +392,11 @@ func (p *Participant) encryptRankScore(ctx context.Context, r EncryptRankScoreRe
 	if err != nil {
 		return nil, fmt.Errorf("vfl: party %d encrypting frontier: %w", p.index, err)
 	}
-	p.counts.Add(costmodel.Raw{
-		Encryptions: 1,
-		ItemsSent:   1,
-		BytesSent:   int64(p.scheme.CiphertextSize()),
-		Messages:    1,
-	})
-	return transport.EncodeGob(EncryptRankScoreResp{Cipher: c})
+	return reply(codec, &EncryptRankScoreResp{Cipher: c}, &p.counts, &p.roleObs,
+		costmodel.Raw{Encryptions: 1, ItemsSent: 1, Messages: 1})
 }
 
-func (p *Participant) neighborSum(ctx context.Context, r NeighborSumReq) ([]byte, error) {
+func (p *Participant) neighborSum(ctx context.Context, codec wire.Codec, r NeighborSumReq) ([]byte, error) {
 	qc, err := p.distances(ctx, r.Query)
 	if err != nil {
 		return nil, err
@@ -398,6 +409,6 @@ func (p *Participant) neighborSum(ctx context.Context, r NeighborSumReq) ([]byte
 		}
 		sum += qc.dist[p.inv[pid]]
 	}
-	p.counts.Add(costmodel.Raw{PlainAdds: int64(len(r.PseudoIDs)), ItemsSent: 1, Messages: 1})
-	return transport.EncodeGob(NeighborSumResp{Sum: sum})
+	return reply(codec, &NeighborSumResp{Sum: sum}, &p.counts, &p.roleObs,
+		costmodel.Raw{PlainAdds: int64(len(r.PseudoIDs)), ItemsSent: 1, Messages: 1})
 }

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# bench_compare.sh — gate the batched Paillier hot path against regressions.
+# bench_compare.sh — gate the hot-path benchmarks against regressions.
 #
 # Usage:
 #   scripts/bench_compare.sh [candidate.json] [baseline.json]
 #
-# The candidate (default BENCH_packed.json, freshly produced by
-# `make bench-packed`) must uphold the absolute contracts of the packed
-# pipeline regardless of machine:
+# The candidate JSON's top-level key picks the gate set. A `.packed` result
+# (default BENCH_packed.json, freshly produced by `make bench-packed`) must
+# uphold the absolute contracts of the packed pipeline regardless of machine:
 #
 #   * every end-to-end selection matches the scalar run exactly,
 #   * slot packing cuts ciphertext bytes by at least MIN_BYTE_REDUCTION,
 #   * CRT decryption is at least MIN_CRT_SPEEDUP over the λ/μ path.
+#
+# A `.wire` result (BENCH_wire.json, from `make bench-wire`) must show:
+#
+#   * every gob-vs-binary selection pair matching exactly,
+#   * binary total bytes strictly below gob on every pair,
+#   * Fagin framing (non-ciphertext) bytes cut by MIN_WIRE_FRAMING_REDUCTION.
 #
 # When a baseline (default: the checked-in BENCH_packed.json from git HEAD)
 # is available and distinct from the candidate, the packed end-to-end wall
@@ -23,14 +29,51 @@ CANDIDATE=${1:-BENCH_packed.json}
 BASELINE=${2:-}
 MIN_CRT_SPEEDUP=${MIN_CRT_SPEEDUP:-3.0}
 MIN_BYTE_REDUCTION=${MIN_BYTE_REDUCTION:-4.0}
+MIN_WIRE_FRAMING_REDUCTION=${MIN_WIRE_FRAMING_REDUCTION:-2.0}
 TOLERANCE=${TOLERANCE:-1.5}
 
 command -v jq >/dev/null || { echo "bench_compare: jq not found" >&2; exit 1; }
-[ -f "$CANDIDATE" ] || { echo "bench_compare: candidate $CANDIDATE not found (run make bench-packed)" >&2; exit 1; }
+[ -f "$CANDIDATE" ] || { echo "bench_compare: candidate $CANDIDATE not found (run make bench-packed / bench-wire)" >&2; exit 1; }
 
 fail=0
 say() { echo "bench_compare: $*"; }
 bad() { echo "bench_compare: FAIL: $*" >&2; fail=1; }
+
+# --- wire codec gates --------------------------------------------------------
+if jq -e '.wire' "$CANDIDATE" >/dev/null 2>&1; then
+  while IFS=$'\t' read -r variant packed match; do
+    if [ "$match" = "true" ]; then
+      say "selection $variant packed=$packed: binary codec selected the identical set"
+    else
+      bad "selection $variant packed=$packed: binary codec selected a DIFFERENT set"
+    fi
+  done < <(jq -r '.wire.EndToEnd[] | [.Variant, (.Packed|tostring), (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
+
+  while IFS=$'\t' read -r variant packed gob binary; do
+    if [ "$(jq -n --argjson g "$gob" --argjson b "$binary" '$b < $g')" = "true" ]; then
+      say "selection $variant packed=$packed: binary total $binary B < gob $gob B"
+    else
+      bad "selection $variant packed=$packed: binary sent $binary total bytes, gob $gob"
+    fi
+  done < <(jq -r '.wire.EndToEnd[] | [.Variant, (.Packed|tostring), (.GobBytes|tostring), (.BinaryBytes|tostring)] | @tsv' "$CANDIDATE")
+
+  while IFS=$'\t' read -r packed red; do
+    if [ "$(jq -n --argjson r "$red" --argjson min "$MIN_WIRE_FRAMING_REDUCTION" '$r >= $min')" = "true" ]; then
+      say "fagin packed=$packed: framing reduction ${red}x (floor ${MIN_WIRE_FRAMING_REDUCTION}x)"
+    else
+      bad "fagin packed=$packed: framing reduction ${red}x below floor ${MIN_WIRE_FRAMING_REDUCTION}x"
+    fi
+  done < <(jq -r '.wire.EndToEnd[] | select(.Variant == "fagin") | [(.Packed|tostring), (.FramingReduction|tostring)] | @tsv' "$CANDIDATE")
+fi
+
+if ! jq -e '.packed' "$CANDIDATE" >/dev/null 2>&1; then
+  if [ "$fail" -ne 0 ]; then
+    echo "bench_compare: REGRESSION DETECTED" >&2
+    exit 1
+  fi
+  say "all gates passed"
+  exit 0
+fi
 
 # --- absolute gates on the candidate ----------------------------------------
 crt=$(jq -r '.packed.CRT.Speedup' "$CANDIDATE")

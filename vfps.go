@@ -105,6 +105,11 @@ type Config struct {
 	// results are bit-identical with packing on or off. Ignored by the other
 	// schemes.
 	Pack bool
+	// Wire selects the protocol codec: "gob" (default) or "binary" (the
+	// compact versioned wire format of internal/wire). Empty falls back to
+	// the VFPS_WIRE environment variable, then "gob". Selection results are
+	// bit-identical across codecs; only bytes on the wire change.
+	Wire string
 	// Obs installs metrics and tracing on every role of the consortium. Nil
 	// falls back to the process default observer (obs.SetDefault); when that
 	// is also unset, observability stays disabled at no measurable cost.
@@ -146,6 +151,7 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		DPDelta:     cfg.DPDelta,
 		Parallelism: cfg.Parallelism,
 		Pack:        cfg.Pack,
+		Wire:        cfg.Wire,
 		Obs:         cfg.Obs,
 		Instance:    cfg.Instance,
 	})
