@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-packed bench-wire microbench experiments fuzz cover obs-smoke clean
+.PHONY: build test check race bench bench-packed bench-wire bench-encrypt microbench experiments fuzz cover obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,8 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzWire$$' -fuzztime=5s
+	$(GO) test ./internal/paillier -race
+	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=5s
 	$(MAKE) obs-smoke
 
 # Start vfpsserve, drive an encrypted selection, and assert the /metrics,
@@ -46,6 +48,14 @@ bench-wire:
 	$(GO) run ./cmd/vfpsbench -exp wire -json BENCH_wire.json
 	./scripts/bench_compare.sh BENCH_wire.json
 
+# Benchmark the encryption hot path (classic vs fixed-base windowed vs CRT vs
+# pooled randomizer production, plus end-to-end selections under each pool
+# mode) and gate the result: ≥2x windowed encrypt speedup and selections
+# identical to classic uniform sampling.
+bench-encrypt:
+	$(GO) run ./cmd/vfpsbench -exp encrypt -json BENCH_encrypt.json
+	./scripts/bench_compare.sh BENCH_encrypt.json
+
 # Go-test microbenchmarks across all packages.
 microbench:
 	$(GO) test -bench=. -benchmem ./...
@@ -61,6 +71,7 @@ fuzz:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz=FuzzLoadCSV -fuzztime=30s
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzReadRequest -fuzztime=30s
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzWire$$' -fuzztime=30s
+	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=30s
 
 clean:
 	rm -f cover.out vfpsbench vfpsnode vfpsselect vfpsserve

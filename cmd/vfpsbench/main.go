@@ -95,10 +95,12 @@ func main() {
 		"parallel":   func(ctx context.Context) (any, error) { return experiments.Parallel(ctx, opt) },
 		"packed":     func(ctx context.Context) (any, error) { return experiments.Packed(ctx, opt) },
 		"wire":       func(ctx context.Context) (any, error) { return experiments.Wire(ctx, opt) },
+		"encrypt":    func(ctx context.Context) (any, error) { return experiments.Encrypt(ctx, opt) },
 	}
-	// "parallel", "packed" and "wire" are machine-dependent wall-clock
-	// benchmarks, so they are run explicitly (-exp parallel / -exp packed /
-	// -exp wire) rather than folded into -exp all.
+	// "parallel", "packed", "wire" and "encrypt" are machine-dependent
+	// wall-clock benchmarks, so they are run explicitly (-exp parallel /
+	// -exp packed / -exp wire / -exp encrypt) rather than folded into
+	// -exp all.
 	order := []string{"table1", "table4", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"exttopk", "extscheme", "extdp", "extpruning", "extbatch"}
 

@@ -42,13 +42,14 @@ import (
 // every participant and the leader (the aggregation server validates the pack
 // factors it sees); maxAdds is the consortium size, matching the one-
 // ciphertext-per-party aggregation tree.
-func tuneScheme(s he.Scheme, parallelism int, pool, pack bool, maxAdds int) {
+func tuneScheme(s he.Scheme, parallelism, window int, pool, pack bool, maxAdds int) {
 	p, ok := s.(*he.Paillier)
 	if !ok {
 		return
 	}
 	p.SetParallelism(parallelism)
 	if pool && parallelism != 1 {
+		p.SetEncryptWindow(window)
 		p.StartRandomizerPool(4*p.Parallelism(), 1)
 	}
 	if pack {
@@ -78,6 +79,7 @@ func main() {
 		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
 		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
 		pack        = flag.Bool("pack", false, "slot-pack Paillier ciphertexts (set identically on all parties and the leader)")
+		window      = flag.Int("encrypt-window", 0, "fixed-base window for randomizer precompute (0 = default 6, negative = classic uniform sampling)")
 		wireName    = flag.String("wire", "", "protocol codec: gob|binary (default VFPS_WIRE or gob; mixed clusters negotiate down to gob per peer)")
 		obsAddr     = flag.String("obs-addr", "", "optional debug listen address serving /metrics, /v1/trace and /debug/pprof")
 	)
@@ -141,7 +143,7 @@ func main() {
 		if err != nil {
 			fatal("fetching public key: %v", err)
 		}
-		tuneScheme(pub, *parallelism, true, *pack, pt.P())
+		tuneScheme(pub, *parallelism, *window, true, *pack, pt.P())
 		observeScheme(pub, o, "party")
 		part, err := vfl.NewParticipant(*index, pt.Parties[*index], pub, *shuffleSeed)
 		if err != nil {
@@ -163,7 +165,7 @@ func main() {
 		if len(names) == 0 {
 			fatal("directory lists no party/<i> entries")
 		}
-		tuneScheme(pub, *parallelism, false, false, 0) // agg only adds; packing config lives on parties and leader
+		tuneScheme(pub, *parallelism, *window, false, false, 0) // agg only adds; packing config lives on parties and leader
 		observeScheme(pub, o, "aggserver")
 		agg, err := vfl.NewAggServer(cli, names, pub)
 		if err != nil {
@@ -182,7 +184,7 @@ func main() {
 			fatal("fetching private key: %v", err)
 		}
 		names := partyNames(dir)
-		tuneScheme(priv, *parallelism, false, *pack, len(names))
+		tuneScheme(priv, *parallelism, *window, false, *pack, len(names))
 		observeScheme(priv, o, "leader")
 		leader, err := vfl.NewLeader(cli, vfl.AggServerName, names, priv, *batch)
 		if err != nil {

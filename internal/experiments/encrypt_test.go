@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestEncryptBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{
+		Rows:    60,
+		Queries: 4,
+		K:       3,
+		Parties: 3,
+		Seed:    1,
+		Out:     &buf,
+	}
+	// Shrunken kernel sizes: the real harness uses N=256 at 1024-bit keys.
+	res, err := encryptAt(context.Background(), opt, 24, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Micro
+	for name, s := range map[string]float64{
+		"inline":       m.InlineSeconds,
+		"windowed":     m.WindowedSeconds,
+		"crt":          m.CRTSeconds,
+		"crt+windowed": m.CRTWindowedSeconds,
+		"pooled":       m.PooledSeconds,
+	} {
+		if s <= 0 {
+			t.Fatalf("missing %s timing: %+v", name, m)
+		}
+	}
+	if m.WindowedSpeedup <= 0 || m.PooledSpeedup <= 0 {
+		t.Fatalf("missing speedups: %+v", m)
+	}
+	// base and fagin, three modes each.
+	if len(res.EndToEnd) != 6 {
+		t.Fatalf("want 6 end-to-end rows, got %d", len(res.EndToEnd))
+	}
+	for _, e := range res.EndToEnd {
+		if !e.SelectedMatch {
+			t.Fatalf("%s/%s selected a different set than classic", e.Variant, e.Mode)
+		}
+		if len(e.Selected) == 0 || e.Seconds <= 0 {
+			t.Fatalf("%s/%s: incomplete row %+v", e.Variant, e.Mode, e)
+		}
+	}
+	if !strings.Contains(buf.String(), "Encryption hot path") {
+		t.Fatalf("table not printed:\n%s", buf.String())
+	}
+}

@@ -63,11 +63,14 @@ type Paillier struct {
 	random io.Reader
 
 	mu          sync.RWMutex
-	parallelism int // 0 → par.Degree()
-	rz          *paillier.Randomizer
-	packer      *fixed.Packer // nil until EnablePacking (see pack.go)
+	parallelism int                  // 0 → par.Degree()
+	rz          *paillier.Randomizer // nil until StartRandomizerPool/AttachPool
+	ownPool     bool                 // pool started here (Close stops it) vs attached shared
+	window      int                  // fixed-base window for own pools (SetEncryptWindow)
+	packer      *fixed.Packer        // nil until EnablePacking (see pack.go)
 
-	om atomic.Pointer[heMetrics] // nil until SetObserver; one load per op
+	hinting atomic.Bool               // one RefillHint in flight at a time
+	om      atomic.Pointer[heMetrics] // nil until SetObserver; one load per op
 }
 
 // NewPaillier wraps a key pair. sk may be nil for participant-side
@@ -91,6 +94,9 @@ func (p *Paillier) Encrypt(v float64) ([]byte, error) {
 	var c *paillier.Ciphertext
 	if rz := p.pool(); rz != nil {
 		c, err = p.pk.EncryptWith(rz, m)
+	} else if p.sk != nil {
+		// Key holder without a pool: CRT-accelerated randomizer production.
+		c, err = p.sk.Encrypt(p.random, m)
 	} else {
 		c, err = p.pk.Encrypt(p.random, m)
 	}

@@ -10,11 +10,13 @@ import (
 // distinguishes the public (participant/aggregator) and private (leader)
 // scheme copies sharing one registry.
 const (
-	metricOps       = "vfps_he_ops_total"
-	metricOpSecs    = "vfps_he_op_seconds"
-	metricPoolDepth = "vfps_he_randomizer_pool_depth"
-	metricPackRatio = "vfps_he_pack_ratio"
-	metricDecSecs   = "vfps_he_decrypt_seconds"
+	metricOps        = "vfps_he_ops_total"
+	metricOpSecs     = "vfps_he_op_seconds"
+	metricPoolDepth  = "vfps_he_randomizer_pool_depth"
+	metricPackRatio  = "vfps_he_pack_ratio"
+	metricDecSecs    = "vfps_he_decrypt_seconds"
+	metricPoolErrs   = "vfps_paillier_pool_errors"
+	metricFallbackRt = "vfps_he_randomizer_fallback_rate"
 )
 
 // Observable is implemented by schemes that can be instrumented; today only
@@ -30,12 +32,14 @@ func DeclareMetrics(reg *obs.Registry) {
 	declareHE(reg)
 }
 
-func declareHE(reg *obs.Registry) (ops *obs.CounterVec, secs *obs.HistogramVec, depth *obs.GaugeVec, pack *obs.GaugeVec, dec *obs.HistogramVec) {
+func declareHE(reg *obs.Registry) (ops *obs.CounterVec, secs *obs.HistogramVec, depth *obs.GaugeVec, pack *obs.GaugeVec, dec *obs.HistogramVec, perr *obs.CounterVec, fall *obs.GaugeVec) {
 	ops = reg.Counter(metricOps, "Homomorphic-encryption operations performed (φe/φd/γ in the paper's cost model).", "scheme", "instance", "op")
 	secs = reg.Histogram(metricOpSecs, "HE operation latency in seconds; *_vec entries time whole vector calls.", obs.LatencyBuckets, "scheme", "instance", "op")
-	depth = reg.Gauge(metricPoolDepth, "Precomputed Paillier randomizers currently pooled.", "instance")
+	depth = reg.Gauge(metricPoolDepth, "Precomputed Paillier randomizers currently pooled (0 once the pool closes).", "instance")
 	pack = reg.Gauge(metricPackRatio, "Values carried per ciphertext (slot-packing factor S; 1 = unpacked).", "instance")
 	dec = reg.Histogram(metricDecSecs, "Whole-call decryption latency in seconds, split by CRT fast-path use.", obs.LatencyBuckets, "instance", "crt")
+	perr = reg.Counter(metricPoolErrs, "Entropy failures while producing pool randomizers; each is retried with capped backoff, never fatal to a worker.", "instance")
+	fall = reg.Gauge(metricFallbackRt, "Fraction of randomizer draws that missed the pool and computed inline (0 = every encryption hit the precomputed fast path).", "instance")
 	return
 }
 
@@ -46,6 +50,7 @@ type heMetrics struct {
 	ops      *obs.CounterVec
 	secs     *obs.HistogramVec
 	decSecs  *obs.HistogramVec
+	poolErrs *obs.CounterVec
 }
 
 // op records one scalar operation; it is used as a defer with time.Now()
@@ -91,8 +96,8 @@ func (p *Paillier) SetObserver(reg *obs.Registry, instance string) {
 		p.om.Store(nil)
 		return
 	}
-	ops, secs, depth, pack, dec := declareHE(reg)
-	p.om.Store(&heMetrics{instance: instance, ops: ops, secs: secs, decSecs: dec})
+	ops, secs, depth, pack, dec, perr, fall := declareHE(reg)
+	p.om.Store(&heMetrics{instance: instance, ops: ops, secs: secs, decSecs: dec, poolErrs: perr})
 	depth.Func(func() float64 {
 		if rz := p.pool(); rz != nil {
 			return float64(rz.Depth())
@@ -100,4 +105,31 @@ func (p *Paillier) SetObserver(reg *obs.Registry, instance string) {
 		return 0
 	}, instance)
 	pack.Func(func() float64 { return float64(p.PackFactor()) }, instance)
+	fall.Func(func() float64 {
+		rz := p.pool()
+		if rz == nil {
+			return 0
+		}
+		s := rz.Stats()
+		total := s.Hits + s.Misses
+		if total == 0 {
+			return 0
+		}
+		return float64(s.Misses) / float64(total)
+	}, instance)
+	p.syncPoolObs()
+}
+
+// syncPoolObs bridges the pool's entropy-failure counter to the registry.
+// Called whenever either side appears (SetObserver, StartRandomizerPool,
+// AttachPool), so the hook lands regardless of wiring order. On a pool
+// shared across schemes the most recent sharer's instance labels the series.
+func (p *Paillier) syncPoolObs() {
+	om := p.om.Load()
+	rz := p.pool()
+	if om == nil || om.poolErrs == nil || rz == nil {
+		return
+	}
+	ctr := om.poolErrs.With(om.instance)
+	rz.SetErrorHook(func() { ctr.Inc() })
 }

@@ -92,18 +92,88 @@ func (p *Paillier) Parallelism() int {
 	return par.Normalize(p.parallelism)
 }
 
+// SetEncryptWindow pins the fixed-base window width used when this scheme
+// starts its own randomizer pool: 0 keeps paillier.DefaultWindow, negative
+// restores classic uniform-r sampling (full modexp per randomizer). It has
+// no effect on an already-running or attached pool.
+func (p *Paillier) SetEncryptWindow(w int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.window = w
+}
+
+// EncryptWindow reports the configured fixed-base window width.
+func (p *Paillier) EncryptWindow() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.window
+}
+
 // StartRandomizerPool starts background precomputation of encryption
 // randomizers (r^n mod n²) so subsequent encryptions hit the two-mulmod fast
 // path. buffer bounds the pool (<= 0 → 64); workers is the number of filler
-// goroutines (<= 0 → 1). Calling it again is a no-op. Close releases the
-// pool's goroutines.
+// goroutines (<= 0 → 1). Production uses fixed-base windowing per
+// SetEncryptWindow and, on a key-holding scheme, the CRT half-width path.
+// Calling it again is a no-op. Close releases the pool's goroutines.
 func (p *Paillier) StartRandomizerPool(buffer, workers int) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.rz != nil {
+		p.mu.Unlock()
 		return
 	}
-	p.rz = paillier.NewRandomizer(p.pk, p.random, buffer, workers)
+	p.rz = paillier.NewRandomizerOpts(p.pk, p.random, paillier.PoolOptions{
+		Buffer:  buffer,
+		Workers: workers,
+		Window:  p.window,
+		Key:     p.sk,
+	})
+	p.ownPool = true
+	p.mu.Unlock()
+	p.syncPoolObs()
+}
+
+// AttachPool points the scheme at a shared cluster-lifetime pool from ps
+// (created on first use for this scheme's key). The pool is owned by the
+// set — Close on this scheme leaves it running for the other sharers. A
+// no-op when a pool is already running or the set is closed.
+func (p *Paillier) AttachPool(ps *PoolSet) {
+	if ps == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.rz != nil {
+		p.mu.Unlock()
+		return
+	}
+	rz := ps.For(p.pk, p.random, p.sk)
+	if rz == nil {
+		p.mu.Unlock()
+		return
+	}
+	p.rz = rz
+	p.ownPool = false
+	p.mu.Unlock()
+	p.syncPoolObs()
+}
+
+// RefillHint implements Refiller: it asynchronously prefills up to n pooled
+// randomizers, bounded by spare buffer capacity. Protocol roles call it at
+// the end of an encryption burst so the idle gap until the next round fills
+// the pool instead of the next burst's first encryptions missing it. At most
+// one hint runs at a time; extras are dropped (the running one is already
+// filling toward capacity).
+func (p *Paillier) RefillHint(n int) {
+	rz := p.pool()
+	if rz == nil || rz.Closed() || n <= 0 {
+		return
+	}
+	if !p.hinting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer p.hinting.Store(false)
+		_, _ = rz.Prefill(n)
+	}()
 }
 
 // PrefillRandomizers synchronously computes up to n pooled randomizers (the
@@ -116,14 +186,16 @@ func (p *Paillier) PrefillRandomizers(n int) (int, error) {
 	return rz.Prefill(n)
 }
 
-// Close stops the randomizer pool, if one was started. The scheme remains
-// usable; encryption just computes randomizers inline again.
+// Close stops the randomizer pool if this scheme owns one; a pool attached
+// from a shared PoolSet is only detached (its owner closes it). The scheme
+// remains usable; encryption just computes randomizers inline again.
 func (p *Paillier) Close() {
 	p.mu.Lock()
-	rz := p.rz
+	rz, own := p.rz, p.ownPool
 	p.rz = nil
+	p.ownPool = false
 	p.mu.Unlock()
-	if rz != nil {
+	if rz != nil && own {
 		rz.Close()
 	}
 }

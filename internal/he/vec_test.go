@@ -92,8 +92,10 @@ func TestPaillierPooledEncryptVec(t *testing.T) {
 	defer p.Close()
 	if added, err := p.PrefillRandomizers(8); err != nil {
 		t.Fatal(err)
-	} else if added == 0 {
-		t.Fatal("PrefillRandomizers added nothing")
+	} else if added == 0 && p.pool().Depth() == 0 {
+		// added == 0 is fine when the background filler beat us to a full
+		// buffer (the windowed source makes that the common case).
+		t.Fatal("PrefillRandomizers added nothing to an empty pool")
 	}
 	vs := vecVals()
 	cs, err := p.EncryptVec(ctx, vs)

@@ -1,0 +1,183 @@
+package paillier
+
+import (
+	"bytes"
+	"crypto/rand"
+	"io"
+	"math/big"
+	"testing"
+)
+
+// TestFBTableMatchesExp checks the radix-2^w table product against
+// math/big.Exp across window widths and exponent sizes.
+func TestFBTableMatchesExp(t *testing.T) {
+	sk := key(t)
+	mod := sk.N2
+	base, err := rand.Int(rand.Reader, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 6, 8} {
+		for _, expBits := range []int{1, 7, 64, sk.N.BitLen() + exponentSlack} {
+			tab := newFBTable(base, mod, expBits, w)
+			for i := 0; i < 5; i++ {
+				e, err := rand.Int(rand.Reader, new(big.Int).Lsh(one, uint(expBits)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := new(big.Int).Exp(base, e, mod)
+				if got := tab.exp(e); got.Cmp(want) != 0 {
+					t.Fatalf("w=%d expBits=%d: table exp mismatch", w, expBits)
+				}
+			}
+			// Exponent zero must yield the identity.
+			if got := tab.exp(new(big.Int)); got.Cmp(one) != 0 {
+				t.Fatalf("w=%d: exp(0) = %v, want 1", w, got)
+			}
+		}
+	}
+}
+
+// TestCRTEncMatchesExp checks that the half-width CRT production of r^n
+// mod n² agrees with the direct full-width exponentiation.
+func TestCRTEncMatchesExp(t *testing.T) {
+	sk := key(t)
+	enc := newCRTEnc(sk)
+	if enc == nil {
+		t.Fatal("newCRTEnc returned nil for a factored key")
+	}
+	for i := 0; i < 8; i++ {
+		r, err := sk.sampleR(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(r, sk.N, sk.N2)
+		if got := enc.exp(r); got.Cmp(want) != 0 {
+			t.Fatal("CRT r^n mismatch")
+		}
+	}
+	if newCRTEnc(sk.WithoutCRT()) != nil {
+		t.Fatal("newCRTEnc must be nil without factors")
+	}
+	if newCRTEnc(nil) != nil {
+		t.Fatal("newCRTEnc(nil) must be nil")
+	}
+}
+
+// TestRnSourceStrategies runs every production strategy (classic, windowed,
+// CRT, CRT+windowed) and verifies each output blinds a ciphertext that
+// decrypts correctly — i.e. every strategy emits true n-th residues.
+func TestRnSourceStrategies(t *testing.T) {
+	sk := key(t)
+	pk := &sk.PublicKey
+	for _, tc := range []struct {
+		name   string
+		window int
+		key    *PrivateKey
+	}{
+		{"classic", -1, nil},
+		{"windowed", 0, nil},
+		{"windowed-w4", 4, nil},
+		{"crt", -1, sk},
+		{"crt-windowed", 0, sk},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := newRnSource(pk, tc.key, tc.window)
+			seen := map[string]bool{}
+			for i := 0; i < 6; i++ {
+				rn, err := src.value(rand.Reader)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[rn.String()] {
+					t.Fatal("source repeated a randomizer")
+				}
+				seen[rn.String()] = true
+				m := big.NewInt(int64(1000 + i))
+				em, err := pk.encode(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sk.Decrypt(pk.encryptWithRn(em, rn))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cmp(m) != 0 {
+					t.Fatalf("round trip %v -> %v", m, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPrivateKeyEncrypt checks the key holder's CRT-accelerated scalar
+// encryption against normal decryption and the legacy key fallback.
+func TestPrivateKeyEncrypt(t *testing.T) {
+	sk := key(t)
+	if sk.crte == nil {
+		t.Fatal("generated key is missing encryption CRT constants")
+	}
+	for _, m := range []int64{0, 1, -1, 123456, -98765} {
+		c, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Fatalf("sk.Encrypt round trip %d -> %v", m, got)
+		}
+	}
+	legacy := sk.WithoutCRT()
+	c, err := legacy.Encrypt(rand.Reader, big.NewInt(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sk.Decrypt(c); err != nil || got.Int64() != 77 {
+		t.Fatalf("legacy sk.Encrypt round trip -> %v, %v", got, err)
+	}
+}
+
+// FuzzFixedBaseExp cross-checks the window-table product against big.Int.Exp
+// on arbitrary bases and exponents (the make-check smoke for the encryption
+// hot path).
+func FuzzFixedBaseExp(f *testing.F) {
+	// Fixed odd modulus: a product of two 64-bit primes squared would be
+	// ideal, but any odd modulus > 1 exercises the table arithmetic.
+	mod, _ := new(big.Int).SetString("c90fdaa22168c234c4c6628b80dc1cd129024e088a67cc74020bbea63b139b23", 16)
+	f.Add([]byte{2}, []byte{5}, uint8(4))
+	f.Add([]byte{0xff, 0x13}, []byte{0x80, 0x00, 0x01}, uint8(6))
+	f.Fuzz(func(t *testing.T, baseB, expB []byte, w uint8) {
+		window := int(w%8) + 1
+		if len(expB) > 64 {
+			expB = expB[:64]
+		}
+		base := new(big.Int).SetBytes(baseB)
+		e := new(big.Int).SetBytes(expB)
+		tab := newFBTable(base, mod, max(e.BitLen(), 1), window)
+		want := new(big.Int).Exp(new(big.Int).Mod(base, mod), e, mod)
+		if got := tab.exp(e); got.Cmp(want) != 0 {
+			t.Fatalf("base=%x e=%x w=%d: got %v want %v", baseB, expB, window, got, want)
+		}
+	})
+}
+
+// TestSampleExpWidth pins the exponent sampler's contract: expBits-wide,
+// non-zero, and resilient to a reader that first returns zeros.
+func TestSampleExpWidth(t *testing.T) {
+	sk := key(t)
+	src := newRnSource(&sk.PublicKey, nil, 0)
+	zeroThenRand := io.MultiReader(bytes.NewReader(make([]byte, (src.expBits+7)/8)), rand.Reader)
+	e, err := src.sampleExp(zeroThenRand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sign() == 0 {
+		t.Fatal("sampleExp returned zero")
+	}
+	if e.BitLen() > src.expBits {
+		t.Fatalf("exponent %d bits, want <= %d", e.BitLen(), src.expBits)
+	}
+}

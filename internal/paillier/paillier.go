@@ -51,7 +51,8 @@ type PrivateKey struct {
 	Mu     *big.Int // (L(g^lambda mod n²))⁻¹ mod n
 	P, Q   *big.Int // prime factors of n; nil on legacy keys (disables CRT)
 
-	crt *crtPrecomp // non-nil once Precompute succeeds
+	crt  *crtPrecomp // non-nil once Precompute succeeds
+	crte *crtEnc     // encryption-side CRT constants (fixedbase.go)
 }
 
 // crtPrecomp caches the constants of CRT decryption. All fields are
@@ -69,6 +70,7 @@ type crtPrecomp struct {
 // must not race with in-flight Decrypt calls.
 func (sk *PrivateKey) Precompute() error {
 	sk.crt = nil
+	sk.crte = nil
 	if sk.P == nil || sk.Q == nil {
 		return nil
 	}
@@ -87,6 +89,7 @@ func (sk *PrivateKey) Precompute() error {
 		return errors.New("paillier: CRT constants not invertible")
 	}
 	sk.crt = &crtPrecomp{p2: p2, q2: q2, ep: ep, eq: eq, hp: hp, hq: hq, pinv: pinv}
+	sk.crte = newCRTEnc(sk)
 	return nil
 }
 
@@ -211,6 +214,36 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 		return nil, err
 	}
 	return pk.encryptWithRn(em, rn), nil
+}
+
+// Encrypt on the private key is the key holder's fast path: the randomizer
+// r^n mod n² is computed through two half-width exponentiations mod p² and
+// q² plus Garner recombination — the encryption-side mirror of CRT
+// decryption. Ciphertexts are indistinguishable from PublicKey.Encrypt
+// output.
+func (sk *PrivateKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	em, err := sk.encode(m)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := sk.randomizerValue(random)
+	if err != nil {
+		return nil, err
+	}
+	return sk.encryptWithRn(em, rn), nil
+}
+
+// randomizerValue computes r^n mod n² for a fresh uniform r, through the CRT
+// half-width path when the key carries its factorisation.
+func (sk *PrivateKey) randomizerValue(random io.Reader) (*big.Int, error) {
+	r, err := sk.sampleR(random)
+	if err != nil {
+		return nil, err
+	}
+	if sk.crte != nil {
+		return sk.crte.exp(r), nil
+	}
+	return r.Exp(r, sk.N, sk.N2), nil
 }
 
 // sampleR samples r uniformly from Z_n* (gcd(r, n) == 1).

@@ -39,7 +39,15 @@ func TestRandomizerCloseStopsWorkers(t *testing.T) {
 	}
 	rz.Close()
 	waitWorkers(t, rz)
-	// Pooled values stay usable and Next falls back to inline compute after.
+	// A closed pool reports zero depth (the obs gauge must not show stale
+	// precomputed values) and its buffer is drained once the workers exit.
+	if d := rz.Depth(); d != 0 {
+		t.Fatalf("Depth after Close = %d, want 0", d)
+	}
+	if len(rz.ch) != 0 {
+		t.Fatalf("pool buffer holds %d values after Close drain", len(rz.ch))
+	}
+	// Next falls back to inline compute after Close.
 	for i := 0; i < 6; i++ {
 		if _, err := rz.Next(); err != nil {
 			t.Fatalf("Next after Close: %v", err)
@@ -58,6 +66,9 @@ func TestRandomizerContextCancelStopsWorkers(t *testing.T) {
 	rz := NewRandomizerContext(ctx, &sk.PublicKey, rand.Reader, 4, 2)
 	cancel()
 	waitWorkers(t, rz)
+	if d := rz.Depth(); d != 0 {
+		t.Fatalf("Depth after context cancel = %d, want 0", d)
+	}
 	if _, err := rz.Next(); err != nil {
 		t.Fatalf("Next after cancel: %v", err)
 	}

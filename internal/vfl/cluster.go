@@ -39,6 +39,20 @@ type ClusterConfig struct {
 	// randomizers (0 → a default when Parallelism != 1; negative disables).
 	// Ignored by the other schemes.
 	RandomizerPool int
+	// Pool, when non-nil, attaches the cluster's encrypting roles to a shared
+	// cluster-lifetime PoolSet instead of starting a private pool: randomizer
+	// precomputation then survives across protocol rounds and across clusters
+	// sharing the same key, and the caller owns teardown (ps.Close). It takes
+	// effect even at Parallelism 1 — pooling does not change call order, so
+	// selections stay bit-identical. RandomizerPool < 0 still disables
+	// pooling entirely.
+	Pool *he.PoolSet
+	// EncryptWindow pins the fixed-base window width used by randomizer
+	// production in pools this cluster starts: 0 keeps the paillier default
+	// (currently 6), negative restores classic uniform-r sampling (one full
+	// modexp per randomizer). Ignored when Pool is set (the PoolSet carries
+	// its own window) and by non-Paillier schemes.
+	EncryptWindow int
 	// Pack enables Paillier slot packing: participants lay several
 	// fixed-point partial distances side by side in each plaintext, cutting
 	// ciphertext count and bytes on the wire by the pack factor (key-size
@@ -98,22 +112,32 @@ func ResolveWireCodec(name string) (wire.Codec, error) {
 // Observer returns the cluster's observer (nil when observability is off).
 func (c *Cluster) Observer() *obs.Observer { return c.observer }
 
-// configureScheme applies the cluster parallelism settings to an HE scheme;
-// only Paillier has tunables today. A randomizer pool is started unless the
-// cluster is pinned fully serial (the determinism baseline) or the pool is
+// configureScheme applies the cluster parallelism and pooling settings to an
+// HE scheme; only Paillier has tunables today. A shared PoolSet wins over a
+// private pool and attaches even at Parallelism 1 (pooling never changes call
+// order, so the determinism baseline is preserved); otherwise a private pool
+// is started unless the cluster is pinned fully serial or the pool is
 // explicitly disabled.
-func configureScheme(s he.Scheme, parallelism, pool int) {
+func configureScheme(s he.Scheme, parallelism, pool, window int, shared *he.PoolSet) {
 	p, ok := s.(*he.Paillier)
 	if !ok {
 		return
 	}
 	p.SetParallelism(parallelism)
-	if parallelism == 1 || pool < 0 {
+	if pool < 0 {
+		return
+	}
+	if shared != nil {
+		p.AttachPool(shared)
+		return
+	}
+	if parallelism == 1 {
 		return
 	}
 	if pool == 0 {
 		pool = 4 * p.Parallelism()
 	}
+	p.SetEncryptWindow(window)
 	p.StartRandomizerPool(pool, 1)
 }
 
@@ -198,7 +222,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	configureScheme(pubScheme, cfg.Parallelism, cfg.RandomizerPool)
+	configureScheme(pubScheme, cfg.Parallelism, cfg.RandomizerPool, cfg.EncryptWindow, cfg.Pool)
 	if err := configurePacking(pubScheme, cfg.Pack, cfg.Partition.P()); err != nil {
 		return nil, err
 	}
@@ -234,7 +258,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	// The leader decrypts but never bulk-encrypts, so it gets no pool.
-	configureScheme(privScheme, cfg.Parallelism, -1)
+	configureScheme(privScheme, cfg.Parallelism, -1, cfg.EncryptWindow, nil)
 	if err := configurePacking(privScheme, cfg.Pack, cfg.Partition.P()); err != nil {
 		return nil, err
 	}

@@ -170,12 +170,17 @@ func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, v
 		if err != nil {
 			return nil, 0, err
 		}
+		he.Hint(p.scheme, len(cs))
 		return cs, factor, nil
 	}
 	cs, err := he.EncryptVec(ctx, p.scheme, vals)
 	if err != nil {
 		return nil, 0, err
 	}
+	// The burst just drained up to len(cs) pooled randomizers; hint the pool
+	// to refill through the idle gap while the leader aggregates, so the next
+	// round's encryptions hit the precomputed fast path again.
+	he.Hint(p.scheme, len(cs))
 	return cs, 1, nil
 }
 
@@ -392,6 +397,7 @@ func (p *Participant) encryptRankScore(ctx context.Context, codec wire.Codec, r 
 	if err != nil {
 		return nil, fmt.Errorf("vfl: party %d encrypting frontier: %w", p.index, err)
 	}
+	he.Hint(p.scheme, 1) // TA rounds repeat; keep the pool topped up between them
 	return reply(codec, &EncryptRankScoreResp{Cipher: c}, &p.counts, &p.roleObs,
 		costmodel.Raw{Encryptions: 1, ItemsSent: 1, Messages: 1})
 }

@@ -18,6 +18,15 @@
 #   * binary total bytes strictly below gob on every pair,
 #   * Fagin framing (non-ciphertext) bytes cut by MIN_WIRE_FRAMING_REDUCTION.
 #
+# A `.encrypt` result (BENCH_encrypt.json, from `make bench-encrypt`) must
+# show:
+#
+#   * fixed-base windowed randomizer production at least MIN_ENCRYPT_SPEEDUP
+#     over the classic inline path (the party-side encryption throughput
+#     contract),
+#   * every end-to-end selection — windowed pools, shared PoolSet — matching
+#     the classic-sampling baseline exactly.
+#
 # When a baseline (default: the checked-in BENCH_packed.json from git HEAD)
 # is available and distinct from the candidate, the packed end-to-end wall
 # clocks must also stay within TOLERANCE of it. Wall clocks are machine
@@ -30,6 +39,7 @@ BASELINE=${2:-}
 MIN_CRT_SPEEDUP=${MIN_CRT_SPEEDUP:-3.0}
 MIN_BYTE_REDUCTION=${MIN_BYTE_REDUCTION:-4.0}
 MIN_WIRE_FRAMING_REDUCTION=${MIN_WIRE_FRAMING_REDUCTION:-2.0}
+MIN_ENCRYPT_SPEEDUP=${MIN_ENCRYPT_SPEEDUP:-2.0}
 TOLERANCE=${TOLERANCE:-1.5}
 
 command -v jq >/dev/null || { echo "bench_compare: jq not found" >&2; exit 1; }
@@ -64,6 +74,23 @@ if jq -e '.wire' "$CANDIDATE" >/dev/null 2>&1; then
       bad "fagin packed=$packed: framing reduction ${red}x below floor ${MIN_WIRE_FRAMING_REDUCTION}x"
     fi
   done < <(jq -r '.wire.EndToEnd[] | select(.Variant == "fagin") | [(.Packed|tostring), (.FramingReduction|tostring)] | @tsv' "$CANDIDATE")
+fi
+
+# --- encryption hot-path gates -----------------------------------------------
+if jq -e '.encrypt' "$CANDIDATE" >/dev/null 2>&1; then
+  wsp=$(jq -r '.encrypt.Micro.WindowedSpeedup' "$CANDIDATE")
+  csp=$(jq -r '.encrypt.Micro.CRTWindowedSpeedup' "$CANDIDATE")
+  jq -e --argjson min "$MIN_ENCRYPT_SPEEDUP" '.encrypt.Micro.WindowedSpeedup >= $min' "$CANDIDATE" >/dev/null \
+    && say "windowed encrypt speedup ${wsp}x (floor ${MIN_ENCRYPT_SPEEDUP}x; CRT+window ${csp}x)" \
+    || bad "windowed encrypt speedup ${wsp}x below floor ${MIN_ENCRYPT_SPEEDUP}x"
+
+  while IFS=$'\t' read -r variant mode match; do
+    if [ "$match" = "true" ]; then
+      say "selection $variant/$mode: selected the identical set"
+    else
+      bad "selection $variant/$mode: selected a DIFFERENT set than classic sampling"
+    fi
+  done < <(jq -r '.encrypt.EndToEnd[] | [.Variant, .Mode, (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
 fi
 
 if ! jq -e '.packed' "$CANDIDATE" >/dev/null 2>&1; then

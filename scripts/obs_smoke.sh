@@ -60,6 +60,8 @@ for family in \
     vfps_he_ops_total \
     vfps_he_op_seconds \
     vfps_he_randomizer_pool_depth \
+    vfps_he_randomizer_fallback_rate \
+    vfps_paillier_pool_errors \
     vfps_cost_ops \
     vfps_http_requests_total; do
     if ! grep -q "^# TYPE ${family} " <<<"${METRICS}"; then
@@ -74,8 +76,11 @@ if ! grep -q "^vfps_he_ops_total{.*} [1-9]" <<<"${METRICS}"; then
 fi
 
 echo "obs-smoke: checking /metrics.json, /v1/trace, /debug/vars"
-curl -sf "${BASE}/metrics.json" | grep -q '"name"'
-curl -sf "${BASE}/v1/trace" | grep -q '"select.similarity"'
-curl -sf "${BASE}/debug/vars" | grep -q 'vfps_metrics'
+# Buffer each response before grepping: `curl | grep -q` lets the early grep
+# exit close the pipe mid-write, failing curl (and the script, via pipefail)
+# once a response outgrows one write chunk.
+curl -sf "${BASE}/metrics.json" > "${LOG}" && grep -q '"name"' "${LOG}"
+curl -sf "${BASE}/v1/trace" > "${LOG}" && grep -q '"select.similarity"' "${LOG}"
+curl -sf "${BASE}/debug/vars" > "${LOG}" && grep -q 'vfps_metrics' "${LOG}"
 
 echo "obs-smoke: OK"

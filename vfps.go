@@ -36,9 +36,20 @@ import (
 	"vfps/internal/core"
 	"vfps/internal/costmodel"
 	"vfps/internal/dataset"
+	"vfps/internal/he"
 	"vfps/internal/obs"
 	"vfps/internal/vfl"
 )
+
+// PoolSet is a cluster-lifetime registry of Paillier randomizer pools shared
+// across consortiums (and across rounds of one): precomputed randomizers
+// survive the gaps between protocol phases instead of each consortium paying
+// pool warm-up again. Pass one via Config.SharedPool; the caller owns Close.
+type PoolSet = he.PoolSet
+
+// NewPoolSet builds a shared randomizer pool registry; buffer and workers
+// size each per-key pool (<= 0 select the defaults: buffer 64, one worker).
+func NewPoolSet(buffer, workers int) *PoolSet { return he.NewPoolSet(buffer, workers) }
 
 // Re-exported data types: the dataset layer is part of the public surface.
 type (
@@ -105,6 +116,18 @@ type Config struct {
 	// results are bit-identical with packing on or off. Ignored by the other
 	// schemes.
 	Pack bool
+	// EncryptWindow pins the fixed-base window width used by encryption
+	// randomizer precompute: 0 keeps the default (6), negative restores
+	// classic uniform-r sampling (one full modular exponentiation per
+	// randomizer; see SECURITY.md on the subgroup-sampling trade-off).
+	// Selection results are bit-identical at every setting.
+	EncryptWindow int
+	// SharedPool, when non-nil, attaches this consortium's encrypting roles
+	// to a cluster-lifetime PoolSet shared with other consortiums instead of
+	// starting private pools. The caller owns the set's lifecycle
+	// (PoolSet.Close); closing the consortium leaves the shared pools
+	// running.
+	SharedPool *PoolSet
 	// Wire selects the protocol codec: "gob" (default) or "binary" (the
 	// compact versioned wire format of internal/wire). Empty falls back to
 	// the VFPS_WIRE environment variable, then "gob". Selection results are
@@ -142,18 +165,20 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		return nil, fmt.Errorf("vfps: need at least 2 classes")
 	}
 	cl, err := vfl.NewLocalCluster(ctx, vfl.ClusterConfig{
-		Partition:   cfg.Partition,
-		Scheme:      cfg.Scheme,
-		KeyBits:     cfg.KeyBits,
-		ShuffleSeed: cfg.ShuffleSeed,
-		Batch:       cfg.FaginBatch,
-		DPEpsilon:   cfg.DPEpsilon,
-		DPDelta:     cfg.DPDelta,
-		Parallelism: cfg.Parallelism,
-		Pack:        cfg.Pack,
-		Wire:        cfg.Wire,
-		Obs:         cfg.Obs,
-		Instance:    cfg.Instance,
+		Partition:     cfg.Partition,
+		Scheme:        cfg.Scheme,
+		KeyBits:       cfg.KeyBits,
+		ShuffleSeed:   cfg.ShuffleSeed,
+		Batch:         cfg.FaginBatch,
+		DPEpsilon:     cfg.DPEpsilon,
+		DPDelta:       cfg.DPDelta,
+		Parallelism:   cfg.Parallelism,
+		Pack:          cfg.Pack,
+		EncryptWindow: cfg.EncryptWindow,
+		Pool:          cfg.SharedPool,
+		Wire:          cfg.Wire,
+		Obs:           cfg.Obs,
+		Instance:      cfg.Instance,
 	})
 	if err != nil {
 		return nil, err
