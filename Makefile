@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-packed bench-wire bench-encrypt microbench experiments fuzz cover obs-smoke clean
+.PHONY: build test check race bench bench-packed bench-wire bench-encrypt bench-mont microbench experiments fuzz cover obs-smoke clean
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,9 @@ check:
 	$(GO) test ./...
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzWire$$' -fuzztime=5s
 	$(GO) test ./internal/paillier -race
+	$(GO) test ./internal/mont -race
 	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=5s
+	$(GO) test ./internal/mont -run='^$$' -fuzz='^FuzzMontMulExp$$' -fuzztime=5s
 	$(MAKE) obs-smoke
 
 # Start vfpsserve, drive an encrypted selection, and assert the /metrics,
@@ -49,12 +51,20 @@ bench-wire:
 	./scripts/bench_compare.sh BENCH_wire.json
 
 # Benchmark the encryption hot path (classic vs fixed-base windowed vs CRT vs
-# pooled randomizer production, plus end-to-end selections under each pool
-# mode) and gate the result: ≥2x windowed encrypt speedup and selections
-# identical to classic uniform sampling.
+# pooled randomizer production, the Montgomery kernel A/B on modmul- and
+# modexp-bound arms, plus end-to-end selections under each pool mode) and gate
+# the result: ≥2x windowed encrypt speedup, ≥1.5x Montgomery speedup on the
+# modmul-bound arms with decrypt parity, and selections identical to classic
+# uniform sampling on every arm including mont-off.
 bench-encrypt:
 	$(GO) run ./cmd/vfpsbench -exp encrypt -json BENCH_encrypt.json
 	./scripts/bench_compare.sh BENCH_encrypt.json
+
+# Go-test microbenchmarks of the Montgomery kernel alone: CIOS multiply and
+# square vs big.Int Mul+Mod, windowed exponentiation vs big.Int.Exp, with
+# allocation counts (the hot ops must report 0 allocs/op).
+bench-mont:
+	$(GO) test ./internal/mont -run='^$$' -bench=. -benchmem
 
 # Go-test microbenchmarks across all packages.
 microbench:
@@ -72,6 +82,7 @@ fuzz:
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzReadRequest -fuzztime=30s
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzWire$$' -fuzztime=30s
 	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=30s
+	$(GO) test ./internal/mont -run='^$$' -fuzz='^FuzzMontMulExp$$' -fuzztime=30s
 
 clean:
 	rm -f cover.out vfpsbench vfpsnode vfpsselect vfpsserve

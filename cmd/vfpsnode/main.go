@@ -36,17 +36,18 @@ import (
 	"vfps/internal/vfl"
 )
 
-// tuneScheme applies the -parallelism and -pack flags to an HE scheme; only
-// Paillier has tunables. Parties that bulk-encrypt also get a randomizer pool
+// tuneScheme applies the -parallelism, -mont and -pack flags to an HE scheme;
+// only Paillier has tunables. Parties that bulk-encrypt also get a randomizer pool
 // unless the node is pinned fully serial. Packing must be set consistently on
 // every participant and the leader (the aggregation server validates the pack
 // factors it sees); maxAdds is the consortium size, matching the one-
 // ciphertext-per-party aggregation tree.
-func tuneScheme(s he.Scheme, parallelism, window int, pool, pack bool, maxAdds int) {
+func tuneScheme(s he.Scheme, parallelism, window, mont int, pool, pack bool, maxAdds int) {
 	p, ok := s.(*he.Paillier)
 	if !ok {
 		return
 	}
+	p.SetMont(mont)
 	p.SetParallelism(parallelism)
 	if pool && parallelism != 1 {
 		p.SetEncryptWindow(window)
@@ -80,6 +81,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
 		pack        = flag.Bool("pack", false, "slot-pack Paillier ciphertexts (set identically on all parties and the leader)")
 		window      = flag.Int("encrypt-window", 0, "fixed-base window for randomizer precompute (0 = default 6, negative = classic uniform sampling)")
+		montKnob    = flag.Int("mont", 0, "Paillier modular-arithmetic backend: 0 = default (Montgomery kernel unless VFPS_MONT=0), >0 = force kernel, <0 = pure math/big")
 		wireName    = flag.String("wire", "", "protocol codec: gob|binary (default VFPS_WIRE or gob; mixed clusters negotiate down to gob per peer)")
 		obsAddr     = flag.String("obs-addr", "", "optional debug listen address serving /metrics, /v1/trace and /debug/pprof")
 	)
@@ -143,7 +145,7 @@ func main() {
 		if err != nil {
 			fatal("fetching public key: %v", err)
 		}
-		tuneScheme(pub, *parallelism, *window, true, *pack, pt.P())
+		tuneScheme(pub, *parallelism, *window, *montKnob, true, *pack, pt.P())
 		observeScheme(pub, o, "party")
 		part, err := vfl.NewParticipant(*index, pt.Parties[*index], pub, *shuffleSeed)
 		if err != nil {
@@ -165,7 +167,7 @@ func main() {
 		if len(names) == 0 {
 			fatal("directory lists no party/<i> entries")
 		}
-		tuneScheme(pub, *parallelism, *window, false, false, 0) // agg only adds; packing config lives on parties and leader
+		tuneScheme(pub, *parallelism, *window, *montKnob, false, false, 0) // agg only adds; packing config lives on parties and leader
 		observeScheme(pub, o, "aggserver")
 		agg, err := vfl.NewAggServer(cli, names, pub)
 		if err != nil {
@@ -184,7 +186,7 @@ func main() {
 			fatal("fetching private key: %v", err)
 		}
 		names := partyNames(dir)
-		tuneScheme(priv, *parallelism, *window, false, *pack, len(names))
+		tuneScheme(priv, *parallelism, *window, *montKnob, false, *pack, len(names))
 		observeScheme(priv, o, "leader")
 		leader, err := vfl.NewLeader(cli, vfl.AggServerName, names, priv, *batch)
 		if err != nil {

@@ -25,6 +25,13 @@ import (
 //   - CRTWindowed: both — half-width fixed-base tables.
 //   - Pooled:      drawing prefilled randomizers, the steady-state fast path
 //     (two mulmods per encryption).
+//
+// The Mont* fields A/B the Montgomery kernel (internal/mont) against pure
+// math/big on three representative workloads with everything else fixed:
+// windowed encryption and ciphertext summation are modmul-bound (the kernel's
+// win — the gate asserts ≥ 1.5), CRT decryption is modexp-bound where
+// big.Int.Exp already runs Montgomery internally, so the gate only asserts
+// near-parity (ratio ≥ 0.9).
 type EncryptMicro struct {
 	N      int
 	Bits   int
@@ -41,6 +48,17 @@ type EncryptMicro struct {
 	CRTSpeedup         float64
 	CRTWindowedSpeedup float64
 	PooledSpeedup      float64
+	// Montgomery-kernel A/B: the same workload with the Mont knob forced off
+	// (pure math/big) and on.
+	MontWindowedOffSeconds float64
+	MontWindowedOnSeconds  float64
+	MontWindowedSpeedup    float64
+	MontSumOffSeconds      float64
+	MontSumOnSeconds       float64
+	MontSumSpeedup         float64
+	MontDecryptOffSeconds  float64
+	MontDecryptOnSeconds   float64
+	MontDecryptRatio       float64
 }
 
 // EncryptE2E reports one end-to-end selection under a randomizer-production
@@ -50,7 +68,9 @@ type EncryptMicro struct {
 type EncryptE2E struct {
 	Variant string
 	// Mode is "classic" (uniform-r baseline), "windowed" (fixed-base window
-	// pools) or "shared" (cluster-lifetime shared PoolSet).
+	// pools), "shared" (cluster-lifetime shared PoolSet) or "mont-off"
+	// (windowed with the Montgomery kernel forced off — its SelectedMatch is
+	// the end-to-end proof that both arithmetic backends select identically).
 	Mode          string
 	Seconds       float64
 	Speedup       float64
@@ -189,13 +209,94 @@ func encryptMicro(ctx context.Context, m *EncryptMicro, n, bits int) error {
 	m.CRTSpeedup = speedup(m.InlineSeconds, m.CRTSeconds)
 	m.CRTWindowedSpeedup = speedup(m.InlineSeconds, m.CRTWindowedSeconds)
 	m.PooledSpeedup = speedup(m.InlineSeconds, m.PooledSeconds)
+
+	if err := encryptMontAB(ctx, m, key, ms); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encryptMontAB times three workloads with the Montgomery kernel forced off,
+// then on, everything else identical. Pools are rebuilt per knob setting so
+// each arm's fixed-base tables carry the representation under test.
+func encryptMontAB(ctx context.Context, m *EncryptMicro, key *paillier.PrivateKey, ms []*big.Int) error {
+	pk := &key.PublicKey
+	defer func() { pk.Mont = 0 }()
+
+	// Shared inputs: one batch of ciphertexts to fold and one to decrypt.
+	// Residues are backend-independent, so both arms fold the same values.
+	sumN := 64
+	if sumN > len(ms)*4 {
+		sumN = len(ms) * 4
+	}
+	cs := make([]*paillier.Ciphertext, sumN)
+	for i := range cs {
+		c, err := key.Encrypt(rand.Reader, big.NewInt(int64(i+1)))
+		if err != nil {
+			return err
+		}
+		cs[i] = c
+	}
+
+	loop := func(f func() error) (float64, error) {
+		start := time.Now()
+		for i := 0; i < len(ms); i++ {
+			if i%16 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			if err := f(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	for _, arm := range []struct {
+		knob          int
+		enc, sum, dec *float64
+	}{
+		{-1, &m.MontWindowedOffSeconds, &m.MontSumOffSeconds, &m.MontDecryptOffSeconds},
+		{1, &m.MontWindowedOnSeconds, &m.MontSumOnSeconds, &m.MontDecryptOnSeconds},
+	} {
+		pk.Mont = arm.knob
+		rz := paillier.NewRandomizerOpts(pk, rand.Reader, paillier.PoolOptions{Workers: -1})
+		var err error
+		i := 0
+		*arm.enc, err = loop(func() error {
+			i++
+			_, err := pk.EncryptWith(rz, ms[i%len(ms)])
+			return err
+		})
+		rz.Close()
+		if err != nil {
+			return err
+		}
+		if *arm.sum, err = loop(func() error {
+			_, err := pk.Sum(cs...)
+			return err
+		}); err != nil {
+			return err
+		}
+		if *arm.dec, err = loop(func() error {
+			_, err := key.Decrypt(cs[0])
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+
+	m.MontWindowedSpeedup = speedup(m.MontWindowedOffSeconds, m.MontWindowedOnSeconds)
+	m.MontSumSpeedup = speedup(m.MontSumOffSeconds, m.MontSumOnSeconds)
+	m.MontDecryptRatio = speedup(m.MontDecryptOffSeconds, m.MontDecryptOnSeconds)
 	return nil
 }
 
 // encryptE2E wall-clocks one selection variant under each randomizer mode
 // and checks every mode selects the classic baseline's participants.
 func encryptE2E(ctx context.Context, opt Options, res *EncryptResult, variant string) ([]EncryptE2E, error) {
-	run := func(window int, shared *vfps.PoolSet) (*vfps.Selection, error) {
+	run := func(window, mont int, shared *vfps.PoolSet) (*vfps.Selection, error) {
 		d, err := vfps.GenerateDataset("Bank", res.Rows)
 		if err != nil {
 			return nil, err
@@ -213,6 +314,7 @@ func encryptE2E(ctx context.Context, opt Options, res *EncryptResult, variant st
 			ShuffleSeed:   opt.Seed + 303,
 			Pack:          true,
 			EncryptWindow: window,
+			Mont:          mont,
 			SharedPool:    shared,
 		})
 		if err != nil {
@@ -227,7 +329,7 @@ func encryptE2E(ctx context.Context, opt Options, res *EncryptResult, variant st
 		})
 	}
 
-	classic, err := run(-1, nil)
+	classic, err := run(-1, 0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("%s classic: %w", variant, err)
 	}
@@ -245,12 +347,14 @@ func encryptE2E(ctx context.Context, opt Options, res *EncryptResult, variant st
 	for _, mode := range []struct {
 		name   string
 		window int
+		mont   int
 		shared *vfps.PoolSet
 	}{
-		{"windowed", 0, nil},
-		{"shared", 0, ps},
+		{"windowed", 0, 0, nil},
+		{"shared", 0, 0, ps},
+		{"mont-off", 0, -1, nil},
 	} {
-		sel, err := run(mode.window, mode.shared)
+		sel, err := run(mode.window, mode.mont, mode.shared)
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: %w", variant, mode.name, err)
 		}
@@ -283,6 +387,15 @@ func encryptTable(r *EncryptResult) *Table {
 			base, fmtSeconds(m.CRTWindowedSeconds), fmt.Sprintf("%.2fx", m.CRTWindowedSpeedup)},
 		[]string{fmt.Sprintf("Encrypt n=%d b=%d prefilled pool", m.N, m.Bits),
 			base, fmtSeconds(m.PooledSeconds), fmt.Sprintf("%.2fx", m.PooledSpeedup)},
+		[]string{fmt.Sprintf("Mont kernel: windowed encrypt n=%d b=%d", m.N, m.Bits),
+			fmtSeconds(m.MontWindowedOffSeconds), fmtSeconds(m.MontWindowedOnSeconds),
+			fmt.Sprintf("%.2fx", m.MontWindowedSpeedup)},
+		[]string{fmt.Sprintf("Mont kernel: sum of 64 ciphertexts x%d b=%d", m.N, m.Bits),
+			fmtSeconds(m.MontSumOffSeconds), fmtSeconds(m.MontSumOnSeconds),
+			fmt.Sprintf("%.2fx", m.MontSumSpeedup)},
+		[]string{fmt.Sprintf("Mont kernel: CRT decrypt n=%d b=%d", m.N, m.Bits),
+			fmtSeconds(m.MontDecryptOffSeconds), fmtSeconds(m.MontDecryptOnSeconds),
+			fmt.Sprintf("%.2fx", m.MontDecryptRatio)},
 	)
 	var classicSecs float64
 	for _, e := range r.EndToEnd {

@@ -24,11 +24,17 @@ func TestEncryptBenchmark(t *testing.T) {
 	}
 	m := res.Micro
 	for name, s := range map[string]float64{
-		"inline":       m.InlineSeconds,
-		"windowed":     m.WindowedSeconds,
-		"crt":          m.CRTSeconds,
-		"crt+windowed": m.CRTWindowedSeconds,
-		"pooled":       m.PooledSeconds,
+		"inline":            m.InlineSeconds,
+		"windowed":          m.WindowedSeconds,
+		"crt":               m.CRTSeconds,
+		"crt+windowed":      m.CRTWindowedSeconds,
+		"pooled":            m.PooledSeconds,
+		"mont-windowed-off": m.MontWindowedOffSeconds,
+		"mont-windowed-on":  m.MontWindowedOnSeconds,
+		"mont-sum-off":      m.MontSumOffSeconds,
+		"mont-sum-on":       m.MontSumOnSeconds,
+		"mont-decrypt-off":  m.MontDecryptOffSeconds,
+		"mont-decrypt-on":   m.MontDecryptOnSeconds,
 	} {
 		if s <= 0 {
 			t.Fatalf("missing %s timing: %+v", name, m)
@@ -37,9 +43,21 @@ func TestEncryptBenchmark(t *testing.T) {
 	if m.WindowedSpeedup <= 0 || m.PooledSpeedup <= 0 {
 		t.Fatalf("missing speedups: %+v", m)
 	}
-	// base and fagin, three modes each.
-	if len(res.EndToEnd) != 6 {
-		t.Fatalf("want 6 end-to-end rows, got %d", len(res.EndToEnd))
+	if m.MontWindowedSpeedup <= 0 || m.MontSumSpeedup <= 0 || m.MontDecryptRatio <= 0 {
+		t.Fatalf("missing mont A/B ratios: %+v", m)
+	}
+	// base and fagin, four modes each.
+	if len(res.EndToEnd) != 8 {
+		t.Fatalf("want 8 end-to-end rows, got %d", len(res.EndToEnd))
+	}
+	montOff := 0
+	for _, e := range res.EndToEnd {
+		if e.Mode == "mont-off" {
+			montOff++
+		}
+	}
+	if montOff != 2 {
+		t.Fatalf("want a mont-off arm per variant, got %d", montOff)
 	}
 	for _, e := range res.EndToEnd {
 		if !e.SelectedMatch {

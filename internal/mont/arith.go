@@ -1,0 +1,22 @@
+package mont
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// addMulVVWGo is the portable limb row: z += x·y with carry propagation,
+// returning the final carry. len(x) must be ≥ len(z).
+func addMulVVWGo(z, x []big.Word, y big.Word) big.Word {
+	yy := uint(y)
+	var carry uint
+	for i := range z {
+		hi, lo := bits.Mul(uint(x[i]), yy)
+		lo, c := bits.Add(lo, carry, 0)
+		hi += c
+		s, c2 := bits.Add(uint(z[i]), lo, 0)
+		z[i] = big.Word(s)
+		carry = hi + c2
+	}
+	return big.Word(carry)
+}

@@ -1,0 +1,37 @@
+//go:build amd64
+
+package mont
+
+import "math/big"
+
+// hasADX gates the MULX/ADCX/ADOX row kernel. The go toolchain's baseline
+// GOAMD64 level does not guarantee ADX or BMI2, so detect at startup and
+// fall back to the portable row on older silicon.
+var hasADX = func() bool {
+	if cpuidMaxLeaf() < 7 {
+		return false
+	}
+	ebx := cpuid7EBX()
+	const bmi2 = 1 << 8 // MULX
+	const adx = 1 << 19 // ADCX/ADOX
+	return ebx&bmi2 != 0 && ebx&adx != 0
+}()
+
+// addMulVVWAsm is the ADX row kernel: dual carry chains (ADCX for the
+// running carry, ADOX for the z add-back), four limbs per unrolled block.
+//
+//go:noescape
+func addMulVVWAsm(z, x []big.Word, y big.Word) (carry big.Word)
+
+// cpuidMaxLeaf returns CPUID leaf 0 EAX (the highest supported leaf).
+func cpuidMaxLeaf() uint32
+
+// cpuid7EBX returns CPUID leaf 7 subleaf 0 EBX (structured feature flags).
+func cpuid7EBX() uint32
+
+func addMulVVW(z, x []big.Word, y big.Word) big.Word {
+	if hasADX {
+		return addMulVVWAsm(z, x, y)
+	}
+	return addMulVVWGo(z, x, y)
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package mont
+
+import "math/big"
+
+func addMulVVW(z, x []big.Word, y big.Word) big.Word {
+	return addMulVVWGo(z, x, y)
+}

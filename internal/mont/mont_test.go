@@ -1,0 +1,265 @@
+package mont
+
+import (
+	"crypto/rand"
+	"math/big"
+	"math/bits"
+	"testing"
+)
+
+// randOdd returns a random odd modulus of exactly the given bit length.
+func randOdd(t testing.TB, bitLen int) *big.Int {
+	t.Helper()
+	m, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), uint(bitLen)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetBit(m, bitLen-1, 1)
+	m.SetBit(m, 0, 1)
+	return m
+}
+
+func randMod(t testing.TB, m *big.Int) *big.Int {
+	t.Helper()
+	x, err := rand.Int(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// testWidths exercises word-aligned and straddling widths, including the
+// single-limb edge and the production Paillier widths (n² of 1024/2048-bit
+// keys, p² of their halves).
+var testWidths = []int{64, 65, 127, 128, 129, 512, 1024, 1027, 2048, 3072}
+
+func TestMulREDCCrossCheck(t *testing.T) {
+	for _, w := range testWidths {
+		m := randOdd(t, w)
+		c, err := NewCtx(m)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		for i := 0; i < 8; i++ {
+			x, y := randMod(t, m), randMod(t, m)
+			xm, ym, zm := c.NewNat(), c.NewNat(), c.NewNat()
+			c.ToMont(xm, c.SetBig(xm, x))
+			c.ToMont(ym, c.SetBig(ym, y))
+			c.MulREDC(zm, xm, ym)
+			c.FromMont(zm, zm)
+			got := c.PutBig(new(big.Int), zm)
+			want := new(big.Int).Mul(x, y)
+			want.Mod(want, m)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("width %d: MulREDC mismatch\n got %x\nwant %x", w, got, want)
+			}
+		}
+	}
+}
+
+func TestSqrREDCCrossCheck(t *testing.T) {
+	for _, w := range testWidths {
+		m := randOdd(t, w)
+		c, err := NewCtx(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			x := randMod(t, m)
+			xm := c.NewNat()
+			c.ToMont(xm, c.SetBig(xm, x))
+			c.SqrREDC(xm, xm)
+			c.FromMont(xm, xm)
+			got := c.PutBig(new(big.Int), xm)
+			want := new(big.Int).Mul(x, x)
+			want.Mod(want, m)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("width %d: SqrREDC mismatch", w)
+			}
+		}
+	}
+}
+
+// TestSqrREDCCarryRipple pins the reduction-row carry ripple: an all-ones
+// modulus block drives saturated limbs where a non-rippling carry add-in
+// silently drops bits (~2⁻⁶⁴ per row on random inputs, so random testing
+// alone cannot be trusted to hit it).
+func TestSqrREDCCarryRipple(t *testing.T) {
+	for _, w := range []int{128, 512, 1024} {
+		m := new(big.Int).Lsh(big.NewInt(1), uint(w))
+		m.Sub(m, big.NewInt(1)) // 2^w − 1: every limb saturated
+		c, err := NewCtx(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			x := randMod(t, m)
+			xm := c.NewNat()
+			c.ToMont(xm, c.SetBig(xm, x))
+			c.SqrREDC(xm, xm)
+			c.FromMont(xm, xm)
+			got := c.PutBig(new(big.Int), xm)
+			want := new(big.Int).Mul(x, x)
+			want.Mod(want, m)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("width %d iter %d: saturated-modulus square mismatch", w, i)
+			}
+		}
+	}
+}
+
+func TestExpWindowCrossCheck(t *testing.T) {
+	for _, w := range []int{64, 129, 512, 1024, 2048} {
+		m := randOdd(t, w)
+		c, err := NewCtx(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps := []*big.Int{
+			big.NewInt(0),
+			big.NewInt(1),
+			big.NewInt(2),
+			big.NewInt(65537),
+			randMod(t, m),
+			new(big.Int).Sub(m, big.NewInt(1)),
+		}
+		x := randMod(t, m)
+		for _, e := range exps {
+			got := c.ExpBig(new(big.Int), x, e)
+			want := new(big.Int).Exp(x, e, m)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("width %d e=%x: ExpWindow mismatch", w, e)
+			}
+		}
+	}
+}
+
+func TestModMulBigAndAliasing(t *testing.T) {
+	m := randOdd(t, 1024)
+	c, err := NewCtx(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randMod(t, m), randMod(t, m)
+	want := new(big.Int).Mul(x, y)
+	want.Mod(want, m)
+	if got := c.ModMulBig(new(big.Int), x, y); got.Cmp(want) != 0 {
+		t.Fatal("ModMulBig mismatch")
+	}
+	// z aliasing x, and a negative operand through the cold reduction path.
+	z := new(big.Int).Set(x)
+	if c.ModMulBig(z, z, y); z.Cmp(want) != 0 {
+		t.Fatal("ModMulBig aliased mismatch")
+	}
+	neg := new(big.Int).Sub(x, m) // ≡ x mod m, negative
+	if got := c.ModMulBig(new(big.Int), neg, y); got.Cmp(want) != 0 {
+		t.Fatal("ModMulBig negative-operand mismatch")
+	}
+}
+
+func TestRPow(t *testing.T) {
+	m := randOdd(t, 512)
+	c, err := NewCtx(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	R := new(big.Int).Lsh(big.NewInt(1), uint(c.K()*bits.UintSize))
+	for j := 1; j <= 9; j++ {
+		want := new(big.Int).Exp(R, big.NewInt(int64(j)), m)
+		got := c.PutBig(new(big.Int), c.RPow(j))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("RPow(%d) mismatch", j)
+		}
+	}
+	// The documented fold contract: t REDC folds of plain residues leave a
+	// R^(−t) deficit that one multiply against RPow(t+1) repairs.
+	vals := make([]*big.Int, 5)
+	want := big.NewInt(1)
+	for i := range vals {
+		vals[i] = randMod(t, m)
+		want.Mul(want, vals[i])
+		want.Mod(want, m)
+	}
+	acc := c.SetBig(c.NewNat(), vals[0])
+	op := c.NewNat()
+	for _, v := range vals[1:] {
+		c.MulREDC(acc, acc, c.SetBig(op, v))
+	}
+	c.MulREDC(acc, acc, c.RPow(len(vals)))
+	if got := c.PutBig(new(big.Int), acc); got.Cmp(want) != 0 {
+		t.Fatal("deficit-repair fold mismatch")
+	}
+}
+
+func TestNewCtxRejects(t *testing.T) {
+	for _, m := range []*big.Int{
+		nil,
+		big.NewInt(0),
+		big.NewInt(-7),
+		big.NewInt(10), // even
+		new(big.Int).Add(new(big.Int).Lsh(big.NewInt(1), (MaxLimbs+1)*64), big.NewInt(1)),
+	} {
+		if _, err := NewCtx(m); err == nil {
+			t.Fatalf("NewCtx(%v) accepted an invalid modulus", m)
+		}
+	}
+}
+
+func TestCtxForCache(t *testing.T) {
+	m := randOdd(t, 256)
+	a, b := CtxFor(m), CtxFor(m)
+	if a == nil || a != b {
+		t.Fatal("CtxFor did not return the shared context for the same pointer")
+	}
+	even := big.NewInt(8)
+	if CtxFor(even) != nil || CtxFor(even) != nil {
+		t.Fatal("CtxFor accepted an even modulus")
+	}
+}
+
+// TestAllocsSteadyState is the allocation-count regression gate: MulREDC,
+// SqrREDC and ExpWindow must run the steady state entirely on the stack.
+func TestAllocsSteadyState(t *testing.T) {
+	m := randOdd(t, 2048) // n² width of a 1024-bit key
+	c, err := NewCtx(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, z := c.NewNat(), c.NewNat(), c.NewNat()
+	c.ToMont(x, c.SetBig(x, randMod(t, m)))
+	c.ToMont(y, c.SetBig(y, randMod(t, m)))
+	e := randMod(t, new(big.Int).Lsh(big.NewInt(1), 256))
+	if n := testing.AllocsPerRun(100, func() { c.MulREDC(z, x, y) }); n != 0 {
+		t.Fatalf("MulREDC allocates %.1f objects per op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { c.SqrREDC(z, x) }); n != 0 {
+		t.Fatalf("SqrREDC allocates %.1f objects per op", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { c.ExpWindow(z, x, e) }); n != 0 {
+		t.Fatalf("ExpWindow allocates %.1f objects per op", n)
+	}
+}
+
+func TestAddMulVVWGoVsAsm(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33} {
+		z1 := make([]big.Word, n)
+		z2 := make([]big.Word, n)
+		x := make([]big.Word, n)
+		for i := range x {
+			x[i] = ^big.Word(0) - big.Word(i)
+			z1[i] = big.Word(i) * 0x9e3779b9
+			z2[i] = z1[i]
+		}
+		y := ^big.Word(0)
+		c1 := addMulVVWGo(z1, x, y)
+		c2 := addMulVVW(z2, x, y)
+		if c1 != c2 {
+			t.Fatalf("n=%d: carry mismatch %x vs %x", n, c1, c2)
+		}
+		for i := range z1 {
+			if z1[i] != z2[i] {
+				t.Fatalf("n=%d limb %d: %x vs %x", n, i, z1[i], z2[i])
+			}
+		}
+	}
+}

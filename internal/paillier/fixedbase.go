@@ -4,6 +4,8 @@ import (
 	"io"
 	"math/big"
 	"sync"
+
+	"vfps/internal/mont"
 )
 
 // This file removes the encryption modexp wall. A Paillier encryption is
@@ -45,16 +47,48 @@ const exponentSlack = 64
 // rows[j][d] = base^(d·2^(j·w)) mod m. Exponentiation by an L-bit exponent is
 // then a product of ⌈L/w⌉ table entries — no squarings, no full modexp. The
 // table is read-only after newFBTable, so concurrent exp calls share it.
+//
+// With a Montgomery context the entries are stored in Montgomery form
+// (flattened per row, entry d at mrows[j][d·k:(d+1)·k]): since
+// MulREDC(a·R, b·R) = (a·b)·R, Montgomery-form entries chain through the
+// whole per-window product with no per-step conversions, and the accumulator
+// leaves Montgomery form exactly once at the end. That turns the table
+// product — the windowed-encryption hot loop — from ⌈L/w⌉ divisions into
+// ⌈L/w⌉ CIOS passes.
 type fbTable struct {
 	window int
 	mod    *big.Int
-	rows   [][]*big.Int
+	rows   [][]*big.Int // plain residues (mctx == nil)
+
+	mctx  *mont.Ctx    // non-nil → Montgomery-form table
+	mrows [][]big.Word // Montgomery-form rows, flattened
 }
 
-// newFBTable precomputes the table for exponents up to expBits bits.
-func newFBTable(base, mod *big.Int, expBits, window int) *fbTable {
+// newFBTable precomputes the table for exponents up to expBits bits; a
+// non-nil ctx builds it in Montgomery form.
+func newFBTable(base, mod *big.Int, expBits, window int, ctx *mont.Ctx) *fbTable {
 	nRows := (expBits + window - 1) / window
-	t := &fbTable{window: window, mod: mod, rows: make([][]*big.Int, nRows)}
+	t := &fbTable{window: window, mod: mod, mctx: ctx}
+	if ctx != nil {
+		k := ctx.K()
+		t.mrows = make([][]big.Word, nRows)
+		cur := ctx.NewNat() // base^(2^(j·w)) in Montgomery form as j advances
+		ctx.ToMont(cur, ctx.SetBig(cur, base))
+		for j := 0; j < nRows; j++ {
+			row := make([]big.Word, (1<<window)*k)
+			copy(row[0:k], ctx.One())
+			copy(row[k:2*k], cur)
+			for d := 2; d < 1<<window; d++ {
+				ctx.MulREDC(row[d*k:(d+1)*k], row[(d-1)*k:d*k], cur)
+			}
+			t.mrows[j] = row
+			for s := 0; s < window; s++ {
+				ctx.SqrREDC(cur, cur)
+			}
+		}
+		return t
+	}
+	t.rows = make([][]*big.Int, nRows)
 	cur := new(big.Int).Mod(base, mod) // base^(2^(j·w)) as j advances
 	for j := 0; j < nRows; j++ {
 		row := make([]*big.Int, 1<<window)
@@ -75,20 +109,45 @@ func newFBTable(base, mod *big.Int, expBits, window int) *fbTable {
 
 // exp computes base^e mod m as the product of one table entry per window.
 func (t *fbTable) exp(e *big.Int) *big.Int {
+	if t.mctx != nil {
+		return t.expMont(e)
+	}
 	acc := new(big.Int).Set(one)
 	for j := range t.rows {
-		d := 0
-		for b := 0; b < t.window; b++ {
-			if e.Bit(j*t.window+b) == 1 {
-				d |= 1 << b
-			}
-		}
-		if d != 0 {
+		if d := t.digit(e, j); d != 0 {
 			acc.Mul(acc, t.rows[j][d])
 			acc.Mod(acc, t.mod)
 		}
 	}
 	return acc
+}
+
+// expMont is exp over the Montgomery-form table: the accumulator stays in
+// Montgomery form across every window and converts back exactly once.
+func (t *fbTable) expMont(e *big.Int) *big.Int {
+	ctx := t.mctx
+	k := ctx.K()
+	var accBuf [mont.MaxLimbs]big.Word
+	acc := accBuf[:k]
+	copy(acc, ctx.One())
+	for j := range t.mrows {
+		if d := t.digit(e, j); d != 0 {
+			ctx.MulREDC(acc, acc, t.mrows[j][d*k:(d+1)*k])
+		}
+	}
+	ctx.FromMont(acc, acc)
+	return ctx.PutBig(new(big.Int), acc)
+}
+
+// digit extracts e's j-th base-2^w digit.
+func (t *fbTable) digit(e *big.Int, j int) int {
+	d := 0
+	for b := 0; b < t.window; b++ {
+		if e.Bit(j*t.window+b) == 1 {
+			d |= 1 << b
+		}
+	}
+	return d
 }
 
 // crtEnc caches the constants of CRT-accelerated randomizer production for a
@@ -99,6 +158,9 @@ type crtEnc struct {
 	p2, q2 *big.Int // p², q²
 	np, nq *big.Int // n mod p(p−1), n mod q(q−1)
 	p2inv  *big.Int // (p²)⁻¹ mod q²
+
+	key      *PublicKey // back-pointer for the Mont knob
+	cp2, cq2 *mont.Ctx  // Montgomery contexts for p², q² (nil → stdlib)
 }
 
 // newCRTEnc derives the encryption-side CRT constants; nil when the key does
@@ -120,19 +182,34 @@ func newCRTEnc(sk *PrivateKey) *crtEnc {
 		p2: p2, q2: q2,
 		np: new(big.Int).Mod(sk.N, lp), nq: new(big.Int).Mod(sk.N, lq),
 		p2inv: p2inv,
+		key:   &sk.PublicKey,
+		cp2:   newMontCtx(p2), cq2: newMontCtx(q2),
 	}
+}
+
+// useMont reports whether this key's CRT-encryption paths run the Montgomery
+// kernel (knob on and both half-width contexts available).
+func (e *crtEnc) useMont() bool {
+	return e.key.useMont() && e.cp2 != nil && e.cq2 != nil
 }
 
 // combine lifts (xp mod p², xq mod q²) to mod n² by Garner.
 func (e *crtEnc) combine(xp, xq *big.Int) *big.Int {
 	u := new(big.Int).Sub(xq, xp)
-	u.Mul(u, e.p2inv)
-	u.Mod(u, e.q2)
+	if e.useMont() {
+		e.cq2.ModMulBig(u, u, e.p2inv)
+	} else {
+		u.Mul(u, e.p2inv)
+		u.Mod(u, e.q2)
+	}
 	u.Mul(u, e.p2)
 	return u.Add(u, xp)
 }
 
-// exp computes r^n mod n² through the two half-width moduli.
+// exp computes r^n mod n² through the two half-width moduli. The
+// exponentiations stay on big.Int.Exp regardless of the Mont knob — Exp is
+// already a Montgomery ladder internally (DESIGN.md §12) — while combine's
+// Garner multiply routes through the kernel.
 func (e *crtEnc) exp(r *big.Int) *big.Int {
 	xp := new(big.Int).Mod(r, e.p2)
 	xp.Exp(xp, e.np, e.p2)
@@ -190,11 +267,15 @@ func (s *rnSource) build(random io.Reader) error {
 	var gr *big.Int
 	if s.enc != nil {
 		gr = s.enc.exp(rb)
-		s.tp = newFBTable(gr, s.enc.p2, s.expBits, s.window)
-		s.tq = newFBTable(gr, s.enc.q2, s.expBits, s.window)
+		var cp2, cq2 *mont.Ctx
+		if s.enc.useMont() {
+			cp2, cq2 = s.enc.cp2, s.enc.cq2
+		}
+		s.tp = newFBTable(gr, s.enc.p2, s.expBits, s.window, cp2)
+		s.tq = newFBTable(gr, s.enc.q2, s.expBits, s.window, cq2)
 	} else {
 		gr = new(big.Int).Exp(rb, s.pk.N, s.pk.N2)
-		s.tab = newFBTable(gr, s.pk.N2, s.expBits, s.window)
+		s.tab = newFBTable(gr, s.pk.N2, s.expBits, s.window, s.pk.montN2())
 	}
 	s.built = true
 	return nil

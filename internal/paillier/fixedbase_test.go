@@ -6,6 +6,8 @@ import (
 	"io"
 	"math/big"
 	"testing"
+
+	"vfps/internal/mont"
 )
 
 // TestFBTableMatchesExp checks the radix-2^w table product against
@@ -19,20 +21,24 @@ func TestFBTableMatchesExp(t *testing.T) {
 	}
 	for _, w := range []int{1, 2, 4, 6, 8} {
 		for _, expBits := range []int{1, 7, 64, sk.N.BitLen() + exponentSlack} {
-			tab := newFBTable(base, mod, expBits, w)
-			for i := 0; i < 5; i++ {
-				e, err := rand.Int(rand.Reader, new(big.Int).Lsh(one, uint(expBits)))
-				if err != nil {
-					t.Fatal(err)
+			// Both table representations — plain residues and the
+			// Montgomery-form rows — must agree with big.Int.Exp.
+			for _, ctx := range []*mont.Ctx{nil, mont.CtxFor(mod)} {
+				tab := newFBTable(base, mod, expBits, w, ctx)
+				for i := 0; i < 5; i++ {
+					e, err := rand.Int(rand.Reader, new(big.Int).Lsh(one, uint(expBits)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := new(big.Int).Exp(base, e, mod)
+					if got := tab.exp(e); got.Cmp(want) != 0 {
+						t.Fatalf("w=%d expBits=%d mont=%v: table exp mismatch", w, expBits, ctx != nil)
+					}
 				}
-				want := new(big.Int).Exp(base, e, mod)
-				if got := tab.exp(e); got.Cmp(want) != 0 {
-					t.Fatalf("w=%d expBits=%d: table exp mismatch", w, expBits)
+				// Exponent zero must yield the identity.
+				if got := tab.exp(new(big.Int)); got.Cmp(one) != 0 {
+					t.Fatalf("w=%d mont=%v: exp(0) = %v, want 1", w, ctx != nil, got)
 				}
-			}
-			// Exponent zero must yield the identity.
-			if got := tab.exp(new(big.Int)); got.Cmp(one) != 0 {
-				t.Fatalf("w=%d: exp(0) = %v, want 1", w, got)
 			}
 		}
 	}
@@ -156,10 +162,14 @@ func FuzzFixedBaseExp(f *testing.F) {
 		}
 		base := new(big.Int).SetBytes(baseB)
 		e := new(big.Int).SetBytes(expB)
-		tab := newFBTable(base, mod, max(e.BitLen(), 1), window)
 		want := new(big.Int).Exp(new(big.Int).Mod(base, mod), e, mod)
+		tab := newFBTable(base, mod, max(e.BitLen(), 1), window, nil)
 		if got := tab.exp(e); got.Cmp(want) != 0 {
 			t.Fatalf("base=%x e=%x w=%d: got %v want %v", baseB, expB, window, got, want)
+		}
+		mtab := newFBTable(base, mod, max(e.BitLen(), 1), window, mont.CtxFor(mod))
+		if got := mtab.exp(e); got.Cmp(want) != 0 {
+			t.Fatalf("base=%x e=%x w=%d (mont): got %v want %v", baseB, expB, window, got, want)
 		}
 	})
 }

@@ -1,0 +1,87 @@
+package paillier
+
+import (
+	"math/big"
+	"os"
+	"sync"
+
+	"vfps/internal/mont"
+)
+
+// The Montgomery kernel (internal/mont) replaces division-based big.Int
+// reduction on the modular-multiplication hot paths: fixed-base table
+// products (operands chained in Montgomery form across the whole windowed
+// product), Garner recombination, and ciphertext accumulation
+// (AddCipher/AddCipherInto/Sum). Plain modular exponentiations deliberately
+// stay on big.Int.Exp, which already runs an assembly Montgomery ladder
+// internally and cannot be beaten by re-entering/leaving the form per call
+// (DESIGN.md §12). Every path computes the exact same residues, so
+// ciphertexts, sums and selections are bit-identical with the kernel on or
+// off; the knob exists for auditability (the stdlib path is the reference)
+// and for machines where the portable rows may not pay off.
+
+var (
+	montEnvOnce sync.Once
+	montEnvOn   bool
+)
+
+// montDefault resolves the process-wide default: on, unless VFPS_MONT is set
+// to 0/false/off.
+func montDefault() bool {
+	montEnvOnce.Do(func() {
+		switch os.Getenv("VFPS_MONT") {
+		case "0", "false", "off":
+			montEnvOn = false
+		default:
+			montEnvOn = true
+		}
+	})
+	return montEnvOn
+}
+
+// useMont resolves the key's tri-state Mont knob.
+func (pk *PublicKey) useMont() bool {
+	if pk.Mont != 0 {
+		return pk.Mont > 0
+	}
+	return montDefault()
+}
+
+// montN2 returns the shared Montgomery context for n², or nil when the knob
+// is off (callers fall back to math/big).
+func (pk *PublicKey) montN2() *mont.Ctx {
+	if !pk.useMont() {
+		return nil
+	}
+	return mont.CtxFor(pk.N2)
+}
+
+// newMontCtx builds a private context for a key-local modulus (p², q²),
+// swallowing the only possible failure (modulus too wide) into nil.
+func newMontCtx(m *big.Int) *mont.Ctx {
+	c, err := mont.NewCtx(m)
+	if err != nil {
+		return nil
+	}
+	return c
+}
+
+// montSum folds the ciphertext product in a single fixed-width accumulator:
+// one CIOS pass per ciphertext (the operands stay un-normalised limb vectors
+// across the whole reduction) plus one final pass against R^(t+1) to repair
+// the accumulated R^(−t) deficit, converting back to a big.Int exactly once.
+// Compare the stdlib fold's full Mul+Mod per element.
+func (pk *PublicKey) montSum(ctx *mont.Ctx, cs []*Ciphertext) (*Ciphertext, error) {
+	k := ctx.K()
+	var accBuf, opBuf [mont.MaxLimbs]big.Word
+	acc := ctx.SetBig(accBuf[:k], cs[0].C)
+	op := opBuf[:k]
+	for _, c := range cs[1:] {
+		if err := pk.validate(c); err != nil {
+			return nil, err
+		}
+		ctx.MulREDC(acc, acc, ctx.SetBig(op, c.C))
+	}
+	ctx.MulREDC(acc, acc, ctx.RPow(len(cs)))
+	return &Ciphertext{C: ctx.PutBig(new(big.Int), acc)}, nil
+}

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+
+	"vfps/internal/mont"
 )
 
 var one = big.NewInt(1)
@@ -35,6 +37,14 @@ type PublicKey struct {
 	N  *big.Int // modulus n = p·q
 	N2 *big.Int // n²
 	G  *big.Int // generator, fixed to n+1
+
+	// Mont selects the Montgomery arithmetic kernel (internal/mont) for the
+	// modular hot paths — fixed-base table products, CRT exponentiations,
+	// ciphertext accumulation: 0 (default) enables it unless VFPS_MONT=0,
+	// positive forces it on, negative restores pure math/big arithmetic.
+	// Ciphertexts and sums are bit-identical at every setting. Not part of
+	// the wire format; set it before the key starts serving traffic.
+	Mont int
 }
 
 // PrivateKey holds the Paillier secret values along with the public key.
@@ -62,6 +72,8 @@ type crtPrecomp struct {
 	ep, eq *big.Int // decryption exponents p−1, q−1
 	hp, hq *big.Int // L_p(g^{p−1} mod p²)⁻¹ mod p, L_q(g^{q−1} mod q²)⁻¹ mod q
 	pinv   *big.Int // p⁻¹ mod q (Garner recombination)
+
+	mq *mont.Ctx // Montgomery context for q (Garner recombination multiply)
 }
 
 // Precompute derives the CRT decryption constants from P and Q. It is called
@@ -88,7 +100,10 @@ func (sk *PrivateKey) Precompute() error {
 	if hp == nil || hq == nil || pinv == nil {
 		return errors.New("paillier: CRT constants not invertible")
 	}
-	sk.crt = &crtPrecomp{p2: p2, q2: q2, ep: ep, eq: eq, hp: hp, hq: hq, pinv: pinv}
+	sk.crt = &crtPrecomp{
+		p2: p2, q2: q2, ep: ep, eq: eq, hp: hp, hq: hq, pinv: pinv,
+		mq: newMontCtx(sk.Q),
+	}
 	sk.crte = newCRTEnc(sk)
 	return nil
 }
@@ -309,16 +324,27 @@ func (sk *PrivateKey) decryptRing(c *Ciphertext) *big.Int {
 		// mp = L_p(c^{p−1} mod p²)·hp mod p, and symmetrically mod q: two
 		// half-width exponentiations with half-length exponents instead of one
 		// full-width exponentiation, ~4× cheaper in big.Int word operations.
-		mp := lFunc(new(big.Int).Exp(c.C, t.ep, t.p2), sk.P)
+		// The exponentiations deliberately stay on big.Int.Exp even with the
+		// Montgomery kernel enabled: Exp already runs an assembly Montgomery
+		// ladder internally, so the kernel cannot beat it on plain modexp
+		// (DESIGN.md §12); only Garner's multiply routes through the kernel.
+		cp, cq := new(big.Int), new(big.Int)
+		cp.Exp(c.C, t.ep, t.p2)
+		cq.Exp(c.C, t.eq, t.q2)
+		mp := lFunc(cp, sk.P)
 		mp.Mul(mp, t.hp)
 		mp.Mod(mp, sk.P)
-		mq := lFunc(new(big.Int).Exp(c.C, t.eq, t.q2), sk.Q)
+		mq := lFunc(cq, sk.Q)
 		mq.Mul(mq, t.hq)
 		mq.Mod(mq, sk.Q)
 		// Garner: m = mp + p·((mq − mp)·p⁻¹ mod q) ∈ [0, n).
 		u := new(big.Int).Sub(mq, mp)
-		u.Mul(u, t.pinv)
-		u.Mod(u, sk.Q)
+		if sk.useMont() && t.mq != nil {
+			t.mq.ModMulBig(u, u, t.pinv)
+		} else {
+			u.Mul(u, t.pinv)
+			u.Mod(u, sk.Q)
+		}
 		u.Mul(u, sk.P)
 		return u.Add(u, mp)
 	}
@@ -338,6 +364,9 @@ func (pk *PublicKey) AddCipher(c1, c2 *Ciphertext) (*Ciphertext, error) {
 	if err := pk.validate(c2); err != nil {
 		return nil, err
 	}
+	if ctx := pk.montN2(); ctx != nil {
+		return &Ciphertext{C: ctx.ModMulBig(new(big.Int), c1.C, c2.C)}, nil
+	}
 	c := new(big.Int).Mul(c1.C, c2.C)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
@@ -354,6 +383,12 @@ func (pk *PublicKey) AddCipherInto(dst, src *Ciphertext) error {
 	}
 	if err := pk.validate(src); err != nil {
 		return err
+	}
+	if ctx := pk.montN2(); ctx != nil {
+		// Two REDC passes into dst's existing limb storage: zero allocations
+		// once the accumulator has grown to full width.
+		ctx.ModMulBig(dst.C, dst.C, src.C)
+		return nil
 	}
 	dst.C.Mul(dst.C, src.C)
 	dst.C.Mod(dst.C, pk.N2)
@@ -402,14 +437,19 @@ func (pk *PublicKey) MulPlain(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
 
 // Sum homomorphically adds a sequence of ciphertexts. It returns an error on
 // an empty input. The inputs are not modified: the fold runs in a single
-// accumulator via AddCipherInto, so Sum allocates one ciphertext regardless
-// of len(cs).
+// accumulator — a fixed-width Montgomery limb vector when the kernel is
+// enabled (one CIOS pass per ciphertext, converted back to a big.Int once at
+// the end), AddCipherInto otherwise — so Sum allocates one ciphertext
+// regardless of len(cs).
 func (pk *PublicKey) Sum(cs ...*Ciphertext) (*Ciphertext, error) {
 	if len(cs) == 0 {
 		return nil, errors.New("paillier: Sum of no ciphertexts")
 	}
 	if err := pk.validate(cs[0]); err != nil {
 		return nil, err
+	}
+	if ctx := pk.montN2(); ctx != nil && len(cs) > 1 {
+		return pk.montSum(ctx, cs)
 	}
 	acc := &Ciphertext{C: new(big.Int).Set(cs[0].C)}
 	for _, c := range cs[1:] {

@@ -53,6 +53,14 @@ type ClusterConfig struct {
 	// modexp per randomizer). Ignored when Pool is set (the PoolSet carries
 	// its own window) and by non-Paillier schemes.
 	EncryptWindow int
+	// Mont selects the modular-arithmetic backend of every Paillier scheme the
+	// cluster configures: 0 follows the process default (the Montgomery kernel
+	// of internal/mont, unless VFPS_MONT=0), positive forces the kernel,
+	// negative forces pure math/big. Both backends compute identical residues
+	// — ciphertexts, sums and selections are bit-identical — so the stdlib
+	// path exists for auditability and for machines where the portable kernel
+	// does not pay off. Ignored by non-Paillier schemes.
+	Mont int
 	// Pack enables Paillier slot packing: participants lay several
 	// fixed-point partial distances side by side in each plaintext, cutting
 	// ciphertext count and bytes on the wire by the pack factor (key-size
@@ -112,17 +120,20 @@ func ResolveWireCodec(name string) (wire.Codec, error) {
 // Observer returns the cluster's observer (nil when observability is off).
 func (c *Cluster) Observer() *obs.Observer { return c.observer }
 
-// configureScheme applies the cluster parallelism and pooling settings to an
-// HE scheme; only Paillier has tunables today. A shared PoolSet wins over a
-// private pool and attaches even at Parallelism 1 (pooling never changes call
-// order, so the determinism baseline is preserved); otherwise a private pool
-// is started unless the cluster is pinned fully serial or the pool is
-// explicitly disabled.
-func configureScheme(s he.Scheme, parallelism, pool, window int, shared *he.PoolSet) {
+// configureScheme applies the cluster parallelism, arithmetic-backend and
+// pooling settings to an HE scheme; only Paillier has tunables today. The
+// Mont knob is applied first so any pool started below builds its fixed-base
+// tables in the selected representation. A shared PoolSet wins over a private
+// pool and attaches even at Parallelism 1 (pooling never changes call order,
+// so the determinism baseline is preserved); otherwise a private pool is
+// started unless the cluster is pinned fully serial or the pool is explicitly
+// disabled.
+func configureScheme(s he.Scheme, parallelism, pool, window, mont int, shared *he.PoolSet) {
 	p, ok := s.(*he.Paillier)
 	if !ok {
 		return
 	}
+	p.SetMont(mont)
 	p.SetParallelism(parallelism)
 	if pool < 0 {
 		return
@@ -222,7 +233,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	configureScheme(pubScheme, cfg.Parallelism, cfg.RandomizerPool, cfg.EncryptWindow, cfg.Pool)
+	configureScheme(pubScheme, cfg.Parallelism, cfg.RandomizerPool, cfg.EncryptWindow, cfg.Mont, cfg.Pool)
 	if err := configurePacking(pubScheme, cfg.Pack, cfg.Partition.P()); err != nil {
 		return nil, err
 	}
@@ -258,7 +269,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	// The leader decrypts but never bulk-encrypts, so it gets no pool.
-	configureScheme(privScheme, cfg.Parallelism, -1, cfg.EncryptWindow, nil)
+	configureScheme(privScheme, cfg.Parallelism, -1, cfg.EncryptWindow, cfg.Mont, nil)
 	if err := configurePacking(privScheme, cfg.Pack, cfg.Partition.P()); err != nil {
 		return nil, err
 	}

@@ -4,9 +4,12 @@
 # Usage:
 #   scripts/bench_compare.sh [candidate.json] [baseline.json]
 #
-# The candidate JSON's top-level key picks the gate set. A `.packed` result
-# (default BENCH_packed.json, freshly produced by `make bench-packed`) must
-# uphold the absolute contracts of the packed pipeline regardless of machine:
+# The candidate JSON's top-level key picks the gate set; a candidate with no
+# recognized top-level key (.packed / .wire / .encrypt), and any recognized
+# section missing a key the gates read, is itself a hard failure — a renamed
+# or dropped field must never silently pass. A `.packed` result (default
+# BENCH_packed.json, freshly produced by `make bench-packed`) must uphold the
+# absolute contracts of the packed pipeline regardless of machine:
 #
 #   * every end-to-end selection matches the scalar run exactly,
 #   * slot packing cuts ciphertext bytes by at least MIN_BYTE_REDUCTION,
@@ -24,8 +27,14 @@
 #   * fixed-base windowed randomizer production at least MIN_ENCRYPT_SPEEDUP
 #     over the classic inline path (the party-side encryption throughput
 #     contract),
-#   * every end-to-end selection — windowed pools, shared PoolSet — matching
-#     the classic-sampling baseline exactly.
+#   * the Montgomery kernel at least MIN_MONT_SPEEDUP over pure math/big on
+#     the modmul-bound arms (windowed encryption, ciphertext summation), and
+#     no worse than MIN_MONT_DECRYPT_RATIO on the modexp-bound CRT decrypt
+#     arm (big.Int.Exp already runs Montgomery internally, so parity — not a
+#     speedup — is the contract there; see DESIGN.md §12),
+#   * every end-to-end selection — windowed pools, shared PoolSet, and the
+#     mont-off arm proving both arithmetic backends select identically —
+#     matching the classic-sampling baseline exactly.
 #
 # When a baseline (default: the checked-in BENCH_packed.json from git HEAD)
 # is available and distinct from the candidate, the packed end-to-end wall
@@ -40,60 +49,107 @@ MIN_CRT_SPEEDUP=${MIN_CRT_SPEEDUP:-3.0}
 MIN_BYTE_REDUCTION=${MIN_BYTE_REDUCTION:-4.0}
 MIN_WIRE_FRAMING_REDUCTION=${MIN_WIRE_FRAMING_REDUCTION:-2.0}
 MIN_ENCRYPT_SPEEDUP=${MIN_ENCRYPT_SPEEDUP:-2.0}
+MIN_MONT_SPEEDUP=${MIN_MONT_SPEEDUP:-1.5}
+MIN_MONT_DECRYPT_RATIO=${MIN_MONT_DECRYPT_RATIO:-0.9}
 TOLERANCE=${TOLERANCE:-1.5}
 
 command -v jq >/dev/null || { echo "bench_compare: jq not found" >&2; exit 1; }
-[ -f "$CANDIDATE" ] || { echo "bench_compare: candidate $CANDIDATE not found (run make bench-packed / bench-wire)" >&2; exit 1; }
+[ -f "$CANDIDATE" ] || { echo "bench_compare: candidate $CANDIDATE not found (run make bench-packed / bench-wire / bench-encrypt)" >&2; exit 1; }
 
 fail=0
 say() { echo "bench_compare: $*"; }
 bad() { echo "bench_compare: FAIL: $*" >&2; fail=1; }
 
+# require <jq-expr> <description> — assert the candidate carries a key the
+# gates below read. jq -e exits non-zero on null/false/missing, so a renamed
+# field, an empty result array or a dropped arm fails loudly instead of
+# letting its gate silently evaporate. Returns non-zero so callers can skip
+# the dependent gate and avoid a cascade of jq errors.
+require() {
+  if ! jq -e "$1" "$CANDIDATE" >/dev/null 2>&1; then
+    bad "candidate is missing expected data: $2 (jq: $1)"
+    return 1
+  fi
+}
+
+recognized=0
+
 # --- wire codec gates --------------------------------------------------------
 if jq -e '.wire' "$CANDIDATE" >/dev/null 2>&1; then
-  while IFS=$'\t' read -r variant packed match; do
-    if [ "$match" = "true" ]; then
-      say "selection $variant packed=$packed: binary codec selected the identical set"
-    else
-      bad "selection $variant packed=$packed: binary codec selected a DIFFERENT set"
-    fi
-  done < <(jq -r '.wire.EndToEnd[] | [.Variant, (.Packed|tostring), (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
+  recognized=1
+  if require '.wire.EndToEnd | length > 0' "wire end-to-end rows"; then
+    while IFS=$'\t' read -r variant packed match; do
+      if [ "$match" = "true" ]; then
+        say "selection $variant packed=$packed: binary codec selected the identical set"
+      else
+        bad "selection $variant packed=$packed: binary codec selected a DIFFERENT set"
+      fi
+    done < <(jq -r '.wire.EndToEnd[] | [.Variant, (.Packed|tostring), (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
 
-  while IFS=$'\t' read -r variant packed gob binary; do
-    if [ "$(jq -n --argjson g "$gob" --argjson b "$binary" '$b < $g')" = "true" ]; then
-      say "selection $variant packed=$packed: binary total $binary B < gob $gob B"
-    else
-      bad "selection $variant packed=$packed: binary sent $binary total bytes, gob $gob"
-    fi
-  done < <(jq -r '.wire.EndToEnd[] | [.Variant, (.Packed|tostring), (.GobBytes|tostring), (.BinaryBytes|tostring)] | @tsv' "$CANDIDATE")
+    while IFS=$'\t' read -r variant packed gob binary; do
+      if [ "$(jq -n --argjson g "$gob" --argjson b "$binary" '$b < $g')" = "true" ]; then
+        say "selection $variant packed=$packed: binary total $binary B < gob $gob B"
+      else
+        bad "selection $variant packed=$packed: binary sent $binary total bytes, gob $gob"
+      fi
+    done < <(jq -r '.wire.EndToEnd[] | [.Variant, (.Packed|tostring), (.GobBytes|tostring), (.BinaryBytes|tostring)] | @tsv' "$CANDIDATE")
 
-  while IFS=$'\t' read -r packed red; do
-    if [ "$(jq -n --argjson r "$red" --argjson min "$MIN_WIRE_FRAMING_REDUCTION" '$r >= $min')" = "true" ]; then
-      say "fagin packed=$packed: framing reduction ${red}x (floor ${MIN_WIRE_FRAMING_REDUCTION}x)"
-    else
-      bad "fagin packed=$packed: framing reduction ${red}x below floor ${MIN_WIRE_FRAMING_REDUCTION}x"
-    fi
-  done < <(jq -r '.wire.EndToEnd[] | select(.Variant == "fagin") | [(.Packed|tostring), (.FramingReduction|tostring)] | @tsv' "$CANDIDATE")
+    require '[.wire.EndToEnd[] | select(.Variant == "fagin")] | length > 0' "fagin wire rows (framing gate)" && \
+    while IFS=$'\t' read -r packed red; do
+      if [ "$(jq -n --argjson r "$red" --argjson min "$MIN_WIRE_FRAMING_REDUCTION" '$r >= $min')" = "true" ]; then
+        say "fagin packed=$packed: framing reduction ${red}x (floor ${MIN_WIRE_FRAMING_REDUCTION}x)"
+      else
+        bad "fagin packed=$packed: framing reduction ${red}x below floor ${MIN_WIRE_FRAMING_REDUCTION}x"
+      fi
+    done < <(jq -r '.wire.EndToEnd[] | select(.Variant == "fagin") | [(.Packed|tostring), (.FramingReduction|tostring)] | @tsv' "$CANDIDATE")
+  fi
 fi
 
 # --- encryption hot-path gates -----------------------------------------------
 if jq -e '.encrypt' "$CANDIDATE" >/dev/null 2>&1; then
-  wsp=$(jq -r '.encrypt.Micro.WindowedSpeedup' "$CANDIDATE")
-  csp=$(jq -r '.encrypt.Micro.CRTWindowedSpeedup' "$CANDIDATE")
-  jq -e --argjson min "$MIN_ENCRYPT_SPEEDUP" '.encrypt.Micro.WindowedSpeedup >= $min' "$CANDIDATE" >/dev/null \
-    && say "windowed encrypt speedup ${wsp}x (floor ${MIN_ENCRYPT_SPEEDUP}x; CRT+window ${csp}x)" \
-    || bad "windowed encrypt speedup ${wsp}x below floor ${MIN_ENCRYPT_SPEEDUP}x"
+  recognized=1
+  if require '.encrypt.Micro.WindowedSpeedup' "windowed encrypt speedup"; then
+    wsp=$(jq -r '.encrypt.Micro.WindowedSpeedup' "$CANDIDATE")
+    csp=$(jq -r '.encrypt.Micro.CRTWindowedSpeedup // "?"' "$CANDIDATE")
+    jq -e --argjson min "$MIN_ENCRYPT_SPEEDUP" '.encrypt.Micro.WindowedSpeedup >= $min' "$CANDIDATE" >/dev/null \
+      && say "windowed encrypt speedup ${wsp}x (floor ${MIN_ENCRYPT_SPEEDUP}x; CRT+window ${csp}x)" \
+      || bad "windowed encrypt speedup ${wsp}x below floor ${MIN_ENCRYPT_SPEEDUP}x"
+  fi
 
-  while IFS=$'\t' read -r variant mode match; do
-    if [ "$match" = "true" ]; then
-      say "selection $variant/$mode: selected the identical set"
-    else
-      bad "selection $variant/$mode: selected a DIFFERENT set than classic sampling"
+  # Montgomery kernel A/B: ≥ MIN_MONT_SPEEDUP on the modmul-bound arms,
+  # ≥ MIN_MONT_DECRYPT_RATIO (parity) on the modexp-bound decrypt arm.
+  for arm in MontWindowedSpeedup MontSumSpeedup; do
+    if require ".encrypt.Micro.$arm" "Montgomery A/B arm $arm"; then
+      v=$(jq -r ".encrypt.Micro.$arm" "$CANDIDATE")
+      jq -e --argjson min "$MIN_MONT_SPEEDUP" ".encrypt.Micro.$arm >= \$min" "$CANDIDATE" >/dev/null \
+        && say "mont kernel $arm ${v}x (floor ${MIN_MONT_SPEEDUP}x)" \
+        || bad "mont kernel $arm ${v}x below floor ${MIN_MONT_SPEEDUP}x"
     fi
-  done < <(jq -r '.encrypt.EndToEnd[] | [.Variant, .Mode, (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
+  done
+  if require '.encrypt.Micro.MontDecryptRatio' "Montgomery A/B arm MontDecryptRatio"; then
+    v=$(jq -r '.encrypt.Micro.MontDecryptRatio' "$CANDIDATE")
+    jq -e --argjson min "$MIN_MONT_DECRYPT_RATIO" '.encrypt.Micro.MontDecryptRatio >= $min' "$CANDIDATE" >/dev/null \
+      && say "mont kernel CRT decrypt ratio ${v}x (parity floor ${MIN_MONT_DECRYPT_RATIO}x)" \
+      || bad "mont kernel CRT decrypt ratio ${v}x below parity floor ${MIN_MONT_DECRYPT_RATIO}x"
+  fi
+
+  if require '.encrypt.EndToEnd | length > 0' "encrypt end-to-end rows"; then
+    require '[.encrypt.EndToEnd[] | select(.Mode == "mont-off")] | length > 0' \
+      "mont-off end-to-end arm (backend selection-identity proof)" || true
+    while IFS=$'\t' read -r variant mode match; do
+      if [ "$match" = "true" ]; then
+        say "selection $variant/$mode: selected the identical set"
+      else
+        bad "selection $variant/$mode: selected a DIFFERENT set than classic sampling"
+      fi
+    done < <(jq -r '.encrypt.EndToEnd[] | [.Variant, .Mode, (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
+  fi
 fi
 
 if ! jq -e '.packed' "$CANDIDATE" >/dev/null 2>&1; then
+  if [ "$recognized" -eq 0 ]; then
+    bad "candidate $CANDIDATE has no recognized top-level section (.packed / .wire / .encrypt)"
+  fi
   if [ "$fail" -ne 0 ]; then
     echo "bench_compare: REGRESSION DETECTED" >&2
     exit 1
@@ -103,34 +159,39 @@ if ! jq -e '.packed' "$CANDIDATE" >/dev/null 2>&1; then
 fi
 
 # --- absolute gates on the candidate ----------------------------------------
-crt=$(jq -r '.packed.CRT.Speedup' "$CANDIDATE")
-bytered=$(jq -r '.packed.Wire.ByteReduction' "$CANDIDATE")
-packf=$(jq -r '.packed.Wire.PackFactor' "$CANDIDATE")
+if require '.packed.CRT.Speedup' "packed CRT speedup"; then
+  crt=$(jq -r '.packed.CRT.Speedup' "$CANDIDATE")
+  jq -e --argjson min "$MIN_CRT_SPEEDUP" '.packed.CRT.Speedup >= $min' "$CANDIDATE" >/dev/null \
+    && say "CRT decrypt speedup ${crt}x (floor ${MIN_CRT_SPEEDUP}x)" \
+    || bad "CRT decrypt speedup ${crt}x below floor ${MIN_CRT_SPEEDUP}x"
+fi
 
-jq -e --argjson min "$MIN_CRT_SPEEDUP" '.packed.CRT.Speedup >= $min' "$CANDIDATE" >/dev/null \
-  && say "CRT decrypt speedup ${crt}x (floor ${MIN_CRT_SPEEDUP}x)" \
-  || bad "CRT decrypt speedup ${crt}x below floor ${MIN_CRT_SPEEDUP}x"
+if require '.packed.Wire.ByteReduction' "packed byte reduction"; then
+  bytered=$(jq -r '.packed.Wire.ByteReduction' "$CANDIDATE")
+  packf=$(jq -r '.packed.Wire.PackFactor // "?"' "$CANDIDATE")
+  jq -e --argjson min "$MIN_BYTE_REDUCTION" '.packed.Wire.ByteReduction >= $min' "$CANDIDATE" >/dev/null \
+    && say "ciphertext byte reduction ${bytered}x at pack factor ${packf} (floor ${MIN_BYTE_REDUCTION}x)" \
+    || bad "byte reduction ${bytered}x below floor ${MIN_BYTE_REDUCTION}x"
+fi
 
-jq -e --argjson min "$MIN_BYTE_REDUCTION" '.packed.Wire.ByteReduction >= $min' "$CANDIDATE" >/dev/null \
-  && say "ciphertext byte reduction ${bytered}x at pack factor ${packf} (floor ${MIN_BYTE_REDUCTION}x)" \
-  || bad "byte reduction ${bytered}x below floor ${MIN_BYTE_REDUCTION}x"
+if require '.packed.EndToEnd | length > 0' "packed end-to-end rows"; then
+  while IFS=$'\t' read -r variant match; do
+    if [ "$match" = "true" ]; then
+      say "selection $variant: packed run selected the identical set"
+    else
+      bad "selection $variant: packed run selected a DIFFERENT set"
+    fi
+  done < <(jq -r '.packed.EndToEnd[] | [.Variant, (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
 
-while IFS=$'\t' read -r variant match; do
-  if [ "$match" = "true" ]; then
-    say "selection $variant: packed run selected the identical set"
-  else
-    bad "selection $variant: packed run selected a DIFFERENT set"
-  fi
-done < <(jq -r '.packed.EndToEnd[] | [.Variant, (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
-
-while IFS=$'\t' read -r variant scalar packed; do
-  if jq -n --argjson s "$scalar" --argjson p "$packed" '$p < $s' >/dev/null 2>&1 \
-     && [ "$(jq -n --argjson s "$scalar" --argjson p "$packed" '$p < $s')" = "true" ]; then
-    say "selection $variant: packed bytes $packed < scalar bytes $scalar"
-  else
-    bad "selection $variant: packed run sent $packed bytes, scalar $scalar"
-  fi
-done < <(jq -r '.packed.EndToEnd[] | [.Variant, (.BytesScalar|tostring), (.BytesPacked|tostring)] | @tsv' "$CANDIDATE")
+  while IFS=$'\t' read -r variant scalar packed; do
+    if jq -n --argjson s "$scalar" --argjson p "$packed" '$p < $s' >/dev/null 2>&1 \
+       && [ "$(jq -n --argjson s "$scalar" --argjson p "$packed" '$p < $s')" = "true" ]; then
+      say "selection $variant: packed bytes $packed < scalar bytes $scalar"
+    else
+      bad "selection $variant: packed run sent $packed bytes, scalar $scalar"
+    fi
+  done < <(jq -r '.packed.EndToEnd[] | [.Variant, (.BytesScalar|tostring), (.BytesPacked|tostring)] | @tsv' "$CANDIDATE")
+fi
 
 # --- relative gate against the baseline -------------------------------------
 cleanup=""

@@ -122,6 +122,13 @@ type Config struct {
 	// randomizer; see SECURITY.md on the subgroup-sampling trade-off).
 	// Selection results are bit-identical at every setting.
 	EncryptWindow int
+	// Mont selects the Paillier modular-arithmetic backend: 0 follows the
+	// process default (the Montgomery kernel of internal/mont, unless
+	// VFPS_MONT=0 in the environment), positive forces the kernel, negative
+	// forces pure math/big. Both backends compute identical residues, so
+	// selection results are bit-identical at every setting; the stdlib path
+	// exists for auditability. Ignored by the other schemes.
+	Mont int
 	// SharedPool, when non-nil, attaches this consortium's encrypting roles
 	// to a cluster-lifetime PoolSet shared with other consortiums instead of
 	// starting private pools. The caller owns the set's lifecycle
@@ -175,6 +182,7 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		Parallelism:   cfg.Parallelism,
 		Pack:          cfg.Pack,
 		EncryptWindow: cfg.EncryptWindow,
+		Mont:          cfg.Mont,
 		Pool:          cfg.SharedPool,
 		Wire:          cfg.Wire,
 		Obs:           cfg.Obs,
