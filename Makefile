@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-packed bench-wire bench-encrypt bench-mont microbench experiments fuzz cover obs-smoke clean
+.PHONY: build test check race bench bench-packed bench-wire bench-encrypt bench-mont microbench experiments fuzz cover obs-smoke soak clean
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,21 @@ check:
 	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=5s
 	$(GO) test ./internal/mont -run='^$$' -fuzz='^FuzzMontMulExp$$' -fuzztime=5s
 	$(MAKE) obs-smoke
+	SOAK_ROUNDS=1 SOAK_QUERIES=6 $(MAKE) soak
 
 # Start vfpsserve, drive an encrypted selection, and assert the /metrics,
 # /metrics.json, /v1/trace and /debug/vars endpoints expose every wired
 # metric family (see scripts/obs_smoke.sh).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Multi-process soak: key server + parties + aggregation server + a vfpsserve
+# collector over real TCP, concurrent query rounds through the leader, gated
+# on throughput (SOAK_MIN_QPS), tail latency (SOAK_P99_MS), a cross-process
+# span forest with zero orphans, and the structured query log
+# (see scripts/soak.sh for all knobs).
+soak:
+	./scripts/soak.sh
 
 race:
 	$(GO) test ./... -race
@@ -85,4 +94,4 @@ fuzz:
 	$(GO) test ./internal/mont -run='^$$' -fuzz='^FuzzMontMulExp$$' -fuzztime=30s
 
 clean:
-	rm -f cover.out vfpsbench vfpsnode vfpsselect vfpsserve
+	rm -f cover.out vfpsbench vfpsnode vfpsselect vfpsserve SOAK_summary.json

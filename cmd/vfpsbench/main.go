@@ -149,16 +149,34 @@ func main() {
 	}
 
 	if *tracePath != "" {
+		report := observer.Tracer().Report()
+		// Report().Phases covers only root spans; under parallelism the
+		// per-query protocol spans (vfl.query, vfl.decrypt, agg.*) are
+		// children of select.similarity, so summarize every span by name too
+		// and collect the query IDs the run minted.
+		spanSummary := obs.SummarizeSpans(report.Spans)
+		qidSet := map[string]bool{}
+		var queryIDs []string
+		for _, s := range report.Spans {
+			if qid := s.Labels["qid"]; qid != "" && !qidSet[qid] {
+				qidSet[qid] = true
+				queryIDs = append(queryIDs, qid)
+			}
+		}
 		dump := struct {
-			WallNs   int64                `json:"wallNs"`
-			WallSecs float64              `json:"wallSecs"`
-			Trace    obs.TraceReport      `json:"trace"`
-			Metrics  []obs.FamilySnapshot `json:"metrics"`
+			WallNs      int64                `json:"wallNs"`
+			WallSecs    float64              `json:"wallSecs"`
+			Trace       obs.TraceReport      `json:"trace"`
+			SpanSummary []obs.PhaseSummary   `json:"spanSummary"`
+			QueryIDs    []string             `json:"queryIDs,omitempty"`
+			Metrics     []obs.FamilySnapshot `json:"metrics"`
 		}{
-			WallNs:   wall.Nanoseconds(),
-			WallSecs: wall.Seconds(),
-			Trace:    observer.Tracer().Report(),
-			Metrics:  observer.Registry().Snapshot(),
+			WallNs:      wall.Nanoseconds(),
+			WallSecs:    wall.Seconds(),
+			Trace:       report,
+			SpanSummary: spanSummary,
+			QueryIDs:    queryIDs,
+			Metrics:     observer.Registry().Snapshot(),
 		}
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -178,6 +196,16 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (%d spans, phases %.3fs of %.3fs wall)\n",
 			*tracePath, len(dump.Trace.Spans), phaseSecs, wall.Seconds())
+		for _, p := range spanSummary {
+			fmt.Printf("  %-22s %6d spans %10.3fs\n", p.Name, p.Count, p.TotalSecs)
+		}
+		if len(queryIDs) > 0 {
+			sample := queryIDs
+			if len(sample) > 5 {
+				sample = sample[:5]
+			}
+			fmt.Printf("  %d query IDs (e.g. %s)\n", len(queryIDs), strings.Join(sample, ", "))
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -83,7 +84,12 @@ func main() {
 		window      = flag.Int("encrypt-window", 0, "fixed-base window for randomizer precompute (0 = default 6, negative = classic uniform sampling)")
 		montKnob    = flag.Int("mont", 0, "Paillier modular-arithmetic backend: 0 = default (Montgomery kernel unless VFPS_MONT=0), >0 = force kernel, <0 = pure math/big")
 		wireName    = flag.String("wire", "", "protocol codec: gob|binary (default VFPS_WIRE or gob; mixed clusters negotiate down to gob per peer)")
-		obsAddr     = flag.String("obs-addr", "", "optional debug listen address serving /metrics, /v1/trace and /debug/pprof")
+		obsAddr     = flag.String("obs-addr", "", "optional debug listen address serving /metrics, /v1/trace, /v1/slow and /debug/pprof")
+		logJSON     = flag.String("log-json", "", `structured query-log destination: "-"/"stdout", "stderr", or a file path (off when empty)`)
+		slowRing    = flag.Int("slow-ring", 0, "flight-recorder capacity for /v1/slow (0 = default)")
+		rounds      = flag.Int("rounds", 1, "similarity rounds to run (role=leader); each round is one trace")
+		qworkers    = flag.Int("qworkers", 1, "concurrent queries in flight per round (role=leader)")
+		linger      = flag.Duration("linger", 0, "how long the leader keeps its obs listener up after finishing, for trace scrapes (role=leader)")
 	)
 	flag.Parse()
 
@@ -97,24 +103,43 @@ func main() {
 	}
 	ctx := context.Background()
 
-	// Observability is opt-in: without -obs-addr every instrument stays a
-	// nil no-op. With it, this node's metrics and spans are served on a
+	// Observability is opt-in: without -obs-addr or -log-json every
+	// instrument stays a nil no-op. With either, this node's metrics, spans
+	// and query log are live; -obs-addr additionally serves them on a
 	// separate debug listener.
 	var o *obs.Observer
-	if *obsAddr != "" {
+	if *obsAddr != "" || *logJSON != "" {
 		o = obs.NewObserver(obs.DefaultTraceCapacity)
+		// Tag spans with this process's role so the cross-node span forest
+		// shows which process each span ran in.
+		nodeName := *role
+		if *role == "party" {
+			nodeName = vfl.PartyName(*index)
+		}
+		o.Trace.SetNode(nodeName)
+		if *logJSON != "" || *slowRing > 0 {
+			logw, closeLog, err := openLog(*logJSON)
+			if err != nil {
+				fatal("%v", err)
+			}
+			defer closeLog()
+			o.Events = obs.NewQueryLog(logw, *slowRing)
+		}
 		obs.SetDefault(o)
 		reg := o.Registry()
 		transport.DeclareMetrics(reg)
 		he.DeclareMetrics(reg)
 		costmodel.DeclareMetrics(reg)
-		dbg := &http.Server{Addr: *obsAddr, Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
-		go func() {
-			fmt.Printf("observability endpoints on http://%s/metrics\n", *obsAddr)
-			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "vfpsnode: obs listener: %v\n", err)
-			}
-		}()
+		obs.RegisterRuntimeMetrics(reg)
+		if *obsAddr != "" {
+			dbg := &http.Server{Addr: *obsAddr, Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+			go func() {
+				fmt.Printf("observability endpoints on http://%s/metrics\n", *obsAddr)
+				if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintf(os.Stderr, "vfpsnode: obs listener: %v\n", err)
+				}
+			}()
+		}
 	}
 
 	switch *role {
@@ -195,18 +220,47 @@ func main() {
 		leader.SetParallelism(*parallelism)
 		leader.SetObserver(o, "node")
 		leader.SetCodec(codec)
-		runLeader(ctx, leader, *rows, *selCount, *k, *queries, vfl.Variant(*variant))
+		runLeader(ctx, leader, o, *rows, *selCount, *k, *queries, vfl.Variant(*variant), *rounds, *qworkers)
+		if *linger > 0 {
+			fmt.Printf("lingering %s for trace scrapes...\n", *linger)
+			time.Sleep(*linger)
+		}
 	default:
 		fatal("unknown role %q (want keyserver|aggserver|party|leader)", *role)
 	}
 }
 
-func runLeader(ctx context.Context, leader *vfl.Leader, rows, selCount, k, queries int, variant vfl.Variant) {
+func runLeader(ctx context.Context, leader *vfl.Leader, o *obs.Observer, rows, selCount, k, queries int, variant vfl.Variant, rounds, qworkers int) {
 	qs := sampleQueries(rows, queries)
-	fmt.Printf("running %s-variant selection over %d queries, k=%d...\n", variant, len(qs), k)
-	rep, err := leader.Similarities(ctx, qs, k, variant)
-	if err != nil {
-		fatal("similarity phase: %v", err)
+	if rounds <= 0 {
+		rounds = 1
+	}
+	if qworkers <= 0 {
+		qworkers = 1
+	}
+	fmt.Printf("running %s-variant selection over %d queries, k=%d, %d round(s), %d worker(s)...\n",
+		variant, len(qs), k, rounds, qworkers)
+	var rep *vfl.SimilarityReport
+	for r := 0; r < rounds; r++ {
+		// Each round is one trace: the round's queries — and every remote
+		// span they fan out — share a trace ID, so the collector's span
+		// forest groups a round across processes.
+		rctx := ctx
+		var traceID obs.TraceID
+		if o != nil {
+			rctx, traceID = obs.ContextWithNewTrace(ctx)
+		}
+		start := time.Now()
+		var err error
+		rep, err = leader.SimilaritiesParallel(rctx, qs, k, variant, qworkers)
+		if err != nil {
+			fatal("similarity phase (round %d): %v", r, err)
+		}
+		line := fmt.Sprintf("round %d: %d queries in %.3fs", r, rep.Queries, time.Since(start).Seconds())
+		if !traceID.IsZero() {
+			line += " trace=" + traceID.String()
+		}
+		fmt.Println(line)
 	}
 	fmt.Println("participant similarity matrix:")
 	for _, row := range rep.W {
@@ -342,6 +396,25 @@ func greedySelect(w [][]float64, count int) ([]int, float64, error) {
 		value += bestGain
 	}
 	return selected, value, nil
+}
+
+// openLog resolves the -log-json destination. The returned close func is a
+// no-op for the standard streams.
+func openLog(dest string) (io.Writer, func(), error) {
+	switch dest {
+	case "":
+		return nil, func() {}, nil
+	case "-", "stdout":
+		return os.Stdout, func() {}, nil
+	case "stderr":
+		return os.Stderr, func() {}, nil
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening query log %s: %w", dest, err)
+		}
+		return f, func() { f.Close() }, nil
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -13,9 +13,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,11 +27,30 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	logJSON := flag.String("log-json", "", `structured query-log destination: "-"/"stdout", "stderr", or a file path (off when empty)`)
+	slowRing := flag.Int("slow-ring", 0, "flight-recorder capacity for /v1/slow (0 = default)")
+	peers := flag.String("peers", "", "comma-separated observability base URLs whose spans /v1/trace merges into the span forest")
 	flag.Parse()
+
+	opts := server.Options{SlowRing: *slowRing}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.TracePeers = append(opts.TracePeers, p)
+			}
+		}
+	}
+	logw, closeLog, err := openLog(*logJSON)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vfpsserve: %v\n", err)
+		os.Exit(1)
+	}
+	defer closeLog()
+	opts.LogWriter = logw
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           server.NewWithOptions(opts),
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
@@ -56,5 +77,24 @@ func main() {
 			srv.Close()
 			os.Exit(1)
 		}
+	}
+}
+
+// openLog resolves the -log-json destination. The returned close func is a
+// no-op for the standard streams.
+func openLog(dest string) (io.Writer, func(), error) {
+	switch dest {
+	case "":
+		return nil, func() {}, nil
+	case "-", "stdout":
+		return os.Stdout, func() {}, nil
+	case "stderr":
+		return os.Stderr, func() {}, nil
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening query log %s: %w", dest, err)
+		}
+		return f, func() { f.Close() }, nil
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vfps/internal/costmodel"
+	"vfps/internal/obs"
 	"vfps/internal/submod"
 	"vfps/internal/vfl"
 )
@@ -169,12 +170,36 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 
 	// Each protocol phase — count reset, similarity estimation, submodular
 	// maximization, cost accounting — opens a sequential root span so a trace
-	// report's per-phase durations decompose the selection wall clock.
-	tracer := leader.Observer().Tracer()
+	// report's per-phase durations decompose the selection wall clock. The
+	// phases share one trace ID (without a parent link, preserving the
+	// four-root-phase report shape), so a cross-node span forest groups an
+	// entire selection — including every remote RPC it fanned out — under a
+	// single trace.
+	observer := leader.Observer()
+	tracer := observer.Tracer()
+	var traceID obs.TraceID
+	if tracer != nil {
+		ctx, traceID = obs.ContextWithNewTrace(ctx)
+	}
+	selID := obs.QueryIDFromContext(ctx)
+	if observer != nil && selID == "" {
+		selID = obs.NewQueryID("s")
+		ctx = obs.ContextWithQueryID(ctx, selID)
+	}
 	start := time.Now()
+	phaseStart := start
+	var phases []obs.PhaseSecs
+	phase := func(name string) {
+		if observer != nil {
+			now := time.Now()
+			phases = append(phases, obs.PhaseSecs{Name: name, Seconds: now.Sub(phaseStart).Seconds()})
+			phaseStart = now
+		}
+	}
 	pctx, psp := tracer.Start(ctx, "select.prepare")
 	err := leader.ResetAllCounts(pctx)
 	psp.End()
+	phase("prepare")
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +208,7 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 	ssp.SetLabelInt("k", int64(cfg.K))
 	rep, err := leader.SimilaritiesParallel(sctx, cfg.Queries, cfg.K, cfg.Variant, cfg.Parallelism)
 	ssp.End()
+	phase("similarity")
 	if err != nil {
 		return nil, fmt.Errorf("core: similarity phase: %w", err)
 	}
@@ -211,15 +237,37 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 	}
 	msp.SetLabelInt("evaluations", int64(res.Evaluations))
 	msp.End()
+	phase("maximize")
 	gctx, gsp := tracer.Start(ctx, "select.accounting")
 	perRole, err := leader.GatherCounts(gctx)
 	gsp.End()
+	phase("accounting")
 	if err != nil {
 		return nil, err
 	}
 	var total costmodel.Raw
 	for _, c := range perRole {
 		total = total.Plus(c)
+	}
+	// One selection-level query-log event: end-to-end latency decomposed by
+	// phase, plus the full cost-model snapshot as attributes.
+	if observer != nil {
+		ev := obs.QueryEvent{
+			Kind:    "selection",
+			ID:      selID,
+			Tenant:  leader.Instance(),
+			Seconds: time.Since(start).Seconds(),
+			Phases:  phases,
+			Attrs:   total.Attrs(),
+		}
+		if !traceID.IsZero() {
+			ev.Trace = traceID.String()
+		}
+		ev.Attrs["queries"] = len(cfg.Queries)
+		ev.Attrs["k"] = cfg.K
+		ev.Attrs["variant"] = string(cfg.Variant)
+		ev.Attrs["selected"] = len(res.Selected)
+		observer.Log().Record(ev)
 	}
 	return &Selection{
 		Selected:         res.Selected,

@@ -99,6 +99,24 @@ func (r Raw) Plus(o Raw) Raw {
 	}
 }
 
+// Attrs flattens the counts into the key/value form the structured query log
+// records (obs.QueryEvent.Attrs): HE-op counts plus the payload/framing byte
+// split, with the combined wire total precomputed for gate scripts.
+func (r Raw) Attrs() map[string]any {
+	return map[string]any{
+		"distanceFlops": r.DistanceFlops,
+		"encryptions":   r.Encryptions,
+		"decryptions":   r.Decryptions,
+		"cipherAdds":    r.CipherAdds,
+		"plainAdds":     r.PlainAdds,
+		"itemsSent":     r.ItemsSent,
+		"messages":      r.Messages,
+		"bytesSent":     r.BytesSent,
+		"framingBytes":  r.FramingBytes,
+		"wireBytes":     r.WireBytes(),
+	}
+}
+
 // String formats the counts compactly.
 func (r Raw) String() string {
 	var b strings.Builder

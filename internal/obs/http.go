@@ -1,27 +1,37 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Observer bundles the two observability facilities a component needs: the
-// metrics registry and the phase tracer. A nil *Observer (the default
-// everywhere) disables both at the cost of a nil check; the accessors are
-// nil-safe so call sites never guard.
+// Observer bundles the observability facilities a component needs: the
+// metrics registry, the phase tracer and the per-query accounting log. A nil
+// *Observer (the default everywhere) disables all three at the cost of a nil
+// check; the accessors are nil-safe so call sites never guard.
 type Observer struct {
 	Metrics *Registry
 	Trace   *Tracer
+	Events  *QueryLog
+
+	// tracePeers lists remote /v1/trace base URLs whose spans this
+	// observer's /v1/trace merges into its span forest (SetTracePeers).
+	tracePeers []string
 }
 
-// NewObserver returns an enabled observer with a fresh registry and a tracer
-// of the given span capacity (<= 0 → DefaultTraceCapacity).
+// NewObserver returns an enabled observer with a fresh registry, a tracer
+// of the given span capacity (<= 0 → DefaultTraceCapacity), and a default
+// flight recorder (no JSON log writer until one is configured).
 func NewObserver(traceCapacity int) *Observer {
-	return &Observer{Metrics: New(), Trace: NewTracer(traceCapacity)}
+	return &Observer{Metrics: New(), Trace: NewTracer(traceCapacity), Events: NewQueryLog(nil, 0)}
 }
 
 // Registry returns the metrics registry (nil on a nil observer).
@@ -38,6 +48,25 @@ func (o *Observer) Tracer() *Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// Log returns the per-query accounting log (nil on a nil observer).
+func (o *Observer) Log() *QueryLog {
+	if o == nil {
+		return nil
+	}
+	return o.Events
+}
+
+// SetTracePeers configures remote /v1/trace base URLs (e.g.
+// "http://127.0.0.1:9010") whose span reports this observer's /v1/trace
+// endpoint scrapes and merges into its cross-node span forest. Set before
+// serving; not safe to mutate concurrently with scrapes.
+func (o *Observer) SetTracePeers(urls []string) {
+	if o == nil {
+		return
+	}
+	o.tracePeers = append([]string(nil), urls...)
 }
 
 // defaultObs is the process-wide observer used by components that were not
@@ -85,10 +114,36 @@ func (o *Observer) Routes(mux *http.ServeMux) {
 		if r.URL.Query().Get("reset") == "1" {
 			o.Tracer().Reset()
 		}
+		// raw=1 skips peer scraping and forest assembly — the form peers
+		// request from each other, so two nodes listing one another cannot
+		// recurse.
+		if r.URL.Query().Get("raw") != "1" {
+			for _, peer := range o.tracePeers {
+				prep, err := FetchTraceReport(r.Context(), peer)
+				if err != nil {
+					rep.PeerErrors = append(rep.PeerErrors, peer+": "+err.Error())
+					continue
+				}
+				rep.Peers = append(rep.Peers, peer)
+				rep.Spans = append(rep.Spans, prep.Spans...)
+			}
+			rep.Forest = AssembleForest(rep.Spans)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("GET /v1/slow", func(w http.ResponseWriter, r *http.Request) {
+		slow := o.Log().Slowest()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"capacity": o.Log().Cap(),
+			"count":    len(slow),
+			"slowest":  slow,
+		})
 	})
 	o.publishExpvar()
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -109,6 +164,31 @@ func (o *Observer) Handler() http.Handler {
 		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
 	})
 	return mux
+}
+
+// FetchTraceReport scrapes one peer's span report from base+"/v1/trace?raw=1"
+// (raw: local spans only, no recursive peer merge). base is the peer's
+// observability listener, e.g. "http://127.0.0.1:9010".
+func FetchTraceReport(ctx context.Context, base string) (TraceReport, error) {
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/trace?raw=1", nil)
+	if err != nil {
+		return TraceReport{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return TraceReport{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return TraceReport{}, fmt.Errorf("obs: peer trace scrape: status %d", resp.StatusCode)
+	}
+	var rep TraceReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return TraceReport{}, fmt.Errorf("obs: peer trace scrape: %w", err)
+	}
+	return rep, nil
 }
 
 // expvar.Publish panics on duplicate names and offers no unpublish, so the

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache bounds the cost of runtime.ReadMemStats under frequent
+// scrapes: all pull gauges share one snapshot refreshed at most every 250ms.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	init bool
+}
+
+func (c *memStatsCache) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.init || time.Since(c.at) > 250*time.Millisecond {
+		runtime.ReadMemStats(&c.ms)
+		c.at = time.Now()
+		c.init = true
+	}
+	return c.ms
+}
+
+// RegisterRuntimeMetrics installs Go runtime pull gauges on reg — scheduler
+// load, heap pressure and GC pause totals — so a soak can watch a process
+// degrade without attaching a profiler:
+//
+//	vfps_go_goroutines             live goroutines
+//	vfps_go_heap_alloc_bytes       bytes of allocated heap objects
+//	vfps_go_heap_objects           live heap objects
+//	vfps_go_sys_bytes              total bytes obtained from the OS
+//	vfps_go_gc_pause_seconds_total cumulative stop-the-world pause time
+//	vfps_go_gc_cycles_total        completed GC cycles
+//
+// A nil registry is a no-op; registering twice replaces the pull functions.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	cache := &memStatsCache{}
+	reg.Gauge("vfps_go_goroutines", "Number of live goroutines.").
+		Func(func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.Gauge("vfps_go_heap_alloc_bytes", "Bytes of allocated heap objects.").
+		Func(func() float64 { return float64(cache.read().HeapAlloc) })
+	reg.Gauge("vfps_go_heap_objects", "Number of live heap objects.").
+		Func(func() float64 { return float64(cache.read().HeapObjects) })
+	reg.Gauge("vfps_go_sys_bytes", "Total bytes of memory obtained from the OS.").
+		Func(func() float64 { return float64(cache.read().Sys) })
+	reg.Gauge("vfps_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time in seconds.").
+		Func(func() float64 { return float64(cache.read().PauseTotalNs) / 1e9 })
+	reg.Gauge("vfps_go_gc_cycles_total", "Completed GC cycles.").
+		Func(func() float64 { return float64(cache.read().NumGC) })
+}

@@ -2,6 +2,9 @@ package obs
 
 import (
 	"context"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
 	"sort"
 	"strconv"
 	"sync"
@@ -15,7 +18,7 @@ import (
 // A nil *Tracer is a valid disabled tracer: Start returns a nil span and the
 // instrumented path pays one nil check.
 type Tracer struct {
-	ids atomic.Uint64
+	node atomic.Pointer[string]
 
 	mu      sync.Mutex
 	cap     int
@@ -36,12 +39,90 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{cap: capacity, buf: make([]SpanData, 0, capacity)}
 }
 
+// SetNode names the process this tracer runs in. The name is stamped on
+// every span started afterwards, so spans merged across processes stay
+// attributable (the span forest groups by it).
+func (t *Tracer) SetNode(name string) {
+	if t == nil {
+		return
+	}
+	t.node.Store(&name)
+}
+
+// Node returns the configured process name ("" when unset).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.node.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// TraceID is the 128-bit identity a whole distributed operation shares. It
+// renders as 32 hex digits in JSON.
+type TraceID [16]byte
+
+// IsZero reports whether the trace ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// MarshalText implements encoding.TextMarshaler (hex).
+func (t TraceID) MarshalText() ([]byte, error) {
+	b := make([]byte, 32)
+	hex.Encode(b, t[:])
+	return b, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (t *TraceID) UnmarshalText(b []byte) error {
+	if len(b) == 0 {
+		*t = TraceID{}
+		return nil
+	}
+	if len(b) != 32 {
+		return fmt.Errorf("obs: trace id %q is not 32 hex digits", b)
+	}
+	_, err := hex.Decode(t[:], b)
+	return err
+}
+
+// NewTraceID returns a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		hi, lo := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(hi >> (56 - 8*i))
+			id[8+i] = byte(lo >> (56 - 8*i))
+		}
+	}
+	return id
+}
+
+// newSpanID returns a random non-zero span ID. IDs are drawn from 53 bits so
+// they survive JSON consumers that read numbers as float64 (jq, browsers);
+// the wire field still carries the full 64-bit value.
+func newSpanID() uint64 {
+	for {
+		if id := rand.Uint64() & ((1 << 53) - 1); id != 0 {
+			return id
+		}
+	}
+}
+
 // SpanData is one completed span as it appears in a trace report.
 type SpanData struct {
-	ID     uint64    `json:"id"`
-	Parent uint64    `json:"parent,omitempty"`
-	Name   string    `json:"name"`
-	Start  time.Time `json:"start"`
+	Trace  TraceID `json:"trace,omitempty"`
+	ID     uint64  `json:"id"`
+	Parent uint64  `json:"parent,omitempty"`
+	// Node names the process the span ran in (Tracer.SetNode).
+	Node  string    `json:"node,omitempty"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
 	// DurationNs is End-Start in nanoseconds.
 	DurationNs int64             `json:"durationNs"`
 	Labels     map[string]string `json:"labels,omitempty"`
@@ -58,8 +139,12 @@ type Span struct {
 	labels map[string]string
 }
 
-// Start begins a span. If ctx carries a span (from an enclosing Start), the
-// new span is linked as its child; the returned context carries the new span
+// Start begins a span. Parent resolution, in order: a local span carried by
+// ctx (from an enclosing Start) links the new span as its child and shares
+// its trace; a remote parent (ContextWithRemoteParent, extracted from the
+// wire) links it under the caller's span in the caller's trace; a bare trace
+// scope (ContextWithNewTrace) groups it as a root of that trace; otherwise
+// the span roots a fresh trace. The returned context carries the new span
 // for deeper nesting. A nil tracer returns (ctx, nil) without touching ctx,
 // so disabled tracing allocates nothing.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
@@ -67,13 +152,31 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 		return ctx, nil
 	}
 	s := &Span{t: t}
-	s.data.ID = t.ids.Add(1)
+	s.data.ID = newSpanID()
 	s.data.Name = name
+	s.data.Node = t.Node()
 	s.data.Start = time.Now()
 	if parent := SpanFromContext(ctx); parent != nil {
 		s.data.Parent = parent.data.ID
+		s.data.Trace = parent.data.Trace
+	} else if rp, ok := RemoteParentFromContext(ctx); ok {
+		s.data.Parent = rp.Span
+		s.data.Trace = rp.Trace
+	} else if tid, ok := traceScopeFromContext(ctx); ok {
+		s.data.Trace = tid
+	} else {
+		s.data.Trace = NewTraceID()
 	}
 	return ContextWithSpan(ctx, s), s
+}
+
+// Context returns the span's identity for wire injection (false on a nil
+// span).
+func (s *Span) Context() (SpanContext, bool) {
+	if s == nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: s.data.Trace, Span: s.data.ID}, true
 }
 
 // SetLabel attaches a key/value pair to the span.
@@ -128,8 +231,24 @@ func (t *Tracer) record(d SpanData) {
 	t.mu.Unlock()
 }
 
+// SpanContext is the cross-process identity of a span: enough to parent a
+// remote child under it.
+type SpanContext struct {
+	Trace TraceID
+	Span  uint64
+}
+
 // ctxKey carries the active span through a context chain.
 type ctxKey struct{}
+
+// remoteKey carries a remote parent extracted from an inbound request.
+type remoteKey struct{}
+
+// scopeKey carries a trace ID that groups sibling root spans.
+type scopeKey struct{}
+
+// queryKey carries the query/tenant identifier of the operation in flight.
+type queryKey struct{}
 
 // ContextWithSpan returns ctx carrying s as the active span.
 func ContextWithSpan(ctx context.Context, s *Span) context.Context {
@@ -140,6 +259,68 @@ func ContextWithSpan(ctx context.Context, s *Span) context.Context {
 func SpanFromContext(ctx context.Context) *Span {
 	s, _ := ctx.Value(ctxKey{}).(*Span)
 	return s
+}
+
+// ContextWithRemoteParent returns ctx carrying the caller's span identity as
+// extracted from an inbound wire request: the next Start links its span under
+// the remote caller.
+func ContextWithRemoteParent(ctx context.Context, sc SpanContext) context.Context {
+	if sc.Trace.IsZero() || sc.Span == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// RemoteParentFromContext returns the remote parent installed by
+// ContextWithRemoteParent, if any.
+func RemoteParentFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(remoteKey{}).(SpanContext)
+	return sc, ok
+}
+
+// ContextWithNewTrace mints a fresh trace ID and scopes ctx to it: root spans
+// started beneath share the trace without gaining a parent link, so one
+// logical operation made of sequential root phases (a selection) reads as a
+// single trace. Child spans still inherit from their parent span as usual.
+func ContextWithNewTrace(ctx context.Context) (context.Context, TraceID) {
+	tid := NewTraceID()
+	return context.WithValue(ctx, scopeKey{}, tid), tid
+}
+
+func traceScopeFromContext(ctx context.Context) (TraceID, bool) {
+	tid, ok := ctx.Value(scopeKey{}).(TraceID)
+	return tid, ok
+}
+
+// SpanContextOf resolves the identity to inject into an outbound request: the
+// active local span when there is one, else a remote parent being forwarded
+// verbatim (an intermediary without its own tracer still propagates the
+// caller's trace downstream).
+func SpanContextOf(ctx context.Context) (SpanContext, bool) {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.Context()
+	}
+	return RemoteParentFromContext(ctx)
+}
+
+// ContextWithQueryID returns ctx carrying the query/tenant identifier.
+func ContextWithQueryID(ctx context.Context, qid string) context.Context {
+	if qid == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, queryKey{}, qid)
+}
+
+// QueryIDFromContext returns the query identifier in flight, or "".
+func QueryIDFromContext(ctx context.Context) string {
+	qid, _ := ctx.Value(queryKey{}).(string)
+	return qid
+}
+
+// NewQueryID returns a fresh random query identifier with the given prefix,
+// e.g. "q-3fa97c12".
+func NewQueryID(prefix string) string {
+	return fmt.Sprintf("%s-%08x", prefix, uint32(rand.Uint64()))
 }
 
 // PhaseSummary aggregates the root spans (those without a parent) sharing a
@@ -153,12 +334,20 @@ type PhaseSummary struct {
 	TotalSecs float64 `json:"totalSecs"`
 }
 
-// TraceReport is the JSON dump of the tracer's ring buffer.
+// TraceReport is the JSON dump of the tracer's ring buffer. Forest, Peers and
+// PeerErrors are filled only by the HTTP layer when it merges remote reports.
 type TraceReport struct {
 	Capacity int            `json:"capacity"`
 	Dropped  uint64         `json:"dropped"` // spans evicted from the ring
 	Phases   []PhaseSummary `json:"phases"`  // root spans aggregated by name
 	Spans    []SpanData     `json:"spans"`   // all retained spans, by start time
+	// Forest groups the spans (local plus any merged peers') into per-trace
+	// trees; see AssembleForest.
+	Forest []TraceTree `json:"forest,omitempty"`
+	// Peers lists the remote /v1/trace endpoints merged into this report, and
+	// PeerErrors any that could not be scraped.
+	Peers      []string `json:"peers,omitempty"`
+	PeerErrors []string `json:"peerErrors,omitempty"`
 }
 
 // Report snapshots the retained spans sorted by start time, with a per-name
@@ -199,6 +388,100 @@ func (t *Tracer) Report() TraceReport {
 		rep.Phases = append(rep.Phases, *p)
 	}
 	return rep
+}
+
+// SummarizeSpans aggregates every span — children included — by name, in
+// first-appearance order. Where Report().Phases covers only root spans,
+// this is the per-operation breakdown (vfl.query, agg.fagin, rpc, ...)
+// needed when work runs under parallelism and nothing but the phase roots
+// would otherwise be summarized.
+func SummarizeSpans(spans []SpanData) []PhaseSummary {
+	byName := map[string]*PhaseSummary{}
+	var names []string
+	for _, s := range spans {
+		p := byName[s.Name]
+		if p == nil {
+			p = &PhaseSummary{Name: s.Name}
+			byName[s.Name] = p
+			names = append(names, s.Name)
+		}
+		p.Count++
+		p.TotalNs += s.DurationNs
+	}
+	out := make([]PhaseSummary, 0, len(names))
+	for _, n := range names {
+		p := byName[n]
+		p.TotalSecs = float64(p.TotalNs) / 1e9
+		out = append(out, *p)
+	}
+	return out
+}
+
+// TraceTree is one trace's spans assembled across processes.
+type TraceTree struct {
+	Trace TraceID `json:"trace"`
+	// Nodes lists the distinct process names contributing spans, sorted.
+	Nodes []string `json:"nodes"`
+	// Roots counts spans with no parent link (the trace's phase roots).
+	Roots int `json:"roots"`
+	// Orphans counts spans whose parent span is not in the set — evicted
+	// from a ring, or owned by a process that was not scraped.
+	Orphans int        `json:"orphans"`
+	Spans   []SpanData `json:"spans"`
+}
+
+// AssembleForest groups spans by trace ID into per-trace trees, the
+// cross-node view /v1/trace serves: spans from different processes that
+// carried the same trace context merge into one tree, remote children sitting
+// under their caller's span ID. Spans without a trace ID (from a pre-upgrade
+// peer) are dropped. Trees are ordered by their earliest span.
+func AssembleForest(spans []SpanData) []TraceTree {
+	byTrace := map[TraceID][]SpanData{}
+	for _, s := range spans {
+		if s.Trace.IsZero() {
+			continue
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	forest := make([]TraceTree, 0, len(byTrace))
+	for tid, ss := range byTrace {
+		sort.Slice(ss, func(i, j int) bool {
+			if !ss[i].Start.Equal(ss[j].Start) {
+				return ss[i].Start.Before(ss[j].Start)
+			}
+			return ss[i].ID < ss[j].ID
+		})
+		tree := TraceTree{Trace: tid, Spans: ss}
+		ids := make(map[uint64]bool, len(ss))
+		nodes := map[string]bool{}
+		for _, s := range ss {
+			ids[s.ID] = true
+			if s.Node != "" {
+				nodes[s.Node] = true
+			}
+		}
+		for _, s := range ss {
+			switch {
+			case s.Parent == 0:
+				tree.Roots++
+			case !ids[s.Parent]:
+				tree.Orphans++
+			}
+		}
+		for n := range nodes {
+			tree.Nodes = append(tree.Nodes, n)
+		}
+		sort.Strings(tree.Nodes)
+		forest = append(forest, tree)
+	}
+	sort.Slice(forest, func(i, j int) bool {
+		a, b := forest[i].Spans[0], forest[j].Spans[0]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		return forest[i].Trace.String() < forest[j].Trace.String()
+	})
+	return forest
 }
 
 // Reset discards all retained spans.

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestTraceIDText(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned zero")
+	}
+	txt, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(txt) != id.String() || len(txt) != 32 {
+		t.Fatalf("text form %q vs String %q", txt, id.String())
+	}
+	var back TraceID
+	if err := back.UnmarshalText(txt); err != nil || back != id {
+		t.Fatalf("round trip: %v, %v", back, err)
+	}
+	if err := back.UnmarshalText([]byte("xyz")); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+func TestSpanParentResolution(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetNode("n1")
+	ctx := context.Background()
+
+	// Remote parent: the span joins the caller's trace under the caller's
+	// span ID.
+	remote := SpanContext{Trace: NewTraceID(), Span: 42}
+	rctx := ContextWithRemoteParent(ctx, remote)
+	_, sp := tr.Start(rctx, "served")
+	sp.End()
+
+	// Trace scope: sequential roots share the trace without parent links.
+	sctx, tid := ContextWithNewTrace(ctx)
+	_, r1 := tr.Start(sctx, "phase1")
+	r1.End()
+	_, r2 := tr.Start(sctx, "phase2")
+	r2.End()
+
+	rep := tr.Report()
+	byName := map[string]SpanData{}
+	for _, s := range rep.Spans {
+		byName[s.Name] = s
+	}
+	if s := byName["served"]; s.Trace != remote.Trace || s.Parent != remote.Span {
+		t.Fatalf("remote-parented span = %+v, want trace %s parent 42", s, remote.Trace)
+	}
+	if s := byName["phase1"]; s.Trace != tid || s.Parent != 0 {
+		t.Fatalf("scoped root = %+v, want trace %s no parent", s, tid)
+	}
+	if byName["phase2"].Trace != tid {
+		t.Fatal("sibling roots must share the scoped trace")
+	}
+	if byName["served"].Node != "n1" {
+		t.Fatalf("span node = %q, want n1", byName["served"].Node)
+	}
+	// Report().Phases counts parentless spans only: the remote-parented span
+	// must stay out (its parent lives on another node).
+	for _, p := range rep.Phases {
+		if p.Name == "served" {
+			t.Fatal("remote-parented span leaked into root phases")
+		}
+	}
+}
+
+func TestSpanContextOf(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := context.Background()
+	if _, ok := SpanContextOf(ctx); ok {
+		t.Fatal("bare context has no span context")
+	}
+	remote := SpanContext{Trace: NewTraceID(), Span: 7}
+	rctx := ContextWithRemoteParent(ctx, remote)
+	if sc, ok := SpanContextOf(rctx); !ok || sc != remote {
+		t.Fatalf("forwarded remote parent = %+v, %v", sc, ok)
+	}
+	sctx, sp := tr.Start(rctx, "local")
+	if sc, ok := SpanContextOf(sctx); !ok || sc.Span == remote.Span || sc.Trace != remote.Trace {
+		t.Fatalf("local span context = %+v, %v", sc, ok)
+	}
+	sp.End()
+}
+
+func TestAssembleForest(t *testing.T) {
+	tr1 := NewTracer(16) // "leader" process
+	tr1.SetNode("leader")
+	tr2 := NewTracer(16) // "party" process
+	tr2.SetNode("party/0")
+
+	sctx, tid := ContextWithNewTrace(context.Background())
+	qctx, q := tr1.Start(sctx, "vfl.query")
+	qc, _ := q.Context()
+	// Simulate the wire: the party extracts the leader's span context and
+	// parents its serve span under it.
+	pctx := ContextWithRemoteParent(context.Background(), qc)
+	_, serve := tr2.Start(pctx, "rpc.serve")
+	serve.End()
+	_, child := tr1.Start(qctx, "vfl.decrypt")
+	child.End()
+	q.End()
+	// An unrelated trace on the party.
+	_, other := tr2.Start(context.Background(), "other")
+	other.End()
+
+	all := append(tr1.Report().Spans, tr2.Report().Spans...)
+	forest := AssembleForest(all)
+	if len(forest) != 2 {
+		t.Fatalf("forest has %d trees, want 2", len(forest))
+	}
+	var tree *TraceTree
+	for i := range forest {
+		if forest[i].Trace == tid {
+			tree = &forest[i]
+		}
+	}
+	if tree == nil {
+		t.Fatalf("trace %s missing from forest", tid)
+	}
+	if len(tree.Spans) != 3 || tree.Roots != 1 || tree.Orphans != 0 {
+		t.Fatalf("tree = %d spans, %d roots, %d orphans; want 3/1/0", len(tree.Spans), tree.Roots, tree.Orphans)
+	}
+	if len(tree.Nodes) != 2 || tree.Nodes[0] != "leader" || tree.Nodes[1] != "party/0" {
+		t.Fatalf("tree nodes = %v", tree.Nodes)
+	}
+	for _, s := range tree.Spans {
+		if s.Name == "rpc.serve" && s.Parent != qc.Span {
+			t.Fatalf("serve span parent = %d, want %d", s.Parent, qc.Span)
+		}
+	}
+}
+
+// TestTracerEvictionConcurrentWriters overflows a small ring from many
+// goroutines (run with -race): every write must land, the ring must stay
+// bounded, and len+dropped must equal the write count.
+func TestTracerEvictionConcurrentWriters(t *testing.T) {
+	const capacity, workers, per = 32, 8, 250
+	tr := NewTracer(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ctx, sp := tr.Start(context.Background(), "op")
+				_, inner := tr.Start(ctx, "inner")
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Report()
+		}
+	}()
+	wg.Wait()
+	<-done
+	rep := tr.Report()
+	total := workers * per * 2
+	if len(rep.Spans) != capacity {
+		t.Fatalf("ring holds %d spans, want %d", len(rep.Spans), capacity)
+	}
+	if got := int(rep.Dropped) + len(rep.Spans); got != total {
+		t.Fatalf("dropped+retained = %d, want %d", got, total)
+	}
+	for _, s := range rep.Spans {
+		if s.ID == 0 || s.Trace.IsZero() {
+			t.Fatalf("retained span missing identity: %+v", s)
+		}
+		if s.ID >= 1<<53 {
+			t.Fatalf("span ID %d exceeds the float64-safe range", s.ID)
+		}
+	}
+}

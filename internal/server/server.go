@@ -26,6 +26,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -48,13 +49,36 @@ type Server struct {
 	reqs   *obs.CounterVec
 }
 
+// Options configures the server's observability surface.
+type Options struct {
+	// LogWriter, when set, receives the structured per-query JSON event log
+	// (one slog line per query/selection).
+	LogWriter io.Writer
+	// SlowRing is the flight-recorder capacity for /v1/slow (<= 0 →
+	// obs.DefaultSlowRing).
+	SlowRing int
+	// TracePeers lists remote observability base URLs (vfpsnode -obs-addr
+	// listeners) whose spans /v1/trace merges into the cross-node span
+	// forest.
+	TracePeers []string
+}
+
 // New builds the server with its routes and a live observer: every consortium
 // it creates reports metrics and spans through the /metrics, /v1/trace and
 // /debug endpoints.
-func New() *Server {
+func New() *Server { return NewWithOptions(Options{}) }
+
+// NewWithOptions is New with the observability surface configured.
+func NewWithOptions(opts Options) *Server {
 	o := obs.NewObserver(obs.DefaultTraceCapacity)
+	o.Trace.SetNode("serve")
+	if opts.LogWriter != nil || opts.SlowRing > 0 {
+		o.Events = obs.NewQueryLog(opts.LogWriter, opts.SlowRing)
+	}
+	o.SetTracePeers(opts.TracePeers)
 	s := &Server{pool: map[string]*vfps.Consortium{}, mux: http.NewServeMux(), obs: o}
 	reg := o.Registry()
+	obs.RegisterRuntimeMetrics(reg)
 	// Pre-declare the protocol metric families so scrapers see them before
 	// the first consortium runs.
 	transport.DeclareMetrics(reg)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vfps/internal/obs"
 	"vfps/internal/wire"
 )
 
@@ -127,6 +128,20 @@ func (cc *CodecCaller) Invoke(ctx context.Context, peer, method string, req, res
 	}
 	if err != nil {
 		return WireStats{}, err
+	}
+	// Inject the caller's trace context as a reserved trailing field of the
+	// binary envelope, so the server parents its spans under the caller's
+	// across the process boundary. Gob payloads (version 0) omit it — the gob
+	// fallback is the legacy path — and v1 peers that predate the field skip
+	// the unknown tag. The extra bytes are framing, never payload.
+	if codec.Version() >= 1 {
+		if sc, ok := obs.SpanContextOf(ctx); ok {
+			raw = wire.AppendTraceContext(raw, wire.TraceContext{
+				Trace: [16]byte(sc.Trace),
+				Span:  sc.Span,
+				Query: obs.QueryIDFromContext(ctx),
+			})
+		}
 	}
 	st := WireStats{Codec: codec.Name(), Payload: payload, Framing: int64(len(raw)) - payload}
 	out, err := cc.caller.Call(ctx, peer, method, raw)

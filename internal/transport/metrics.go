@@ -2,9 +2,12 @@ package transport
 
 import (
 	"context"
+	"errors"
+	"net"
 	"time"
 
 	"vfps/internal/obs"
+	"vfps/internal/wire"
 )
 
 // Metric families recorded by the transports. The same families are used by
@@ -44,7 +47,7 @@ type instruments struct {
 
 func clientFamilies(reg *obs.Registry) (calls, errors *obs.CounterVec, latency, reqB, respB *obs.HistogramVec) {
 	calls = reg.Counter(metricCalls, "RPC calls issued, by transport, peer and method.", "transport", "peer", "method")
-	errors = reg.Counter(metricErrors, "RPC calls that returned an error.", "transport", "peer", "method")
+	errors = reg.Counter(metricErrors, "RPC calls that returned an error, by kind (timeout, canceled, remote, decode, route, injected, network, other). Sum over kind for the pre-label total.", "transport", "peer", "method", "kind")
 	latency = reg.Histogram(metricLatency, "End-to-end RPC call latency in seconds.", obs.LatencyBuckets, "transport", "peer", "method")
 	reqB = reg.Histogram(metricReqBytes, "RPC request payload size in bytes.", obs.SizeBuckets, "transport", "peer", "method")
 	respB = reg.Histogram(metricRespBytes, "RPC response payload size in bytes.", obs.SizeBuckets, "transport", "peer", "method")
@@ -79,10 +82,44 @@ func (ins *instruments) record(peer, method string, reqLen, respLen int, start t
 	ins.latency.With(ins.kind, peer, method).ObserveSince(start)
 	ins.reqB.With(ins.kind, peer, method).Observe(float64(reqLen))
 	if err != nil {
-		ins.errors.With(ins.kind, peer, method).Inc()
+		ins.errors.With(ins.kind, peer, method, errKind(err)).Inc()
 		return
 	}
 	ins.respB.With(ins.kind, peer, method).Observe(float64(respLen))
+}
+
+// errKind classifies a call error for the error counter's kind label, so a
+// soak failure is attributable at a glance: a timeout wall is not a decode
+// bug is not a crashing remote handler. The unlabeled pre-kind total is the
+// sum across kinds — dashboards aggregating over all labels see the same
+// series as before.
+func errKind(err error) string {
+	var remote *RemoteError
+	var uv *wire.UnsupportedVersionError
+	var nerr net.Error
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.As(err, &remote):
+		return "remote"
+	case errors.Is(err, wire.ErrCorrupt), errors.Is(err, wire.ErrTruncated),
+		errors.Is(err, wire.ErrOverflow), errors.Is(err, wire.ErrWireType),
+		errors.As(err, &uv):
+		return "decode"
+	case errors.Is(err, ErrUnknownPeer), errors.Is(err, ErrUnknownMethod):
+		return "route"
+	case errors.Is(err, ErrInjectedFailure):
+		return "injected"
+	case errors.As(err, &nerr):
+		if nerr.Timeout() {
+			return "timeout"
+		}
+		return "network"
+	default:
+		return "other"
+	}
 }
 
 // span opens an "rpc" span as a child of any span already in ctx.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vfps/internal/obs"
+	"vfps/internal/wire"
 )
 
 // Wire format, both directions, all integers big-endian:
@@ -37,15 +38,20 @@ type TCPServer struct {
 	served    *obs.CounterVec
 	serveSecs *obs.HistogramVec
 	obsOn     atomic.Bool
+	tracer    atomic.Pointer[obs.Tracer]
 }
 
-// SetObserver installs per-method served-request counters and handler
-// latency histograms on the server side.
+// SetObserver installs per-method served-request counters, handler latency
+// histograms and (when the observer traces) an "rpc.serve" span per request
+// on the server side.
 func (s *TCPServer) SetObserver(o *obs.Observer) {
 	s.mu.Lock()
 	s.served, s.serveSecs = serverFamilies(o.Registry())
 	s.mu.Unlock()
 	s.obsOn.Store(o.Registry() != nil)
+	if t := o.Tracer(); t != nil {
+		s.tracer.Store(t)
+	}
 }
 
 // ListenTCP starts serving handler on addr (e.g. "127.0.0.1:0") and returns
@@ -98,7 +104,19 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return // EOF or protocol error: drop the connection
 		}
 		start := time.Now()
-		resp, herr := s.handler(context.Background(), method, body)
+		// Extract the caller's trace context from the envelope so handler
+		// spans (and any further outbound calls) link under the caller's
+		// span; requests without the field — gob, legacy peers — serve with
+		// a bare context exactly as before.
+		ctx := context.Background()
+		if tc, ok := wire.ExtractTraceContext(body); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, obs.SpanContext{Trace: obs.TraceID(tc.Trace), Span: tc.Span})
+			ctx = obs.ContextWithQueryID(ctx, tc.Query)
+		}
+		ctx, ssp := s.tracer.Load().Start(ctx, "rpc.serve")
+		ssp.SetLabel("method", method)
+		resp, herr := s.handler(ctx, method, body)
+		ssp.End()
 		if s.obsOn.Load() {
 			s.mu.Lock()
 			served, secs := s.served, s.serveSecs

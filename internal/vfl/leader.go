@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vfps/internal/costmodel"
 	"vfps/internal/he"
@@ -48,7 +49,8 @@ type Leader struct {
 	scheme      he.Scheme // full scheme (with private key)
 	batch       int       // Fagin mini-batch size b
 	counts      costmodel.Counts
-	parallelism int // 0 → par.Degree(); 1 → fully serial party fan-out
+	parallelism int    // 0 → par.Degree(); 1 → fully serial party fan-out
+	instance    string // observer instance label; the query log's tenant
 }
 
 // NewLeader wires the leader to the cluster. batch is the Fagin mini-batch
@@ -96,11 +98,17 @@ func (l *Leader) call(ctx context.Context, node, method string, req, resp wire.M
 func (l *Leader) Counts() costmodel.Raw { return l.counts.Snapshot() }
 
 // SetObserver installs metrics and tracing on the leader: per-query protocol
-// spans and cost-model gauges labelled {instance, role="leader"}.
+// spans, structured query-log events and cost-model gauges labelled
+// {instance, role="leader"}. The instance doubles as the query log's tenant.
 func (l *Leader) SetObserver(o *obs.Observer, instance string) {
 	l.store(o)
+	l.instance = instance
 	l.counts.Register(o.Registry(), instance, "leader")
 }
+
+// Instance returns the observer instance label ("" when observability is
+// off); selection-level query-log events reuse it as the tenant.
+func (l *Leader) Instance() string { return l.instance }
 
 // SetParallelism pins the leader's party fan-out concurrency: 1 restores the
 // serial loops, <= 0 restores the default degree. Vector decryption
@@ -129,19 +137,64 @@ type QueryResult struct {
 }
 
 // RunQuery executes the vertical KNN oracle for one query sample.
-func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*QueryResult, error) {
+func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (res *QueryResult, err error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("vfl: k=%d must be positive", k)
+	}
+	o := l.Observer()
+	qid := obs.QueryIDFromContext(ctx)
+	if o != nil && qid == "" {
+		// Mint a query ID at the outermost point it is missing, so every span
+		// and every downstream RPC of this query carries the same handle.
+		qid = obs.NewQueryID("q")
+		ctx = obs.ContextWithQueryID(ctx, qid)
 	}
 	ctx, qsp := l.tracer().Start(ctx, SpanQuery)
 	qsp.SetLabel("variant", string(variant))
 	qsp.SetLabelInt("k", int64(k))
+	if qid != "" {
+		qsp.SetLabel("qid", qid)
+	}
 	defer qsp.End()
+	// Per-query accounting: phase latencies accumulate into one structured
+	// query-log event emitted on every exit path. All of it is gated on the
+	// observer so the bare protocol path stays allocation-free.
+	var phases []obs.PhaseSecs
+	phase := func(name string, since time.Time) {
+		if o != nil {
+			phases = append(phases, obs.PhaseSecs{Name: name, Seconds: time.Since(since).Seconds()})
+		}
+	}
+	if o != nil {
+		qstart := time.Now()
+		defer func() {
+			ev := obs.QueryEvent{
+				Kind:    "query",
+				ID:      qid,
+				Tenant:  l.instance,
+				Seconds: time.Since(qstart).Seconds(),
+				Phases:  phases,
+				Attrs:   map[string]any{"query": query, "k": k, "variant": string(variant)},
+			}
+			if sc, ok := qsp.Context(); ok {
+				ev.Trace = sc.Trace.String()
+			}
+			if res != nil {
+				ev.Attrs["candidates"] = res.Fagin.Candidates
+				ev.Attrs["rounds"] = res.Fagin.Rounds
+			}
+			if err != nil {
+				ev.Attrs["error"] = err.Error()
+			}
+			o.Log().Record(ev)
+		}()
+	}
 	var pids []int
 	var ciphers [][]byte
 	var packFactor int
 	var dist []float64
 	var stats FaginStats
+	collectStart := time.Now()
 	switch variant {
 	case VariantThreshold:
 		var err error
@@ -168,6 +221,7 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 	default:
 		return nil, fmt.Errorf("vfl: unknown variant %q", variant)
 	}
+	phase("collect", collectStart)
 	if k > len(pids) {
 		return nil, fmt.Errorf("vfl: k=%d exceeds %d candidates", k, len(pids))
 	}
@@ -175,17 +229,19 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (*
 	// Decrypt complete distances for the candidates and take the k nearest
 	// (the Threshold variant arrives pre-decrypted).
 	if dist == nil {
+		decStart := time.Now()
 		dctx, dsp := l.tracer().Start(ctx, SpanDecrypt)
 		dsp.SetLabelInt("n", int64(len(ciphers)))
-		dist, err := l.decryptAggregates(dctx, ciphers, packFactor, len(pids))
+		dist, derr := l.decryptAggregates(dctx, ciphers, packFactor, len(pids))
 		dsp.End()
-		if err != nil {
-			return nil, fmt.Errorf("vfl: leader decrypting: %w", err)
+		phase("decrypt", decStart)
+		if derr != nil {
+			return nil, fmt.Errorf("vfl: leader decrypting: %w", derr)
 		}
 		l.counts.Add(costmodel.Raw{Decryptions: int64(len(ciphers))})
-		return l.finishQuery(ctx, query, k, pids, dist, stats)
+		return l.finishQuery(ctx, query, k, pids, dist, stats, phase)
 	}
-	return l.finishQuery(ctx, query, k, pids, dist, stats)
+	return l.finishQuery(ctx, query, k, pids, dist, stats, phase)
 }
 
 // decryptAggregates recovers count aggregate distances from the ciphertexts
@@ -213,14 +269,16 @@ func (l *Leader) decryptAggregates(ctx context.Context, ciphers [][]byte, packFa
 
 // finishQuery ranks the decrypted candidate distances and gathers the
 // parties' plaintext partial sums over the neighbour set (Step ⑦),
-// fanning the NeighborSum requests out concurrently.
-func (l *Leader) finishQuery(ctx context.Context, query, k int, pids []int, dist []float64, stats FaginStats) (*QueryResult, error) {
+// fanning the NeighborSum requests out concurrently. phase records the
+// neighbour-sum latency into the caller's query-log event.
+func (l *Leader) finishQuery(ctx context.Context, query, k int, pids []int, dist []float64, stats FaginStats, phase func(string, time.Time)) (*QueryResult, error) {
 	order := topk.KSmallest(dist, k)
 	neighbors := make([]int, k)
 	for i, idx := range order {
 		neighbors[i] = pids[idx]
 	}
 
+	sumStart := time.Now()
 	nctx, nsp := l.tracer().Start(ctx, SpanNeighborSums)
 	ctx = nctx
 	sums := make([]float64, len(l.parties))
@@ -234,6 +292,7 @@ func (l *Leader) finishQuery(ctx context.Context, query, k int, pids []int, dist
 		return nil
 	})
 	nsp.End()
+	phase("sums", sumStart)
 	if err != nil {
 		return nil, err
 	}

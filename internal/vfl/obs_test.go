@@ -156,6 +156,60 @@ func TestDisabledObservabilityIsInert(t *testing.T) {
 	}
 }
 
+// TestTracedSelectionIdentity pins the acceptance contract that tracing is
+// purely observational: a cluster with full observability (spans, query IDs
+// on the wire, query-log events) produces the bit-identical similarity
+// matrix of an identically seeded cluster with no observer at all.
+func TestTracedSelectionIdentity(t *testing.T) {
+	ctx := context.Background()
+	_, pt := testPartition(t, "Bank", 40, 3)
+	queries := []int{0, 13, 39}
+
+	plain, err := NewLocalCluster(ctx, ClusterConfig{
+		Partition: pt, Scheme: "paillier", KeyBits: 256, ShuffleSeed: 7, Batch: 8, Wire: "binary",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	o := obs.NewObserver(1024)
+	traced, err := NewLocalCluster(ctx, ClusterConfig{
+		Partition: pt, Scheme: "paillier", KeyBits: 256, ShuffleSeed: 7, Batch: 8, Wire: "binary",
+		Obs: o, Instance: "test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traced.Close()
+
+	prep, err := plain.Leader.Similarities(ctx, queries, 3, VariantFagin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trep, err := traced.Leader.SimilaritiesParallel(ctx, queries, 3, VariantFagin, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prep.W {
+		for j := range prep.W[i] {
+			if prep.W[i][j] != trep.W[i][j] {
+				t.Fatalf("W[%d][%d] differs with tracing on: %v vs %v", i, j, prep.W[i][j], trep.W[i][j])
+			}
+		}
+	}
+	// The traced run must have accounted its queries: one event per query,
+	// each carrying a minted ID, a trace and phase latencies.
+	slow := o.Log().Slowest()
+	if len(slow) != len(queries) {
+		t.Fatalf("query log retained %d events, want %d", len(slow), len(queries))
+	}
+	for _, ev := range slow {
+		if ev.Kind != "query" || ev.ID == "" || ev.Trace == "" || len(ev.Phases) == 0 {
+			t.Fatalf("incomplete query event: %+v", ev)
+		}
+	}
+}
+
 func names(spans []obs.SpanData) []string {
 	out := make([]string, len(spans))
 	for i, s := range spans {

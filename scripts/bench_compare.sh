@@ -5,9 +5,9 @@
 #   scripts/bench_compare.sh [candidate.json] [baseline.json]
 #
 # The candidate JSON's top-level key picks the gate set; a candidate with no
-# recognized top-level key (.packed / .wire / .encrypt), and any recognized
-# section missing a key the gates read, is itself a hard failure — a renamed
-# or dropped field must never silently pass. A `.packed` result (default
+# recognized top-level key (.packed / .wire / .encrypt / .soak), and any
+# recognized section missing a key the gates read, is itself a hard failure —
+# a renamed or dropped field must never silently pass. A `.packed` result (default
 # BENCH_packed.json, freshly produced by `make bench-packed`) must uphold the
 # absolute contracts of the packed pipeline regardless of machine:
 #
@@ -35,6 +35,14 @@
 #   * every end-to-end selection — windowed pools, shared PoolSet, and the
 #     mont-off arm proving both arithmetic backends select identically —
 #     matching the classic-sampling baseline exactly.
+#
+# A `.soak` result (SOAK_summary.json, from `make soak`) must carry the full
+# key set the soak gates computed — queries, qps, p50Ms, p99Ms, processes —
+# plus sanity floors (the latency/throughput gates themselves fire inside
+# scripts/soak.sh, where the raw query log lives):
+#
+#   * at least one query was driven and throughput is positive,
+#   * the distinguished trace spans at least 3 distinct processes.
 #
 # When a baseline (default: the checked-in BENCH_packed.json from git HEAD)
 # is available and distinct from the candidate, the packed end-to-end wall
@@ -146,9 +154,33 @@ if jq -e '.encrypt' "$CANDIDATE" >/dev/null 2>&1; then
   fi
 fi
 
+# --- soak summary gates ------------------------------------------------------
+if jq -e '.soak' "$CANDIDATE" >/dev/null 2>&1; then
+  recognized=1
+  # Require every key the soak harness gates on, so a renamed summary field
+  # can never turn the soak into a silent no-op.
+  soak_ok=1
+  for key in queries qps p50Ms p99Ms processes; do
+    require ".soak.${key}" "soak summary key ${key}" || soak_ok=0
+  done
+  if [ "$soak_ok" -eq 1 ]; then
+    qn=$(jq -r '.soak.queries' "$CANDIDATE")
+    qps=$(jq -r '.soak.qps' "$CANDIDATE")
+    p50=$(jq -r '.soak.p50Ms' "$CANDIDATE")
+    p99=$(jq -r '.soak.p99Ms' "$CANDIDATE")
+    procs=$(jq -r '.soak.processes' "$CANDIDATE")
+    jq -e '.soak.queries >= 1 and .soak.qps > 0' "$CANDIDATE" >/dev/null \
+      && say "soak drove $qn queries at $qps q/s (p50 ${p50}ms, p99 ${p99}ms)" \
+      || bad "soak summary shows no throughput ($qn queries at $qps q/s)"
+    jq -e '.soak.processes >= 3' "$CANDIDATE" >/dev/null \
+      && say "soak trace spans $procs distinct processes (floor 3)" \
+      || bad "soak trace spans only $procs distinct processes, want >= 3"
+  fi
+fi
+
 if ! jq -e '.packed' "$CANDIDATE" >/dev/null 2>&1; then
   if [ "$recognized" -eq 0 ]; then
-    bad "candidate $CANDIDATE has no recognized top-level section (.packed / .wire / .encrypt)"
+    bad "candidate $CANDIDATE has no recognized top-level section (.packed / .wire / .encrypt / .soak)"
   fi
   if [ "$fail" -ne 0 ]; then
     echo "bench_compare: REGRESSION DETECTED" >&2

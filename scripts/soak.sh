@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# soak.sh — multi-process soak with tail-latency gates.
+#
+# Spins up a real TCP deployment (key server, SOAK_PARTIES participants, the
+# aggregation server) plus a vfpsserve collector, runs SOAK_ROUNDS rounds of
+# concurrent KNN queries through the leader, and then asserts:
+#
+#   * throughput:   queries/second >= SOAK_MIN_QPS,
+#   * tail latency: per-query p99 <= SOAK_P99_MS (p50 reported alongside),
+#   * tracing:      the collector's /v1/trace span forest contains a single
+#                   trace whose spans come from >= 3 distinct processes with
+#                   every parent link resolved (0 orphans),
+#   * accounting:   the leader's -log-json query log carries one structured
+#                   event per query; vfpsserve's /v1/slow flight recorder is
+#                   non-empty after an HTTP-driven selection,
+#   * metrics:      the Go runtime families and the kind-labelled transport
+#                   error counter are exposed.
+#
+# The summary is written as SOAK_OUT (default SOAK_summary.json) under a
+# top-level "soak" key and handed to scripts/bench_compare.sh, which requires
+# the summary keys so a renamed field can never silently drop a gate.
+#
+# Environment knobs (defaults in parentheses):
+#   SOAK_ROUNDS (2)  SOAK_QUERIES (8)  SOAK_QWORKERS (2)  SOAK_PARTIES (3)
+#   SOAK_P99_MS (10000)  SOAK_MIN_QPS (0.2)  SOAK_PORT_BASE (19300)
+#   SOAK_OUT (SOAK_summary.json)
+set -euo pipefail
+
+ROUNDS="${SOAK_ROUNDS:-2}"
+QUERIES="${SOAK_QUERIES:-8}"
+QWORKERS="${SOAK_QWORKERS:-2}"
+PARTIES="${SOAK_PARTIES:-3}"
+P99_MS="${SOAK_P99_MS:-10000}"
+MIN_QPS="${SOAK_MIN_QPS:-0.2}"
+BASE="${SOAK_PORT_BASE:-19300}"
+OUT="${SOAK_OUT:-SOAK_summary.json}"
+ROWS=120
+K=4
+
+command -v jq >/dev/null || { echo "soak: jq not found" >&2; exit 1; }
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    for pid in "${PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+say() { echo "soak: $*"; }
+die() { echo "soak: FAIL: $*" >&2; exit 1; }
+
+wait_tcp() { # host:port
+    local hp=$1 i
+    for i in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/${hp%:*}/${hp#*:}") 2>/dev/null; then exec 3>&- || true; return 0; fi
+        sleep 0.1
+    done
+    return 1
+}
+
+say "building vfpsnode and vfpsserve"
+go build -o "${WORK}/vfpsnode" ./cmd/vfpsnode
+go build -o "${WORK}/vfpsserve" ./cmd/vfpsserve
+
+KEY_TCP="127.0.0.1:$((BASE + 1))";  KEY_OBS="127.0.0.1:$((BASE + 31))"
+AGG_TCP="127.0.0.1:$((BASE + 2))";  AGG_OBS="127.0.0.1:$((BASE + 32))"
+LEADER_OBS="127.0.0.1:$((BASE + 33))"
+SERVE_ADDR="127.0.0.1:$((BASE + 20))"
+
+DIRECTORY="keyserver=${KEY_TCP},aggserver=${AGG_TCP}"
+PEERS="http://${KEY_OBS},http://${AGG_OBS},http://${LEADER_OBS}"
+PARTY_OBS=()
+for i in $(seq 0 $((PARTIES - 1))); do
+    tcp="127.0.0.1:$((BASE + 10 + i))"; obs="127.0.0.1:$((BASE + 40 + i))"
+    DIRECTORY="${DIRECTORY},party/${i}=${tcp}"
+    PEERS="${PEERS},http://${obs}"
+    PARTY_OBS+=("${obs}")
+done
+
+COMMON=(-scheme paillier -keybits 256 -wire binary -dataset Bank -rows "${ROWS}" \
+        -parties "${PARTIES}" -directory "${DIRECTORY}")
+
+start_node() { # logname, args...
+    local log="${WORK}/$1.log"; shift
+    "${WORK}/vfpsnode" "$@" >"${log}" 2>&1 &
+    PIDS+=($!)
+}
+
+say "starting key server, ${PARTIES} participants, aggregation server"
+start_node keyserver -role keyserver -addr "${KEY_TCP}" -obs-addr "${KEY_OBS}" "${COMMON[@]}"
+wait_tcp "${KEY_TCP}" || die "key server did not come up"
+for i in $(seq 0 $((PARTIES - 1))); do
+    start_node "party${i}" -role party -index "${i}" -addr "127.0.0.1:$((BASE + 10 + i))" \
+        -obs-addr "127.0.0.1:$((BASE + 40 + i))" "${COMMON[@]}"
+done
+for i in $(seq 0 $((PARTIES - 1))); do
+    wait_tcp "127.0.0.1:$((BASE + 10 + i))" || die "party ${i} did not come up"
+done
+start_node aggserver -role aggserver -addr "${AGG_TCP}" -obs-addr "${AGG_OBS}" "${COMMON[@]}"
+wait_tcp "${AGG_TCP}" || die "aggregation server did not come up"
+
+say "starting vfpsserve collector on ${SERVE_ADDR}"
+"${WORK}/vfpsserve" -addr "${SERVE_ADDR}" -peers "${PEERS}" -slow-ring 16 \
+    >"${WORK}/serve.log" 2>&1 &
+PIDS+=($!)
+wait_tcp "${SERVE_ADDR}" || die "vfpsserve did not come up"
+
+say "running leader: ${ROUNDS} round(s) x ${QUERIES} queries, ${QWORKERS} worker(s)"
+QLOG="${WORK}/leader_queries.jsonl"
+start_node leader -role leader -k "${K}" -queries "${QUERIES}" -rounds "${ROUNDS}" \
+    -qworkers "${QWORKERS}" -parallelism 2 -obs-addr "${LEADER_OBS}" \
+    -log-json "${QLOG}" -linger 60s "${COMMON[@]}"
+LEADER_PID="${PIDS[-1]}"
+LEADER_LOG="${WORK}/leader.log"
+for i in $(seq 1 600); do
+    grep -q "lingering" "${LEADER_LOG}" 2>/dev/null && break
+    kill -0 "${LEADER_PID}" 2>/dev/null || { cat "${LEADER_LOG}" >&2; die "leader exited early"; }
+    sleep 0.1
+done
+grep -q "lingering" "${LEADER_LOG}" || { cat "${LEADER_LOG}" >&2; die "leader never finished its rounds"; }
+
+# --- throughput and tail latency from the structured query log ---------------
+TOTAL=$((ROUNDS * QUERIES))
+EVENTS=$(jq -s '[.[] | select(.event.kind == "query")] | length' "${QLOG}")
+[ "${EVENTS}" -eq "${TOTAL}" ] || die "query log has ${EVENTS} query events, want ${TOTAL}"
+jq -s -e '[.[] | select(.event.kind == "query") | .event] | all(.id != "" and .trace != "" and (.phases | length) > 0)' \
+    "${QLOG}" >/dev/null || die "query events missing id/trace/phases"
+
+WALL=$(awk '/^round [0-9]+:/ { for (i=1; i<=NF; i++) if ($i == "in") { sub(/s$/, "", $(i+1)); w += $(i+1) } } END { printf "%.6f", w }' "${LEADER_LOG}")
+read -r P50MS P99MS QPS <<EOF
+$(jq -s --argjson wall "${WALL}" '
+    [.[] | select(.event.kind == "query") | .event.seconds] | sort as $s | ($s | length) as $n
+    | [ ($s[(($n - 1) * 0.5 | round)] * 1000),
+        ($s[(($n - 1) * 0.99 | round)] * 1000),
+        (if $wall > 0 then $n / $wall else 0 end) ]
+    | map(. * 1000 | round / 1000) | @tsv' -r "${QLOG}")
+EOF
+say "latency: p50 ${P50MS}ms p99 ${P99MS}ms, throughput ${QPS} q/s over ${WALL}s"
+jq -n -e --argjson p99 "${P99MS}" --argjson lim "${P99_MS}" '$p99 <= $lim' >/dev/null \
+    || die "p99 ${P99MS}ms exceeds gate SOAK_P99_MS=${P99_MS}ms"
+jq -n -e --argjson qps "${QPS}" --argjson min "${MIN_QPS}" '$qps >= $min' >/dev/null \
+    || die "throughput ${QPS} q/s below gate SOAK_MIN_QPS=${MIN_QPS}"
+
+# --- cross-process span forest from the collector ----------------------------
+say "scraping collector span forest"
+TRACE="${WORK}/trace.json"
+curl -sf "http://${SERVE_ADDR}/v1/trace" > "${TRACE}" || die "collector /v1/trace scrape failed"
+if jq -e '.peerErrors | length > 0' "${TRACE}" >/dev/null 2>&1; then
+    die "collector failed to scrape peers: $(jq -c '.peerErrors' "${TRACE}")"
+fi
+BEST="${WORK}/best_trace.json"
+jq -e '[.forest[] | select((.nodes | length) >= 3)] | max_by(.nodes | length)' \
+    "${TRACE}" > "${BEST}" 2>/dev/null \
+    || die "no trace spans >= 3 distinct processes (forest: $(jq -c '[.forest[].nodes]' "${TRACE}"))"
+TRACE_ID=$(jq -r '.trace' "${BEST}")
+PROCESSES=$(jq '.nodes | length' "${BEST}")
+ORPHANS=$(jq '.orphans' "${BEST}")
+say "trace ${TRACE_ID}: $(jq '.spans | length' "${BEST}") spans across ${PROCESSES} processes $(jq -c '.nodes' "${BEST}")"
+[ "${ORPHANS}" -eq 0 ] || die "trace ${TRACE_ID} has ${ORPHANS} unresolved parent links"
+
+kill "${LEADER_PID}" 2>/dev/null || true
+
+# --- flight recorder and metric families -------------------------------------
+say "driving one HTTP selection for the flight recorder"
+CID=$(curl -sf -X POST "http://${SERVE_ADDR}/v1/consortiums" \
+    -d '{"dataset":"Rice","rows":120,"parties":3,"scheme":"plain"}' \
+    | jq -r '.id')
+[ -n "${CID}" ] && [ "${CID}" != "null" ] || die "consortium creation failed"
+curl -sf -X POST "http://${SERVE_ADDR}/v1/consortiums/${CID}/select" \
+    -d '{"count":2,"k":4,"numQueries":6,"seed":1}' >/dev/null || die "HTTP selection failed"
+SLOW_COUNT=$(curl -sf "http://${SERVE_ADDR}/v1/slow" | jq '.count')
+[ "${SLOW_COUNT}" -ge 1 ] || die "/v1/slow is empty after a selection"
+say "/v1/slow retains ${SLOW_COUNT} event(s)"
+
+METRICS="${WORK}/metrics.txt"
+curl -sf "http://${SERVE_ADDR}/metrics" > "${METRICS}" || die "collector /metrics scrape failed"
+for family in vfps_go_goroutines vfps_go_heap_alloc_bytes vfps_go_gc_pause_seconds_total; do
+    grep -q "^# TYPE ${family} " "${METRICS}" || die "/metrics missing runtime family ${family}"
+done
+grep -q '^# HELP vfps_transport_errors_total .*by kind' "${METRICS}" \
+    || die "transport error counter lost its kind label documentation"
+curl -sf "http://${AGG_OBS}/metrics" > "${WORK}/agg_metrics.txt" \
+    || die "aggserver /metrics scrape failed"
+grep -q '^# TYPE vfps_go_goroutines ' "${WORK}/agg_metrics.txt" \
+    || die "aggserver obs listener missing runtime metrics"
+
+# --- summary + gate-key contract ---------------------------------------------
+jq -n \
+    --argjson queries "${TOTAL}" --argjson qps "${QPS}" \
+    --argjson p50 "${P50MS}" --argjson p99 "${P99MS}" \
+    --argjson procs "${PROCESSES}" --arg trace "${TRACE_ID}" \
+    --argjson slow "${SLOW_COUNT}" \
+    '{soak: {queries: $queries, qps: $qps, p50Ms: $p50, p99Ms: $p99,
+             processes: $procs, traceId: $trace, slowEvents: $slow}}' > "${OUT}"
+say "summary written to ${OUT}"
+./scripts/bench_compare.sh "${OUT}"
+
+say "OK"
