@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-packed bench-wire bench-encrypt bench-mont microbench experiments fuzz cover obs-smoke soak clean
+.PHONY: build test check race bench bench-packed bench-wire bench-encrypt bench-payload bench-mont microbench experiments fuzz cover obs-smoke soak clean
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,10 @@ check:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzWire$$' -fuzztime=5s
+	$(GO) test ./internal/wire -run='^$$' -fuzz='^FuzzChunkedCiphertext$$' -fuzztime=5s
 	$(GO) test ./internal/paillier -race
 	$(GO) test ./internal/mont -race
+	$(GO) test ./internal/vfl -race -run='^TestAdaptivePackSelectionIdentity$$'
 	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=5s
 	$(GO) test ./internal/mont -run='^$$' -fuzz='^FuzzMontMulExp$$' -fuzztime=5s
 	$(MAKE) obs-smoke
@@ -68,6 +70,15 @@ bench-wire:
 bench-encrypt:
 	$(GO) run ./cmd/vfpsbench -exp encrypt -json BENCH_encrypt.json
 	./scripts/bench_compare.sh BENCH_encrypt.json
+
+# Benchmark the ciphertext-payload optimizations (adaptive pack factor,
+# chunked streaming, cross-round delta cache) over repeated Fagin selections
+# and gate the result: every arm — including the mixed-codec one falling back
+# to legacy framing — selects the identical set, and the fully optimized arm
+# cuts steady-state ciphertext bytes by ≥3x over static packing.
+bench-payload:
+	$(GO) run ./cmd/vfpsbench -exp payload -json BENCH_payload.json
+	./scripts/bench_compare.sh BENCH_payload.json
 
 # Go-test microbenchmarks of the Montgomery kernel alone: CIOS multiply and
 # square vs big.Int Mul+Mod, windowed exponentiation vs big.Int.Exp, with

@@ -81,6 +81,9 @@ func main() {
 		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
 		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
 		pack        = flag.Bool("pack", false, "slot-pack Paillier ciphertexts (set identically on all parties and the leader)")
+		packAdapt   = flag.Bool("pack-adaptive", false, "renegotiate the packing slot width per round from observed magnitudes (role=leader; requires -pack)")
+		chunkBytes  = flag.Int("chunk-bytes", 0, "split collection responses into ciphertext chunks of at most this many bytes (role=leader; requires -wire binary)")
+		deltaCache  = flag.Bool("delta-cache", false, "cross-round delta encoding: repeat queries resend only changed ciphertext blocks (role=leader)")
 		window      = flag.Int("encrypt-window", 0, "fixed-base window for randomizer precompute (0 = default 6, negative = classic uniform sampling)")
 		montKnob    = flag.Int("mont", 0, "Paillier modular-arithmetic backend: 0 = default (Montgomery kernel unless VFPS_MONT=0), >0 = force kernel, <0 = pure math/big")
 		wireName    = flag.String("wire", "", "protocol codec: gob|binary (default VFPS_WIRE or gob; mixed clusters negotiate down to gob per peer)")
@@ -220,6 +223,7 @@ func main() {
 		leader.SetParallelism(*parallelism)
 		leader.SetObserver(o, "node")
 		leader.SetCodec(codec)
+		leader.SetPayloadOptions(*packAdapt && *pack, *chunkBytes, *deltaCache)
 		runLeader(ctx, leader, o, *rows, *selCount, *k, *queries, vfl.Variant(*variant), *rounds, *qworkers)
 		if *linger > 0 {
 			fmt.Printf("lingering %s for trace scrapes...\n", *linger)

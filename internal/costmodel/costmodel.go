@@ -49,6 +49,11 @@ type Raw struct {
 	// type descriptors. BytesSent+FramingBytes is the full encoded volume;
 	// earlier revisions lumped both into BytesSent.
 	FramingBytes int64
+	// CacheHits and CacheMisses count cross-round delta-cache lookups on the
+	// receiving side of a ciphertext transfer: a hit is a block restored from
+	// cache instead of the wire, a miss forces a full resend.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // WireBytes returns the full encoded traffic volume, payload plus framing —
@@ -68,6 +73,8 @@ func (c *Counts) Add(r Raw) {
 	c.c.Messages += r.Messages
 	c.c.BytesSent += r.BytesSent
 	c.c.FramingBytes += r.FramingBytes
+	c.c.CacheHits += r.CacheHits
+	c.c.CacheMisses += r.CacheMisses
 }
 
 // Snapshot returns the current totals.
@@ -96,6 +103,8 @@ func (r Raw) Plus(o Raw) Raw {
 		Messages:      r.Messages + o.Messages,
 		BytesSent:     r.BytesSent + o.BytesSent,
 		FramingBytes:  r.FramingBytes + o.FramingBytes,
+		CacheHits:     r.CacheHits + o.CacheHits,
+		CacheMisses:   r.CacheMisses + o.CacheMisses,
 	}
 }
 
@@ -114,6 +123,8 @@ func (r Raw) Attrs() map[string]any {
 		"bytesSent":     r.BytesSent,
 		"framingBytes":  r.FramingBytes,
 		"wireBytes":     r.WireBytes(),
+		"cacheHits":     r.CacheHits,
+		"cacheMisses":   r.CacheMisses,
 	}
 }
 
@@ -123,6 +134,9 @@ func (r Raw) String() string {
 	fmt.Fprintf(&b, "flops=%d enc=%d dec=%d cadd=%d padd=%d items=%d msgs=%d bytes=%d framing=%d",
 		r.DistanceFlops, r.Encryptions, r.Decryptions, r.CipherAdds, r.PlainAdds,
 		r.ItemsSent, r.Messages, r.BytesSent, r.FramingBytes)
+	if r.CacheHits != 0 || r.CacheMisses != 0 {
+		fmt.Fprintf(&b, " cacheHits=%d cacheMisses=%d", r.CacheHits, r.CacheMisses)
+	}
 	return b.String()
 }
 

@@ -22,6 +22,8 @@ var opFields = []struct {
 	{"messages", func(r Raw) int64 { return r.Messages }},
 	{"bytes_sent", func(r Raw) int64 { return r.BytesSent }},
 	{"framing_bytes", func(r Raw) int64 { return r.FramingBytes }},
+	{"cache_hits", func(r Raw) int64 { return r.CacheHits }},
+	{"cache_misses", func(r Raw) int64 { return r.CacheMisses }},
 }
 
 // DeclareMetrics pre-declares the cost-model gauge family on reg so it shows

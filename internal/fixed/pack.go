@@ -90,6 +90,21 @@ func (p *Packer) ValueBits() uint { return p.valueBits }
 // MaxAdds returns A, the addition budget the headroom covers.
 func (p *Packer) MaxAdds() int { return p.maxAdds }
 
+// NeededBits reports the smallest valueBits bound that admits every value in
+// vals (Pack accepts BitLen ≤ ValueBits), with a floor of 1 so an all-zero
+// batch still yields a valid geometry. It is the measurement half of adaptive
+// packing: parties advertise this bound, the aggregator dictates the densest
+// safe slot width from the observed maximum.
+func NeededBits(vals []*big.Int) uint {
+	need := 1
+	for _, v := range vals {
+		if l := v.BitLen(); l > need {
+			need = l
+		}
+	}
+	return uint(need)
+}
+
 // Pack lays vals out into one plaintext, vals[0] in the least-significant
 // slot. It accepts 1..Slots values and enforces the magnitude bound on each.
 func (p *Packer) Pack(vals []*big.Int) (*big.Int, error) {

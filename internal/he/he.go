@@ -63,11 +63,12 @@ type Paillier struct {
 	random io.Reader
 
 	mu          sync.RWMutex
-	parallelism int                  // 0 → par.Degree()
-	rz          *paillier.Randomizer // nil until StartRandomizerPool/AttachPool
-	ownPool     bool                 // pool started here (Close stops it) vs attached shared
-	window      int                  // fixed-base window for own pools (SetEncryptWindow)
-	packer      *fixed.Packer        // nil until EnablePacking (see pack.go)
+	parallelism int                         // 0 → par.Degree()
+	rz          *paillier.Randomizer        // nil until StartRandomizerPool/AttachPool
+	ownPool     bool                        // pool started here (Close stops it) vs attached shared
+	window      int                         // fixed-base window for own pools (SetEncryptWindow)
+	packer      *fixed.Packer               // nil until EnablePacking (see pack.go)
+	packers     map[packerKey]*fixed.Packer // adaptive geometries from PackerFor
 
 	hinting atomic.Bool               // one RefillHint in flight at a time
 	om      atomic.Pointer[heMetrics] // nil until SetObserver; one load per op

@@ -14,6 +14,7 @@ const (
 	metricOpSecs     = "vfps_he_op_seconds"
 	metricPoolDepth  = "vfps_he_randomizer_pool_depth"
 	metricPackRatio  = "vfps_he_pack_ratio"
+	metricPackSlots  = "vfps_he_pack_slots"
 	metricDecSecs    = "vfps_he_decrypt_seconds"
 	metricPoolErrs   = "vfps_paillier_pool_errors"
 	metricFallbackRt = "vfps_he_randomizer_fallback_rate"
@@ -32,25 +33,41 @@ func DeclareMetrics(reg *obs.Registry) {
 	declareHE(reg)
 }
 
-func declareHE(reg *obs.Registry) (ops *obs.CounterVec, secs *obs.HistogramVec, depth *obs.GaugeVec, pack *obs.GaugeVec, dec *obs.HistogramVec, perr *obs.CounterVec, fall *obs.GaugeVec) {
-	ops = reg.Counter(metricOps, "Homomorphic-encryption operations performed (φe/φd/γ in the paper's cost model).", "scheme", "instance", "op")
-	secs = reg.Histogram(metricOpSecs, "HE operation latency in seconds; *_vec entries time whole vector calls.", obs.LatencyBuckets, "scheme", "instance", "op")
-	depth = reg.Gauge(metricPoolDepth, "Precomputed Paillier randomizers currently pooled (0 once the pool closes).", "instance")
-	pack = reg.Gauge(metricPackRatio, "Values carried per ciphertext (slot-packing factor S; 1 = unpacked).", "instance")
-	dec = reg.Histogram(metricDecSecs, "Whole-call decryption latency in seconds, split by CRT fast-path use.", obs.LatencyBuckets, "instance", "crt")
-	perr = reg.Counter(metricPoolErrs, "Entropy failures while producing pool randomizers; each is retried with capped backoff, never fatal to a worker.", "instance")
-	fall = reg.Gauge(metricFallbackRt, "Fraction of randomizer draws that missed the pool and computed inline (0 = every encryption hit the precomputed fast path).", "instance")
-	return
+// heFams bundles the declared HE metric families; declareHE is idempotent on
+// a registry, so roles and schemes can each declare without coordination.
+type heFams struct {
+	ops      *obs.CounterVec
+	secs     *obs.HistogramVec
+	depth    *obs.GaugeVec
+	pack     *obs.GaugeVec
+	slots    *obs.GaugeVec
+	dec      *obs.HistogramVec
+	poolErrs *obs.CounterVec
+	fall     *obs.GaugeVec
+}
+
+func declareHE(reg *obs.Registry) heFams {
+	return heFams{
+		ops:      reg.Counter(metricOps, "Homomorphic-encryption operations performed (φe/φd/γ in the paper's cost model).", "scheme", "instance", "op"),
+		secs:     reg.Histogram(metricOpSecs, "HE operation latency in seconds; *_vec entries time whole vector calls.", obs.LatencyBuckets, "scheme", "instance", "op"),
+		depth:    reg.Gauge(metricPoolDepth, "Precomputed Paillier randomizers currently pooled (0 once the pool closes).", "instance"),
+		pack:     reg.Gauge(metricPackRatio, "Values carried per ciphertext (slot-packing factor S; 1 = unpacked).", "instance"),
+		slots:    reg.Gauge(metricPackSlots, "Slot count S chosen for the most recent packed encrypt/decrypt call; adaptive negotiation lifts it above the static geometry.", "instance"),
+		dec:      reg.Histogram(metricDecSecs, "Whole-call decryption latency in seconds, split by CRT fast-path use.", obs.LatencyBuckets, "instance", "crt"),
+		poolErrs: reg.Counter(metricPoolErrs, "Entropy failures while producing pool randomizers; each is retried with capped backoff, never fatal to a worker.", "instance"),
+		fall:     reg.Gauge(metricFallbackRt, "Fraction of randomizer draws that missed the pool and computed inline (0 = every encryption hit the precomputed fast path).", "instance"),
+	}
 }
 
 // heMetrics is the resolved instrument set, installed atomically so the hot
 // path pays one pointer load when observability is off.
 type heMetrics struct {
-	instance string
-	ops      *obs.CounterVec
-	secs     *obs.HistogramVec
-	decSecs  *obs.HistogramVec
-	poolErrs *obs.CounterVec
+	instance  string
+	ops       *obs.CounterVec
+	secs      *obs.HistogramVec
+	decSecs   *obs.HistogramVec
+	poolErrs  *obs.CounterVec
+	packSlots *obs.GaugeVec
 }
 
 // op records one scalar operation; it is used as a defer with time.Now()
@@ -71,6 +88,15 @@ func (m *heMetrics) vec(op string, n int, start time.Time) {
 	}
 	m.ops.With("paillier", m.instance, op).Add(int64(n))
 	m.secs.With("paillier", m.instance, op+"_vec").ObserveSince(start)
+}
+
+// slots records the pack factor a packed call actually used, so adaptive
+// density is visible live instead of only in benchmark output.
+func (m *heMetrics) slots(s int) {
+	if m == nil {
+		return
+	}
+	m.packSlots.With(m.instance).Set(float64(s))
 }
 
 // dec records one whole decryption call (scalar, vector or packed) on the
@@ -96,16 +122,17 @@ func (p *Paillier) SetObserver(reg *obs.Registry, instance string) {
 		p.om.Store(nil)
 		return
 	}
-	ops, secs, depth, pack, dec, perr, fall := declareHE(reg)
-	p.om.Store(&heMetrics{instance: instance, ops: ops, secs: secs, decSecs: dec, poolErrs: perr})
-	depth.Func(func() float64 {
+	fams := declareHE(reg)
+	p.om.Store(&heMetrics{instance: instance, ops: fams.ops, secs: fams.secs,
+		decSecs: fams.dec, poolErrs: fams.poolErrs, packSlots: fams.slots})
+	fams.depth.Func(func() float64 {
 		if rz := p.pool(); rz != nil {
 			return float64(rz.Depth())
 		}
 		return 0
 	}, instance)
-	pack.Func(func() float64 { return float64(p.PackFactor()) }, instance)
-	fall.Func(func() float64 {
+	fams.pack.Func(func() float64 { return float64(p.PackFactor()) }, instance)
+	fams.fall.Func(func() float64 {
 		rz := p.pool()
 		if rz == nil {
 			return 0

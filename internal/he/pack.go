@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vfps/internal/fixed"
+	"vfps/internal/paillier"
 )
 
 // DefaultPackIntBits bounds the integer part of each packed value: slots hold
@@ -20,13 +21,25 @@ const DefaultPackIntBits = 24
 // was never called (or was undone by DisablePacking).
 var ErrPackingOff = errors.New("he: packing not enabled")
 
+// packerKey indexes the adaptive-geometry cache: one immutable Packer per
+// (magnitude bound, addition budget) pair negotiated on the wire.
+type packerKey struct {
+	bits uint
+	adds int
+}
+
+// packerCacheLimit bounds the adaptive-geometry cache. Negotiated widths are
+// monotone in practice, so the cache holds a handful of entries; the bound
+// only guards against a peer cycling geometries to grow it.
+const packerCacheLimit = 64
+
 // EnablePacking derives the slot-packing geometry for this scheme's key and
 // installs it: EncryptPacked will lay PackFactor fixed-point values side by
 // side in each plaintext, with enough per-slot headroom that up to maxAdds
 // packed ciphertexts can be summed homomorphically without slot overflow
 // (maxAdds is the party count in the VFPS-SM aggregation tree).
 //
-// The geometry uses modulusBits−2 plaintext bits, which keeps every packed
+// The geometry uses the key's PlaintextHeadroomBits, which keeps every packed
 // plaintext — and every sum of up to maxAdds of them — strictly below n/2,
 // inside the positive half of the signed embedding. It fails when the key is
 // too small to hold even one slot; keys that fit only one slot are accepted
@@ -34,8 +47,7 @@ var ErrPackingOff = errors.New("he: packing not enabled")
 // path.
 func (p *Paillier) EnablePacking(maxAdds int) error {
 	valueBits := p.codec.ScaleBits() + DefaultPackIntBits
-	usable := uint(p.pk.N.BitLen() - 2)
-	packer, err := fixed.NewPacker(usable, valueBits, maxAdds)
+	packer, err := fixed.NewPacker(p.pk.PlaintextHeadroomBits(), valueBits, maxAdds)
 	if err != nil {
 		return fmt.Errorf("he: enabling packing: %w", err)
 	}
@@ -50,6 +62,7 @@ func (p *Paillier) EnablePacking(maxAdds int) error {
 func (p *Paillier) DisablePacking() {
 	p.mu.Lock()
 	p.packer = nil
+	p.packers = nil
 	p.mu.Unlock()
 }
 
@@ -84,6 +97,59 @@ func (p *Paillier) packing() *fixed.Packer {
 	return p.packer
 }
 
+// Packer returns the static geometry installed by EnablePacking (nil when
+// packing is off), for callers that mix static and PackerFor geometries
+// through EncryptPackedWith/DecryptPackedWith.
+func (p *Paillier) Packer() *fixed.Packer { return p.packing() }
+
+// PackerFor returns the packing geometry for an adaptively negotiated slot
+// width: valueBits bounds each value's magnitude, adds is the aggregation
+// depth the headroom must cover. Geometries are cached per (valueBits, adds).
+// Packing must be enabled; an impossible geometry — a non-positive depth, or
+// a slot too wide for the key's plaintext headroom — surfaces the typed
+// fixed.ErrPackAdds / fixed.ErrPackShape errors, which is the hard backstop
+// against a peer advertising a depth the key cannot honour.
+func (p *Paillier) PackerFor(valueBits uint, adds int) (*fixed.Packer, error) {
+	if p.packing() == nil {
+		return nil, ErrPackingOff
+	}
+	key := packerKey{bits: valueBits, adds: adds}
+	p.mu.RLock()
+	cached := p.packers[key]
+	p.mu.RUnlock()
+	if cached != nil {
+		return cached, nil
+	}
+	packer, err := fixed.NewPacker(p.pk.PlaintextHeadroomBits(), valueBits, adds)
+	if err != nil {
+		return nil, fmt.Errorf("he: adaptive packing geometry (V=%d, adds=%d): %w", valueBits, adds, err)
+	}
+	p.mu.Lock()
+	if p.packers == nil || len(p.packers) >= packerCacheLimit {
+		p.packers = make(map[packerKey]*fixed.Packer)
+	}
+	p.packers[key] = packer
+	p.mu.Unlock()
+	return packer, nil
+}
+
+// NeededPackBits reports the smallest per-slot magnitude bound, in bits, that
+// admits every value of vs under this scheme's fixed-point encoding (floor 1
+// so an all-zero vector still yields a valid geometry). Parties advertise
+// this bound during adaptive pack negotiation; the aggregator dictates the
+// densest safe slot width from the observed maximum.
+func (p *Paillier) NeededPackBits(vs []float64) (uint, error) {
+	ms := make([]*big.Int, len(vs))
+	for i, v := range vs {
+		m, err := p.codec.Encode(v)
+		if err != nil {
+			return 0, err
+		}
+		ms[i] = m
+	}
+	return fixed.NeededBits(ms), nil
+}
+
 // EncryptPacked encrypts vs into ceil(len(vs)/PackFactor) ciphertexts,
 // PackFactor values per plaintext (the last one partially filled). It shares
 // the scalar path's randomizer pool and worker-pool parallelism; only the
@@ -95,7 +161,22 @@ func (p *Paillier) EncryptPacked(ctx context.Context, vs []float64) ([][]byte, e
 	if packer == nil {
 		return nil, ErrPackingOff
 	}
+	return p.encryptPacked(ctx, packer, vs)
+}
+
+// EncryptPackedWith is EncryptPacked under an explicit geometry from
+// PackerFor — the adaptive path, where the slot width was negotiated per
+// round instead of fixed at EnablePacking time.
+func (p *Paillier) EncryptPackedWith(ctx context.Context, packer *fixed.Packer, vs []float64) ([][]byte, error) {
+	if packer == nil {
+		return nil, ErrPackingOff
+	}
+	return p.encryptPacked(ctx, packer, vs)
+}
+
+func (p *Paillier) encryptPacked(ctx context.Context, packer *fixed.Packer, vs []float64) ([][]byte, error) {
 	if om := p.om.Load(); om != nil {
+		om.slots(packer.Slots())
 		defer om.vec("encrypt_packed", len(vs), time.Now())
 	}
 	s := packer.Slots()
@@ -132,18 +213,29 @@ func (p *Paillier) EncryptPacked(ctx context.Context, vs []float64) ([][]byte, e
 // never-summed ciphertexts). adds must not exceed the headroom budget passed
 // to EnablePacking. len(cs) must equal PackedCiphertexts(count).
 func (p *Paillier) DecryptPacked(ctx context.Context, cs [][]byte, count, adds int) ([]float64, error) {
-	if p.sk == nil {
-		return nil, ErrNoPrivateKey
-	}
 	packer := p.packing()
 	if packer == nil {
 		return nil, ErrPackingOff
 	}
-	if count < 0 || len(cs) != p.PackedCiphertexts(count) {
+	return p.DecryptPackedWith(ctx, cs, count, packer, adds)
+}
+
+// DecryptPackedWith is DecryptPacked under an explicit geometry from
+// PackerFor, for vectors packed with an adaptively negotiated slot width.
+func (p *Paillier) DecryptPackedWith(ctx context.Context, cs [][]byte, count int, packer *fixed.Packer, adds int) ([]float64, error) {
+	if p.sk == nil {
+		return nil, ErrNoPrivateKey
+	}
+	if packer == nil {
+		return nil, ErrPackingOff
+	}
+	s := packer.Slots()
+	if count < 0 || len(cs) != (count+s-1)/s {
 		return nil, fmt.Errorf("he: %d packed ciphertexts cannot hold %d values (want %d)",
-			len(cs), count, p.PackedCiphertexts(count))
+			len(cs), count, (count+s-1)/s)
 	}
 	if om := p.om.Load(); om != nil {
+		om.slots(s)
 		start := time.Now()
 		defer func() {
 			om.vec("decrypt_packed", count, start)
@@ -158,7 +250,6 @@ func (p *Paillier) DecryptPacked(ctx context.Context, cs [][]byte, count, adds i
 	if err != nil {
 		return nil, err
 	}
-	s := packer.Slots()
 	out := make([]float64, 0, count)
 	for i, m := range ms {
 		n := min(s, count-i*s)
@@ -169,6 +260,88 @@ func (p *Paillier) DecryptPacked(ctx context.Context, cs [][]byte, count, adds i
 		for _, v := range vals {
 			out = append(out, p.codec.Decode(v))
 		}
+	}
+	return out, nil
+}
+
+// DecryptPackedChunks decrypts a chunk-framed packed vector with parse and
+// decrypt overlapped: a producer goroutine parses and validates chunk k+1
+// while the worker pool (the same internal/par workers DecryptVec uses)
+// decrypts chunk k, so wire chunks flow into decryption without a
+// whole-payload barrier. packer selects the slot geometry (nil → the
+// EnablePacking geometry) and adds the accumulated aggregation depth, exactly
+// as DecryptPacked; the result is bit-identical to decrypting the flattened
+// vector in one call.
+func (p *Paillier) DecryptPackedChunks(ctx context.Context, chunks [][][]byte, count int, packer *fixed.Packer, adds int) ([]float64, error) {
+	if p.sk == nil {
+		return nil, ErrNoPrivateKey
+	}
+	if packer == nil {
+		if packer = p.packing(); packer == nil {
+			return nil, ErrPackingOff
+		}
+	}
+	s := packer.Slots()
+	total := 0
+	for _, chunk := range chunks {
+		total += len(chunk)
+	}
+	if count < 0 || total != (count+s-1)/s {
+		return nil, fmt.Errorf("he: %d packed ciphertexts in %d chunks cannot hold %d values (want %d)",
+			total, len(chunks), count, (count+s-1)/s)
+	}
+	if om := p.om.Load(); om != nil {
+		om.slots(s)
+		start := time.Now()
+		defer func() {
+			om.vec("decrypt_packed", count, start)
+			om.dec(p.sk.HasCRT(), start)
+		}()
+	}
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parsed := make(chan []*paillier.Ciphertext, 2)
+	perr := make(chan error, 1)
+	go func() {
+		defer close(parsed)
+		for _, chunk := range chunks {
+			cts, err := p.parseAll(chunk)
+			if err != nil {
+				perr <- err
+				return
+			}
+			select {
+			case parsed <- cts:
+			case <-pctx.Done():
+				return
+			}
+		}
+	}()
+
+	out := make([]float64, 0, count)
+	blob := 0 // global ciphertext index across chunk boundaries
+	for cts := range parsed {
+		ms, err := p.sk.DecryptVec(ctx, cts, p.Parallelism())
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			n := min(s, count-blob*s)
+			vals, err := packer.Unpack(m, n, adds)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vals {
+				out = append(out, p.codec.Decode(v))
+			}
+			blob++
+		}
+	}
+	select {
+	case err := <-perr:
+		return nil, err
+	default:
 	}
 	return out, nil
 }

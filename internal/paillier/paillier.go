@@ -489,3 +489,11 @@ func (pk *PublicKey) ParseCiphertext(b []byte) (*Ciphertext, error) {
 // CiphertextSize returns the serialised size in bytes of a ciphertext under
 // pk (used by the cost model for communication accounting).
 func (pk *PublicKey) CiphertextSize() int { return (pk.N2.BitLen() + 7) / 8 }
+
+// PlaintextHeadroomBits reports how many plaintext bits a packed message may
+// occupy so that it — and every homomorphic sum of such messages the slot
+// headroom admits — stays strictly below n/2, inside the positive half of the
+// signed embedding: the modulus width minus a two-bit margin. Slot-packing
+// geometry (internal/fixed, internal/he) derives its usable width from this
+// hook instead of re-deriving modulus internals.
+func (pk *PublicKey) PlaintextHeadroomBits() uint { return uint(pk.N.BitLen() - 2) }

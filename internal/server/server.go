@@ -157,6 +157,11 @@ type CreateRequest struct {
 	SplitSeed   int64   `json:"splitSeed"`
 	ShuffleSeed int64   `json:"shuffleSeed"`
 	Wire        string  `json:"wire"` // protocol codec: "gob" (default) or "binary"
+	// Ciphertext payload knobs (Paillier only; see DESIGN.md §14).
+	Pack         bool `json:"pack"`         // slot-pack ciphertexts
+	PackAdaptive bool `json:"packAdaptive"` // renegotiate slot width per round
+	ChunkBytes   int  `json:"chunkBytes"`   // stream collection responses in chunks
+	DeltaCache   bool `json:"deltaCache"`   // cross-round delta encoding
 }
 
 // CreateResponse identifies the new consortium.
@@ -195,15 +200,19 @@ func (s *Server) createConsortium(w http.ResponseWriter, r *http.Request) {
 	id := "c" + strconv.Itoa(s.nextID)
 	s.mu.Unlock()
 	cons, err := vfps.NewConsortium(context.Background(), vfps.Config{
-		Partition:   pt,
-		Labels:      d.Y,
-		Classes:     d.Classes,
-		Scheme:      req.Scheme,
-		DPEpsilon:   req.DPEpsilon,
-		ShuffleSeed: req.ShuffleSeed,
-		Wire:        req.Wire,
-		Obs:         s.obs,
-		Instance:    id,
+		Partition:    pt,
+		Labels:       d.Y,
+		Classes:      d.Classes,
+		Scheme:       req.Scheme,
+		DPEpsilon:    req.DPEpsilon,
+		ShuffleSeed:  req.ShuffleSeed,
+		Wire:         req.Wire,
+		Pack:         req.Pack,
+		PackAdaptive: req.PackAdaptive,
+		ChunkBytes:   req.ChunkBytes,
+		DeltaCache:   req.DeltaCache,
+		Obs:          s.obs,
+		Instance:     id,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -2,6 +2,7 @@ package vfl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,59 @@ type AggServer struct {
 	scheme      he.Scheme
 	counts      costmodel.Counts
 	parallelism int // 0 → par.Degree(); 1 → fully serial
+
+	// packNeed is the adaptive pack negotiation state: the monotone maximum
+	// of the slot-width bounds the parties advertised (NeedBits), plus a
+	// drift margin. It is dictated back to the parties on the next adaptive
+	// round; 0 until the first advertisement, which makes round one static.
+	packNeed atomic.Int64
+
+	// recvCache / sentCache hold the party→agg and agg→leader halves of the
+	// cross-round delta encoding (see deltacache.go).
+	recvCache deltaCache
+	sentCache deltaCache
+}
+
+// payloadOpts carries the requester's payload-optimisation knobs through the
+// aggregation call tree.
+type payloadOpts struct {
+	adaptive bool
+	delta    bool
+	noCache  bool
+}
+
+// packBitsMargin is added to the dictated slot width so small round-to-round
+// drift in the data's magnitude does not force a static fallback round.
+const packBitsMargin = 2
+
+// packDictate returns the slot width to dictate to the parties on an
+// adaptive round: 0 (static) before the first advertisement.
+func (a *AggServer) packDictate(adaptive bool) int {
+	if !adaptive {
+		return 0
+	}
+	return int(a.packNeed.Load())
+}
+
+// observeNeedBits folds the parties' advertised magnitude bounds into the
+// negotiation state for the next round (monotone maximum).
+func (a *AggServer) observeNeedBits(needs []int) {
+	maxNeed := 0
+	for _, n := range needs {
+		if n > maxNeed {
+			maxNeed = n
+		}
+	}
+	if maxNeed == 0 {
+		return
+	}
+	target := int64(maxNeed + packBitsMargin)
+	for {
+		cur := a.packNeed.Load()
+		if target <= cur || a.packNeed.CompareAndSwap(cur, target) {
+			return
+		}
+	}
 }
 
 // NewAggServer wires the server to its participants through the given
@@ -93,6 +147,7 @@ func (a *AggServer) Counts() costmodel.Raw { return a.counts.Snapshot() }
 func (a *AggServer) SetObserver(o *obs.Observer, instance string) {
 	a.store(o)
 	a.counts.Register(o.Registry(), instance, AggServerName)
+	DeclareDeltaMetrics(o.Registry())
 }
 
 // Handler returns the server's RPC handler. Requests are decoded with the
@@ -125,12 +180,22 @@ func (a *AggServer) Handler() transport.Handler {
 			if err := codec.Unmarshal(req, &r); err != nil {
 				return nil, err
 			}
-			agg, factor, err := a.aggregateCandidates(ctx, r.Query, r.PseudoIDs)
+			opt := payloadOpts{adaptive: r.Adaptive, delta: r.Delta, noCache: r.NoCache}
+			agg, factor, packBits, err := a.aggregateCandidates(ctx, r.Query, r.PseudoIDs, opt)
 			if err != nil {
 				return nil, err
 			}
-			return reply(codec, &AggregateCandidatesResp{Aggregated: agg, PackFactor: factor},
-				&a.counts, &a.roleObs, costmodel.Raw{ItemsSent: int64(len(agg)), Messages: 1})
+			resp := &AggregateCandidatesResp{PackFactor: factor, PackBits: packBits}
+			if factor > 1 {
+				resp.PackAdds = len(a.parties)
+			}
+			var sent int
+			// The threshold scan's per-round responses carry no chunk field;
+			// pass chunkBytes 0 so only the delta trim applies.
+			resp.Aggregated, _, resp.CachedBlocks, sent =
+				a.trimAndChunk(codec, r.Query, r.PseudoIDs, agg, factor, packBits, opt, 0)
+			return reply(codec, resp, &a.counts, &a.roleObs,
+				costmodel.Raw{ItemsSent: int64(sent), Messages: 1})
 		case MethodAggregateFrontier:
 			var r AggregateFrontierReq
 			if err := codec.Unmarshal(req, &r); err != nil {
@@ -222,54 +287,204 @@ func (a *AggServer) reduceVectors(ctx context.Context, vecs [][][]byte) ([][]byt
 	return vecs[0], nil
 }
 
+// restoreFromParty folds one party response's delta-withheld blocks back in
+// from the receive cache and refreshes that cache. A cache miss (the agg
+// evicted a block the party assumed cached) is reported via ErrDeltaCacheMiss
+// so the caller can retry that party once with NoCache set.
+func (a *AggServer) restoreFromParty(party string, query, packBits, factor int, pids []int, blobs [][]byte, cachedIdx []int) error {
+	keys := blockKeys(party, query, packBits, factor, pids)
+	hits, err := a.recvCache.restore(keys, blobs, cachedIdx)
+	if hits > 0 {
+		a.counts.Add(costmodel.Raw{CacheHits: int64(hits)})
+		a.recordDelta(AggServerName, hits, 0)
+	}
+	if err != nil {
+		return fmt.Errorf("vfl: restoring delta blocks from %s: %w", party, err)
+	}
+	return nil
+}
+
+// partyVec is one party's validated, fully restored ciphertext vector.
+type partyVec struct {
+	pids     []int
+	ciphers  [][]byte
+	factor   int
+	packBits int
+	needBits int
+}
+
+// pullCandidates fetches one party's encrypted candidate vector, retrying
+// once with NoCache after a delta-cache miss.
+func (a *AggServer) pullCandidates(ctx context.Context, party string, query int, pseudoIDs []int, dictate int, opt payloadOpts) (partyVec, error) {
+	noCache := opt.noCache
+	for attempt := 0; ; attempt++ {
+		var resp EncryptCandidatesResp
+		req := &EncryptCandidatesReq{Query: query, PseudoIDs: pseudoIDs,
+			PackBits: dictate, Delta: opt.delta, NoCache: noCache}
+		if err := a.call(ctx, party, MethodEncryptCandidates, req, &resp); err != nil {
+			return partyVec{}, fmt.Errorf("vfl: collecting candidates from %s: %w", party, err)
+		}
+		factor := normFactor(resp.PackFactor)
+		if want := packedLen(len(pseudoIDs), factor); len(resp.Ciphers) != want {
+			return partyVec{}, fmt.Errorf("vfl: %s returned %d ciphertexts, want %d", party, len(resp.Ciphers), want)
+		}
+		if opt.delta {
+			err := a.restoreFromParty(party, query, resp.PackBits, factor, pseudoIDs, resp.Ciphers, resp.CachedBlocks)
+			if err != nil {
+				if errors.Is(err, ErrDeltaCacheMiss) && attempt == 0 {
+					a.counts.Add(costmodel.Raw{CacheMisses: 1})
+					a.recordDelta(AggServerName, 0, 1)
+					noCache = true
+					continue
+				}
+				return partyVec{}, err
+			}
+		} else if len(resp.CachedBlocks) > 0 {
+			return partyVec{}, fmt.Errorf("vfl: %s withheld %d blocks without delta caching", party, len(resp.CachedBlocks))
+		}
+		return partyVec{pids: pseudoIDs, ciphers: resp.Ciphers, factor: factor,
+			packBits: resp.PackBits, needBits: resp.NeedBits}, nil
+	}
+}
+
+// pullAll fetches one party's full encrypted vector (BASE variant), retrying
+// once with NoCache after a delta-cache miss.
+func (a *AggServer) pullAll(ctx context.Context, party string, query, dictate int, opt payloadOpts) (partyVec, error) {
+	noCache := opt.noCache
+	for attempt := 0; ; attempt++ {
+		var resp EncryptAllResp
+		req := &EncryptAllReq{Query: query, PackBits: dictate, Delta: opt.delta, NoCache: noCache}
+		if err := a.call(ctx, party, MethodEncryptAll, req, &resp); err != nil {
+			return partyVec{}, fmt.Errorf("vfl: collecting from %s: %w", party, err)
+		}
+		factor := normFactor(resp.PackFactor)
+		if want := packedLen(len(resp.PseudoIDs), factor); len(resp.Ciphers) != want {
+			return partyVec{}, fmt.Errorf("vfl: %s returned %d ciphertexts for %d items, want %d",
+				party, len(resp.Ciphers), len(resp.PseudoIDs), want)
+		}
+		if opt.delta {
+			err := a.restoreFromParty(party, query, resp.PackBits, factor, resp.PseudoIDs, resp.Ciphers, resp.CachedBlocks)
+			if err != nil {
+				if errors.Is(err, ErrDeltaCacheMiss) && attempt == 0 {
+					a.counts.Add(costmodel.Raw{CacheMisses: 1})
+					a.recordDelta(AggServerName, 0, 1)
+					noCache = true
+					continue
+				}
+				return partyVec{}, err
+			}
+		} else if len(resp.CachedBlocks) > 0 {
+			return partyVec{}, fmt.Errorf("vfl: %s withheld %d blocks without delta caching", party, len(resp.CachedBlocks))
+		}
+		return partyVec{pids: resp.PseudoIDs, ciphers: resp.Ciphers, factor: factor,
+			packBits: resp.PackBits, needBits: resp.NeedBits}, nil
+	}
+}
+
+// uniformPacking checks that all parties agree on the (pack factor, slot
+// width) pair — slotwise addition is only meaningful over identical layouts.
+func (a *AggServer) uniformPacking(pvs []partyVec) (factor, packBits int, err error) {
+	factor, packBits = pvs[0].factor, pvs[0].packBits
+	for pi := range pvs {
+		if pvs[pi].factor != factor || pvs[pi].packBits != packBits {
+			return 0, 0, fmt.Errorf("vfl: %s pack geometry (S=%d, V=%d) differs from %s's (S=%d, V=%d) — inconsistent packing configuration",
+				a.parties[pi], pvs[pi].factor, pvs[pi].packBits, a.parties[0], factor, packBits)
+		}
+	}
+	return factor, packBits, nil
+}
+
 // aggregateCandidates pulls every party's encrypted partial distances for
-// the given pseudo IDs concurrently and sums them element-wise. When the
-// parties slot-pack, every party must use the same pack factor — slotwise
-// addition is only meaningful over identical layouts — and the factor is
-// returned for the response.
-func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int) ([][]byte, int, error) {
+// the given pseudo IDs concurrently and sums them element-wise. On adaptive
+// rounds the dictated slot width is only kept when every party complied
+// (a party whose values outgrew it falls back to static); a mixed round is
+// re-collected under the static geometry once before giving up.
+func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoIDs []int, opt payloadOpts) ([][]byte, int, int, error) {
 	ctx, asp := a.tracer().Start(ctx, SpanAggregate)
 	asp.SetLabelInt("candidates", int64(len(pseudoIDs)))
 	defer asp.End()
-	vecs := make([][][]byte, len(a.parties))
-	factors := make([]int, len(a.parties))
-	err := a.fanOut(ctx, func(pi int, party string) error {
-		var resp EncryptCandidatesResp
-		if err := a.call(ctx, party, MethodEncryptCandidates,
-			&EncryptCandidatesReq{Query: query, PseudoIDs: pseudoIDs}, &resp); err != nil {
-			return fmt.Errorf("vfl: collecting candidates from %s: %w", party, err)
-		}
-		factors[pi] = normFactor(resp.PackFactor)
-		if want := packedLen(len(pseudoIDs), factors[pi]); len(resp.Ciphers) != want {
-			return fmt.Errorf("vfl: %s returned %d ciphertexts, want %d", party, len(resp.Ciphers), want)
-		}
-		vecs[pi] = resp.Ciphers
-		return nil
-	})
-	if err != nil {
-		return nil, 0, err
+	collect := func(dictate int) ([]partyVec, error) {
+		pvs := make([]partyVec, len(a.parties))
+		err := a.fanOut(ctx, func(pi int, party string) error {
+			pv, err := a.pullCandidates(ctx, party, query, pseudoIDs, dictate, opt)
+			if err != nil {
+				return err
+			}
+			pvs[pi] = pv
+			return nil
+		})
+		return pvs, err
 	}
-	factor, err := a.uniformFactor(factors)
+	pvs, factor, packBits, err := a.collectUniform(a.packDictate(opt.adaptive), collect)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
+	}
+	vecs := make([][][]byte, len(pvs))
+	for pi := range pvs {
+		vecs[pi] = pvs[pi].ciphers
 	}
 	agg, err := a.reduceVectors(ctx, vecs)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return agg, factor, nil
+	return agg, factor, packBits, nil
 }
 
-// uniformFactor checks that all parties reported the same pack factor.
-func (a *AggServer) uniformFactor(factors []int) (int, error) {
-	factor := factors[0]
-	for pi, f := range factors {
-		if f != factor {
-			return 0, fmt.Errorf("vfl: %s pack factor %d differs from %s's %d — inconsistent packing configuration",
-				a.parties[pi], f, a.parties[0], factor)
+// collectUniform runs one collection fan-out and enforces geometry
+// uniformity, re-collecting once under the static geometry when an adaptive
+// dictation produced a mixed round. Advertised NeedBits feed the negotiation
+// state either way.
+func (a *AggServer) collectUniform(dictate int, collect func(dictate int) ([]partyVec, error)) ([]partyVec, int, int, error) {
+	pvs, err := collect(dictate)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	needs := make([]int, len(pvs))
+	for pi := range pvs {
+		needs[pi] = pvs[pi].needBits
+	}
+	a.observeNeedBits(needs)
+	factor, packBits, uerr := a.uniformPacking(pvs)
+	if uerr != nil && dictate > 0 {
+		// Mixed compliance: at least one party could not fit the dictated
+		// width. The static EnablePacking geometry is shared by construction,
+		// so one static round always restores uniformity.
+		if pvs, err = collect(0); err != nil {
+			return nil, 0, 0, err
+		}
+		factor, packBits, uerr = a.uniformPacking(pvs)
+	}
+	if uerr != nil {
+		return nil, 0, 0, uerr
+	}
+	return pvs, factor, packBits, nil
+}
+
+// trimAndChunk applies the leader-link payload optimisations to an outgoing
+// aggregate vector: delta withholding against the sent cache (aggregation is
+// recomputed every round, but homomorphic addition is deterministic, so an
+// all-inputs-identical round reproduces the aggregate byte for byte), then
+// chunk framing when the response codec supports tagged fields. Returns the
+// whole-blob wire vector (nil when chunked), the chunk list, the withheld
+// indices, and the items actually sent.
+func (a *AggServer) trimAndChunk(codec wire.Codec, query int, pids []int, agg [][]byte, factor, packBits int, opt payloadOpts, chunkBytes int) (out [][]byte, chunks [][][]byte, cached []int, sent int) {
+	out, sent = agg, len(agg)
+	if opt.delta {
+		keys := blockKeys("leader", query, packBits, factor, pids)
+		if opt.noCache {
+			for b, key := range keys {
+				a.sentCache.put(key, agg[b])
+			}
+		} else {
+			out, cached = a.sentCache.trim(keys, agg)
+			sent = len(agg) - len(cached)
 		}
 	}
-	return factor, nil
+	if chunkBytes > 0 && codec.Version() >= 1 && len(out) > 0 {
+		chunks = wire.ChunkCiphers(out, chunkBytes)
+		out = nil
+	}
+	return out, chunks, cached, sent
 }
 
 // aggregateFrontier sums the parties' encrypted scores at one scan rank —
@@ -303,47 +518,51 @@ func (a *AggServer) aggregateFrontier(ctx context.Context, codec wire.Codec, r A
 func (a *AggServer) collectAll(ctx context.Context, codec wire.Codec, r CollectAllReq) ([]byte, error) {
 	ctx, csp := a.tracer().Start(ctx, SpanCollectAll)
 	defer csp.End()
-	pidSets := make([][]int, len(a.parties))
-	vecs := make([][][]byte, len(a.parties))
-	factors := make([]int, len(a.parties))
-	err := a.fanOut(ctx, func(pi int, party string) error {
-		var resp EncryptAllResp
-		if err := a.call(ctx, party, MethodEncryptAll, &EncryptAllReq{Query: r.Query}, &resp); err != nil {
-			return fmt.Errorf("vfl: collecting from %s: %w", party, err)
-		}
-		factors[pi] = normFactor(resp.PackFactor)
-		if want := packedLen(len(resp.PseudoIDs), factors[pi]); len(resp.Ciphers) != want {
-			return fmt.Errorf("vfl: %s returned %d ciphertexts for %d items, want %d",
-				party, len(resp.Ciphers), len(resp.PseudoIDs), want)
-		}
-		pidSets[pi] = resp.PseudoIDs
-		vecs[pi] = resp.Ciphers
-		return nil
-	})
+	opt := payloadOpts{adaptive: r.Adaptive, delta: r.Delta, noCache: r.NoCache}
+	collect := func(dictate int) ([]partyVec, error) {
+		pvs := make([]partyVec, len(a.parties))
+		err := a.fanOut(ctx, func(pi int, party string) error {
+			pv, err := a.pullAll(ctx, party, r.Query, dictate, opt)
+			if err != nil {
+				return err
+			}
+			pvs[pi] = pv
+			return nil
+		})
+		return pvs, err
+	}
+	pvs, factor, packBits, err := a.collectUniform(a.packDictate(opt.adaptive), collect)
 	if err != nil {
 		return nil, err
 	}
-	pids := pidSets[0]
+	pids := pvs[0].pids
 	for pi := 1; pi < len(a.parties); pi++ {
-		if len(pidSets[pi]) != len(pids) {
-			return nil, fmt.Errorf("vfl: %s returned %d items, want %d", a.parties[pi], len(pidSets[pi]), len(pids))
+		if len(pvs[pi].pids) != len(pids) {
+			return nil, fmt.Errorf("vfl: %s returned %d items, want %d", a.parties[pi], len(pvs[pi].pids), len(pids))
 		}
 		for i := range pids {
-			if pidSets[pi][i] != pids[i] {
+			if pvs[pi].pids[i] != pids[i] {
 				return nil, fmt.Errorf("vfl: %s pseudo-id order mismatch at %d", a.parties[pi], i)
 			}
 		}
 	}
-	factor, err := a.uniformFactor(factors)
-	if err != nil {
-		return nil, err
+	vecs := make([][][]byte, len(pvs))
+	for pi := range pvs {
+		vecs[pi] = pvs[pi].ciphers
 	}
 	agg, err := a.reduceVectors(ctx, vecs)
 	if err != nil {
 		return nil, err
 	}
-	return reply(codec, &CollectAllResp{PseudoIDs: pids, Aggregated: agg, PackFactor: factor},
-		&a.counts, &a.roleObs, costmodel.Raw{ItemsSent: int64(len(agg)), Messages: 1})
+	resp := &CollectAllResp{PseudoIDs: pids, PackFactor: factor, PackBits: packBits}
+	if factor > 1 {
+		resp.PackAdds = len(a.parties)
+	}
+	var sent int
+	resp.Aggregated, resp.Chunked, resp.CachedBlocks, sent =
+		a.trimAndChunk(codec, r.Query, pids, agg, factor, packBits, opt, r.ChunkBytes)
+	return reply(codec, resp, &a.counts, &a.roleObs,
+		costmodel.Raw{ItemsSent: int64(sent), Messages: 1})
 }
 
 // faginCollect implements the optimized variant: run Fagin's algorithm over
@@ -417,12 +636,20 @@ func (a *AggServer) faginCollect(ctx context.Context, codec wire.Codec, r FaginC
 	fsp.SetLabelInt("candidates", int64(stats.Candidates))
 
 	// Random-access phase: encrypted partial distances for candidates only.
-	agg, factor, err := a.aggregateCandidates(ctx, r.Query, candidates)
+	opt := payloadOpts{adaptive: r.Adaptive, delta: r.Delta, noCache: r.NoCache}
+	agg, factor, packBits, err := a.aggregateCandidates(ctx, r.Query, candidates, opt)
 	if err != nil {
 		return nil, err
 	}
-	return reply(codec, &FaginCollectResp{PseudoIDs: candidates, Aggregated: agg, PackFactor: factor, Stats: stats},
-		&a.counts, &a.roleObs, costmodel.Raw{ItemsSent: int64(len(agg)), Messages: 1})
+	resp := &FaginCollectResp{PseudoIDs: candidates, PackFactor: factor, PackBits: packBits, Stats: stats}
+	if factor > 1 {
+		resp.PackAdds = len(a.parties)
+	}
+	var sent int
+	resp.Aggregated, resp.Chunked, resp.CachedBlocks, sent =
+		a.trimAndChunk(codec, r.Query, candidates, agg, factor, packBits, opt, r.ChunkBytes)
+	return reply(codec, resp, &a.counts, &a.roleObs,
+		costmodel.Raw{ItemsSent: int64(sent), Messages: 1})
 }
 
 // mustGob encodes a value that cannot fail (our message structs); a failure

@@ -70,6 +70,20 @@ type ClusterConfig struct {
 	// Ignored by non-Paillier schemes; fails cluster construction when the
 	// key is too small to hold even one slot.
 	Pack bool
+	// PackAdaptive lets the aggregation server renegotiate the slot width per
+	// round from the magnitude bounds the parties advertise, packing more
+	// values per ciphertext than the static worst-case geometry whenever the
+	// data allows. Requires Pack; ignored otherwise. Selections stay
+	// bit-identical — only the carrier layout changes.
+	PackAdaptive bool
+	// ChunkBytes > 0 splits collection responses into ≤ChunkBytes ciphertext
+	// chunks on the binary codec (new tagged field; gob and legacy peers keep
+	// whole-blob framing), letting the leader pipeline chunk decryption.
+	ChunkBytes int
+	// DeltaCache enables cross-round delta encoding: both ends of each link
+	// cache ciphertext blocks by (query, geometry, pseudo-ID segment) and
+	// repeat queries resend only changed blocks.
+	DeltaCache bool
 	// Wire selects the protocol codec every role speaks: "gob" (the
 	// self-describing stdlib encoding, the default) or "binary" (the compact
 	// versioned wire format of internal/wire). Empty falls back to the
@@ -204,6 +218,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		he.DeclareMetrics(reg)
 		costmodel.DeclareMetrics(reg)
 		declareWire(reg)
+		declareDelta(reg)
 	}
 	tr := &transport.Memory{}
 	tr.SetObserver(o)
@@ -283,6 +298,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	leader.SetParallelism(cfg.Parallelism)
 	leader.SetObserver(o, instance)
 	leader.SetCodec(codec)
+	leader.SetPayloadOptions(cfg.PackAdaptive && cfg.Pack, cfg.ChunkBytes, cfg.DeltaCache)
 	return &Cluster{
 		Transport:   tr,
 		Leader:      leader,

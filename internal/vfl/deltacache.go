@@ -1,0 +1,188 @@
+package vfl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vfps/internal/obs"
+)
+
+// Cross-round delta encoding: partial distances are a pure function of
+// (query, pseudo-ID, party) over a static dataset, so when a monitoring
+// workload re-runs the same queries, most ciphertext blocks on the wire are
+// byte-identical to the previous round. Both ends of a transfer keep a
+// bounded cache of blocks keyed by that identity; the sender withholds blocks
+// the receiver is known to hold (empty placeholder + index list) and the
+// receiver restores them locally. Paillier encryption is randomized, so a
+// sender-side hit must reuse the cached ciphertext bytes — which also skips
+// the re-encryption — rather than re-encrypt; aggregated blocks only hit when
+// every input block was identical, because the homomorphic sum is recomputed
+// every round and compared byte for byte before any withholding.
+//
+// A receiver that evicted a block the sender assumed cached fails restore
+// with ErrDeltaCacheMiss; the requester retries once with NoCache set, which
+// forces a full resend and refreshes both caches.
+
+// ErrDeltaCacheMiss reports a withheld ciphertext block the receiver no
+// longer holds. It is the typed trigger for the full-resend retry.
+var ErrDeltaCacheMiss = errors.New("vfl: delta cache miss")
+
+// deltaCacheLimit bounds each role's block cache (FIFO eviction). At the
+// default packing density a block is one ciphertext, so the bound is a few MB
+// per link at paper scale.
+const deltaCacheLimit = 4096
+
+// deltaCache is a bounded FIFO map from block identity to ciphertext bytes.
+// The zero value is ready to use.
+type deltaCache struct {
+	mu    sync.Mutex
+	m     map[string][]byte
+	order []string
+}
+
+func (c *deltaCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.m[key]
+	return b, ok
+}
+
+func (c *deltaCache) put(key string, blob []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string][]byte)
+	}
+	if _, ok := c.m[key]; !ok {
+		if len(c.order) >= deltaCacheLimit {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.m[key] = blob
+}
+
+// idSig folds a pseudo-ID segment into an order-sensitive FNV-style
+// signature, binding a cache key to the exact IDs a block covers. The two
+// ends compute it over the same ID list, so keys agree by construction.
+func idSig(pids []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, id := range pids {
+		h = (h ^ uint64(id)) * 1099511628211
+	}
+	return h
+}
+
+// blockKeys derives the cache key of every block of a ciphertext vector:
+// peer scopes the link (a receiver caches per sender), then the query, the
+// slot geometry (adaptive pack bits and factor — a renegotiated width is a
+// different block) and the covered pseudo-ID segment.
+func blockKeys(peer string, query, packBits, factor int, pids []int) []string {
+	blocks := packedLen(len(pids), factor)
+	keys := make([]string, blocks)
+	for b := 0; b < blocks; b++ {
+		lo := b * factor
+		hi := min(lo+factor, len(pids))
+		keys[b] = fmt.Sprintf("%s|%d|%d|%d|%d|%x", peer, query, packBits, factor, b, idSig(pids[lo:hi]))
+	}
+	return keys
+}
+
+// trim withholds every block whose bytes match the sender-side cache: the
+// receiver proved it holds those bytes by having received them. Changed or
+// new blocks are (re)cached and sent in full. Returns the wire vector (hits
+// replaced by empty placeholders, aliasing blobs otherwise) and the withheld
+// indices in ascending order.
+func (c *deltaCache) trim(keys []string, blobs [][]byte) ([][]byte, []int) {
+	var cached []int
+	out := blobs
+	for b, key := range keys {
+		if prev, ok := c.get(key); ok && bytes.Equal(prev, blobs[b]) {
+			if len(cached) == 0 {
+				out = make([][]byte, len(blobs))
+				copy(out, blobs)
+			}
+			out[b] = nil
+			cached = append(cached, b)
+			continue
+		}
+		c.put(key, blobs[b])
+	}
+	return out, cached
+}
+
+// restore fills the withheld blocks of blobs (in place) from the cache and
+// refreshes the cache with every block of the restored vector. cachedIdx must
+// be strictly ascending, in range, and point at empty placeholders — anything
+// else is a framing error. A withheld block absent from the cache returns
+// ErrDeltaCacheMiss (typed, so the caller can retry with NoCache). Returns
+// the hit count, which equals len(cachedIdx) on success.
+func (c *deltaCache) restore(keys []string, blobs [][]byte, cachedIdx []int) (int, error) {
+	if len(blobs) != len(keys) {
+		return 0, fmt.Errorf("vfl: delta restore over %d blocks, want %d", len(blobs), len(keys))
+	}
+	if !sort.IntsAreSorted(cachedIdx) {
+		return 0, fmt.Errorf("vfl: cached block indices not ascending")
+	}
+	for i, b := range cachedIdx {
+		if b < 0 || b >= len(blobs) {
+			return 0, fmt.Errorf("vfl: cached block index %d out of range [0,%d)", b, len(blobs))
+		}
+		if i > 0 && cachedIdx[i-1] == b {
+			return 0, fmt.Errorf("vfl: duplicate cached block index %d", b)
+		}
+		if len(blobs[b]) != 0 {
+			return 0, fmt.Errorf("vfl: cached block %d carries %d bytes, want empty placeholder", b, len(blobs[b]))
+		}
+		blob, ok := c.get(keys[b])
+		if !ok {
+			return 0, fmt.Errorf("%w: block %d of %d", ErrDeltaCacheMiss, b, len(blobs))
+		}
+		blobs[b] = blob
+	}
+	for b, key := range keys {
+		c.put(key, blobs[b])
+	}
+	return len(cachedIdx), nil
+}
+
+// Delta-cache metric families: receiver-side lookup outcomes per role.
+const (
+	metricDeltaHits   = "vfps_delta_cache_hits_total"
+	metricDeltaMisses = "vfps_delta_cache_misses_total"
+)
+
+func declareDelta(reg *obs.Registry) (hits, misses *obs.CounterVec) {
+	hits = reg.Counter(metricDeltaHits,
+		"Ciphertext blocks restored from the cross-round delta cache instead of the wire (receiver side).",
+		"role")
+	misses = reg.Counter(metricDeltaMisses,
+		"Withheld ciphertext blocks the receiver no longer cached, each forcing a full-resend retry.",
+		"role")
+	return hits, misses
+}
+
+// DeclareDeltaMetrics pre-declares the delta-cache families on reg so they
+// render on /metrics before the first delta transfer. Safe on a nil registry.
+func DeclareDeltaMetrics(reg *obs.Registry) {
+	declareDelta(reg)
+}
+
+// recordDelta feeds receiver-side lookup outcomes into the metric families.
+// No-op without a registry.
+func (r *roleObs) recordDelta(role string, hits, misses int) {
+	if hits == 0 && misses == 0 {
+		return
+	}
+	reg := r.o.Load().Registry()
+	if reg == nil {
+		return
+	}
+	h, m := declareDelta(reg)
+	h.With(role).Add(int64(hits))
+	m.With(role).Add(int64(misses))
+}

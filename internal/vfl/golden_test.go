@@ -25,26 +25,35 @@ func allMessages() []wire.Message {
 		&PrivateKeyResp{Scheme: "secagg", Parties: 4, MaskSeed: 99},
 		&RankingBatchReq{Query: 3, Offset: 64, Count: 32},
 		&RankingBatchResp{PseudoIDs: []int{9, 4, 17, 16}}, // unsorted: negative deltas
-		&EncryptAllReq{Query: 12},
-		&EncryptAllResp{PseudoIDs: []int{1, 2, 3}, Ciphers: [][]byte{{0xde, 0xad}, {0xbe}}, PackFactor: 2},
-		&EncryptCandidatesReq{Query: 5, PseudoIDs: []int{100, 7}},
-		&EncryptCandidatesResp{Ciphers: [][]byte{{1}, {2, 3}}, PackFactor: 1},
+		&EncryptAllReq{Query: 12, PackBits: 40, Delta: true, NoCache: true},
+		&EncryptAllResp{PseudoIDs: []int{1, 2, 3}, Ciphers: [][]byte{{0xde, 0xad}, {0xbe}}, PackFactor: 2,
+			PackBits: 36, NeedBits: 30, CachedBlocks: []int{0, 2}},
+		&EncryptCandidatesReq{Query: 5, PseudoIDs: []int{100, 7}, PackBits: 20, Delta: true},
+		&EncryptCandidatesResp{Ciphers: [][]byte{{1}, {2, 3}}, PackFactor: 1,
+			NeedBits: 18, CachedBlocks: []int{1}},
 		&NeighborSumReq{Query: 2, PseudoIDs: []int{8, 3, 11}},
 		&NeighborSumResp{Sum: -2.25},
 		&CountsResp{Counts: costmodel.Raw{DistanceFlops: 1, Encryptions: 2,
 			Decryptions: 3, CipherAdds: 4, PlainAdds: 5, ItemsSent: 6,
-			Messages: 7, BytesSent: 8, FramingBytes: 9}},
+			Messages: 7, BytesSent: 8, FramingBytes: 9, CacheHits: 10, CacheMisses: 11}},
 		&EncryptRankScoreReq{Query: 1, Rank: 9},
 		&EncryptRankScoreResp{Cipher: []byte{5, 6}},
-		&AggregateCandidatesReq{Query: 4, PseudoIDs: []int{2, 1}},
-		&AggregateCandidatesResp{Aggregated: [][]byte{{9}}, PackFactor: 3},
+		&AggregateCandidatesReq{Query: 4, PseudoIDs: []int{2, 1}, Adaptive: true, Delta: true, NoCache: true},
+		&AggregateCandidatesResp{Aggregated: [][]byte{{9}}, PackFactor: 3,
+			PackBits: 36, PackAdds: 3, CachedBlocks: []int{0}},
 		&AggregateFrontierReq{Query: 6, Rank: 2},
 		&AggregateFrontierResp{Cipher: []byte{7}},
-		&CollectAllReq{Query: 8},
-		&CollectAllResp{PseudoIDs: []int{0, 5}, Aggregated: [][]byte{{1, 1}, {2, 2}}, PackFactor: 1},
-		&FaginCollectReq{Query: 7, K: 10, Batch: 32},
+		&CollectAllReq{Query: 8, ChunkBytes: 4096, Adaptive: true, Delta: true, NoCache: true},
+		&CollectAllResp{PseudoIDs: []int{0, 5}, Aggregated: [][]byte{{1, 1}, {2, 2}}, PackFactor: 1,
+			PackBits: 36, PackAdds: 3, CachedBlocks: []int{1}},
+		&CollectAllResp{PseudoIDs: []int{0, 5}, PackFactor: 2,
+			Chunked: [][][]byte{{{1, 1}}, {{2, 2}, {3}}}},
+		&FaginCollectReq{Query: 7, K: 10, Batch: 32, ChunkBytes: 2048, Adaptive: true, Delta: true},
 		&FaginCollectResp{PseudoIDs: []int{3, 1}, Aggregated: [][]byte{{4}}, PackFactor: 2,
 			Stats: FaginStats{Rounds: 2, ScanDepth: 64, Candidates: 9}},
+		&FaginCollectResp{PseudoIDs: []int{3, 1}, PackFactor: 2, PackBits: 40, PackAdds: 4,
+			CachedBlocks: []int{0, 1}, Chunked: [][][]byte{{{7, 8}}},
+			Stats: FaginStats{Rounds: 1, ScanDepth: 8, Candidates: 2}},
 	}
 }
 
@@ -76,6 +85,25 @@ func TestGoldenVectors(t *testing.T) {
 		// IDs + pack factor + nested FaginStats, blob field absent.
 		{&FaginCollectResp{PseudoIDs: []int{1}, PackFactor: 1, Stats: FaginStats{Rounds: 2}},
 			"00010a020102180222020804", 0},
+		// Adaptive/delta request flags: booleans encode as varint 1 when set
+		// and are omitted when clear (legacy peers skip the unknown tags).
+		{&EncryptAllReq{Query: 12, PackBits: 40, Delta: true, NoCache: true},
+			"00010818105018022002", 0},
+		{&AggregateCandidatesReq{Query: 4, PseudoIDs: []int{2, 1}, Adaptive: true, Delta: true},
+			"00010808120302040118022002", 0},
+		// Delta response: a withheld block rides as a 0-length blob
+		// placeholder and its index appears in the CachedBlocks ID list.
+		{&EncryptAllResp{PseudoIDs: []int{4, 9}, Ciphers: [][]byte{{0xaa}, {}}, PackFactor: 2,
+			PackBits: 36, NeedBits: 33, CachedBlocks: []int{1}},
+			"00010a0302080a12040201aa0018042048284232020102", 1},
+		// Chunked response (tag 7): uvarint chunk count, each chunk its own
+		// length-prefixed blob list; the flat Aggregated field stays absent.
+		{&CollectAllResp{PseudoIDs: []int{2}, PackFactor: 2, PackBits: 36, PackAdds: 3,
+			Chunked: [][][]byte{{{0xaa, 0xbb}}, {{0xcc}, {}}}},
+			"00010a0201041804204828063a09020102aabb0201cc00", 3},
+		// Cross-round cache counters ride the nested counters sub-body.
+		{&CountsResp{Counts: costmodel.Raw{CacheHits: 2, CacheMisses: 1}},
+			"00010a0450045802", 0},
 	}
 	bin := wire.Binary()
 	for _, v := range vectors {

@@ -2,6 +2,7 @@ package vfl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -51,6 +52,13 @@ type Leader struct {
 	counts      costmodel.Counts
 	parallelism int    // 0 → par.Degree(); 1 → fully serial party fan-out
 	instance    string // observer instance label; the query log's tenant
+
+	// Payload-optimisation knobs requested from the aggregation server (see
+	// SetPayloadOptions) and the receive half of the leader-link delta cache.
+	padaptive  bool
+	chunkBytes int
+	delta      bool
+	recvCache  deltaCache
 }
 
 // NewLeader wires the leader to the cluster. batch is the Fagin mini-batch
@@ -104,6 +112,7 @@ func (l *Leader) SetObserver(o *obs.Observer, instance string) {
 	l.store(o)
 	l.instance = instance
 	l.counts.Register(o.Registry(), instance, "leader")
+	DeclareDeltaMetrics(o.Registry())
 }
 
 // Instance returns the observer instance label ("" when observability is
@@ -122,6 +131,22 @@ func (l *Leader) SetParallelism(n int) {
 
 // P returns the number of participants.
 func (l *Leader) P() int { return len(l.parties) }
+
+// SetPayloadOptions configures the ciphertext-payload optimisations the
+// leader requests from the aggregation server: adaptive pack-width
+// negotiation (effective only when the parties slot-pack), chunk framing of
+// collection responses (chunkBytes > 0 splits packed vectors into
+// ≤chunkBytes chunks the leader decrypts as a pipeline; requires the binary
+// codec, gob peers silently keep whole-blob framing), and cross-round delta
+// caching (repeat queries resend only changed ciphertext blocks). All three
+// default to off, which keeps the wire image and the selections byte-
+// identical to previous protocol versions.
+func (l *Leader) SetPayloadOptions(adaptive bool, chunkBytes int, delta bool) {
+	if chunkBytes < 0 {
+		chunkBytes = 0
+	}
+	l.padaptive, l.chunkBytes, l.delta = adaptive, chunkBytes, delta
+}
 
 // QueryResult is the outcome of one vertical-KNN query.
 type QueryResult struct {
@@ -165,6 +190,7 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (r
 			phases = append(phases, obs.PhaseSecs{Name: name, Seconds: time.Since(since).Seconds()})
 		}
 	}
+	var chunkCount int
 	if o != nil {
 		qstart := time.Now()
 		defer func() {
@@ -183,6 +209,9 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (r
 				ev.Attrs["candidates"] = res.Fagin.Candidates
 				ev.Attrs["rounds"] = res.Fagin.Rounds
 			}
+			if chunkCount > 0 {
+				ev.Attrs["chunks"] = chunkCount
+			}
 			if err != nil {
 				ev.Attrs["error"] = err.Error()
 			}
@@ -190,36 +219,36 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (r
 		}()
 	}
 	var pids []int
-	var ciphers [][]byte
-	var packFactor int
+	var col *collected
 	var dist []float64
 	var stats FaginStats
 	collectStart := time.Now()
 	switch variant {
 	case VariantThreshold:
-		var err error
-		pids, dist, stats, err = l.thresholdScan(ctx, query, k)
-		if err != nil {
-			return nil, err
+		var terr error
+		pids, dist, stats, terr = l.thresholdScan(ctx, query, k)
+		if terr != nil {
+			return nil, terr
 		}
 	case VariantBase:
-		var resp CollectAllResp
-		if err := l.call(ctx, l.agg, MethodCollectAll, &CollectAllReq{Query: query}, &resp); err != nil {
-			return nil, err
+		var cerr error
+		col, stats, cerr = l.collectBase(ctx, query)
+		if cerr != nil {
+			return nil, cerr
 		}
-		pids, ciphers, packFactor = resp.PseudoIDs, resp.Aggregated, resp.PackFactor
-		stats.Candidates = len(pids)
-		stats.Rounds = 1
-		stats.ScanDepth = len(pids)
+		pids = col.pids
 	case VariantFagin:
-		var resp FaginCollectResp
-		if err := l.call(ctx, l.agg, MethodFaginCollect,
-			&FaginCollectReq{Query: query, K: k, Batch: l.batch}, &resp); err != nil {
-			return nil, err
+		var cerr error
+		col, stats, cerr = l.collectFagin(ctx, query, k)
+		if cerr != nil {
+			return nil, cerr
 		}
-		pids, ciphers, packFactor, stats = resp.PseudoIDs, resp.Aggregated, resp.PackFactor, resp.Stats
+		pids = col.pids
 	default:
 		return nil, fmt.Errorf("vfl: unknown variant %q", variant)
+	}
+	if col != nil {
+		chunkCount = len(col.chunks)
 	}
 	phase("collect", collectStart)
 	if k > len(pids) {
@@ -231,40 +260,180 @@ func (l *Leader) RunQuery(ctx context.Context, query, k int, variant Variant) (r
 	if dist == nil {
 		decStart := time.Now()
 		dctx, dsp := l.tracer().Start(ctx, SpanDecrypt)
-		dsp.SetLabelInt("n", int64(len(ciphers)))
-		dist, derr := l.decryptAggregates(dctx, ciphers, packFactor, len(pids))
+		dsp.SetLabelInt("n", int64(len(col.blobs)))
+		dist, derr := l.decryptCollected(dctx, col)
 		dsp.End()
 		phase("decrypt", decStart)
 		if derr != nil {
 			return nil, fmt.Errorf("vfl: leader decrypting: %w", derr)
 		}
-		l.counts.Add(costmodel.Raw{Decryptions: int64(len(ciphers))})
+		l.counts.Add(costmodel.Raw{Decryptions: int64(len(col.blobs))})
 		return l.finishQuery(ctx, query, k, pids, dist, stats, phase)
 	}
 	return l.finishQuery(ctx, query, k, pids, dist, stats, phase)
 }
 
-// decryptAggregates recovers count aggregate distances from the ciphertexts
-// of one collection round. packFactor <= 1 is the classic one-value-per-
-// ciphertext layout; packFactor > 1 means the parties slot-packed, so every
-// ciphertext is a per-slot sum over all parties and is decrypted through the
-// packed path with the party count as the accumulated addition count. The
-// decoded values are bit-identical to the scalar path — packing changes the
-// carrier layout, not the fixed-point arithmetic — so selection results do
-// not depend on the packing setting.
-func (l *Leader) decryptAggregates(ctx context.Context, ciphers [][]byte, packFactor, count int) ([]float64, error) {
-	packFactor = normFactor(packFactor)
-	if packFactor == 1 {
-		return he.DecryptVec(ctx, l.scheme, ciphers)
+// collected is one collection round's aggregate ciphertext vector after
+// chunk reassembly and delta restoration, with the layout metadata the
+// decrypt step validates.
+type collected struct {
+	pids   []int
+	blobs  [][]byte   // flat, fully restored
+	chunks [][][]byte // chunk views over blobs when the response was chunked
+	factor int
+	bits   int // adaptive slot width; 0 = static geometry
+	adds   int // advertised aggregation depth (PackAdds)
+}
+
+// resolveCollected turns a collection response into a usable ciphertext
+// vector: reassemble chunk framing, validate the packed length, and restore
+// delta-withheld blocks from the receive cache. An ErrDeltaCacheMiss is
+// returned typed so the caller can retry the call with NoCache.
+func (l *Leader) resolveCollected(query int, pids []int, aggregated [][]byte, chunked [][][]byte, cachedBlocks []int, factor, bits, adds int, delta bool) (*collected, error) {
+	factor = normFactor(factor)
+	flat := aggregated
+	var chunkLens []int
+	if len(chunked) > 0 {
+		f, err := wire.FlattenChunks(chunked)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: reassembling chunked aggregates: %w", err)
+		}
+		flat = f
+		chunkLens = make([]int, len(chunked))
+		for i, c := range chunked {
+			chunkLens[i] = len(c)
+		}
+	}
+	if want := packedLen(len(pids), factor); len(flat) != want {
+		return nil, fmt.Errorf("vfl: got %d aggregates for %d candidates, want %d", len(flat), len(pids), want)
+	}
+	if delta {
+		keys := blockKeys("agg", query, bits, factor, pids)
+		hits, err := l.recvCache.restore(keys, flat, cachedBlocks)
+		if hits > 0 {
+			l.counts.Add(costmodel.Raw{CacheHits: int64(hits)})
+			l.recordDelta("leader", hits, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else if len(cachedBlocks) > 0 {
+		return nil, fmt.Errorf("vfl: response withheld %d blocks without delta caching", len(cachedBlocks))
+	}
+	out := &collected{pids: pids, blobs: flat, factor: factor, bits: bits, adds: adds}
+	if chunkLens != nil {
+		// Rebuild the chunk views over the restored flat vector so the
+		// pipelined decrypt sees complete blocks in wire-chunk granularity.
+		out.chunks = make([][][]byte, len(chunkLens))
+		pos := 0
+		for i, n := range chunkLens {
+			out.chunks[i] = flat[pos : pos+n]
+			pos += n
+		}
+	}
+	return out, nil
+}
+
+// deltaMissRetry reports whether err is a first-attempt delta-cache miss
+// (the leader evicted a block the agg assumed cached) and charges the miss;
+// the caller then retries the same call once with NoCache set.
+func (l *Leader) deltaMissRetry(err error, attempt int) bool {
+	if !errors.Is(err, ErrDeltaCacheMiss) || attempt != 0 {
+		return false
+	}
+	l.counts.Add(costmodel.Raw{CacheMisses: 1})
+	l.recordDelta("leader", 0, 1)
+	return true
+}
+
+// collectBase performs the BASE variant's collection round trip, including
+// the payload-knob negotiation and the NoCache retry after a delta miss.
+func (l *Leader) collectBase(ctx context.Context, query int) (*collected, FaginStats, error) {
+	req := &CollectAllReq{Query: query, ChunkBytes: l.chunkBytes, Adaptive: l.padaptive, Delta: l.delta}
+	for attempt := 0; ; attempt++ {
+		var resp CollectAllResp
+		if err := l.call(ctx, l.agg, MethodCollectAll, req, &resp); err != nil {
+			return nil, FaginStats{}, err
+		}
+		col, err := l.resolveCollected(query, resp.PseudoIDs, resp.Aggregated, resp.Chunked,
+			resp.CachedBlocks, resp.PackFactor, resp.PackBits, resp.PackAdds, l.delta)
+		if err != nil {
+			if l.deltaMissRetry(err, attempt) {
+				req.NoCache = true
+				continue
+			}
+			return nil, FaginStats{}, err
+		}
+		n := len(col.pids)
+		return col, FaginStats{Candidates: n, Rounds: 1, ScanDepth: n}, nil
+	}
+}
+
+// collectFagin performs the Fagin variant's collection round trip; see
+// collectBase for the retry semantics.
+func (l *Leader) collectFagin(ctx context.Context, query, k int) (*collected, FaginStats, error) {
+	req := &FaginCollectReq{Query: query, K: k, Batch: l.batch,
+		ChunkBytes: l.chunkBytes, Adaptive: l.padaptive, Delta: l.delta}
+	for attempt := 0; ; attempt++ {
+		var resp FaginCollectResp
+		if err := l.call(ctx, l.agg, MethodFaginCollect, req, &resp); err != nil {
+			return nil, FaginStats{}, err
+		}
+		col, err := l.resolveCollected(query, resp.PseudoIDs, resp.Aggregated, resp.Chunked,
+			resp.CachedBlocks, resp.PackFactor, resp.PackBits, resp.PackAdds, l.delta)
+		if err != nil {
+			if l.deltaMissRetry(err, attempt) {
+				req.NoCache = true
+				continue
+			}
+			return nil, FaginStats{}, err
+		}
+		return col, resp.Stats, nil
+	}
+}
+
+// decryptCollected recovers the aggregate distances of one collection round.
+// factor 1 is the classic one-value-per-ciphertext layout; factor > 1 means
+// the parties slot-packed, so every ciphertext is a per-slot sum over all
+// parties. A static layout (bits == 0) must match the leader's own
+// EnablePacking geometry; an adaptive layout is validated by rebuilding the
+// (bits, adds) geometry through PackerFor, whose typed fixed.ErrPackAdds /
+// fixed.ErrPackShape errors are the hard backstop against a peer advertising
+// an aggregation depth the key cannot honour. Chunked vectors stream through
+// DecryptPackedChunks, overlapping parse and decrypt per wire chunk. The
+// decoded values are bit-identical to the scalar whole-blob path — packing
+// and chunking change the carrier layout, not the fixed-point arithmetic —
+// so selection results do not depend on any payload knob.
+func (l *Leader) decryptCollected(ctx context.Context, col *collected) ([]float64, error) {
+	if col.factor == 1 {
+		return he.DecryptVec(ctx, l.scheme, col.blobs)
 	}
 	pp, ok := l.scheme.(*he.Paillier)
 	if !ok {
 		return nil, fmt.Errorf("vfl: packed aggregates under non-paillier scheme %q", l.scheme.Name())
 	}
-	if lf := pp.PackFactor(); lf != packFactor {
-		return nil, fmt.Errorf("vfl: aggregates packed %d-wide but the leader's geometry is %d-wide — inconsistent packing configuration", packFactor, lf)
+	count := len(col.pids)
+	if col.bits == 0 {
+		if lf := pp.PackFactor(); lf != col.factor {
+			return nil, fmt.Errorf("vfl: aggregates packed %d-wide but the leader's geometry is %d-wide — inconsistent packing configuration", col.factor, lf)
+		}
+		if len(col.chunks) > 0 {
+			return pp.DecryptPackedChunks(ctx, col.chunks, count, nil, len(l.parties))
+		}
+		return pp.DecryptPacked(ctx, col.blobs, count, len(l.parties))
 	}
-	return pp.DecryptPacked(ctx, ciphers, count, len(l.parties))
+	packer, err := pp.PackerFor(uint(col.bits), col.adds)
+	if err != nil {
+		return nil, fmt.Errorf("vfl: rejecting advertised pack geometry: %w", err)
+	}
+	if packer.Slots() != col.factor {
+		return nil, fmt.Errorf("vfl: advertised pack factor %d does not match geometry (V=%d, adds=%d → S=%d) — inconsistent packing configuration",
+			col.factor, col.bits, col.adds, packer.Slots())
+	}
+	if len(col.chunks) > 0 {
+		return pp.DecryptPackedChunks(ctx, col.chunks, count, packer, col.adds)
+	}
+	return pp.DecryptPackedWith(ctx, col.blobs, count, packer, col.adds)
 }
 
 // finishQuery ranks the decrypted candidate distances and gathers the
@@ -385,21 +554,32 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 
 		// Random access: aggregated ciphertexts for the new candidates.
 		if len(newIDs) > 0 {
-			var resp AggregateCandidatesResp
-			if err := l.call(ctx, l.agg, MethodAggregateCandidates,
-				&AggregateCandidatesReq{Query: query, PseudoIDs: newIDs}, &resp); err != nil {
-				return nil, nil, stats, err
+			req := &AggregateCandidatesReq{Query: query, PseudoIDs: newIDs, Adaptive: l.padaptive, Delta: l.delta}
+			var col *collected
+			for attempt := 0; ; attempt++ {
+				var resp AggregateCandidatesResp
+				if err := l.call(ctx, l.agg, MethodAggregateCandidates, req, &resp); err != nil {
+					return nil, nil, stats, err
+				}
+				var rerr error
+				col, rerr = l.resolveCollected(query, newIDs, resp.Aggregated, nil,
+					resp.CachedBlocks, resp.PackFactor, resp.PackBits, resp.PackAdds, l.delta)
+				if rerr != nil {
+					if l.deltaMissRetry(rerr, attempt) {
+						req.NoCache = true
+						continue
+					}
+					return nil, nil, stats, fmt.Errorf("vfl: TA aggregate round: %w", rerr)
+				}
+				break
 			}
-			if want := packedLen(len(newIDs), normFactor(resp.PackFactor)); len(resp.Aggregated) != want {
-				return nil, nil, stats, fmt.Errorf("vfl: TA got %d aggregates for %d candidates, want %d", len(resp.Aggregated), len(newIDs), want)
-			}
-			vs, err := l.decryptAggregates(ctx, resp.Aggregated, resp.PackFactor, len(newIDs))
+			vs, err := l.decryptCollected(ctx, col)
 			if err != nil {
 				return nil, nil, stats, fmt.Errorf("vfl: TA decrypting candidate: %w", err)
 			}
 			pids = append(pids, newIDs...)
 			dist = append(dist, vs...)
-			l.counts.Add(costmodel.Raw{Decryptions: int64(len(resp.Aggregated))})
+			l.counts.Add(costmodel.Raw{Decryptions: int64(len(col.blobs))})
 		}
 		if exhausted {
 			break

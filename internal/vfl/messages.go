@@ -89,8 +89,18 @@ type RankingBatchResp struct {
 
 // EncryptAllReq asks for encrypted partial distances of every instance
 // (except the query itself), the VFPS-SM-BASE access pattern.
+//
+// PackBits > 0 dictates the adaptive slot width (per-value magnitude bound,
+// in bits) the party must pack under — negotiated from the NeedBits the
+// parties advertised last round. 0 keeps the static EnablePacking geometry.
+// Delta asks the party to withhold ciphertext blocks the aggregator already
+// caches from an earlier round; NoCache forces a full resend (the cache-miss
+// recovery path).
 type EncryptAllReq struct {
-	Query int
+	Query    int
+	PackBits int
+	Delta    bool
+	NoCache  bool
 }
 
 // EncryptAllResp returns ciphertexts aligned with ascending pseudo IDs.
@@ -99,24 +109,42 @@ type EncryptAllReq struct {
 // ceil(len(PseudoIDs)/PackFactor). 0 or 1 means one value per ciphertext —
 // the pre-packing wire format, which old peers emit implicitly via gob's
 // zero-value defaulting.
+//
+// PackBits echoes the adaptive slot width the ciphertexts were packed under
+// (0 = static geometry). NeedBits advertises the smallest slot width this
+// party's values would fit, feeding the aggregator's next-round negotiation.
+// CachedBlocks lists indices into the full ciphertext vector that were
+// withheld because the receiver caches them (the corresponding Ciphers
+// entries are empty placeholders).
 type EncryptAllResp struct {
-	PseudoIDs  []int
-	Ciphers    [][]byte
-	PackFactor int
+	PseudoIDs    []int
+	Ciphers      [][]byte
+	PackFactor   int
+	PackBits     int
+	NeedBits     int
+	CachedBlocks []int
 }
 
 // EncryptCandidatesReq asks for encrypted partial distances of the given
-// candidate pseudo IDs only (the Fagin-pruned set).
+// candidate pseudo IDs only (the Fagin-pruned set). PackBits, Delta and
+// NoCache behave as in EncryptAllReq.
 type EncryptCandidatesReq struct {
 	Query     int
 	PseudoIDs []int
+	PackBits  int
+	Delta     bool
+	NoCache   bool
 }
 
 // EncryptCandidatesResp returns ciphertexts aligned with the request order
-// (slot-packed when PackFactor > 1, see EncryptAllResp).
+// (slot-packed when PackFactor > 1; PackBits, NeedBits and CachedBlocks as in
+// EncryptAllResp).
 type EncryptCandidatesResp struct {
-	Ciphers    [][]byte
-	PackFactor int
+	Ciphers      [][]byte
+	PackFactor   int
+	PackBits     int
+	NeedBits     int
+	CachedBlocks []int
 }
 
 // NeighborSumReq asks for d^p_T = Σ_{t∈T} d^p_t over the pseudo IDs of the
@@ -151,17 +179,28 @@ type EncryptRankScoreResp struct {
 
 // AggregateCandidatesReq asks the aggregation server to collect and
 // homomorphically sum the parties' encrypted partial distances for specific
-// pseudo IDs (TA random-access phase).
+// pseudo IDs (TA random-access phase). Adaptive lets the aggregator negotiate
+// the slot width with the parties; Delta enables cross-round ciphertext
+// caching on the leader link; NoCache forces a full resend.
 type AggregateCandidatesReq struct {
 	Query     int
 	PseudoIDs []int
+	Adaptive  bool
+	Delta     bool
+	NoCache   bool
 }
 
 // AggregateCandidatesResp returns aggregated ciphertexts aligned with the
 // request order (slot-packed when PackFactor > 1, see EncryptAllResp).
+// PackBits reports the adaptive slot width in effect (0 = static); PackAdds
+// the aggregation depth the leader must unpack under; CachedBlocks the
+// withheld indices as in EncryptAllResp.
 type AggregateCandidatesResp struct {
-	Aggregated [][]byte
-	PackFactor int
+	Aggregated   [][]byte
+	PackFactor   int
+	PackBits     int
+	PackAdds     int
+	CachedBlocks []int
 }
 
 // AggregateFrontierReq asks the aggregation server for the encrypted TA
@@ -176,24 +215,43 @@ type AggregateFrontierResp struct {
 	Cipher []byte
 }
 
-// CollectAllReq drives the BASE variant for one query.
+// CollectAllReq drives the BASE variant for one query. ChunkBytes > 0 asks
+// for the aggregated vector chunk-framed at roughly that content size per
+// chunk (v1 codecs only; gob peers always get whole-blob framing). Adaptive,
+// Delta and NoCache behave as in AggregateCandidatesReq.
 type CollectAllReq struct {
-	Query int
+	Query      int
+	ChunkBytes int
+	Adaptive   bool
+	Delta      bool
+	NoCache    bool
 }
 
 // CollectAllResp returns the homomorphically aggregated complete distances
-// for every pseudo ID (slot-packed when PackFactor > 1, see EncryptAllResp).
+// for every pseudo ID (slot-packed when PackFactor > 1, see EncryptAllResp;
+// PackBits/PackAdds/CachedBlocks as in AggregateCandidatesResp). When the
+// request asked for chunk framing and the codec supports it, the vector rides
+// Chunked instead of Aggregated.
 type CollectAllResp struct {
-	PseudoIDs  []int
-	Aggregated [][]byte
-	PackFactor int
+	PseudoIDs    []int
+	Aggregated   [][]byte
+	PackFactor   int
+	PackBits     int
+	PackAdds     int
+	CachedBlocks []int
+	Chunked      [][][]byte
 }
 
-// FaginCollectReq drives the optimized variant for one query.
+// FaginCollectReq drives the optimized variant for one query. ChunkBytes,
+// Adaptive, Delta and NoCache behave as in CollectAllReq.
 type FaginCollectReq struct {
-	Query int
-	K     int
-	Batch int
+	Query      int
+	K          int
+	Batch      int
+	ChunkBytes int
+	Adaptive   bool
+	Delta      bool
+	NoCache    bool
 }
 
 // packedLen returns how many ciphertexts carry n values at the given pack
@@ -222,12 +280,17 @@ type FaginStats struct {
 }
 
 // FaginCollectResp returns aggregated complete distances for the candidate
-// set only (slot-packed when PackFactor > 1, see EncryptAllResp).
+// set only (slot-packed when PackFactor > 1, see EncryptAllResp; the payload
+// extension fields as in CollectAllResp).
 type FaginCollectResp struct {
-	PseudoIDs  []int
-	Aggregated [][]byte
-	PackFactor int
-	Stats      FaginStats
+	PseudoIDs    []int
+	Aggregated   [][]byte
+	PackFactor   int
+	Stats        FaginStats
+	PackBits     int
+	PackAdds     int
+	CachedBlocks []int
+	Chunked      [][][]byte
 }
 
 // ---- wire codec layouts --------------------------------------------------
@@ -316,25 +379,49 @@ func (m *RankingBatchResp) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
-// MarshalWire implements wire.Message. 1: query.
-func (m *EncryptAllReq) MarshalWire(e *wire.Encoder) { e.Int(1, int64(m.Query)) }
+// boolField encodes a flag as an omitted-when-false varint 1, so legacy
+// messages stay byte-identical and legacy peers skip the tag.
+func boolField(e *wire.Encoder, tag int, v bool) {
+	if v {
+		e.Int(tag, 1)
+	}
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: pack bits, 3: delta,
+// 4: no-cache.
+func (m *EncryptAllReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.Int(2, int64(m.PackBits))
+	boolField(e, 3, m.Delta)
+	boolField(e, 4, m.NoCache)
+}
 
 // UnmarshalWire implements wire.Message.
 func (m *EncryptAllReq) UnmarshalWire(d *wire.Decoder) error {
 	for d.Next() {
-		if d.Tag() == 1 {
+		switch d.Tag() {
+		case 1:
 			m.Query = int(d.Int())
+		case 2:
+			m.PackBits = int(d.Int())
+		case 3:
+			m.Delta = d.Int() != 0
+		case 4:
+			m.NoCache = d.Int() != 0
 		}
 	}
 	return d.Err()
 }
 
 // MarshalWire implements wire.Message. 1: pseudo IDs, 2: ciphertext blocks,
-// 3: pack factor.
+// 3: pack factor, 4: pack bits, 5: need bits, 6: cached block indices.
 func (m *EncryptAllResp) MarshalWire(e *wire.Encoder) {
 	e.IDs(1, m.PseudoIDs)
 	e.Blobs(2, m.Ciphers)
 	e.Int(3, int64(m.PackFactor))
+	e.Int(4, int64(m.PackBits))
+	e.Int(5, int64(m.NeedBits))
+	e.IDs(6, m.CachedBlocks)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -347,15 +434,25 @@ func (m *EncryptAllResp) UnmarshalWire(d *wire.Decoder) error {
 			m.Ciphers = d.Blobs()
 		case 3:
 			m.PackFactor = int(d.Int())
+		case 4:
+			m.PackBits = int(d.Int())
+		case 5:
+			m.NeedBits = int(d.Int())
+		case 6:
+			m.CachedBlocks = d.IDs()
 		}
 	}
 	return d.Err()
 }
 
-// MarshalWire implements wire.Message. 1: query, 2: pseudo IDs.
+// MarshalWire implements wire.Message. 1: query, 2: pseudo IDs, 3: pack bits,
+// 4: delta, 5: no-cache.
 func (m *EncryptCandidatesReq) MarshalWire(e *wire.Encoder) {
 	e.Int(1, int64(m.Query))
 	e.IDs(2, m.PseudoIDs)
+	e.Int(3, int64(m.PackBits))
+	boolField(e, 4, m.Delta)
+	boolField(e, 5, m.NoCache)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -366,15 +463,25 @@ func (m *EncryptCandidatesReq) UnmarshalWire(d *wire.Decoder) error {
 			m.Query = int(d.Int())
 		case 2:
 			m.PseudoIDs = d.IDs()
+		case 3:
+			m.PackBits = int(d.Int())
+		case 4:
+			m.Delta = d.Int() != 0
+		case 5:
+			m.NoCache = d.Int() != 0
 		}
 	}
 	return d.Err()
 }
 
-// MarshalWire implements wire.Message. 1: ciphertext blocks, 2: pack factor.
+// MarshalWire implements wire.Message. 1: ciphertext blocks, 2: pack factor,
+// 3: pack bits, 4: need bits, 5: cached block indices.
 func (m *EncryptCandidatesResp) MarshalWire(e *wire.Encoder) {
 	e.Blobs(1, m.Ciphers)
 	e.Int(2, int64(m.PackFactor))
+	e.Int(3, int64(m.PackBits))
+	e.Int(4, int64(m.NeedBits))
+	e.IDs(5, m.CachedBlocks)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -385,6 +492,12 @@ func (m *EncryptCandidatesResp) UnmarshalWire(d *wire.Decoder) error {
 			m.Ciphers = d.Blobs()
 		case 2:
 			m.PackFactor = int(d.Int())
+		case 3:
+			m.PackBits = int(d.Int())
+		case 4:
+			m.NeedBits = int(d.Int())
+		case 5:
+			m.CachedBlocks = d.IDs()
 		}
 	}
 	return d.Err()
@@ -425,7 +538,7 @@ func (m *NeighborSumResp) UnmarshalWire(d *wire.Decoder) error {
 // wireRaw pins costmodel.Raw's nested wire layout without coupling costmodel
 // to the codec. 1: flops, 2: enc, 3: dec, 4: cadd, 5: padd, 6: items,
 // 7: msgs, 8: bytes, 9: framing (framing was added with the codec itself, so
-// v1 defines it from the start).
+// v1 defines it from the start), 10: cache hits, 11: cache misses.
 type wireRaw costmodel.Raw
 
 func (r *wireRaw) MarshalWire(e *wire.Encoder) {
@@ -438,6 +551,8 @@ func (r *wireRaw) MarshalWire(e *wire.Encoder) {
 	e.Int(7, r.Messages)
 	e.Int(8, r.BytesSent)
 	e.Int(9, r.FramingBytes)
+	e.Int(10, r.CacheHits)
+	e.Int(11, r.CacheMisses)
 }
 
 func (r *wireRaw) UnmarshalWire(d *wire.Decoder) error {
@@ -461,6 +576,10 @@ func (r *wireRaw) UnmarshalWire(d *wire.Decoder) error {
 			r.BytesSent = d.Int()
 		case 9:
 			r.FramingBytes = d.Int()
+		case 10:
+			r.CacheHits = d.Int()
+		case 11:
+			r.CacheMisses = d.Int()
 		}
 	}
 	return d.Err()
@@ -511,10 +630,14 @@ func (m *EncryptRankScoreResp) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
-// MarshalWire implements wire.Message; same layout as EncryptCandidatesReq.
+// MarshalWire implements wire.Message. 1: query, 2: pseudo IDs, 3: adaptive,
+// 4: delta, 5: no-cache.
 func (m *AggregateCandidatesReq) MarshalWire(e *wire.Encoder) {
 	e.Int(1, int64(m.Query))
 	e.IDs(2, m.PseudoIDs)
+	boolField(e, 3, m.Adaptive)
+	boolField(e, 4, m.Delta)
+	boolField(e, 5, m.NoCache)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -525,15 +648,25 @@ func (m *AggregateCandidatesReq) UnmarshalWire(d *wire.Decoder) error {
 			m.Query = int(d.Int())
 		case 2:
 			m.PseudoIDs = d.IDs()
+		case 3:
+			m.Adaptive = d.Int() != 0
+		case 4:
+			m.Delta = d.Int() != 0
+		case 5:
+			m.NoCache = d.Int() != 0
 		}
 	}
 	return d.Err()
 }
 
-// MarshalWire implements wire.Message. 1: aggregated blocks, 2: pack factor.
+// MarshalWire implements wire.Message. 1: aggregated blocks, 2: pack factor,
+// 3: pack bits, 4: pack adds, 5: cached block indices.
 func (m *AggregateCandidatesResp) MarshalWire(e *wire.Encoder) {
 	e.Blobs(1, m.Aggregated)
 	e.Int(2, int64(m.PackFactor))
+	e.Int(3, int64(m.PackBits))
+	e.Int(4, int64(m.PackAdds))
+	e.IDs(5, m.CachedBlocks)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -544,6 +677,12 @@ func (m *AggregateCandidatesResp) UnmarshalWire(d *wire.Decoder) error {
 			m.Aggregated = d.Blobs()
 		case 2:
 			m.PackFactor = int(d.Int())
+		case 3:
+			m.PackBits = int(d.Int())
+		case 4:
+			m.PackAdds = int(d.Int())
+		case 5:
+			m.CachedBlocks = d.IDs()
 		}
 	}
 	return d.Err()
@@ -581,25 +720,46 @@ func (m *AggregateFrontierResp) UnmarshalWire(d *wire.Decoder) error {
 	return d.Err()
 }
 
-// MarshalWire implements wire.Message. 1: query.
-func (m *CollectAllReq) MarshalWire(e *wire.Encoder) { e.Int(1, int64(m.Query)) }
+// MarshalWire implements wire.Message. 1: query, 2: chunk bytes, 3: adaptive,
+// 4: delta, 5: no-cache.
+func (m *CollectAllReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.Int(2, int64(m.ChunkBytes))
+	boolField(e, 3, m.Adaptive)
+	boolField(e, 4, m.Delta)
+	boolField(e, 5, m.NoCache)
+}
 
 // UnmarshalWire implements wire.Message.
 func (m *CollectAllReq) UnmarshalWire(d *wire.Decoder) error {
 	for d.Next() {
-		if d.Tag() == 1 {
+		switch d.Tag() {
+		case 1:
 			m.Query = int(d.Int())
+		case 2:
+			m.ChunkBytes = int(d.Int())
+		case 3:
+			m.Adaptive = d.Int() != 0
+		case 4:
+			m.Delta = d.Int() != 0
+		case 5:
+			m.NoCache = d.Int() != 0
 		}
 	}
 	return d.Err()
 }
 
 // MarshalWire implements wire.Message. 1: pseudo IDs, 2: aggregated blocks,
-// 3: pack factor.
+// 3: pack factor, 4: pack bits, 5: pack adds, 6: cached block indices,
+// 7: chunk-framed blocks.
 func (m *CollectAllResp) MarshalWire(e *wire.Encoder) {
 	e.IDs(1, m.PseudoIDs)
 	e.Blobs(2, m.Aggregated)
 	e.Int(3, int64(m.PackFactor))
+	e.Int(4, int64(m.PackBits))
+	e.Int(5, int64(m.PackAdds))
+	e.IDs(6, m.CachedBlocks)
+	e.Chunks(7, m.Chunked)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -612,16 +772,29 @@ func (m *CollectAllResp) UnmarshalWire(d *wire.Decoder) error {
 			m.Aggregated = d.Blobs()
 		case 3:
 			m.PackFactor = int(d.Int())
+		case 4:
+			m.PackBits = int(d.Int())
+		case 5:
+			m.PackAdds = int(d.Int())
+		case 6:
+			m.CachedBlocks = d.IDs()
+		case 7:
+			m.Chunked = d.Chunks()
 		}
 	}
 	return d.Err()
 }
 
-// MarshalWire implements wire.Message. 1: query, 2: k, 3: batch.
+// MarshalWire implements wire.Message. 1: query, 2: k, 3: batch, 4: chunk
+// bytes, 5: adaptive, 6: delta, 7: no-cache.
 func (m *FaginCollectReq) MarshalWire(e *wire.Encoder) {
 	e.Int(1, int64(m.Query))
 	e.Int(2, int64(m.K))
 	e.Int(3, int64(m.Batch))
+	e.Int(4, int64(m.ChunkBytes))
+	boolField(e, 5, m.Adaptive)
+	boolField(e, 6, m.Delta)
+	boolField(e, 7, m.NoCache)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -634,6 +807,14 @@ func (m *FaginCollectReq) UnmarshalWire(d *wire.Decoder) error {
 			m.K = int(d.Int())
 		case 3:
 			m.Batch = int(d.Int())
+		case 4:
+			m.ChunkBytes = int(d.Int())
+		case 5:
+			m.Adaptive = d.Int() != 0
+		case 6:
+			m.Delta = d.Int() != 0
+		case 7:
+			m.NoCache = d.Int() != 0
 		}
 	}
 	return d.Err()
@@ -663,12 +844,17 @@ func (m *FaginStats) UnmarshalWire(d *wire.Decoder) error {
 }
 
 // MarshalWire implements wire.Message. 1: pseudo IDs, 2: aggregated blocks,
-// 3: pack factor, 4: Fagin stats (nested).
+// 3: pack factor, 4: Fagin stats (nested), 5: pack bits, 6: pack adds,
+// 7: cached block indices, 8: chunk-framed blocks.
 func (m *FaginCollectResp) MarshalWire(e *wire.Encoder) {
 	e.IDs(1, m.PseudoIDs)
 	e.Blobs(2, m.Aggregated)
 	e.Int(3, int64(m.PackFactor))
 	e.Msg(4, &m.Stats)
+	e.Int(5, int64(m.PackBits))
+	e.Int(6, int64(m.PackAdds))
+	e.IDs(7, m.CachedBlocks)
+	e.Chunks(8, m.Chunked)
 }
 
 // UnmarshalWire implements wire.Message.
@@ -683,6 +869,14 @@ func (m *FaginCollectResp) UnmarshalWire(d *wire.Decoder) error {
 			m.PackFactor = int(d.Int())
 		case 4:
 			d.Msg(&m.Stats)
+		case 5:
+			m.PackBits = int(d.Int())
+		case 6:
+			m.PackAdds = int(d.Int())
+		case 7:
+			m.CachedBlocks = d.IDs()
+		case 8:
+			m.Chunked = d.Chunks()
 		}
 	}
 	return d.Err()

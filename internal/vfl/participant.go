@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"vfps/internal/costmodel"
+	"vfps/internal/fixed"
 	"vfps/internal/he"
 	"vfps/internal/mat"
 	"vfps/internal/obs"
@@ -36,6 +37,12 @@ type Participant struct {
 
 	counts      costmodel.Counts
 	parallelism int // 0 → par.Degree(); 1 → fully serial encryption
+
+	// deltaSent caches ciphertext blocks sent to the aggregator, keyed by
+	// block identity; a hit reuses the cached bytes (skipping re-encryption)
+	// and withholds the block from the wire. Sound because partial distances
+	// are a pure function of (query, pseudo ID) over the static dataset.
+	deltaSent deltaCache
 
 	mu         sync.Mutex
 	cache      map[int]*queryCache
@@ -136,19 +143,39 @@ func (p *Participant) encryptValue(domain byte, query, key int, v float64) ([]by
 	return p.scheme.Encrypt(v)
 }
 
-// encryptItems protects a vector of item-keyed protocol values and reports
-// the pack factor of the result (1 = one ciphertext per value). Contextual
+// partEnc is the outcome of one encryption sweep: the wire vector (delta-
+// withheld blocks as empty placeholders), the pack factor, the adaptive slot
+// width actually used (0 = static geometry), the advertised magnitude bound
+// for the next negotiation round, the withheld block indices, and how many
+// ciphertexts were actually produced (cache hits skip the exponentiation).
+type partEnc struct {
+	ciphers   [][]byte
+	factor    int
+	packBits  int
+	needBits  int
+	cached    []int
+	encrypted int
+}
+
+// encryptItems protects a vector of item-keyed protocol values. Contextual
 // (mask-based) schemes are pure functions of (domain, query, key, value), so
 // their items parallelise over the worker pool; a pack-enabled Paillier
-// scheme slot-packs PackFactor values per ciphertext (he.EncryptPacked);
-// everything else goes through the scheme's own vector path (he.EncryptVec),
-// which parallelises Paillier and keeps order-dependent schemes serial. ctx
-// is polled per chunk so a dead client stops the encryption sweep early.
-func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, vals []float64) ([][]byte, int, error) {
+// scheme slot-packs values per ciphertext — under the static EnablePacking
+// geometry, or the dictated packBits-wide adaptive geometry when every local
+// value fits it (otherwise it falls back to static and lets the advertised
+// NeedBits lift the next round's negotiation); everything else goes through
+// the scheme's own vector path (he.EncryptVec). With delta set, blocks whose
+// bytes were already sent for this (query, geometry, pseudo-ID segment) are
+// withheld from the wire and reported in cached; noCache forces a full
+// resend after a receiver-side eviction. ctx is polled per chunk so a dead
+// client stops the encryption sweep early.
+func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, vals []float64, packBits int, delta, noCache bool) (partEnc, error) {
 	ctx, esp := p.tracer().Start(ctx, SpanEncrypt)
 	esp.SetLabelInt("n", int64(len(pids)))
 	defer esp.End()
 	if cs, ok := p.scheme.(he.Contextual); ok {
+		// Item-bound masks change per round by construction; neither adaptive
+		// packing nor delta caching applies.
 		out := make([][]byte, len(pids))
 		err := par.For(ctx, len(pids), p.parallelism, func(i int) error {
 			c, err := cs.EncryptAt(he.DomainItem, query, pids[i], vals[i])
@@ -159,29 +186,103 @@ func (p *Participant) encryptItems(ctx context.Context, query int, pids []int, v
 			return nil
 		})
 		if err != nil {
-			return nil, 0, err
+			return partEnc{}, err
 		}
-		return out, 1, nil
+		return partEnc{ciphers: out, factor: 1, encrypted: len(out)}, nil
 	}
-	if pp, ok := p.scheme.(*he.Paillier); ok && pp.PackFactor() > 1 {
-		factor := pp.PackFactor()
-		esp.SetLabelInt("pack", int64(factor))
-		cs, err := pp.EncryptPacked(ctx, vals)
+
+	var packer *fixed.Packer
+	var usedBits, needBits int
+	pp, isPaillier := p.scheme.(*he.Paillier)
+	if isPaillier && pp.PackFactor() > 1 {
+		packer = pp.Packer()
+		nb, err := pp.NeededPackBits(vals)
 		if err != nil {
-			return nil, 0, err
+			return partEnc{}, err
 		}
+		needBits = int(nb)
+		if packBits > 0 && needBits <= packBits {
+			ap, err := pp.PackerFor(uint(packBits), pp.MaxPackAdds())
+			if err != nil {
+				return partEnc{}, err
+			}
+			packer, usedBits = ap, packBits
+		}
+	}
+	factor := 1
+	if packer != nil {
+		factor = packer.Slots()
+		esp.SetLabelInt("pack", int64(factor))
+	}
+
+	blocks := packedLen(len(vals), factor)
+	var keys []string
+	if delta {
+		keys = blockKeys("agg", query, usedBits, factor, pids)
+	}
+	blobs := make([][]byte, blocks)
+	var cachedIdx, encBlocks []int
+	var encVals []float64
+	for b := 0; b < blocks; b++ {
+		if delta && !noCache {
+			if blob, ok := p.deltaSent.get(keys[b]); ok {
+				// Reuse the cached ciphertext bytes: encryption is randomized,
+				// so re-encrypting would produce different bytes the receiver
+				// cannot match. The reuse also skips the exponentiation.
+				blobs[b] = blob
+				cachedIdx = append(cachedIdx, b)
+				continue
+			}
+		}
+		encBlocks = append(encBlocks, b)
+		lo := b * factor
+		encVals = append(encVals, vals[lo:min(lo+factor, len(vals))]...)
+	}
+	if len(encBlocks) > 0 {
+		var cs [][]byte
+		var err error
+		if packer != nil {
+			// Concatenating uncached blocks keeps packing valid: only the
+			// globally last block can be partial, and it is encrypted last.
+			cs, err = pp.EncryptPackedWith(ctx, packer, encVals)
+		} else {
+			cs, err = he.EncryptVec(ctx, p.scheme, encVals)
+		}
+		if err != nil {
+			return partEnc{}, err
+		}
+		if len(cs) != len(encBlocks) {
+			return partEnc{}, fmt.Errorf("vfl: party %d packed %d blocks, want %d", p.index, len(cs), len(encBlocks))
+		}
+		for i, b := range encBlocks {
+			blobs[b] = cs[i]
+			if delta {
+				p.deltaSent.put(keys[b], cs[i])
+			}
+		}
+		// The burst just drained up to len(cs) pooled randomizers; hint the
+		// pool to refill through the idle gap while the leader aggregates, so
+		// the next round's encryptions hit the precomputed fast path again.
 		he.Hint(p.scheme, len(cs))
-		return cs, factor, nil
 	}
-	cs, err := he.EncryptVec(ctx, p.scheme, vals)
-	if err != nil {
-		return nil, 0, err
+	out := blobs
+	if len(cachedIdx) > 0 {
+		// The wire copy carries empty placeholders for withheld blocks; blobs
+		// keeps the full vector so the cache refresh above stays intact.
+		out = make([][]byte, blocks)
+		copy(out, blobs)
+		for _, b := range cachedIdx {
+			out[b] = nil
+		}
 	}
-	// The burst just drained up to len(cs) pooled randomizers; hint the pool
-	// to refill through the idle gap while the leader aggregates, so the next
-	// round's encryptions hit the precomputed fast path again.
-	he.Hint(p.scheme, len(cs))
-	return cs, 1, nil
+	return partEnc{
+		ciphers:   out,
+		factor:    factor,
+		packBits:  usedBits,
+		needBits:  needBits,
+		cached:    cachedIdx,
+		encrypted: len(encBlocks),
+	}, nil
 }
 
 // distances returns the cached per-query artefacts, computing them on first
@@ -338,19 +439,22 @@ func (p *Participant) encryptAll(ctx context.Context, codec wire.Codec, r Encryp
 		pids = append(pids, pid)
 		vals = append(vals, qc.dist[p.inv[pid]])
 	}
-	ciphers, factor, err := p.encryptItems(ctx, r.Query, pids, vals)
+	enc, err := p.encryptItems(ctx, r.Query, pids, vals, r.PackBits, r.Delta, r.NoCache)
 	if err != nil {
 		return nil, fmt.Errorf("vfl: party %d encrypting: %w", p.index, err)
 	}
-	// Counters reflect actual work and wire traffic: with packing on, the
-	// exponentiation count and ciphertext count drop by the pack factor, and
-	// reply charges the bytes as actually encoded on the wire.
-	return reply(codec, &EncryptAllResp{PseudoIDs: pids, Ciphers: ciphers, PackFactor: factor},
-		&p.counts, &p.roleObs, costmodel.Raw{
-			Encryptions: int64(len(ciphers)),
-			ItemsSent:   int64(len(ciphers)),
-			Messages:    1,
-		})
+	// Counters reflect actual work and wire traffic: packing drops the
+	// exponentiation and ciphertext counts by the pack factor, delta hits skip
+	// both the exponentiation and the wire, and reply charges the bytes as
+	// actually encoded.
+	return reply(codec, &EncryptAllResp{
+		PseudoIDs: pids, Ciphers: enc.ciphers, PackFactor: enc.factor,
+		PackBits: enc.packBits, NeedBits: enc.needBits, CachedBlocks: enc.cached,
+	}, &p.counts, &p.roleObs, costmodel.Raw{
+		Encryptions: int64(enc.encrypted),
+		ItemsSent:   int64(len(enc.ciphers) - len(enc.cached)),
+		Messages:    1,
+	})
 }
 
 func (p *Participant) encryptCandidates(ctx context.Context, codec wire.Codec, r EncryptCandidatesReq) ([]byte, error) {
@@ -366,16 +470,18 @@ func (p *Participant) encryptCandidates(ctx context.Context, codec wire.Codec, r
 		}
 		vals[i] = qc.dist[p.inv[pid]]
 	}
-	ciphers, factor, err := p.encryptItems(ctx, r.Query, r.PseudoIDs, vals)
+	enc, err := p.encryptItems(ctx, r.Query, r.PseudoIDs, vals, r.PackBits, r.Delta, r.NoCache)
 	if err != nil {
 		return nil, fmt.Errorf("vfl: party %d encrypting candidate: %w", p.index, err)
 	}
-	return reply(codec, &EncryptCandidatesResp{Ciphers: ciphers, PackFactor: factor},
-		&p.counts, &p.roleObs, costmodel.Raw{
-			Encryptions: int64(len(ciphers)),
-			ItemsSent:   int64(len(ciphers)),
-			Messages:    1,
-		})
+	return reply(codec, &EncryptCandidatesResp{
+		Ciphers: enc.ciphers, PackFactor: enc.factor,
+		PackBits: enc.packBits, NeedBits: enc.needBits, CachedBlocks: enc.cached,
+	}, &p.counts, &p.roleObs, costmodel.Raw{
+		Encryptions: int64(enc.encrypted),
+		ItemsSent:   int64(len(enc.ciphers) - len(enc.cached)),
+		Messages:    1,
+	})
 }
 
 func (p *Participant) encryptRankScore(ctx context.Context, codec wire.Codec, r EncryptRankScoreReq) ([]byte, error) {

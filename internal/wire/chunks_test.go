@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func chunksEqual(a, b [][][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !bytes.Equal(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestChunkCiphers(t *testing.T) {
+	blob := func(n int) []byte { return bytes.Repeat([]byte{0xAB}, n) }
+	cases := []struct {
+		name       string
+		blobs      [][]byte
+		chunkBytes int
+		want       []int // blobs per chunk
+	}{
+		{"off", [][]byte{blob(4)}, 0, nil},
+		{"empty", nil, 16, nil},
+		{"all-fit", [][]byte{blob(3), blob(3)}, 16, []int{2}},
+		{"split", [][]byte{blob(8), blob(8), blob(8)}, 16, []int{2, 1}},
+		{"oversize-blob", [][]byte{blob(64), blob(2)}, 16, []int{1, 1}},
+		{"one-per-chunk", [][]byte{blob(8), blob(8)}, 8, []int{1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chunks := ChunkCiphers(tc.blobs, tc.chunkBytes)
+			if len(chunks) != len(tc.want) {
+				t.Fatalf("got %d chunks, want %d", len(chunks), len(tc.want))
+			}
+			var flat [][]byte
+			for i, c := range chunks {
+				if len(c) != tc.want[i] {
+					t.Fatalf("chunk %d has %d blobs, want %d", i, len(c), tc.want[i])
+				}
+				flat = append(flat, c...)
+			}
+			if len(tc.want) == 0 {
+				return
+			}
+			if len(flat) != len(tc.blobs) {
+				t.Fatalf("chunks carry %d blobs, want %d", len(flat), len(tc.blobs))
+			}
+			back, err := FlattenChunks(chunks)
+			if err != nil {
+				t.Fatalf("FlattenChunks: %v", err)
+			}
+			for i := range tc.blobs {
+				if !bytes.Equal(back[i], tc.blobs[i]) {
+					t.Fatalf("blob %d altered by chunk round trip", i)
+				}
+			}
+		})
+	}
+}
+
+func TestFlattenChunksRejectsEmptyChunk(t *testing.T) {
+	_, err := FlattenChunks([][][]byte{{[]byte("a")}, {}})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty chunk: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestChunksRoundTrip(t *testing.T) {
+	cases := [][][][]byte{
+		{{[]byte("one")}},
+		{{[]byte("a"), []byte("bb")}, {[]byte("ccc")}},
+		{{nil, []byte{}}, {[]byte("x")}}, // delta-trimmed placeholders survive
+	}
+	for i, chunks := range cases {
+		buf := AppendChunks(nil, chunks)
+		back, n, err := ConsumeChunks(buf)
+		if err != nil {
+			t.Fatalf("case %d: ConsumeChunks: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(buf))
+		}
+		if !chunksEqual(chunks, back) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestConsumeChunksMalformed(t *testing.T) {
+	good := AppendChunks(nil, [][][]byte{{[]byte("abcd")}, {[]byte("efgh")}})
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated-count", []byte{0x80}},
+		{"count-overruns", []byte{0xFF, 0x01}}, // claims 255 chunks, 0 bytes left
+		{"truncated-chunk", good[:len(good)-3]},
+		{"truncated-blob-count", good[:1]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ConsumeChunks(tc.data)
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("got untyped error %v", err)
+			}
+		})
+	}
+}
+
+// TestEncoderChunksField exercises the tagged-field layer: payload accounting
+// counts blob content only, empty vectors are omitted, and a decoder that
+// does not know the tag skips it cleanly.
+func TestEncoderChunksField(t *testing.T) {
+	chunks := [][][]byte{{[]byte("abcd"), []byte("ef")}, {[]byte("ghij")}}
+	var e Encoder
+	e.Chunks(1, chunks)
+	e.Uint(2, 7)
+	if got := e.Payload(); got != 10 {
+		t.Fatalf("payload accounting: got %d, want 10 (blob content only)", got)
+	}
+
+	d := NewDecoder(e.buf)
+	if !d.Next() || d.Tag() != 1 {
+		t.Fatalf("first field: next=%v tag=%d err=%v", false, d.Tag(), d.Err())
+	}
+	back := d.Chunks()
+	if !chunksEqual(chunks, back) {
+		t.Fatal("chunk field round trip mismatch")
+	}
+	if !d.Next() || d.Tag() != 2 || d.Uint() != 7 {
+		t.Fatalf("trailing field lost after chunks: err=%v", d.Err())
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+
+	// Unknown-tag skip: a decoder that never calls Chunks() must step over the
+	// field and still read the trailing uint — the legacy-peer contract.
+	d2 := NewDecoder(e.buf)
+	for d2.Next() {
+		if d2.Tag() == 2 {
+			if d2.Uint() != 7 {
+				t.Fatal("trailing field corrupted by skipped chunk field")
+			}
+		}
+	}
+	if err := d2.Err(); err != nil {
+		t.Fatalf("skip decode: %v", err)
+	}
+
+	var empty Encoder
+	empty.Chunks(1, nil)
+	if empty.Len() != 0 {
+		t.Fatal("empty chunk vector must be omitted")
+	}
+}
+
+func TestDecoderChunksTrailingBytes(t *testing.T) {
+	body := AppendChunks(nil, [][][]byte{{[]byte("ab")}})
+	body = append(body, 0xEE) // trailing garbage inside the field body
+	var e Encoder
+	e.Bytes(1, body)
+	d := NewDecoder(e.buf)
+	if !d.Next() {
+		t.Fatalf("next: %v", d.Err())
+	}
+	if d.Chunks() != nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", d.Err())
+	}
+}
+
+// FuzzChunkedCiphertext is the make-check smoke target for chunk framing:
+// arbitrary bytes must never panic the chunk reader — truncated or malformed
+// streams surface typed errors — and whatever decodes must round-trip.
+func FuzzChunkedCiphertext(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add(AppendChunks(nil, [][][]byte{{[]byte("abc")}, {[]byte("d"), nil}}))
+	f.Add(AppendChunks(nil, ChunkCiphers([][]byte{
+		bytes.Repeat([]byte{1}, 32), bytes.Repeat([]byte{2}, 32), []byte{3},
+	}, 40)))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		chunks, n, err := ConsumeChunks(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrOverflow) {
+				t.Fatalf("untyped error from malformed stream: %v", err)
+			}
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		buf := AppendChunks(nil, chunks)
+		back, _, err := ConsumeChunks(buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !chunksEqual(chunks, back) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// TestChunkedFieldTruncations drives the field-level decoder over every prefix
+// of a valid chunked message; no prefix may panic, and every failing prefix
+// must fail typed.
+func TestChunkedFieldTruncations(t *testing.T) {
+	var e Encoder
+	e.Chunks(3, [][][]byte{{[]byte("abcdefgh")}, {[]byte("ij"), []byte("kl")}})
+	full := e.buf
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		for d.Next() {
+			d.Chunks()
+		}
+		if err := d.Err(); err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrWireType) {
+				t.Fatalf("cut %d: untyped error %v", cut, err)
+			}
+		}
+	}
+}

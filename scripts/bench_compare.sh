@@ -5,9 +5,9 @@
 #   scripts/bench_compare.sh [candidate.json] [baseline.json]
 #
 # The candidate JSON's top-level key picks the gate set; a candidate with no
-# recognized top-level key (.packed / .wire / .encrypt / .soak), and any
-# recognized section missing a key the gates read, is itself a hard failure —
-# a renamed or dropped field must never silently pass. A `.packed` result (default
+# recognized top-level key (.packed / .wire / .encrypt / .payload / .soak),
+# and any recognized section missing a key the gates read, is itself a hard
+# failure — a renamed or dropped field must never silently pass. A `.packed` result (default
 # BENCH_packed.json, freshly produced by `make bench-packed`) must uphold the
 # absolute contracts of the packed pipeline regardless of machine:
 #
@@ -36,6 +36,17 @@
 #     mont-off arm proving both arithmetic backends select identically —
 #     matching the classic-sampling baseline exactly.
 #
+# A `.payload` result (BENCH_payload.json, from `make bench-payload`) must
+# show:
+#
+#   * every arm — static, adaptive, chunked, delta, full, and the
+#     mixed-codec arm that falls back to legacy whole-blob framing on the
+#     gob link — selecting the identical participant set,
+#   * the fully optimized arm (adaptive pack + chunked streaming + delta
+#     cache) cutting steady-state ciphertext payload bytes by at least
+#     MIN_PAYLOAD_REDUCTION over static packing,
+#   * delta-cache hits actually recorded on the delta arms.
+#
 # A `.soak` result (SOAK_summary.json, from `make soak`) must carry the full
 # key set the soak gates computed — queries, qps, p50Ms, p99Ms, processes —
 # plus sanity floors (the latency/throughput gates themselves fire inside
@@ -59,6 +70,7 @@ MIN_WIRE_FRAMING_REDUCTION=${MIN_WIRE_FRAMING_REDUCTION:-2.0}
 MIN_ENCRYPT_SPEEDUP=${MIN_ENCRYPT_SPEEDUP:-2.0}
 MIN_MONT_SPEEDUP=${MIN_MONT_SPEEDUP:-1.5}
 MIN_MONT_DECRYPT_RATIO=${MIN_MONT_DECRYPT_RATIO:-0.9}
+MIN_PAYLOAD_REDUCTION=${MIN_PAYLOAD_REDUCTION:-3.0}
 TOLERANCE=${TOLERANCE:-1.5}
 
 command -v jq >/dev/null || { echo "bench_compare: jq not found" >&2; exit 1; }
@@ -154,6 +166,43 @@ if jq -e '.encrypt' "$CANDIDATE" >/dev/null 2>&1; then
   fi
 fi
 
+# --- ciphertext payload gates ------------------------------------------------
+if jq -e '.payload' "$CANDIDATE" >/dev/null 2>&1; then
+  recognized=1
+  if require '.payload.Arms | length > 0' "payload benchmark arms"; then
+    while IFS=$'\t' read -r arm match; do
+      if [ "$match" = "true" ]; then
+        say "payload arm $arm: selected the identical set"
+      else
+        bad "payload arm $arm: selected a DIFFERENT set than static packing"
+      fi
+    done < <(jq -r '.payload.Arms[] | [.Name, (.SelectedMatch|tostring)] | @tsv' "$CANDIDATE")
+
+    # The mixed-codec fallback arm must be present — dropping it would turn
+    # the legacy-framing compatibility proof into a silent no-op.
+    require '[.payload.Arms[] | select(.MixedCodec == true)] | length > 0' \
+      "mixed-codec payload arm (legacy whole-blob framing fallback)" || true
+
+    # Delta-cache arms must actually hit the cache; an optimization that
+    # never engages would still "match" trivially.
+    while IFS=$'\t' read -r arm hits; do
+      if [ "$hits" -gt 0 ]; then
+        say "payload arm $arm: $hits delta-cache hits in the steady state"
+      else
+        bad "payload arm $arm: delta cache enabled but zero hits recorded"
+      fi
+    done < <(jq -r '.payload.Arms[] | select(.Delta == true) | [.Name, (.CacheHits|tostring)] | @tsv' "$CANDIDATE")
+  fi
+
+  if require '.payload.Reduction' "payload steady-state reduction"; then
+    red=$(jq -r '.payload.Reduction' "$CANDIDATE")
+    total=$(jq -r '.payload.TotalReduction // "?"' "$CANDIDATE")
+    jq -e --argjson min "$MIN_PAYLOAD_REDUCTION" '.payload.Reduction >= $min' "$CANDIDATE" >/dev/null \
+      && say "payload steady-state reduction ${red}x (floor ${MIN_PAYLOAD_REDUCTION}x; all-rounds ${total}x)" \
+      || bad "payload steady-state reduction ${red}x below floor ${MIN_PAYLOAD_REDUCTION}x"
+  fi
+fi
+
 # --- soak summary gates ------------------------------------------------------
 if jq -e '.soak' "$CANDIDATE" >/dev/null 2>&1; then
   recognized=1
@@ -180,7 +229,7 @@ fi
 
 if ! jq -e '.packed' "$CANDIDATE" >/dev/null 2>&1; then
   if [ "$recognized" -eq 0 ]; then
-    bad "candidate $CANDIDATE has no recognized top-level section (.packed / .wire / .encrypt / .soak)"
+    bad "candidate $CANDIDATE has no recognized top-level section (.packed / .wire / .encrypt / .payload / .soak)"
   fi
   if [ "$fail" -ne 0 ]; then
     echo "bench_compare: REGRESSION DETECTED" >&2
@@ -228,14 +277,21 @@ fi
 # --- relative gate against the baseline -------------------------------------
 cleanup=""
 if [ -z "$BASELINE" ]; then
-  # Default baseline: the checked-in BENCH_packed.json at git HEAD.
-  if git cat-file -e "HEAD:BENCH_packed.json" 2>/dev/null; then
+  # Default baseline: the checked-in copy of the candidate's own file at git
+  # HEAD. A brand-new benchmark section has no checked-in baseline on its
+  # first run — that is fine: the absolute gates above already fired, so the
+  # relative gate just skips instead of failing the run.
+  cname=$(basename "$CANDIDATE")
+  if git cat-file -e "HEAD:$cname" 2>/dev/null; then
     BASELINE=$(mktemp)
     cleanup=$BASELINE
-    git show HEAD:BENCH_packed.json > "$BASELINE"
+    git show "HEAD:$cname" > "$BASELINE"
+  else
+    say "no checked-in baseline for $cname at HEAD (first run of this benchmark section) — skipping relative gate"
   fi
 fi
-if [ -n "$BASELINE" ] && [ -f "$BASELINE" ] && ! cmp -s "$CANDIDATE" "$BASELINE"; then
+if [ -n "$BASELINE" ] && [ -f "$BASELINE" ] && ! cmp -s "$CANDIDATE" "$BASELINE" \
+   && jq -e '.packed.EndToEnd | length > 0' "$BASELINE" >/dev/null 2>&1; then
   while IFS=$'\t' read -r variant cand base; do
     limit=$(jq -n --argjson b "$base" --argjson t "$TOLERANCE" '$b * $t')
     if [ "$(jq -n --argjson c "$cand" --argjson l "$limit" '$c <= $l')" = "true" ]; then

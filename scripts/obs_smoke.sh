@@ -41,11 +41,16 @@ for i in $(seq 1 50); do
 done
 curl -sf "${BASE}/healthz" >/dev/null
 
-echo "obs-smoke: driving one encrypted selection"
+echo "obs-smoke: driving two encrypted selections (packed, adaptive, delta-cached)"
+# Two identical selections on one consortium: the first warms the cross-round
+# delta cache, the second must hit it — so the cache-hit counter below carries
+# a real value, not just a declared family.
 ID=$(curl -sf -X POST "${BASE}/v1/consortiums" \
-    -d '{"dataset":"Rice","rows":150,"parties":3,"scheme":"paillier"}' \
+    -d '{"dataset":"Rice","rows":150,"parties":3,"scheme":"paillier","wire":"binary","pack":true,"packAdaptive":true,"chunkBytes":4096,"deltaCache":true}' \
     | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
 [[ -n "${ID}" ]] || { echo "obs-smoke: consortium creation failed" >&2; exit 1; }
+curl -sf -X POST "${BASE}/v1/consortiums/${ID}/select" \
+    -d '{"count":2,"k":5,"numQueries":6,"seed":1}' >/dev/null
 curl -sf -X POST "${BASE}/v1/consortiums/${ID}/select" \
     -d '{"count":2,"k":5,"numQueries":6,"seed":1}' >/dev/null
 
@@ -63,6 +68,9 @@ for family in \
     vfps_he_randomizer_fallback_rate \
     vfps_paillier_pool_errors \
     vfps_cost_ops \
+    vfps_he_pack_slots \
+    vfps_delta_cache_hits_total \
+    vfps_delta_cache_misses_total \
     vfps_http_requests_total; do
     if ! grep -q "^# TYPE ${family} " <<<"${METRICS}"; then
         echo "obs-smoke: /metrics missing family ${family}" >&2
@@ -72,6 +80,16 @@ done
 # Traffic must actually have been recorded, not just declared.
 if ! grep -q "^vfps_he_ops_total{.*} [1-9]" <<<"${METRICS}"; then
     echo "obs-smoke: no HE ops recorded after an encrypted selection" >&2
+    exit 1
+fi
+# Packing was on: the slot-geometry gauge must carry a live pack factor.
+if ! grep -q "^vfps_he_pack_slots{.*} [1-9]" <<<"${METRICS}"; then
+    echo "obs-smoke: no pack-slot geometry recorded for a packed selection" >&2
+    exit 1
+fi
+# The second identical selection must have hit the cross-round delta cache.
+if ! grep -q "^vfps_delta_cache_hits_total{.*} [1-9]" <<<"${METRICS}"; then
+    echo "obs-smoke: no delta-cache hits recorded after a repeated selection" >&2
     exit 1
 fi
 

@@ -79,8 +79,13 @@ for i in $(seq 0 $((PARTIES - 1))); do
     PARTY_OBS+=("${obs}")
 done
 
+# The full payload pipeline rides the soak: slot packing with per-round
+# adaptive renegotiation, chunked streaming of collection responses over the
+# real TCP transport, and the cross-round delta cache (repeat rounds rerun
+# the same query set, so round 2+ must hit it).
 COMMON=(-scheme paillier -keybits 256 -wire binary -dataset Bank -rows "${ROWS}" \
-        -parties "${PARTIES}" -directory "${DIRECTORY}")
+        -parties "${PARTIES}" -directory "${DIRECTORY}" \
+        -pack -pack-adaptive -chunk-bytes 2048 -delta-cache)
 
 start_node() { # logname, args...
     local log="${WORK}/$1.log"; shift
@@ -127,6 +132,15 @@ EVENTS=$(jq -s '[.[] | select(.event.kind == "query")] | length' "${QLOG}")
 [ "${EVENTS}" -eq "${TOTAL}" ] || die "query log has ${EVENTS} query events, want ${TOTAL}"
 jq -s -e '[.[] | select(.event.kind == "query") | .event] | all(.id != "" and .trace != "" and (.phases | length) > 0)' \
     "${QLOG}" >/dev/null || die "query events missing id/trace/phases"
+
+# --- chunked streaming over TCP ----------------------------------------------
+# Every query must have streamed its collection response in chunks, and no
+# query may have logged a chunk-reassembly error.
+jq -s -e '[.[] | select(.event.kind == "query") | .event] | all(.attrs.chunks >= 1)' \
+    "${QLOG}" >/dev/null || die "queries ran without chunked collection responses (attrs.chunks missing or 0)"
+CHUNK_ERRS=$(jq -s '[.[] | select(.event.kind == "query") | .event.attrs.error // "" | select(test("chunk"))] | length' "${QLOG}")
+[ "${CHUNK_ERRS}" -eq 0 ] || die "${CHUNK_ERRS} query event(s) carry chunk-reassembly errors"
+say "chunked streaming: all ${TOTAL} queries chunked, 0 reassembly errors"
 
 WALL=$(awk '/^round [0-9]+:/ { for (i=1; i<=NF; i++) if ($i == "in") { sub(/s$/, "", $(i+1)); w += $(i+1) } } END { printf "%.6f", w }' "${LEADER_LOG}")
 read -r P50MS P99MS QPS <<EOF
@@ -185,6 +199,20 @@ curl -sf "http://${AGG_OBS}/metrics" > "${WORK}/agg_metrics.txt" \
     || die "aggserver /metrics scrape failed"
 grep -q '^# TYPE vfps_go_goroutines ' "${WORK}/agg_metrics.txt" \
     || die "aggserver obs listener missing runtime metrics"
+for family in vfps_delta_cache_hits_total vfps_delta_cache_misses_total; do
+    grep -q "^# TYPE ${family} " "${WORK}/agg_metrics.txt" \
+        || die "aggserver /metrics missing delta-cache family ${family}"
+done
+if [ "${ROUNDS}" -gt 1 ]; then
+    # Repeat rounds rerun the identical query set, so the aggregation
+    # server's receive-side delta cache must have recorded real hits.
+    grep -q '^vfps_delta_cache_hits_total{.*} [1-9]' "${WORK}/agg_metrics.txt" \
+        || die "no delta-cache hits recorded across ${ROUNDS} repeat rounds"
+fi
+curl -sf "http://${PARTY_OBS[0]}/metrics" > "${WORK}/party_metrics.txt" \
+    || die "party obs /metrics scrape failed"
+grep -q '^vfps_he_pack_slots{.*} [1-9]' "${WORK}/party_metrics.txt" \
+    || die "party recorded no pack-slot geometry despite -pack"
 
 # --- summary + gate-key contract ---------------------------------------------
 jq -n \

@@ -116,6 +116,18 @@ type Config struct {
 	// results are bit-identical with packing on or off. Ignored by the other
 	// schemes.
 	Pack bool
+	// PackAdaptive lets the aggregation server renegotiate the packing slot
+	// width per round from the magnitude bounds the parties advertise,
+	// packing more values per ciphertext than the static worst-case geometry
+	// whenever the data allows. Requires Pack; selections stay bit-identical.
+	PackAdaptive bool
+	// ChunkBytes > 0 splits collection responses into ≤ChunkBytes ciphertext
+	// chunks on the binary codec, letting the leader pipeline chunk
+	// decryption; gob and legacy peers keep whole-blob framing.
+	ChunkBytes int
+	// DeltaCache enables cross-round delta encoding: repeat queries resend
+	// only the ciphertext blocks that changed since the previous round.
+	DeltaCache bool
 	// EncryptWindow pins the fixed-base window width used by encryption
 	// randomizer precompute: 0 keeps the default (6), negative restores
 	// classic uniform-r sampling (one full modular exponentiation per
@@ -181,6 +193,9 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		DPDelta:       cfg.DPDelta,
 		Parallelism:   cfg.Parallelism,
 		Pack:          cfg.Pack,
+		PackAdaptive:  cfg.PackAdaptive,
+		ChunkBytes:    cfg.ChunkBytes,
+		DeltaCache:    cfg.DeltaCache,
 		EncryptWindow: cfg.EncryptWindow,
 		Mont:          cfg.Mont,
 		Pool:          cfg.SharedPool,
