@@ -19,10 +19,12 @@ check:
 	$(GO) test ./internal/paillier -race
 	$(GO) test ./internal/mont -race
 	$(GO) test ./internal/vfl -race -run='^TestAdaptivePackSelectionIdentity$$'
+	$(GO) test ./internal/vfl -race -run='^TestShardedSelectionIdentity$$'
+	$(GO) test ./internal/server -race -run='^TestConcurrentMultiConsortium$$'
 	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=5s
 	$(GO) test ./internal/mont -run='^$$' -fuzz='^FuzzMontMulExp$$' -fuzztime=5s
 	$(MAKE) obs-smoke
-	SOAK_ROUNDS=1 SOAK_QUERIES=6 $(MAKE) soak
+	SOAK_ROUNDS=1 SOAK_QUERIES=6 SOAK_MT_ROUNDS=1 $(MAKE) soak
 
 # Start vfpsserve, drive an encrypted selection, and assert the /metrics,
 # /metrics.json, /v1/trace and /debug/vars endpoints expose every wired
@@ -30,10 +32,14 @@ check:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
-# Multi-process soak: key server + parties + aggregation server + a vfpsserve
-# collector over real TCP, concurrent query rounds through the leader, gated
-# on throughput (SOAK_MIN_QPS), tail latency (SOAK_P99_MS), a cross-process
-# span forest with zero orphans, and the structured query log
+# Multi-process soak: key server + parties + aggregation shard workers +
+# aggregation server + a vfpsserve collector over real TCP, concurrent query
+# rounds through the leader, gated on throughput (SOAK_MIN_QPS), tail
+# latency (SOAK_P99_MS), a cross-process span forest with zero orphans, and
+# the structured query log; then the multi-tenant load arm — an
+# admission-controlled vfpsserve multiplexing sharded consortiums — gated on
+# concurrent-vs-sequential speedup (SOAK_MIN_MT_SPEEDUP, scaled to the core
+# count), concurrent p99 (SOAK_MT_P99_MS), and admission accounting
 # (see scripts/soak.sh for all knobs).
 soak:
 	./scripts/soak.sh

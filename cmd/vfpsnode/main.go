@@ -1,8 +1,14 @@
 // Command vfpsnode runs one role of a distributed VFPS-SM deployment over
-// TCP: the key server, the aggregation server, a participant, or the leader
-// that drives selection. Every data-holding node generates its vertical
-// slice of the (deterministic) synthetic dataset locally, so no data files
-// need distributing.
+// TCP: the key server, the aggregation server, an aggregation shard worker,
+// a participant, or the leader that drives selection. Every data-holding
+// node generates its vertical slice of the (deterministic) synthetic dataset
+// locally, so no data files need distributing.
+//
+// Sharded aggregation (DESIGN.md §15): start -shard-workers N aggworker
+// processes (one per shard, -index 0..shards-1) plus the aggserver with the
+// same -shard-workers value and aggworker/<i> directory entries; each worker
+// reduces its party subtree and the aggserver merges the shard roots,
+// bit-identically to the unsharded reduce.
 //
 // A five-node Bank deployment on one machine:
 //
@@ -63,12 +69,13 @@ func tuneScheme(s he.Scheme, parallelism, window, mont int, pool, pack bool, max
 
 func main() {
 	var (
-		role        = flag.String("role", "", "keyserver|aggserver|party|leader")
+		role        = flag.String("role", "", "keyserver|aggserver|aggworker|party|leader")
 		addr        = flag.String("addr", "127.0.0.1:0", "listen address (serving roles)")
 		directory   = flag.String("directory", "", "comma-separated name=host:port peer directory")
 		scheme      = flag.String("scheme", "paillier", "protection scheme: paillier|plain|secagg")
 		keyBits     = flag.Int("keybits", 1024, "Paillier modulus bits")
-		index       = flag.Int("index", 0, "participant index (role=party)")
+		index       = flag.Int("index", 0, "participant index (role=party) or shard index (role=aggworker)")
+		shardWkrs   = flag.Int("shard-workers", 0, "shard the ciphertext reduce across this many aggregation workers (roles aggserver/aggworker; 0 = unsharded)")
 		ds          = flag.String("dataset", "Bank", "synthetic dataset name")
 		rows        = flag.Int("rows", 800, "max dataset rows")
 		parties     = flag.Int("parties", 4, "consortium size")
@@ -116,8 +123,11 @@ func main() {
 		// Tag spans with this process's role so the cross-node span forest
 		// shows which process each span ran in.
 		nodeName := *role
-		if *role == "party" {
+		switch *role {
+		case "party":
 			nodeName = vfl.PartyName(*index)
+		case "aggworker":
+			nodeName = vfl.AggWorkerName(*index)
 		}
 		o.Trace.SetNode(nodeName)
 		if *logJSON != "" || *slowRing > 0 {
@@ -204,7 +214,53 @@ func main() {
 		agg.SetParallelism(*parallelism)
 		agg.SetObserver(o, "node")
 		agg.SetCodec(codec)
+		if size, shards := vfl.PlanSubtrees(len(names), *shardWkrs); *shardWkrs >= 2 && shards >= 2 {
+			plan := &vfl.ShardPlan{SubtreeSize: size}
+			for wi := 0; wi < shards; wi++ {
+				w := vfl.AggWorkerName(wi)
+				if _, ok := dir[w]; !ok {
+					fatal("-shard-workers %d needs %q in the directory", *shardWkrs, w)
+				}
+				plan.Workers = append(plan.Workers, w)
+			}
+			if err := agg.SetShardPlan(plan); err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("sharding the reduce over %d workers (subtree size %d)\n", shards, size)
+		}
 		serve(*addr, fmt.Sprintf("aggregation server (%d participants)", len(names)), agg.Handler(), o)
+	case "aggworker":
+		cli := transport.NewTCPClient(dir)
+		defer cli.Close()
+		cli.SetObserver(o)
+		pub, err := vfl.FetchPublicSchemeWire(ctx, transport.NewCodecCaller(cli, codec), vfl.KeyServerName)
+		if err != nil {
+			fatal("fetching public key: %v", err)
+		}
+		names := partyNames(dir)
+		if len(names) == 0 {
+			fatal("directory lists no party/<i> entries")
+		}
+		size, shards := vfl.PlanSubtrees(len(names), *shardWkrs)
+		if *shardWkrs < 2 || shards < 2 {
+			fatal("role aggworker needs -shard-workers >= 2 (got %d over %d parties)", *shardWkrs, len(names))
+		}
+		if *index < 0 || *index >= shards {
+			fatal("shard index %d out of range [0,%d)", *index, shards)
+		}
+		plan := &vfl.ShardPlan{SubtreeSize: size}
+		lo, hi := plan.Range(*index, len(names))
+		tuneScheme(pub, *parallelism, *window, *montKnob, false, false, 0) // workers only add, like the aggserver
+		observeScheme(pub, o, "aggworker")
+		wkr, err := vfl.NewAggServer(cli, names[lo:hi], pub)
+		if err != nil {
+			fatal("%v", err)
+		}
+		wkr.SetParallelism(*parallelism)
+		wkr.SetRole(vfl.AggWorkerName(*index))
+		wkr.SetObserver(o, "node")
+		wkr.SetCodec(codec)
+		serve(*addr, fmt.Sprintf("aggregation worker %d (parties %d..%d)", *index, lo, hi-1), wkr.Handler(), o)
 	case "leader":
 		cli := transport.NewTCPClient(dir)
 		defer cli.Close()
@@ -224,6 +280,8 @@ func main() {
 		leader.SetObserver(o, "node")
 		leader.SetCodec(codec)
 		leader.SetPayloadOptions(*packAdapt && *pack, *chunkBytes, *deltaCache)
+		// Shard workers hold per-role op counters; fold them into the totals.
+		leader.SetExtraCountNodes(aggWorkerNames(dir))
 		runLeader(ctx, leader, o, *rows, *selCount, *k, *queries, vfl.Variant(*variant), *rounds, *qworkers)
 		if *linger > 0 {
 			fmt.Printf("lingering %s for trace scrapes...\n", *linger)
@@ -345,6 +403,19 @@ func partyNames(dir map[string]string) []string {
 	var names []string
 	for i := 0; ; i++ {
 		name := vfl.PartyName(i)
+		if _, ok := dir[name]; !ok {
+			return names
+		}
+		names = append(names, name)
+	}
+}
+
+// aggWorkerNames extracts the aggworker/<i> entries from the directory in
+// index order (empty for unsharded deployments).
+func aggWorkerNames(dir map[string]string) []string {
+	var names []string
+	for i := 0; ; i++ {
+		name := vfl.AggWorkerName(i)
 		if _, ok := dir[name]; !ok {
 			return names
 		}

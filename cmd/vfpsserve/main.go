@@ -6,6 +6,11 @@
 //	curl -X POST localhost:8080/v1/consortiums -d '{"dataset":"Bank","parties":4}'
 //	curl -X POST localhost:8080/v1/consortiums/c1/select -d '{"count":2}'
 //	curl localhost:8080/metrics
+//
+// Admission control (off by default; see internal/server):
+//
+//	vfpsserve -max-concurrent 4 -queue-depth 8 -tenant-concurrent 2 \
+//	          -tenant-he-budget 1000000 -idle-ttl 30m
 package main
 
 import (
@@ -30,9 +35,25 @@ func main() {
 	logJSON := flag.String("log-json", "", `structured query-log destination: "-"/"stdout", "stderr", or a file path (off when empty)`)
 	slowRing := flag.Int("slow-ring", 0, "flight-recorder capacity for /v1/slow (0 = default)")
 	peers := flag.String("peers", "", "comma-separated observability base URLs whose spans /v1/trace merges into the span forest")
+	maxConcurrent := flag.Int("max-concurrent", 0, "global cap on concurrent selections (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue size when -max-concurrent is reached (full queue → 429)")
+	tenantConcurrent := flag.Int("tenant-concurrent", 0, "per-tenant cap on concurrent selections (0 = unlimited)")
+	tenantHEBudget := flag.Int64("tenant-he-budget", 0, "per-tenant cumulative HE-operation budget (0 = unlimited)")
+	idleTTL := flag.Duration("idle-ttl", 0, "evict consortiums idle for this long (0 = never)")
+	poolWorkers := flag.Int("pool-workers", 0, "shared Paillier randomizer pool workers (0 = 1)")
 	flag.Parse()
 
-	opts := server.Options{SlowRing: *slowRing}
+	opts := server.Options{
+		SlowRing: *slowRing,
+		Admission: server.AdmissionConfig{
+			MaxConcurrent:    *maxConcurrent,
+			QueueDepth:       *queueDepth,
+			TenantConcurrent: *tenantConcurrent,
+			TenantHEBudget:   *tenantHEBudget,
+		},
+		IdleTTL:     *idleTTL,
+		PoolWorkers: *poolWorkers,
+	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
 			if p = strings.TrimSpace(p); p != "" {
@@ -48,9 +69,10 @@ func main() {
 	defer closeLog()
 	opts.LogWriter = logw
 
+	handler := server.NewWithOptions(opts)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithOptions(opts),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
@@ -70,6 +92,9 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling so a second ^C kills us
 		fmt.Println("vfpsserve: shutting down...")
+		// Refuse new selections but let queued ones finish, then wait for
+		// both the HTTP layer and the admission layer to drain.
+		handler.BeginDrain()
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
@@ -77,6 +102,11 @@ func main() {
 			srv.Close()
 			os.Exit(1)
 		}
+		if err := handler.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "vfpsserve: %v\n", err)
+			os.Exit(1)
+		}
+		handler.Close()
 	}
 }
 

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vfps/internal/obs"
+)
+
+// AdmissionConfig bounds how much selection work the server accepts at once.
+// Zero values disable the corresponding limit, so the zero config admits
+// everything (the pre-admission behaviour).
+type AdmissionConfig struct {
+	// MaxConcurrent caps selections running across all tenants; excess
+	// requests queue.
+	MaxConcurrent int
+	// QueueDepth caps queued requests waiting for a concurrency slot. A full
+	// queue rejects with 429 and a Retry-After hint.
+	QueueDepth int
+	// TenantConcurrent caps selections running per tenant (X-Tenant header,
+	// "default" when absent).
+	TenantConcurrent int
+	// TenantHEBudget caps cumulative HE operations (encryptions +
+	// decryptions + ciphertext additions, from the cost-model counters) a
+	// tenant may spend; once exhausted its selections get 429.
+	TenantHEBudget int64
+}
+
+// admitError is a rejected admission, carrying the HTTP status and an
+// optional Retry-After hint in seconds.
+type admitError struct {
+	status     int
+	reason     string
+	retryAfter int
+	msg        string
+}
+
+func (e *admitError) Error() string { return e.msg }
+
+// tenantState tracks one tenant's live usage.
+type tenantState struct {
+	inflight int
+	heSpent  int64
+}
+
+// admission implements per-tenant quotas and a bounded wait queue in front
+// of the selection endpoints.
+type admission struct {
+	cfg      AdmissionConfig
+	slots    chan struct{} // nil when MaxConcurrent is unlimited
+	mu       sync.Mutex
+	tenants  map[string]*tenantState
+	queued   atomic.Int64
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	admitted *obs.Counter
+	enqueued *obs.Counter
+	rejected *obs.CounterVec
+}
+
+func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
+	a := &admission{cfg: cfg, tenants: map[string]*tenantState{}}
+	if cfg.MaxConcurrent > 0 {
+		a.slots = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	a.admitted = reg.Counter("vfps_admission_admitted_total",
+		"Selection requests admitted past quota checks.").With()
+	a.enqueued = reg.Counter("vfps_admission_queued_total",
+		"Selection requests that waited in the admission queue.").With()
+	a.rejected = reg.Counter("vfps_admission_rejected_total",
+		"Selection requests rejected by admission control.", "reason")
+	reg.Gauge("vfps_admission_queue_depth",
+		"Selection requests currently waiting for a concurrency slot.").
+		Func(func() float64 { return float64(a.queued.Load()) })
+	return a
+}
+
+// lease is a successful admission; the holder must Release exactly once with
+// the HE operations the run consumed.
+type lease struct {
+	a      *admission
+	tenant string
+}
+
+// acquire admits, queues, or rejects a request for tenant. On rejection the
+// returned error is an *admitError with the HTTP status to serve.
+func (a *admission) acquire(ctx context.Context, tenant string) (*lease, error) {
+	if a.draining.Load() {
+		return nil, &admitError{status: 503, reason: "draining",
+			msg: "server is draining; retry against another replica"}
+	}
+	// Tenant-level checks and reservation under the lock.
+	a.mu.Lock()
+	ts := a.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{}
+		a.tenants[tenant] = ts
+	}
+	if a.cfg.TenantHEBudget > 0 && ts.heSpent >= a.cfg.TenantHEBudget {
+		a.mu.Unlock()
+		return nil, &admitError{status: 429, reason: "tenant-budget",
+			msg: fmt.Sprintf("tenant %q exhausted its HE-operation budget (%d spent of %d)",
+				tenant, ts.heSpent, a.cfg.TenantHEBudget)}
+	}
+	if a.cfg.TenantConcurrent > 0 && ts.inflight >= a.cfg.TenantConcurrent {
+		a.mu.Unlock()
+		return nil, &admitError{status: 429, reason: "tenant-concurrency", retryAfter: 1,
+			msg: fmt.Sprintf("tenant %q already has %d selections in flight",
+				tenant, ts.inflight)}
+	}
+	ts.inflight++
+	a.mu.Unlock()
+
+	// Global concurrency: take a slot immediately, or wait in the bounded
+	// queue. Queued requests survive BeginDrain — drain means "stop taking
+	// new work, finish what is accepted", and a queued request is accepted.
+	if a.slots != nil {
+		select {
+		case a.slots <- struct{}{}:
+		default:
+			if int(a.queued.Load()) >= a.cfg.QueueDepth {
+				a.releaseTenant(tenant, 0)
+				return nil, &admitError{status: 429, reason: "queue-full", retryAfter: 2,
+					msg: fmt.Sprintf("admission queue full (%d waiting)", a.cfg.QueueDepth)}
+			}
+			a.queued.Add(1)
+			a.enqueued.Inc()
+			select {
+			case a.slots <- struct{}{}:
+				a.queued.Add(-1)
+			case <-ctx.Done():
+				a.queued.Add(-1)
+				a.releaseTenant(tenant, 0)
+				return nil, &admitError{status: 503, reason: "canceled",
+					msg: "request canceled while queued"}
+			}
+		}
+	}
+	a.admitted.Inc()
+	a.inflight.Add(1)
+	return &lease{a: a, tenant: tenant}, nil
+}
+
+// releaseTenant undoes the tenant reservation and debits spent HE ops.
+func (a *admission) releaseTenant(tenant string, heOps int64) {
+	a.mu.Lock()
+	if ts := a.tenants[tenant]; ts != nil {
+		ts.inflight--
+		ts.heSpent += heOps
+	}
+	a.mu.Unlock()
+}
+
+// Release returns the lease's slot and debits heOps against the tenant's
+// budget.
+func (l *lease) Release(heOps int64) {
+	if l.a.slots != nil {
+		<-l.a.slots
+	}
+	l.a.releaseTenant(l.tenant, heOps)
+	l.a.inflight.Done()
+}
+
+// BeginDrain stops admitting new requests; already-queued requests still run.
+func (a *admission) BeginDrain() { a.draining.Store(true) }
+
+// Drain blocks until every admitted request has released, or ctx expires.
+func (a *admission) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		a.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return errors.New("admission drain timed out with selections in flight")
+	}
+}

@@ -1,16 +1,24 @@
 // Package server exposes participant selection and downstream evaluation as
 // a JSON-over-HTTP service, so non-Go stacks can drive the library. State is
-// an in-memory registry of consortiums keyed by caller-visible ids.
+// an in-memory registry of consortiums keyed by caller-visible ids; many
+// selections across consortiums run concurrently behind per-tenant admission
+// control, sharing one Paillier randomizer PoolSet.
 //
 // Endpoints:
 //
-//	GET  /healthz                       liveness
-//	GET  /v1/datasets                   built-in synthetic dataset names
-//	POST /v1/consortiums                create a consortium
-//	GET  /v1/consortiums/{id}           consortium info
-//	POST /v1/consortiums/{id}/select    run a selection method
-//	POST /v1/consortiums/{id}/evaluate  train a downstream model
-//	POST /v1/consortiums/{id}/rewards   fair reward shares for a selection
+//	GET    /healthz                       liveness
+//	GET    /v1/datasets                   built-in synthetic dataset names
+//	POST   /v1/consortiums                create a consortium
+//	GET    /v1/consortiums/{id}           consortium info
+//	DELETE /v1/consortiums/{id}           tear a consortium down
+//	POST   /v1/consortiums/{id}/select    run a selection method
+//	POST   /v1/consortiums/{id}/evaluate  train a downstream model
+//	POST   /v1/consortiums/{id}/rewards   fair reward shares for a selection
+//
+// Selection and reward requests pass admission control (see Options.Admission):
+// tenants are identified by the X-Tenant header ("default" when absent), and
+// over-quota requests receive 429 with a Retry-After hint, or wait in a
+// bounded queue for a global concurrency slot.
 //
 // Observability (internal/obs; consortium metric series are labelled with
 // the consortium id as instance):
@@ -25,12 +33,13 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
+	"time"
 
 	"vfps"
 	"vfps/internal/costmodel"
@@ -41,15 +50,20 @@ import (
 
 // Server is the HTTP handler with its consortium registry.
 type Server struct {
-	mu     sync.Mutex
-	nextID int
-	pool   map[string]*vfps.Consortium
-	mux    *http.ServeMux
-	obs    *obs.Observer
-	reqs   *obs.CounterVec
+	reg     *registry
+	adm     *admission
+	pool    *vfps.PoolSet
+	mux     *http.ServeMux
+	obs     *obs.Observer
+	reqs    *obs.CounterVec
+	evicted *obs.Counter
+	janitor chan struct{} // closed to stop the TTL janitor
+	janDone chan struct{}
+	idleTTL time.Duration
 }
 
-// Options configures the server's observability surface.
+// Options configures the server's observability surface and admission
+// limits.
 type Options struct {
 	// LogWriter, when set, receives the structured per-query JSON event log
 	// (one slog line per query/selection).
@@ -61,6 +75,15 @@ type Options struct {
 	// listeners) whose spans /v1/trace merges into the cross-node span
 	// forest.
 	TracePeers []string
+	// Admission bounds concurrent selections; the zero value admits
+	// everything.
+	Admission AdmissionConfig
+	// IdleTTL, when positive, evicts consortiums untouched for that long
+	// (their learned pack width is kept for successors of the same shape).
+	IdleTTL time.Duration
+	// PoolWorkers sizes the shared Paillier randomizer pool attached to
+	// every consortium (<= 0 → 1).
+	PoolWorkers int
 }
 
 // New builds the server with its routes and a live observer: every consortium
@@ -76,7 +99,17 @@ func NewWithOptions(opts Options) *Server {
 		o.Events = obs.NewQueryLog(opts.LogWriter, opts.SlowRing)
 	}
 	o.SetTracePeers(opts.TracePeers)
-	s := &Server{pool: map[string]*vfps.Consortium{}, mux: http.NewServeMux(), obs: o}
+	workers := opts.PoolWorkers
+	if workers <= 0 {
+		workers = 1
+	}
+	s := &Server{
+		reg:     newRegistry(),
+		pool:    vfps.NewPoolSet(0, workers),
+		mux:     http.NewServeMux(),
+		obs:     o,
+		idleTTL: opts.IdleTTL,
+	}
 	reg := o.Registry()
 	obs.RegisterRuntimeMetrics(reg)
 	// Pre-declare the protocol metric families so scrapers see them before
@@ -84,7 +117,10 @@ func NewWithOptions(opts Options) *Server {
 	transport.DeclareMetrics(reg)
 	he.DeclareMetrics(reg)
 	costmodel.DeclareMetrics(reg)
+	s.adm = newAdmission(opts.Admission, reg)
 	s.reqs = reg.Counter("vfps_http_requests_total", "API requests served.", "method")
+	s.evicted = reg.Counter("vfps_consortium_evictions_total",
+		"Consortiums evicted by the idle-TTL janitor.").With()
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -93,11 +129,69 @@ func NewWithOptions(opts Options) *Server {
 	})
 	s.mux.HandleFunc("POST /v1/consortiums", s.createConsortium)
 	s.mux.HandleFunc("GET /v1/consortiums/{id}", s.getConsortium)
+	s.mux.HandleFunc("DELETE /v1/consortiums/{id}", s.deleteConsortium)
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/select", s.selectParticipants)
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/evaluate", s.evaluate)
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/rewards", s.rewards)
 	o.Routes(s.mux)
+	if opts.IdleTTL > 0 {
+		s.janitor = make(chan struct{})
+		s.janDone = make(chan struct{})
+		go s.runJanitor(opts.IdleTTL)
+	}
 	return s
+}
+
+// runJanitor periodically evicts idle consortiums, preserving their learned
+// pack width for future same-shape consortiums.
+func (s *Server) runJanitor(ttl time.Duration) {
+	defer close(s.janDone)
+	tick := ttl / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitor:
+			return
+		case <-t.C:
+			for _, e := range s.reg.expire(ttl) {
+				s.teardown(e)
+				s.evicted.Inc()
+			}
+		}
+	}
+}
+
+// teardown retires an already-unlinked entry: waits out any in-flight run,
+// banks the learned pack width, and closes the consortium.
+func (s *Server) teardown(e *entry) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	s.reg.recordHint(e.hintKey, e.cons.PackWidthHint())
+	e.cons.Close()
+}
+
+// BeginDrain stops admitting new selection work (already-queued requests
+// still run to completion).
+func (s *Server) BeginDrain() { s.adm.BeginDrain() }
+
+// Drain blocks until every admitted selection has finished, or ctx expires.
+func (s *Server) Drain(ctx context.Context) error { return s.adm.Drain(ctx) }
+
+// Close stops the janitor and tears down every consortium plus the shared
+// randomizer pool. The server must not serve requests afterwards.
+func (s *Server) Close() {
+	if s.janitor != nil {
+		close(s.janitor)
+		<-s.janDone
+	}
+	for _, e := range s.reg.drainAll() {
+		s.teardown(e)
+	}
+	s.pool.Close()
 }
 
 // Observer exposes the server's observer (for embedding and tests).
@@ -133,16 +227,50 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*vfps.Consortium, bool) {
+// lookup pins the consortium entry for the request's {id}. Callers must
+// e.release() when done (pinning fences the idle-TTL janitor).
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	cons, ok := s.pool[id]
-	s.mu.Unlock()
+	e, ok := s.reg.acquire(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown consortium %q", id)
 		return nil, false
 	}
-	return cons, true
+	return e, true
+}
+
+// tenantOf extracts the quota identity for a request.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// admit runs admission control for a selection-class request, writing the
+// rejection response (with Retry-After when applicable) on failure.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (*lease, bool) {
+	l, err := s.adm.acquire(r.Context(), tenantOf(r))
+	if err != nil {
+		var ae *admitError
+		if errors.As(err, &ae) {
+			s.adm.rejected.With(ae.reason).Inc()
+			if ae.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+			}
+			writeError(w, ae.status, "%s", ae.msg)
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return nil, false
+	}
+	return l, true
+}
+
+// heOps prices a selection for the tenant HE budget: the primitive
+// operations the cost model attributes to encryption-side work.
+func heOps(c costmodel.Raw) int64 {
+	return c.Encryptions + c.Decryptions + c.CipherAdds
 }
 
 // CreateRequest builds a consortium from a built-in synthetic dataset (CSV
@@ -156,12 +284,18 @@ type CreateRequest struct {
 	DPEpsilon   float64 `json:"dpEpsilon"`
 	SplitSeed   int64   `json:"splitSeed"`
 	ShuffleSeed int64   `json:"shuffleSeed"`
-	Wire        string  `json:"wire"` // protocol codec: "gob" (default) or "binary"
+	KeyBits     int     `json:"keyBits"` // Paillier modulus size (0 → library default)
+	Wire        string  `json:"wire"`    // protocol codec: "gob" (default) or "binary"
 	// Ciphertext payload knobs (Paillier only; see DESIGN.md §14).
 	Pack         bool `json:"pack"`         // slot-pack ciphertexts
 	PackAdaptive bool `json:"packAdaptive"` // renegotiate slot width per round
 	ChunkBytes   int  `json:"chunkBytes"`   // stream collection responses in chunks
 	DeltaCache   bool `json:"deltaCache"`   // cross-round delta encoding
+	// ShardWorkers >= 2 shards the aggregation tree reduce across that many
+	// in-process workers (DESIGN.md §15).
+	ShardWorkers int `json:"shardWorkers"`
+	// Parallelism pins per-role HE pipeline concurrency (0 → automatic).
+	Parallelism int `json:"parallelism"`
 }
 
 // CreateResponse identifies the new consortium.
@@ -195,47 +329,69 @@ func (s *Server) createConsortium(w http.ResponseWriter, r *http.Request) {
 	}
 	// Allocate the id first so the consortium's metric series carry it as
 	// their instance label.
-	s.mu.Lock()
-	s.nextID++
-	id := "c" + strconv.Itoa(s.nextID)
-	s.mu.Unlock()
-	cons, err := vfps.NewConsortium(context.Background(), vfps.Config{
+	id := s.reg.allocID()
+	hintKey := hintKeyFor(req.Dataset, req.Rows, req.Parties, req.Scheme)
+	cfg := vfps.Config{
 		Partition:    pt,
 		Labels:       d.Y,
 		Classes:      d.Classes,
 		Scheme:       req.Scheme,
 		DPEpsilon:    req.DPEpsilon,
 		ShuffleSeed:  req.ShuffleSeed,
+		KeyBits:      req.KeyBits,
 		Wire:         req.Wire,
 		Pack:         req.Pack,
 		PackAdaptive: req.PackAdaptive,
 		ChunkBytes:   req.ChunkBytes,
 		DeltaCache:   req.DeltaCache,
+		ShardWorkers: req.ShardWorkers,
+		Parallelism:  req.Parallelism,
+		SharedPool:   s.pool,
 		Obs:          s.obs,
 		Instance:     id,
-	})
+	}
+	if req.Pack && req.PackAdaptive {
+		// Seed the adaptive negotiation with the width a same-shape
+		// predecessor learned, skipping its warm-up round.
+		cfg.PackWidthHint = s.reg.hintFor(hintKey)
+	}
+	cons, err := vfps.NewConsortium(context.Background(), cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	s.pool[id] = cons
-	s.mu.Unlock()
+	s.reg.add(id, hintKey, cons)
 	writeJSON(w, http.StatusCreated, CreateResponse{
 		ID: id, Parties: cons.P(), Rows: cons.N(), Columns: d.F(),
 	})
 }
 
 func (s *Server) getConsortium(w http.ResponseWriter, r *http.Request) {
-	cons, ok := s.lookup(w, r)
+	e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	defer e.release()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"parties": cons.P(),
-		"rows":    cons.N(),
-		"classes": cons.Classes(),
+		"parties":       e.cons.P(),
+		"rows":          e.cons.N(),
+		"classes":       e.cons.Classes(),
+		"shardWorkers":  e.cons.ShardWorkers(),
+		"packWidthHint": e.cons.PackWidthHint(),
 	})
+}
+
+func (s *Server) deleteConsortium(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.remove(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown consortium %q", id)
+		return
+	}
+	// teardown waits on runMu, so an in-flight selection finishes before the
+	// cluster closes; new requests already 404.
+	s.teardown(e)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // SelectRequest runs one selection method.
@@ -247,6 +403,9 @@ type SelectRequest struct {
 	Seed       int64  `json:"seed"`
 	TopK       string `json:"topk"` // fagin|base|threshold (vfps-sm only)
 	Stratified bool   `json:"stratified"`
+	// Optimizer picks the submodular maximizer: "greedy" (default), "lazy"
+	// or "stochastic" (vfps-sm only).
+	Optimizer string `json:"optimizer"`
 }
 
 // SelectResponse reports the outcome.
@@ -260,16 +419,23 @@ type SelectResponse struct {
 }
 
 func (s *Server) selectParticipants(w http.ResponseWriter, r *http.Request) {
-	cons, ok := s.lookup(w, r)
+	l, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
+	var spent int64
+	defer func() { l.Release(spent) }()
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
 	var req SelectRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
 	if req.Count <= 0 {
-		req.Count = cons.P() / 2
+		req.Count = e.cons.P() / 2
 	}
 	method := vfps.Method(strings.ToLower(req.Method))
 	if req.Method == "" {
@@ -277,22 +443,28 @@ func (s *Server) selectParticipants(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := vfps.SelectOptions{
 		K: req.K, NumQueries: req.NumQueries, Seed: req.Seed,
-		TopK: req.TopK, Stratified: req.Stratified,
+		TopK: req.TopK, Stratified: req.Stratified, Optimizer: req.Optimizer,
 	}
 	resp := SelectResponse{Method: string(method)}
+	// Protocol runs mutate per-consortium state (delta caches, pack
+	// negotiation); serialize per consortium, not per server.
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
 	if method == vfps.MethodVFPS || method == vfps.MethodVFPSBase {
 		opts.Base = method == vfps.MethodVFPSBase
-		sel, err := cons.Select(r.Context(), req.Count, opts)
+		sel, err := e.cons.Select(r.Context(), req.Count, opts)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		spent = heOps(sel.Counts)
+		s.reg.recordHint(e.hintKey, e.cons.PackWidthHint())
 		resp.Selected = sel.Selected
 		resp.AvgCandidates = sel.AvgCandidates
 		resp.ProjectedSeconds = sel.ProjectedSeconds
 		resp.WallMillis = sel.WallTime.Milliseconds()
 	} else {
-		sel, err := cons.SelectWith(r.Context(), method, req.Count, opts)
+		sel, err := e.cons.SelectWith(r.Context(), method, req.Count, opts)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -324,10 +496,11 @@ type EvaluateResponse struct {
 }
 
 func (s *Server) evaluate(w http.ResponseWriter, r *http.Request) {
-	cons, ok := s.lookup(w, r)
+	e, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	defer e.release()
 	var req EvaluateRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -335,7 +508,7 @@ func (s *Server) evaluate(w http.ResponseWriter, r *http.Request) {
 	if req.Model == "" {
 		req.Model = string(vfps.ModelKNN)
 	}
-	ev, err := cons.Evaluate(vfps.ModelName(strings.ToUpper(req.Model)), req.Parties, vfps.EvalOptions{
+	ev, err := e.cons.Evaluate(vfps.ModelName(strings.ToUpper(req.Model)), req.Parties, vfps.EvalOptions{
 		K: req.K, MaxEpochs: req.MaxEpochs, Seed: req.Seed,
 	})
 	if err != nil {
@@ -364,21 +537,31 @@ type RewardsResponse struct {
 }
 
 func (s *Server) rewards(w http.ResponseWriter, r *http.Request) {
-	cons, ok := s.lookup(w, r)
+	l, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
+	var spent int64
+	defer func() { l.Release(spent) }()
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
 	var req RewardsRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	sel, err := cons.Select(r.Context(), cons.P(), vfps.SelectOptions{
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	sel, err := e.cons.Select(r.Context(), e.cons.P(), vfps.SelectOptions{
 		K: req.K, NumQueries: req.NumQueries, Seed: req.Seed,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	spent = heOps(sel.Counts)
 	shares, err := vfps.RewardShares(sel)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

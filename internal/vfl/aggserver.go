@@ -34,6 +34,16 @@ type AggServer struct {
 	counts      costmodel.Counts
 	parallelism int // 0 → par.Degree(); 1 → fully serial
 
+	// role labels this server's metric series: AggServerName for the
+	// coordinator (default), AggWorkerName(i) for a shard worker.
+	role string
+
+	// plan, when set, turns this server into a shard coordinator: collection
+	// fan-outs go to the shard workers of the plan instead of the parties
+	// directly, and the final reduce runs over the returned subtree roots.
+	// See shard.go.
+	plan *ShardPlan
+
 	// packNeed is the adaptive pack negotiation state: the monotone maximum
 	// of the slot-width bounds the parties advertised (NeedBits), plus a
 	// drift margin. It is dictated back to the parties on the next adaptive
@@ -142,12 +152,54 @@ func (a *AggServer) SetParallelism(n int) {
 // Counts exposes the server's operation counters.
 func (a *AggServer) Counts() costmodel.Raw { return a.counts.Snapshot() }
 
+// SetRole overrides the role label of this server's metric series (default
+// "aggserver"). Shard workers set AggWorkerName(i) so coordinator and worker
+// counters land in distinct series on a shared registry. Call before
+// SetObserver.
+func (a *AggServer) SetRole(name string) {
+	if name != "" {
+		a.role = name
+	}
+}
+
+// roleName returns the metric-series role label.
+func (a *AggServer) roleName() string {
+	if a.role == "" {
+		return AggServerName
+	}
+	return a.role
+}
+
+// PackHint exports the adaptive pack negotiation state (the dictated slot
+// width, margin included; 0 before the first advertisement) so a serving
+// layer can carry the learned width across consortium restarts.
+func (a *AggServer) PackHint() int { return int(a.packNeed.Load()) }
+
+// SetPackHint seeds the negotiation state with a previously learned width
+// (monotone, like the in-band advertisements), turning the static round-one
+// warm-up into an adaptive round. Safe to leave unset; a hint the data
+// outgrew just triggers the standard static-fallback round.
+func (a *AggServer) SetPackHint(bits int) {
+	target := int64(bits)
+	if target <= 0 {
+		return
+	}
+	for {
+		cur := a.packNeed.Load()
+		if target <= cur || a.packNeed.CompareAndSwap(cur, target) {
+			return
+		}
+	}
+}
+
 // SetObserver installs metrics and tracing on the server: aggregation-phase
-// spans and cost-model gauges labelled {instance, role="aggserver"}.
+// spans and cost-model gauges labelled {instance, role} (role "aggserver"
+// unless overridden via SetRole).
 func (a *AggServer) SetObserver(o *obs.Observer, instance string) {
 	a.store(o)
-	a.counts.Register(o.Registry(), instance, AggServerName)
+	a.counts.Register(o.Registry(), instance, a.roleName())
 	DeclareDeltaMetrics(o.Registry())
+	DeclareShardMetrics(o.Registry())
 }
 
 // Handler returns the server's RPC handler. Requests are decoded with the
@@ -196,6 +248,12 @@ func (a *AggServer) Handler() transport.Handler {
 				a.trimAndChunk(codec, r.Query, r.PseudoIDs, agg, factor, packBits, opt, 0)
 			return reply(codec, resp, &a.counts, &a.roleObs,
 				costmodel.Raw{ItemsSent: int64(sent), Messages: 1})
+		case MethodShardCollect:
+			var r ShardCollectReq
+			if err := codec.Unmarshal(req, &r); err != nil {
+				return nil, err
+			}
+			return a.shardCollect(ctx, codec, r)
 		case MethodAggregateFrontier:
 			var r AggregateFrontierReq
 			if err := codec.Unmarshal(req, &r); err != nil {
@@ -218,29 +276,36 @@ func (a *AggServer) Handler() transport.Handler {
 // independent of completion order; the lowest-indexed party's error wins,
 // matching the serial loop's error precedence.
 func (a *AggServer) fanOut(ctx context.Context, fn func(pi int, party string) error) error {
+	return a.fanOutOver(ctx, a.parties, fn)
+}
+
+// fanOutOver is fanOut over an arbitrary node roster (party subset on a shard
+// worker, worker roster on the coordinator), with the same ordering and
+// error-precedence guarantees.
+func (a *AggServer) fanOutOver(ctx context.Context, nodes []string, fn func(i int, node string) error) error {
 	if a.parallelism == 1 {
-		for pi, party := range a.parties {
+		for i, node := range nodes {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(pi, party); err != nil {
+			if err := fn(i, node); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	errs := make([]error, len(a.parties))
+	errs := make([]error, len(nodes))
 	var wg sync.WaitGroup
-	for pi, party := range a.parties {
+	for i, node := range nodes {
 		wg.Add(1)
-		go func(pi int, party string) {
+		go func(i int, node string) {
 			defer wg.Done()
 			if err := ctx.Err(); err != nil {
-				errs[pi] = err
+				errs[i] = err
 				return
 			}
-			errs[pi] = fn(pi, party)
-		}(pi, party)
+			errs[i] = fn(i, node)
+		}(i, node)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -296,7 +361,7 @@ func (a *AggServer) restoreFromParty(party string, query, packBits, factor int, 
 	hits, err := a.recvCache.restore(keys, blobs, cachedIdx)
 	if hits > 0 {
 		a.counts.Add(costmodel.Raw{CacheHits: int64(hits)})
-		a.recordDelta(AggServerName, hits, 0)
+		a.recordDelta(a.roleName(), hits, 0)
 	}
 	if err != nil {
 		return fmt.Errorf("vfl: restoring delta blocks from %s: %w", party, err)
@@ -333,7 +398,7 @@ func (a *AggServer) pullCandidates(ctx context.Context, party string, query int,
 			if err != nil {
 				if errors.Is(err, ErrDeltaCacheMiss) && attempt == 0 {
 					a.counts.Add(costmodel.Raw{CacheMisses: 1})
-					a.recordDelta(AggServerName, 0, 1)
+					a.recordDelta(a.roleName(), 0, 1)
 					noCache = true
 					continue
 				}
@@ -367,7 +432,7 @@ func (a *AggServer) pullAll(ctx context.Context, party string, query, dictate in
 			if err != nil {
 				if errors.Is(err, ErrDeltaCacheMiss) && attempt == 0 {
 					a.counts.Add(costmodel.Raw{CacheMisses: 1})
-					a.recordDelta(AggServerName, 0, 1)
+					a.recordDelta(a.roleName(), 0, 1)
 					noCache = true
 					continue
 				}
@@ -381,17 +446,81 @@ func (a *AggServer) pullAll(ctx context.Context, party string, query, dictate in
 	}
 }
 
-// uniformPacking checks that all parties agree on the (pack factor, slot
-// width) pair — slotwise addition is only meaningful over identical layouts.
-func (a *AggServer) uniformPacking(pvs []partyVec) (factor, packBits int, err error) {
+// uniformPacking checks that all collected vectors agree on the (pack
+// factor, slot width) pair — slotwise addition is only meaningful over
+// identical layouts. names labels the sources (parties, or shard workers on
+// a coordinator) for error reporting.
+func uniformPacking(names []string, pvs []partyVec) (factor, packBits int, err error) {
 	factor, packBits = pvs[0].factor, pvs[0].packBits
 	for pi := range pvs {
 		if pvs[pi].factor != factor || pvs[pi].packBits != packBits {
 			return 0, 0, fmt.Errorf("vfl: %s pack geometry (S=%d, V=%d) differs from %s's (S=%d, V=%d) — inconsistent packing configuration",
-				a.parties[pi], pvs[pi].factor, pvs[pi].packBits, a.parties[0], factor, packBits)
+				names[pi], pvs[pi].factor, pvs[pi].packBits, names[0], factor, packBits)
 		}
 	}
 	return factor, packBits, nil
+}
+
+// samePseudoIDs checks that every collected vector covers the same pseudo
+// IDs in the same order (the BASE access pattern's alignment invariant).
+func samePseudoIDs(names []string, pvs []partyVec) error {
+	pids := pvs[0].pids
+	for pi := 1; pi < len(pvs); pi++ {
+		if len(pvs[pi].pids) != len(pids) {
+			return fmt.Errorf("vfl: %s returned %d items, want %d", names[pi], len(pvs[pi].pids), len(pids))
+		}
+		for i := range pids {
+			if pvs[pi].pids[i] != pids[i] {
+				return fmt.Errorf("vfl: %s pseudo-id order mismatch at %d", names[pi], i)
+			}
+		}
+	}
+	return nil
+}
+
+// collectSubtree pulls the given parties' encrypted vectors concurrently
+// under one dictated geometry: the candidate pattern when all is false, the
+// full-vector BASE pattern otherwise.
+func (a *AggServer) collectSubtree(ctx context.Context, parties []string, query int, pids []int, all bool, dictate int, opt payloadOpts) ([]partyVec, error) {
+	pvs := make([]partyVec, len(parties))
+	err := a.fanOutOver(ctx, parties, func(pi int, party string) error {
+		var pv partyVec
+		var err error
+		if all {
+			pv, err = a.pullAll(ctx, party, query, dictate, opt)
+		} else {
+			pv, err = a.pullCandidates(ctx, party, query, pids, dictate, opt)
+		}
+		if err != nil {
+			return err
+		}
+		pvs[pi] = pv
+		return nil
+	})
+	return pvs, err
+}
+
+// collectVectors runs one full collection round — direct party fan-out, or
+// worker fan-out with per-shard local reduction when a shard plan is set —
+// and returns geometry-uniform vectors ready for the final reduce.
+func (a *AggServer) collectVectors(ctx context.Context, query int, pids []int, all bool, opt payloadOpts) ([]partyVec, int, int, error) {
+	dictate := a.packDictate(opt.adaptive)
+	if a.plan != nil {
+		return a.collectSharded(ctx, query, pids, all, dictate, opt)
+	}
+	collect := func(d int) ([]partyVec, error) {
+		return a.collectSubtree(ctx, a.parties, query, pids, all, d, opt)
+	}
+	return a.collectUniform(a.parties, dictate, collect)
+}
+
+// collectNames labels the sources of one collection round: the shard workers
+// on a sharded coordinator, the parties otherwise.
+func (a *AggServer) collectNames() []string {
+	if a.plan != nil {
+		return a.plan.Workers
+	}
+	return a.parties
 }
 
 // aggregateCandidates pulls every party's encrypted partial distances for
@@ -403,19 +532,7 @@ func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoID
 	ctx, asp := a.tracer().Start(ctx, SpanAggregate)
 	asp.SetLabelInt("candidates", int64(len(pseudoIDs)))
 	defer asp.End()
-	collect := func(dictate int) ([]partyVec, error) {
-		pvs := make([]partyVec, len(a.parties))
-		err := a.fanOut(ctx, func(pi int, party string) error {
-			pv, err := a.pullCandidates(ctx, party, query, pseudoIDs, dictate, opt)
-			if err != nil {
-				return err
-			}
-			pvs[pi] = pv
-			return nil
-		})
-		return pvs, err
-	}
-	pvs, factor, packBits, err := a.collectUniform(a.packDictate(opt.adaptive), collect)
+	pvs, factor, packBits, err := a.collectVectors(ctx, query, pseudoIDs, false, opt)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -433,8 +550,8 @@ func (a *AggServer) aggregateCandidates(ctx context.Context, query int, pseudoID
 // collectUniform runs one collection fan-out and enforces geometry
 // uniformity, re-collecting once under the static geometry when an adaptive
 // dictation produced a mixed round. Advertised NeedBits feed the negotiation
-// state either way.
-func (a *AggServer) collectUniform(dictate int, collect func(dictate int) ([]partyVec, error)) ([]partyVec, int, int, error) {
+// state either way. names labels the fan-out targets for error reporting.
+func (a *AggServer) collectUniform(names []string, dictate int, collect func(dictate int) ([]partyVec, error)) ([]partyVec, int, int, error) {
 	pvs, err := collect(dictate)
 	if err != nil {
 		return nil, 0, 0, err
@@ -444,7 +561,7 @@ func (a *AggServer) collectUniform(dictate int, collect func(dictate int) ([]par
 		needs[pi] = pvs[pi].needBits
 	}
 	a.observeNeedBits(needs)
-	factor, packBits, uerr := a.uniformPacking(pvs)
+	factor, packBits, uerr := uniformPacking(names, pvs)
 	if uerr != nil && dictate > 0 {
 		// Mixed compliance: at least one party could not fit the dictated
 		// width. The static EnablePacking geometry is shared by construction,
@@ -452,7 +569,7 @@ func (a *AggServer) collectUniform(dictate int, collect func(dictate int) ([]par
 		if pvs, err = collect(0); err != nil {
 			return nil, 0, 0, err
 		}
-		factor, packBits, uerr = a.uniformPacking(pvs)
+		factor, packBits, uerr = uniformPacking(names, pvs)
 	}
 	if uerr != nil {
 		return nil, 0, 0, uerr
@@ -519,33 +636,14 @@ func (a *AggServer) collectAll(ctx context.Context, codec wire.Codec, r CollectA
 	ctx, csp := a.tracer().Start(ctx, SpanCollectAll)
 	defer csp.End()
 	opt := payloadOpts{adaptive: r.Adaptive, delta: r.Delta, noCache: r.NoCache}
-	collect := func(dictate int) ([]partyVec, error) {
-		pvs := make([]partyVec, len(a.parties))
-		err := a.fanOut(ctx, func(pi int, party string) error {
-			pv, err := a.pullAll(ctx, party, r.Query, dictate, opt)
-			if err != nil {
-				return err
-			}
-			pvs[pi] = pv
-			return nil
-		})
-		return pvs, err
-	}
-	pvs, factor, packBits, err := a.collectUniform(a.packDictate(opt.adaptive), collect)
+	pvs, factor, packBits, err := a.collectVectors(ctx, r.Query, nil, true, opt)
 	if err != nil {
 		return nil, err
 	}
-	pids := pvs[0].pids
-	for pi := 1; pi < len(a.parties); pi++ {
-		if len(pvs[pi].pids) != len(pids) {
-			return nil, fmt.Errorf("vfl: %s returned %d items, want %d", a.parties[pi], len(pvs[pi].pids), len(pids))
-		}
-		for i := range pids {
-			if pvs[pi].pids[i] != pids[i] {
-				return nil, fmt.Errorf("vfl: %s pseudo-id order mismatch at %d", a.parties[pi], i)
-			}
-		}
+	if err := samePseudoIDs(a.collectNames(), pvs); err != nil {
+		return nil, err
 	}
+	pids := pvs[0].pids
 	vecs := make([][][]byte, len(pvs))
 	for pi := range pvs {
 		vecs[pi] = pvs[pi].ciphers

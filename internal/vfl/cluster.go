@@ -76,6 +76,18 @@ type ClusterConfig struct {
 	// data allows. Requires Pack; ignored otherwise. Selections stay
 	// bit-identical — only the carrier layout changes.
 	PackAdaptive bool
+	// ShardWorkers ≥ 2 shards the aggregation tree reduce: that many in-process
+	// shard workers are built over aligned power-of-two party subtrees (see
+	// PlanSubtrees) and the aggregation server becomes their coordinator.
+	// Selections are bit-identical at every worker count, 0/1 included; only
+	// where the ciphertext additions run changes. Counts of ≤ 1 (or plans that
+	// collapse to one shard) keep the unsharded path.
+	ShardWorkers int
+	// PackHint seeds the adaptive pack negotiation with a slot width learned
+	// by an earlier consortium over the same data shape (margin included), so
+	// round one packs adaptively instead of paying the static warm-up. Only
+	// meaningful with Pack+PackAdaptive; 0 keeps the in-band negotiation.
+	PackHint int
 	// ChunkBytes > 0 splits collection responses into ≤ChunkBytes ciphertext
 	// chunks on the binary codec (new tagged field; gob and legacy peers keep
 	// whole-blob framing), letting the leader pipeline chunk decryption.
@@ -107,6 +119,7 @@ type Cluster struct {
 	Leader    *Leader
 	Parties   []*Participant
 	Agg       *AggServer
+	Workers   []*AggServer // shard workers (nil when unsharded)
 	Keys      *KeyServer
 
 	shuffleSeed int64
@@ -277,7 +290,35 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	agg.SetParallelism(cfg.Parallelism)
 	agg.SetObserver(o, instance)
 	agg.SetCodec(codec)
+	if cfg.PackAdaptive && cfg.Pack {
+		agg.SetPackHint(cfg.PackHint)
+	}
 	tr.Register(AggServerName, agg.Handler())
+
+	var workers []*AggServer
+	var workerNames []string
+	if size, shards := PlanSubtrees(p, cfg.ShardWorkers); cfg.ShardWorkers >= 2 && shards >= 2 {
+		plan := &ShardPlan{SubtreeSize: size}
+		for wi := 0; wi < shards; wi++ {
+			lo, hi := plan.shardRange(wi, p)
+			w, err := NewAggServer(tr, partyNames[lo:hi], pubScheme)
+			if err != nil {
+				return nil, err
+			}
+			w.SetParallelism(cfg.Parallelism)
+			w.SetRole(AggWorkerName(wi))
+			w.SetObserver(o, instance)
+			w.SetCodec(codec)
+			name := AggWorkerName(wi)
+			tr.Register(name, w.Handler())
+			workers = append(workers, w)
+			workerNames = append(workerNames, name)
+		}
+		plan.Workers = workerNames
+		if err := agg.SetShardPlan(plan); err != nil {
+			return nil, err
+		}
+	}
 
 	privScheme, err := FetchPrivateSchemeWire(ctx, transport.NewCodecCaller(tr, codec), KeyServerName)
 	if err != nil {
@@ -299,11 +340,13 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	leader.SetObserver(o, instance)
 	leader.SetCodec(codec)
 	leader.SetPayloadOptions(cfg.PackAdaptive && cfg.Pack, cfg.ChunkBytes, cfg.DeltaCache)
+	leader.SetExtraCountNodes(workerNames)
 	return &Cluster{
 		Transport:   tr,
 		Leader:      leader,
 		Parties:     parties,
 		Agg:         agg,
+		Workers:     workers,
 		Keys:        ks,
 		shuffleSeed: cfg.ShuffleSeed,
 		pubScheme:   pubScheme,

@@ -54,6 +54,10 @@ func allMessages() []wire.Message {
 		&FaginCollectResp{PseudoIDs: []int{3, 1}, PackFactor: 2, PackBits: 40, PackAdds: 4,
 			CachedBlocks: []int{0, 1}, Chunked: [][][]byte{{{7, 8}}},
 			Stats: FaginStats{Rounds: 1, ScanDepth: 8, Candidates: 2}},
+		&ShardCollectReq{Query: 11, PseudoIDs: []int{6, 2}, PackBits: 24, Delta: true, NoCache: true},
+		&ShardCollectReq{Query: 11, All: true, PackBits: 24},
+		&ShardCollectResp{PseudoIDs: []int{0, 3}, Ciphers: [][]byte{{0xfe}, {0xff, 1}},
+			PackFactor: 2, PackBits: 30, NeedBits: 26},
 	}
 }
 
@@ -104,6 +108,17 @@ func TestGoldenVectors(t *testing.T) {
 		// Cross-round cache counters ride the nested counters sub-body.
 		{&CountsResp{Counts: costmodel.Raw{CacheHits: 2, CacheMisses: 1}},
 			"00010a0450045802", 0},
+		// Shard collect request, candidate pattern: query, delta-coded IDs,
+		// dictated pack bits, then the delta/no-cache flags.
+		{&ShardCollectReq{Query: 11, PseudoIDs: []int{6, 2}, PackBits: 24, Delta: true, NoCache: true},
+			"000108161203020c07203028023002", 0},
+		// BASE pattern: the All flag rides tag 3, the ID list is absent.
+		{&ShardCollectReq{Query: 3, All: true, PackBits: 40},
+			"0001080618022050", 0},
+		// Shard root: IDs + blob list + uniform geometry + NeedBits maximum.
+		{&ShardCollectResp{PseudoIDs: []int{0, 3}, Ciphers: [][]byte{{0xfe}, {0xff, 1}},
+			PackFactor: 2, PackBits: 30, NeedBits: 26},
+			"00010a0302000612060201fe02ff011804203c2834", 3},
 	}
 	bin := wire.Binary()
 	for _, v := range vectors {

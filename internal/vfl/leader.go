@@ -50,8 +50,9 @@ type Leader struct {
 	scheme      he.Scheme // full scheme (with private key)
 	batch       int       // Fagin mini-batch size b
 	counts      costmodel.Counts
-	parallelism int    // 0 → par.Degree(); 1 → fully serial party fan-out
-	instance    string // observer instance label; the query log's tenant
+	parallelism int      // 0 → par.Degree(); 1 → fully serial party fan-out
+	instance    string   // observer instance label; the query log's tenant
+	extraNodes  []string // additional accounting nodes (shard workers)
 
 	// Payload-optimisation knobs requested from the aggregation server (see
 	// SetPayloadOptions) and the receive half of the leader-link delta cache.
@@ -865,13 +866,26 @@ func (l *Leader) runQueries(ctx context.Context, queries []int, k int, variant V
 	return results, nil
 }
 
+// SetExtraCountNodes registers additional accounting nodes — the shard
+// workers of a sharded deployment — so GatherCounts/ResetAllCounts cover the
+// HE additions that moved off the aggregation server. Nil clears the list.
+func (l *Leader) SetExtraCountNodes(nodes []string) {
+	l.extraNodes = append([]string(nil), nodes...)
+}
+
+// countNodes lists every remote node that carries operation counters.
+func (l *Leader) countNodes() []string {
+	nodes := append([]string{l.agg}, l.extraNodes...)
+	return append(nodes, l.parties...)
+}
+
 // GatherCounts pulls operation counters from every node plus the leader's
 // own, keyed by node name ("leader" for the local counters).
 func (l *Leader) GatherCounts(ctx context.Context) (map[string]costmodel.Raw, error) {
 	// Meta-calls go through Invoke directly so gathering counters does not
 	// itself perturb the byte counters being gathered.
 	out := map[string]costmodel.Raw{"leader": l.counts.Snapshot()}
-	for _, node := range append([]string{l.agg}, l.parties...) {
+	for _, node := range l.countNodes() {
 		var resp CountsResp
 		if _, err := l.cc.Load().Invoke(ctx, node, MethodCounts, nil, &resp); err != nil {
 			return nil, fmt.Errorf("vfl: counts from %s: %w", node, err)
@@ -897,7 +911,7 @@ func (l *Leader) TotalCounts(ctx context.Context) (costmodel.Raw, error) {
 // ResetAllCounts zeroes the counters on every node including the leader.
 func (l *Leader) ResetAllCounts(ctx context.Context) error {
 	l.counts.Reset()
-	for _, node := range append([]string{l.agg}, l.parties...) {
+	for _, node := range l.countNodes() {
 		if _, err := l.cc.Load().Invoke(ctx, node, MethodResetCounts, nil, nil); err != nil {
 			return fmt.Errorf("vfl: resetting %s: %w", node, err)
 		}

@@ -48,6 +48,9 @@ const (
 	MethodAggregateCandidates = "agg.aggregateCandidates"
 	MethodAggregateFrontier   = "agg.aggregateFrontier"
 
+	// Aggregation worker (coordinator → shard worker, see shard.go).
+	MethodShardCollect = "agg.shardCollect"
+
 	// Participant methods used only by the Threshold-Algorithm variant.
 	MethodEncryptRankScore = "party.encryptRankScore"
 )
@@ -252,6 +255,34 @@ type FaginCollectReq struct {
 	Adaptive   bool
 	Delta      bool
 	NoCache    bool
+}
+
+// ShardCollectReq asks one aggregation worker to collect its shard's party
+// vectors and tree-reduce them locally (see shard.go for the subtree-cut
+// argument). All selects the BASE access pattern (full vectors, pseudo IDs in
+// the response) over the candidate pattern (PseudoIDs echoes the request
+// order). PackBits dictates the slot width exactly as in EncryptAllReq — the
+// coordinator owns the adaptive negotiation, workers only relay the dictated
+// geometry. Delta/NoCache tune the worker↔party links as in EncryptAllReq.
+type ShardCollectReq struct {
+	Query     int
+	PseudoIDs []int
+	All       bool
+	PackBits  int
+	Delta     bool
+	NoCache   bool
+}
+
+// ShardCollectResp returns one shard's locally reduced ciphertext vector.
+// PseudoIDs is set in All mode only; PackFactor/PackBits echo the uniform
+// geometry of the shard's parties and NeedBits advertises the shard maximum,
+// feeding the coordinator's negotiation exactly as a single party would.
+type ShardCollectResp struct {
+	PseudoIDs  []int
+	Ciphers    [][]byte
+	PackFactor int
+	PackBits   int
+	NeedBits   int
 }
 
 // packedLen returns how many ciphertexts carry n values at the given pack
@@ -877,6 +908,67 @@ func (m *FaginCollectResp) UnmarshalWire(d *wire.Decoder) error {
 			m.CachedBlocks = d.IDs()
 		case 8:
 			m.Chunked = d.Chunks()
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: query, 2: pseudo IDs, 3: all,
+// 4: pack bits, 5: delta, 6: no-cache.
+func (m *ShardCollectReq) MarshalWire(e *wire.Encoder) {
+	e.Int(1, int64(m.Query))
+	e.IDs(2, m.PseudoIDs)
+	boolField(e, 3, m.All)
+	e.Int(4, int64(m.PackBits))
+	boolField(e, 5, m.Delta)
+	boolField(e, 6, m.NoCache)
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *ShardCollectReq) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.Query = int(d.Int())
+		case 2:
+			m.PseudoIDs = d.IDs()
+		case 3:
+			m.All = d.Int() != 0
+		case 4:
+			m.PackBits = int(d.Int())
+		case 5:
+			m.Delta = d.Int() != 0
+		case 6:
+			m.NoCache = d.Int() != 0
+		}
+	}
+	return d.Err()
+}
+
+// MarshalWire implements wire.Message. 1: pseudo IDs, 2: ciphertext blocks,
+// 3: pack factor, 4: pack bits, 5: need bits.
+func (m *ShardCollectResp) MarshalWire(e *wire.Encoder) {
+	e.IDs(1, m.PseudoIDs)
+	e.Blobs(2, m.Ciphers)
+	e.Int(3, int64(m.PackFactor))
+	e.Int(4, int64(m.PackBits))
+	e.Int(5, int64(m.NeedBits))
+}
+
+// UnmarshalWire implements wire.Message.
+func (m *ShardCollectResp) UnmarshalWire(d *wire.Decoder) error {
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			m.PseudoIDs = d.IDs()
+		case 2:
+			m.Ciphers = d.Blobs()
+		case 3:
+			m.PackFactor = int(d.Int())
+		case 4:
+			m.PackBits = int(d.Int())
+		case 5:
+			m.NeedBits = int(d.Int())
 		}
 	}
 	return d.Err()

@@ -48,12 +48,19 @@
 #   * delta-cache hits actually recorded on the delta arms.
 #
 # A `.soak` result (SOAK_summary.json, from `make soak`) must carry the full
-# key set the soak gates computed — queries, qps, p50Ms, p99Ms, processes —
-# plus sanity floors (the latency/throughput gates themselves fire inside
+# key set the soak gates computed — queries, qps, p50Ms, p99Ms, processes,
+# plus the multi-tenant arm's shardWorkers, mtSelections, mtSeqQps,
+# mtConcQps, mtSpeedup, mtSpeedupFloor, mtP99Ms, admitted, rejected — plus
+# sanity floors (the latency/throughput gates themselves fire inside
 # scripts/soak.sh, where the raw query log lives):
 #
 #   * at least one query was driven and throughput is positive,
-#   * the distinguished trace spans at least 3 distinct processes.
+#   * the distinguished trace spans at least 3 distinct processes,
+#   * the multi-tenant concurrent/sequential speedup meets its recorded
+#     floor, and that floor is itself >= 0.9 (so an override can tune the
+#     gate for the machine's core count but never disable it),
+#   * admission accounting is live: every load selection admitted and the
+#     budget probe rejected at least once.
 #
 # When a baseline (default: the checked-in BENCH_packed.json from git HEAD)
 # is available and distinct from the candidate, the packed end-to-end wall
@@ -209,7 +216,8 @@ if jq -e '.soak' "$CANDIDATE" >/dev/null 2>&1; then
   # Require every key the soak harness gates on, so a renamed summary field
   # can never turn the soak into a silent no-op.
   soak_ok=1
-  for key in queries qps p50Ms p99Ms processes; do
+  for key in queries qps p50Ms p99Ms processes shardWorkers mtSelections \
+             mtSeqQps mtConcQps mtSpeedup mtSpeedupFloor mtP99Ms admitted rejected; do
     require ".soak.${key}" "soak summary key ${key}" || soak_ok=0
   done
   if [ "$soak_ok" -eq 1 ]; then
@@ -224,6 +232,29 @@ if jq -e '.soak' "$CANDIDATE" >/dev/null 2>&1; then
     jq -e '.soak.processes >= 3' "$CANDIDATE" >/dev/null \
       && say "soak trace spans $procs distinct processes (floor 3)" \
       || bad "soak trace spans only $procs distinct processes, want >= 3"
+
+    mtsels=$(jq -r '.soak.mtSelections' "$CANDIDATE")
+    mtspeed=$(jq -r '.soak.mtSpeedup' "$CANDIDATE")
+    mtfloor=$(jq -r '.soak.mtSpeedupFloor' "$CANDIDATE")
+    mtp99=$(jq -r '.soak.mtP99Ms' "$CANDIDATE")
+    admitted=$(jq -r '.soak.admitted' "$CANDIDATE")
+    rejected=$(jq -r '.soak.rejected' "$CANDIDATE")
+    jq -e '.soak.mtSelections >= 1 and .soak.mtConcQps > 0' "$CANDIDATE" >/dev/null \
+      && say "multi-tenant arm drove $mtsels concurrent selections (p99 ${mtp99}ms)" \
+      || bad "multi-tenant arm shows no concurrent throughput"
+    # The floor itself is part of the contract: a per-machine override may
+    # relax the core-scaled default, but never below break-even minus 10%.
+    jq -e '.soak.mtSpeedupFloor >= 0.9' "$CANDIDATE" >/dev/null \
+      || bad "multi-tenant speedup floor $mtfloor below 0.9 — the gate has been defeated"
+    jq -e '.soak.mtSpeedup >= .soak.mtSpeedupFloor' "$CANDIDATE" >/dev/null \
+      && say "multi-tenant speedup ${mtspeed}x meets its recorded floor ${mtfloor}x" \
+      || bad "multi-tenant speedup ${mtspeed}x below its recorded floor ${mtfloor}x"
+    jq -e '.soak.admitted >= .soak.mtSelections' "$CANDIDATE" >/dev/null \
+      && say "admission admitted $admitted selections (>= $mtsels load selections)" \
+      || bad "admission admitted only $admitted of $mtsels load selections"
+    jq -e '.soak.rejected >= 1' "$CANDIDATE" >/dev/null \
+      && say "admission budget probe recorded $rejected rejection(s)" \
+      || bad "admission budget probe recorded no rejection"
   fi
 fi
 

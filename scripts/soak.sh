@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # soak.sh — multi-process soak with tail-latency gates.
 #
-# Spins up a real TCP deployment (key server, SOAK_PARTIES participants, the
-# aggregation server) plus a vfpsserve collector, runs SOAK_ROUNDS rounds of
-# concurrent KNN queries through the leader, and then asserts:
+# Spins up a real TCP deployment (key server, SOAK_PARTIES participants,
+# SOAK_SHARD_WORKERS aggregation shard workers, the aggregation server) plus
+# a vfpsserve collector, runs SOAK_ROUNDS rounds of concurrent KNN queries
+# through the leader, and then asserts:
 #
 #   * throughput:   queries/second >= SOAK_MIN_QPS,
 #   * tail latency: per-query p99 <= SOAK_P99_MS (p50 reported alongside),
@@ -14,7 +15,22 @@
 #                   event per query; vfpsserve's /v1/slow flight recorder is
 #                   non-empty after an HTTP-driven selection,
 #   * metrics:      the Go runtime families and the kind-labelled transport
-#                   error counter are exposed.
+#                   error counter are exposed,
+#   * sharding:     with SOAK_SHARD_WORKERS >= 2 the reduce runs through the
+#                   aggworker processes (their spans join the trace forest and
+#                   the delta-cache hits move to them).
+#
+# It then runs the multi-tenant load arm: an admission-controlled vfpsserve
+# multiplexes SOAK_MT_CONSORTIUMS sharded consortiums, first sequentially and
+# then concurrently, gating
+#
+#   * concurrent/sequential throughput speedup >= SOAK_MIN_MT_SPEEDUP (the
+#     default scales with the machine: 2.0 with >= 3 cores, 1.5 with 2, 0.9
+#     on a single core where concurrency cannot beat sequential by CPU — the
+#     floor then only catches pathological contention),
+#   * concurrent-phase p99 <= SOAK_MT_P99_MS,
+#   * admission accounting: every load request admitted, and a budget probe
+#     against a 1-op tenant HE budget must be rejected with 429.
 #
 # The summary is written as SOAK_OUT (default SOAK_summary.json) under a
 # top-level "soak" key and handed to scripts/bench_compare.sh, which requires
@@ -22,22 +38,38 @@
 #
 # Environment knobs (defaults in parentheses):
 #   SOAK_ROUNDS (2)  SOAK_QUERIES (8)  SOAK_QWORKERS (2)  SOAK_PARTIES (3)
-#   SOAK_P99_MS (10000)  SOAK_MIN_QPS (0.2)  SOAK_PORT_BASE (19300)
-#   SOAK_OUT (SOAK_summary.json)
+#   SOAK_SHARD_WORKERS (2)  SOAK_P99_MS (10000)  SOAK_MIN_QPS (0.2)
+#   SOAK_MT_CONSORTIUMS (3)  SOAK_MT_ROUNDS (2)  SOAK_MT_P99_MS (20000)
+#   SOAK_MIN_MT_SPEEDUP (by core count, see above)
+#   SOAK_PORT_BASE (19300)  SOAK_OUT (SOAK_summary.json)
 set -euo pipefail
 
 ROUNDS="${SOAK_ROUNDS:-2}"
 QUERIES="${SOAK_QUERIES:-8}"
 QWORKERS="${SOAK_QWORKERS:-2}"
 PARTIES="${SOAK_PARTIES:-3}"
+SHARD_WORKERS="${SOAK_SHARD_WORKERS:-2}"
 P99_MS="${SOAK_P99_MS:-10000}"
 MIN_QPS="${SOAK_MIN_QPS:-0.2}"
+NCONS="${SOAK_MT_CONSORTIUMS:-3}"
+MT_ROUNDS="${SOAK_MT_ROUNDS:-2}"
+MT_P99_MS="${SOAK_MT_P99_MS:-20000}"
 BASE="${SOAK_PORT_BASE:-19300}"
 OUT="${SOAK_OUT:-SOAK_summary.json}"
 ROWS=120
 K=4
 
 command -v jq >/dev/null || { echo "soak: jq not found" >&2; exit 1; }
+
+# The concurrent-vs-sequential speedup a machine can deliver depends on its
+# cores: the 2x contract needs >= 3 (workers + coordinator), 2 cores can
+# overlap partially, and on 1 core concurrency cannot beat sequential at all
+# — there the floor only catches pathological lock contention (> 10% loss).
+CORES=$(nproc 2>/dev/null || echo 1)
+if [ "${CORES}" -ge 3 ]; then DEFAULT_MT_SPEEDUP=2.0
+elif [ "${CORES}" -eq 2 ]; then DEFAULT_MT_SPEEDUP=1.5
+else DEFAULT_MT_SPEEDUP=0.9; fi
+MIN_MT_SPEEDUP="${SOAK_MIN_MT_SPEEDUP:-${DEFAULT_MT_SPEEDUP}}"
 
 WORK="$(mktemp -d)"
 PIDS=()
@@ -68,6 +100,20 @@ KEY_TCP="127.0.0.1:$((BASE + 1))";  KEY_OBS="127.0.0.1:$((BASE + 31))"
 AGG_TCP="127.0.0.1:$((BASE + 2))";  AGG_OBS="127.0.0.1:$((BASE + 32))"
 LEADER_OBS="127.0.0.1:$((BASE + 33))"
 SERVE_ADDR="127.0.0.1:$((BASE + 20))"
+MT_ADDR="127.0.0.1:$((BASE + 21))"
+PROBE_ADDR="127.0.0.1:$((BASE + 22))"
+
+# Mirror vfl.PlanSubtrees: the smallest power-of-two subtree spreading
+# PARTIES over at most SHARD_WORKERS shards, and the resulting shard count.
+SHARDS=0
+SUBTREE=0
+if [ "${SHARD_WORKERS}" -ge 2 ]; then
+    need=$(( (PARTIES + SHARD_WORKERS - 1) / SHARD_WORKERS ))
+    SUBTREE=1
+    while [ "${SUBTREE}" -lt "${need}" ]; do SUBTREE=$((SUBTREE * 2)); done
+    SHARDS=$(( (PARTIES + SUBTREE - 1) / SUBTREE ))
+    [ "${SHARDS}" -ge 2 ] || { SHARDS=0; SUBTREE=0; }
+fi
 
 DIRECTORY="keyserver=${KEY_TCP},aggserver=${AGG_TCP}"
 PEERS="http://${KEY_OBS},http://${AGG_OBS},http://${LEADER_OBS}"
@@ -78,6 +124,15 @@ for i in $(seq 0 $((PARTIES - 1))); do
     PEERS="${PEERS},http://${obs}"
     PARTY_OBS+=("${obs}")
 done
+WORKER_OBS=()
+if [ "${SHARDS}" -ge 2 ]; then
+    for i in $(seq 0 $((SHARDS - 1))); do
+        tcp="127.0.0.1:$((BASE + 5 + i))"; obs="127.0.0.1:$((BASE + 50 + i))"
+        DIRECTORY="${DIRECTORY},aggworker/${i}=${tcp}"
+        PEERS="${PEERS},http://${obs}"
+        WORKER_OBS+=("${obs}")
+    done
+fi
 
 # The full payload pipeline rides the soak: slot packing with per-round
 # adaptive renegotiation, chunked streaming of collection responses over the
@@ -93,7 +148,7 @@ start_node() { # logname, args...
     PIDS+=($!)
 }
 
-say "starting key server, ${PARTIES} participants, aggregation server"
+say "starting key server, ${PARTIES} participants, ${SHARDS} shard workers, aggregation server"
 start_node keyserver -role keyserver -addr "${KEY_TCP}" -obs-addr "${KEY_OBS}" "${COMMON[@]}"
 wait_tcp "${KEY_TCP}" || die "key server did not come up"
 for i in $(seq 0 $((PARTIES - 1))); do
@@ -103,7 +158,19 @@ done
 for i in $(seq 0 $((PARTIES - 1))); do
     wait_tcp "127.0.0.1:$((BASE + 10 + i))" || die "party ${i} did not come up"
 done
-start_node aggserver -role aggserver -addr "${AGG_TCP}" -obs-addr "${AGG_OBS}" "${COMMON[@]}"
+if [ "${SHARDS}" -ge 2 ]; then
+    for i in $(seq 0 $((SHARDS - 1))); do
+        start_node "aggworker${i}" -role aggworker -index "${i}" -shard-workers "${SHARD_WORKERS}" \
+            -addr "127.0.0.1:$((BASE + 5 + i))" -obs-addr "127.0.0.1:$((BASE + 50 + i))" "${COMMON[@]}"
+    done
+    for i in $(seq 0 $((SHARDS - 1))); do
+        wait_tcp "127.0.0.1:$((BASE + 5 + i))" || die "aggworker ${i} did not come up"
+    done
+    start_node aggserver -role aggserver -shard-workers "${SHARD_WORKERS}" \
+        -addr "${AGG_TCP}" -obs-addr "${AGG_OBS}" "${COMMON[@]}"
+else
+    start_node aggserver -role aggserver -addr "${AGG_TCP}" -obs-addr "${AGG_OBS}" "${COMMON[@]}"
+fi
 wait_tcp "${AGG_TCP}" || die "aggregation server did not come up"
 
 say "starting vfpsserve collector on ${SERVE_ADDR}"
@@ -173,6 +240,11 @@ PROCESSES=$(jq '.nodes | length' "${BEST}")
 ORPHANS=$(jq '.orphans' "${BEST}")
 say "trace ${TRACE_ID}: $(jq '.spans | length' "${BEST}") spans across ${PROCESSES} processes $(jq -c '.nodes' "${BEST}")"
 [ "${ORPHANS}" -eq 0 ] || die "trace ${TRACE_ID} has ${ORPHANS} unresolved parent links"
+if [ "${SHARDS}" -ge 2 ]; then
+    # The sharded reduce must actually have run through the worker processes.
+    jq -e '.nodes | map(select(startswith("aggworker/"))) | length >= 1' "${BEST}" >/dev/null \
+        || die "sharded run but no aggworker process in the trace nodes $(jq -c '.nodes' "${BEST}")"
+fi
 
 kill "${LEADER_PID}" 2>/dev/null || true
 
@@ -195,6 +267,9 @@ for family in vfps_go_goroutines vfps_go_heap_alloc_bytes vfps_go_gc_pause_secon
 done
 grep -q '^# HELP vfps_transport_errors_total .*by kind' "${METRICS}" \
     || die "transport error counter lost its kind label documentation"
+for family in vfps_admission_admitted_total vfps_admission_rejected_total vfps_admission_queue_depth; do
+    grep -q "^# TYPE ${family} " "${METRICS}" || die "/metrics missing admission family ${family}"
+done
 curl -sf "http://${AGG_OBS}/metrics" > "${WORK}/agg_metrics.txt" \
     || die "aggserver /metrics scrape failed"
 grep -q '^# TYPE vfps_go_goroutines ' "${WORK}/agg_metrics.txt" \
@@ -203,25 +278,147 @@ for family in vfps_delta_cache_hits_total vfps_delta_cache_misses_total; do
     grep -q "^# TYPE ${family} " "${WORK}/agg_metrics.txt" \
         || die "aggserver /metrics missing delta-cache family ${family}"
 done
+if [ "${SHARDS}" -ge 2 ]; then
+    grep -q '^# TYPE vfps_shard_retries_total ' "${WORK}/agg_metrics.txt" \
+        || die "sharded aggserver /metrics missing vfps_shard_retries_total"
+fi
 if [ "${ROUNDS}" -gt 1 ]; then
-    # Repeat rounds rerun the identical query set, so the aggregation
-    # server's receive-side delta cache must have recorded real hits.
-    grep -q '^vfps_delta_cache_hits_total{.*} [1-9]' "${WORK}/agg_metrics.txt" \
-        || die "no delta-cache hits recorded across ${ROUNDS} repeat rounds"
+    # Repeat rounds rerun the identical query set, so the receive side of the
+    # party payloads must have recorded real delta-cache hits. Sharded runs
+    # move that receive side from the aggserver to the shard workers.
+    if [ "${SHARDS}" -ge 2 ]; then
+        HITS=0
+        for obs in "${WORKER_OBS[@]}"; do
+            curl -sf "http://${obs}/metrics" > "${WORK}/worker_metrics.txt" \
+                || die "aggworker /metrics scrape failed (${obs})"
+            if grep -q '^vfps_delta_cache_hits_total{.*} [1-9]' "${WORK}/worker_metrics.txt"; then
+                HITS=1
+            fi
+        done
+        [ "${HITS}" -eq 1 ] || die "no delta-cache hits on any shard worker across ${ROUNDS} repeat rounds"
+    else
+        grep -q '^vfps_delta_cache_hits_total{.*} [1-9]' "${WORK}/agg_metrics.txt" \
+            || die "no delta-cache hits recorded across ${ROUNDS} repeat rounds"
+    fi
 fi
 curl -sf "http://${PARTY_OBS[0]}/metrics" > "${WORK}/party_metrics.txt" \
     || die "party obs /metrics scrape failed"
 grep -q '^vfps_he_pack_slots{.*} [1-9]' "${WORK}/party_metrics.txt" \
     || die "party recorded no pack-slot geometry despite -pack"
 
+# --- multi-tenant load arm ----------------------------------------------------
+# An admission-controlled vfpsserve multiplexes NCONS sharded consortiums.
+# Phase 1 runs the selections sequentially, phase 2 runs the same number
+# concurrently (one in flight per consortium — the per-consortium run lock
+# serializes deeper stacking anyway); the speedup and the concurrent p99 are
+# gated.
+say "multi-tenant arm: ${NCONS} consortiums x ${MT_ROUNDS} rounds on ${MT_ADDR} (speedup floor ${MIN_MT_SPEEDUP}, ${CORES} core(s))"
+"${WORK}/vfpsserve" -addr "${MT_ADDR}" -max-concurrent 4 -queue-depth 8 \
+    >"${WORK}/mt_serve.log" 2>&1 &
+PIDS+=($!)
+wait_tcp "${MT_ADDR}" || die "multi-tenant vfpsserve did not come up"
+
+MT_CIDS=()
+for i in $(seq 1 "${NCONS}"); do
+    cid=$(curl -sf -X POST "http://${MT_ADDR}/v1/consortiums" \
+        -d "{\"dataset\":\"Rice\",\"rows\":${ROWS},\"parties\":4,\"scheme\":\"plain\",\"shardWorkers\":${SHARD_WORKERS}}" \
+        | jq -r '.id')
+    [ -n "${cid}" ] && [ "${cid}" != "null" ] || die "multi-tenant consortium ${i} creation failed"
+    MT_CIDS+=("${cid}")
+done
+SHARDED_WORKERS=$(curl -sf "http://${MT_ADDR}/v1/consortiums/${MT_CIDS[0]}" | jq '.shardWorkers')
+if [ "${SHARD_WORKERS}" -ge 2 ]; then
+    [ "${SHARDED_WORKERS}" -ge 2 ] || die "multi-tenant consortium reports ${SHARDED_WORKERS} shard workers, want >= 2"
+fi
+
+mt_select() { # cid latency-file
+    curl -sf -o /dev/null -w '%{time_total}\n' -H 'X-Tenant: load' \
+        -X POST "http://${MT_ADDR}/v1/consortiums/$1/select" \
+        -d '{"count":2,"k":4,"numQueries":6,"seed":1}' > "$2" \
+        || die "multi-tenant selection on $1 failed"
+}
+
+now() { date +%s.%N; }
+
+SEQ_START=$(now)
+for r in $(seq 1 "${MT_ROUNDS}"); do
+    for i in $(seq 0 $((NCONS - 1))); do
+        mt_select "${MT_CIDS[i]}" "${WORK}/seq_${r}_${i}.t"
+    done
+done
+SEQ_WALL=$(jq -n --argjson a "$(now)" --argjson b "${SEQ_START}" '$a - $b')
+
+CONC_START=$(now)
+for r in $(seq 1 "${MT_ROUNDS}"); do
+    CURL_PIDS=()
+    for i in $(seq 0 $((NCONS - 1))); do
+        mt_select "${MT_CIDS[i]}" "${WORK}/conc_${r}_${i}.t" &
+        CURL_PIDS+=($!)
+    done
+    for pid in "${CURL_PIDS[@]}"; do
+        wait "${pid}" || die "concurrent multi-tenant selection failed"
+    done
+done
+CONC_WALL=$(jq -n --argjson a "$(now)" --argjson b "${CONC_START}" '$a - $b')
+
+MT_TOTAL=$((NCONS * MT_ROUNDS))
+read -r SEQ_QPS CONC_QPS MT_SPEEDUP <<EOF
+$(jq -n --argjson n "${MT_TOTAL}" --argjson sw "${SEQ_WALL}" --argjson cw "${CONC_WALL}" \
+    '[$n / $sw, $n / $cw, $sw / $cw] | map(. * 1000 | round / 1000) | @tsv' -r)
+EOF
+MT_P99=$(cat "${WORK}"/conc_*.t | jq -s 'sort | .[((length - 1) * 0.99 | round)] * 1000 | (. * 1000 | round / 1000)')
+say "multi-tenant: sequential ${SEQ_QPS} sel/s, concurrent ${CONC_QPS} sel/s (speedup ${MT_SPEEDUP}x), concurrent p99 ${MT_P99}ms"
+jq -n -e --argjson s "${MT_SPEEDUP}" --argjson min "${MIN_MT_SPEEDUP}" '$s >= $min' >/dev/null \
+    || die "multi-tenant speedup ${MT_SPEEDUP}x below floor SOAK_MIN_MT_SPEEDUP=${MIN_MT_SPEEDUP}x"
+jq -n -e --argjson p "${MT_P99}" --argjson lim "${MT_P99_MS}" '$p <= $lim' >/dev/null \
+    || die "multi-tenant concurrent p99 ${MT_P99}ms exceeds gate SOAK_MT_P99_MS=${MT_P99_MS}ms"
+
+MT_METRICS="${WORK}/mt_metrics.txt"
+curl -sf "http://${MT_ADDR}/metrics" > "${MT_METRICS}" || die "multi-tenant /metrics scrape failed"
+ADMITTED=$(awk '/^vfps_admission_admitted_total / {print $2}' "${MT_METRICS}")
+[ -n "${ADMITTED}" ] && [ "${ADMITTED}" -ge $((2 * MT_TOTAL)) ] \
+    || die "admission admitted ${ADMITTED:-0}, want >= $((2 * MT_TOTAL))"
+
+# --- admission rejection probe ------------------------------------------------
+# A dedicated server with a 1-op tenant HE budget: the first selection is
+# admitted and overspends the budget, the second must be rejected with 429.
+say "admission probe: 1-op tenant HE budget on ${PROBE_ADDR}"
+"${WORK}/vfpsserve" -addr "${PROBE_ADDR}" -tenant-he-budget 1 \
+    >"${WORK}/probe_serve.log" 2>&1 &
+PIDS+=($!)
+wait_tcp "${PROBE_ADDR}" || die "probe vfpsserve did not come up"
+PCID=$(curl -sf -X POST "http://${PROBE_ADDR}/v1/consortiums" \
+    -d '{"dataset":"Rice","rows":80,"parties":3,"scheme":"plain"}' | jq -r '.id')
+curl -sf -X POST "http://${PROBE_ADDR}/v1/consortiums/${PCID}/select" \
+    -H 'X-Tenant: probe' -d '{"count":2,"k":4,"numQueries":4,"seed":1}' >/dev/null \
+    || die "probe selection within budget failed"
+REJ_CODE=$(curl -s -o "${WORK}/probe_reject.json" -w '%{http_code}' \
+    -X POST "http://${PROBE_ADDR}/v1/consortiums/${PCID}/select" \
+    -H 'X-Tenant: probe' -d '{"count":2,"k":4,"numQueries":4,"seed":1}')
+[ "${REJ_CODE}" = "429" ] || die "over-budget probe got HTTP ${REJ_CODE}, want 429 ($(cat "${WORK}/probe_reject.json"))"
+curl -sf "http://${PROBE_ADDR}/metrics" > "${WORK}/probe_metrics.txt" \
+    || die "probe /metrics scrape failed"
+REJECTED=$(awk '/^vfps_admission_rejected_total\{reason="tenant-budget"\} / {print $2}' "${WORK}/probe_metrics.txt")
+[ -n "${REJECTED}" ] && [ "${REJECTED}" -ge 1 ] \
+    || die "rejected counter missing tenant-budget rejection"
+say "admission probe: budget rejection recorded (${REJECTED} rejection(s))"
+
 # --- summary + gate-key contract ---------------------------------------------
 jq -n \
     --argjson queries "${TOTAL}" --argjson qps "${QPS}" \
     --argjson p50 "${P50MS}" --argjson p99 "${P99MS}" \
     --argjson procs "${PROCESSES}" --arg trace "${TRACE_ID}" \
-    --argjson slow "${SLOW_COUNT}" \
+    --argjson slow "${SLOW_COUNT}" --argjson shards "${SHARDS}" \
+    --argjson mtsels "${MT_TOTAL}" --argjson mtseq "${SEQ_QPS}" \
+    --argjson mtconc "${CONC_QPS}" --argjson mtspeed "${MT_SPEEDUP}" \
+    --argjson mtfloor "${MIN_MT_SPEEDUP}" --argjson mtp99 "${MT_P99}" \
+    --argjson admitted "${ADMITTED}" --argjson rejected "${REJECTED}" \
     '{soak: {queries: $queries, qps: $qps, p50Ms: $p50, p99Ms: $p99,
-             processes: $procs, traceId: $trace, slowEvents: $slow}}' > "${OUT}"
+             processes: $procs, traceId: $trace, slowEvents: $slow,
+             shardWorkers: $shards, mtSelections: $mtsels,
+             mtSeqQps: $mtseq, mtConcQps: $mtconc,
+             mtSpeedup: $mtspeed, mtSpeedupFloor: $mtfloor, mtP99Ms: $mtp99,
+             admitted: $admitted, rejected: $rejected}}' > "${OUT}"
 say "summary written to ${OUT}"
 ./scripts/bench_compare.sh "${OUT}"
 

@@ -128,6 +128,15 @@ type Config struct {
 	// DeltaCache enables cross-round delta encoding: repeat queries resend
 	// only the ciphertext blocks that changed since the previous round.
 	DeltaCache bool
+	// ShardWorkers ≥ 2 shards the ciphertext tree reduce across that many
+	// aggregation workers over aligned power-of-two party subtrees.
+	// Selections are bit-identical at every worker count.
+	ShardWorkers int
+	// PackWidthHint seeds the adaptive pack negotiation with a slot width a
+	// previous consortium learned over the same data shape, so round one
+	// packs adaptively instead of paying the static warm-up. Only meaningful
+	// with Pack+PackAdaptive; 0 keeps pure in-band negotiation.
+	PackWidthHint int
 	// EncryptWindow pins the fixed-base window width used by encryption
 	// randomizer precompute: 0 keeps the default (6), negative restores
 	// classic uniform-r sampling (one full modular exponentiation per
@@ -196,6 +205,8 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		PackAdaptive:  cfg.PackAdaptive,
 		ChunkBytes:    cfg.ChunkBytes,
 		DeltaCache:    cfg.DeltaCache,
+		ShardWorkers:  cfg.ShardWorkers,
+		PackHint:      cfg.PackWidthHint,
 		EncryptWindow: cfg.EncryptWindow,
 		Mont:          cfg.Mont,
 		Pool:          cfg.SharedPool,
@@ -212,6 +223,16 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 // Close releases the consortium's background resources (randomizer
 // precompute pools). The consortium stays usable afterwards.
 func (c *Consortium) Close() { c.cluster.Close() }
+
+// PackWidthHint exports the adaptive slot width the consortium's aggregation
+// coordinator has learned (margin included; 0 before the first adaptive
+// round). A serving layer can feed it into a successor consortium's
+// Config.PackWidthHint to skip the static warm-up round.
+func (c *Consortium) PackWidthHint() int { return c.cluster.Agg.PackHint() }
+
+// ShardWorkers reports how many aggregation shard workers the consortium
+// runs (0 when the tree reduce is unsharded).
+func (c *Consortium) ShardWorkers() int { return len(c.cluster.Workers) }
 
 // P returns the number of participants.
 func (c *Consortium) P() int { return c.pt.P() }
