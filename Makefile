@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-packed bench-wire bench-encrypt bench-payload bench-mont microbench experiments fuzz cover obs-smoke soak clean
+.PHONY: build test check race bench bench-packed bench-wire bench-encrypt bench-payload bench-churn bench-mont microbench experiments fuzz cover obs-smoke soak clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ check:
 	$(GO) test ./internal/mont -race
 	$(GO) test ./internal/vfl -race -run='^TestAdaptivePackSelectionIdentity$$'
 	$(GO) test ./internal/vfl -race -run='^TestShardedSelectionIdentity$$'
+	$(GO) test . -race -run='^TestChurnSelectionMatchesColdRebuild$$'
 	$(GO) test ./internal/server -race -run='^TestConcurrentMultiConsortium$$'
 	$(GO) test ./internal/paillier -run='^$$' -fuzz='^FuzzFixedBaseExp$$' -fuzztime=5s
 	$(GO) test ./internal/mont -run='^$$' -fuzz='^FuzzMontMulExp$$' -fuzztime=5s
@@ -85,6 +86,15 @@ bench-encrypt:
 bench-payload:
 	$(GO) run ./cmd/vfpsbench -exp payload -json BENCH_payload.json
 	./scripts/bench_compare.sh BENCH_payload.json
+
+# Benchmark online membership churn (in-place join/leave, set-keyed
+# similarity reuse, speculative TA decryption) and gate the result: the
+# incremental join pays ≥2x fewer encryptions than a cold rebuild at 6+
+# surviving parties, every churn arm selects bit-identically to its cold
+# twin, and a roster revisit through the similarity cache pays 0 HE ops.
+bench-churn:
+	$(GO) run ./cmd/vfpsbench -exp churn -json BENCH_churn.json
+	./scripts/bench_compare.sh BENCH_churn.json
 
 # Go-test microbenchmarks of the Montgomery kernel alone: CIOS multiply and
 # square vs big.Int Mul+Mod, windowed exponentiation vs big.Int.Exp, with

@@ -1,0 +1,193 @@
+package vfps
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vfps/internal/mat"
+)
+
+// subPartition builds a partition holding the listed parties of pt, in order.
+func subPartition(pt *Partition, parties []int) *Partition {
+	out := &Partition{}
+	for _, p := range parties {
+		out.Parties = append(out.Parties, pt.Parties[p])
+		out.FeatureIdx = append(out.FeatureIdx, pt.FeatureIdx[p])
+		out.DuplicateOf = append(out.DuplicateOf, -1)
+	}
+	return out
+}
+
+func matRows(m *mat.Matrix) [][]float64 {
+	rows := make([][]float64, m.Rows)
+	for i := range rows {
+		rows[i] = append([]float64(nil), m.Data[i*m.Cols:(i+1)*m.Cols]...)
+	}
+	return rows
+}
+
+// TestChurnSelectionMatchesColdRebuild is the churn bit-identity matrix: a
+// consortium that reaches a membership through live joins and leaves must
+// produce exactly the selection — same picks, same objective value, same
+// similarity matrix — as a consortium cold-built at that final membership,
+// across parallelism, ciphertext packing and optimizer choices.
+func TestChurnSelectionMatchesColdRebuild(t *testing.T) {
+	d, err := GenerateDataset("Bank", 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := VerticalSplit(d, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		scheme      string
+		pack        bool
+		parallelism int
+		optimizer   string
+	}{
+		{"plain", false, 1, "greedy"},
+		{"plain", false, 1, "lazy"},
+		{"plain", false, 1, "warm"},
+		{"plain", false, 4, "greedy"},
+		{"plain", false, 4, "lazy"},
+		{"plain", false, 4, "warm"},
+		{"paillier", true, 1, "greedy"},
+		{"paillier", true, 1, "warm"},
+		{"paillier", true, 4, "lazy"},
+		{"paillier", true, 4, "warm"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("%s-pack=%v-par=%d-%s", tc.scheme, tc.pack, tc.parallelism, tc.optimizer)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx := context.Background()
+			mk := func(pt *Partition) *Consortium {
+				cons, err := NewConsortium(ctx, Config{
+					Partition: pt, Labels: d.Y, Classes: d.Classes,
+					Scheme: tc.scheme, KeyBits: 256, ShuffleSeed: 7,
+					Pack: tc.pack, DeltaCache: true, Parallelism: tc.parallelism,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(cons.Close)
+				return cons
+			}
+			opts := SelectOptions{
+				K: 5, NumQueries: 6, Seed: 3,
+				Optimizer: tc.optimizer, Parallelism: tc.parallelism,
+			}
+
+			// Live consortium: start with parties {0,1,2}, select once (seeds
+			// the delta caches and the warm prior), join 3 and 4, drop index 1.
+			live := mk(subPartition(full, []int{0, 1, 2}))
+			if _, err := live.Select(ctx, 2, opts); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{3, 4} {
+				joined, err := live.AddParticipant(matRows(full.Parties[p]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := fmt.Sprintf("party/%d", p); joined != want {
+					t.Fatalf("join named %q, want %q", joined, want)
+				}
+			}
+			if err := live.RemoveParticipant(1); err != nil {
+				t.Fatal(err)
+			}
+			if got := live.PartyNames(); !reflect.DeepEqual(got, []string{"party/0", "party/2", "party/3", "party/4"}) {
+				t.Fatalf("post-churn roster %v", got)
+			}
+			churned, err := live.Select(ctx, 2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Cold twin at the final membership.
+			cold, err := mk(subPartition(full, []int{0, 2, 3, 4})).Select(ctx, 2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(churned.Selected, cold.Selected) {
+				t.Fatalf("churned selection %v, cold rebuild %v", churned.Selected, cold.Selected)
+			}
+			if churned.Value != cold.Value {
+				t.Fatalf("churned value %v, cold rebuild %v", churned.Value, cold.Value)
+			}
+			if !reflect.DeepEqual(churned.W, cold.W) {
+				t.Fatalf("similarity matrices diverge:\nchurned %v\ncold    %v", churned.W, cold.W)
+			}
+		})
+	}
+}
+
+// TestChurnRejectsFixedSizeScheme pins the guard: secagg's pairwise masks
+// fix the consortium size at key setup, so membership changes are refused.
+func TestChurnRejectsFixedSizeScheme(t *testing.T) {
+	d, err := GenerateDataset("Rice", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := VerticalSplit(d, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsortium(context.Background(), Config{
+		Partition: pt, Labels: d.Y, Classes: d.Classes, Scheme: "secagg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	if _, err := cons.AddParticipant(matRows(pt.Parties[0])); err == nil {
+		t.Fatal("secagg join should be rejected")
+	}
+	if err := cons.RemoveParticipant(0); err == nil {
+		t.Fatal("secagg leave should be rejected")
+	}
+}
+
+// TestChurnJoinValidation pins the joiner shape checks.
+func TestChurnJoinValidation(t *testing.T) {
+	d, err := GenerateDataset("Rice", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := VerticalSplit(d, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := NewConsortium(context.Background(), Config{
+		Partition: pt, Labels: d.Y, Classes: d.Classes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	if _, err := cons.AddParticipant(make([][]float64, 7)); err == nil {
+		t.Fatal("row-count mismatch should be rejected")
+	}
+	bad := matRows(pt.Parties[0])
+	bad[3] = bad[3][:1]
+	if _, err := cons.AddParticipant(bad); err == nil {
+		t.Fatal("ragged joiner should be rejected")
+	}
+	if err := cons.RemoveParticipant(9); err == nil {
+		t.Fatal("unknown index should be rejected")
+	}
+	// The last participant cannot leave.
+	if err := cons.RemoveParticipant(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.RemoveParticipant(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.RemoveParticipant(0); err == nil {
+		t.Fatal("removing the last participant should be rejected")
+	}
+}

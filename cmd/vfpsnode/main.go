@@ -85,7 +85,8 @@ func main() {
 		k           = flag.Int("k", 10, "proxy-KNN neighbour count (role=leader)")
 		queries     = flag.Int("queries", 32, "query sample count (role=leader)")
 		batch       = flag.Int("batch", 32, "Fagin mini-batch size (role=leader)")
-		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base (role=leader)")
+		variant     = flag.String("variant", "fagin", "KNN variant: fagin|base|threshold (role=leader)")
+		specTA      = flag.Bool("speculate-ta", false, "overlap the threshold scan's next round with the stopping check; discarded-round decryptions surface in vfps_ta_speculative_waste_total (role=leader; requires -variant threshold)")
 		parallelism = flag.Int("parallelism", 0, "HE pipeline concurrency (0 = VFPS_PARALLELISM or GOMAXPROCS, 1 = serial)")
 		pack        = flag.Bool("pack", false, "slot-pack Paillier ciphertexts (set identically on all parties and the leader)")
 		packAdapt   = flag.Bool("pack-adaptive", false, "renegotiate the packing slot width per round from observed magnitudes (role=leader; requires -pack)")
@@ -280,6 +281,7 @@ func main() {
 		leader.SetObserver(o, "node")
 		leader.SetCodec(codec)
 		leader.SetPayloadOptions(*packAdapt && *pack, *chunkBytes, *deltaCache)
+		leader.SetSpeculativeTA(*specTA)
 		// Shard workers hold per-role op counters; fold them into the totals.
 		leader.SetExtraCountNodes(aggWorkerNames(dir))
 		runLeader(ctx, leader, o, *rows, *selCount, *k, *queries, vfl.Variant(*variant), *rounds, *qworkers)

@@ -96,6 +96,8 @@ func SelectAdaptive(ctx context.Context, leader *vfl.Leader, selectCount int, cf
 		res, err = submod.LazyGreedy(obj, selectCount)
 	case OptStochastic:
 		res, err = submod.StochasticGreedy(obj, selectCount, 0.1, rand.New(rand.NewSource(cfg.Seed)))
+	case OptWarmStart:
+		res, err = submod.GreedyWarmStart(obj, selectCount, cfg.WarmStart)
 	default:
 		return nil, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
 	}

@@ -28,6 +28,9 @@ const (
 	OptLazy Optimizer = "lazy"
 	// OptStochastic is stochastic greedy with eps = 0.1.
 	OptStochastic Optimizer = "stochastic"
+	// OptWarmStart revalidates a prior selection (Config.WarmStart) and
+	// repairs only displaced picks; output is identical to greedy.
+	OptWarmStart Optimizer = "warm"
 )
 
 // Config tunes a selection run.
@@ -48,6 +51,14 @@ type Config struct {
 	// Parallelism bounds concurrent in-flight queries during the similarity
 	// phase (default 1, i.e. sequential).
 	Parallelism int
+	// WarmStart is the prior selection OptWarmStart revalidates. Ignored by
+	// the other optimizers; an empty prior degrades to lazy greedy.
+	WarmStart []int
+	// Cache, when non-nil, memoises similarity reports by (roster, queries,
+	// variant, K) so a selection whose membership recurs skips the encrypted
+	// similarity phase entirely. Opt-in: leaving it nil preserves the
+	// protocol's per-run cost profile for benchmarks.
+	Cache *SimCache
 }
 
 // Selection reports the outcome of a VFPS-SM run.
@@ -201,16 +212,33 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 	psp.End()
 	phase("prepare")
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: prepare phase: %w", err)
 	}
-	sctx, ssp := tracer.Start(ctx, "select.similarity")
-	ssp.SetLabelInt("queries", int64(len(cfg.Queries)))
-	ssp.SetLabelInt("k", int64(cfg.K))
-	rep, err := leader.SimilaritiesParallel(sctx, cfg.Queries, cfg.K, cfg.Variant, cfg.Parallelism)
-	ssp.End()
-	phase("similarity")
-	if err != nil {
-		return nil, fmt.Errorf("core: similarity phase: %w", err)
+	var simKey string
+	var rep *vfl.SimilarityReport
+	if cfg.Cache != nil {
+		simKey = SimKey(leader.Parties(), cfg.Queries, cfg.Variant, cfg.K)
+		var hit bool
+		rep, hit = cfg.Cache.Lookup(simKey)
+		if observer != nil {
+			recordSimCache(observer.Registry(), leader.Instance(), hit)
+		}
+	}
+	if rep == nil {
+		sctx, ssp := tracer.Start(ctx, "select.similarity")
+		ssp.SetLabelInt("queries", int64(len(cfg.Queries)))
+		ssp.SetLabelInt("k", int64(cfg.K))
+		rep, err = leader.SimilaritiesParallel(sctx, cfg.Queries, cfg.K, cfg.Variant, cfg.Parallelism)
+		ssp.End()
+		phase("similarity")
+		if err != nil {
+			return nil, fmt.Errorf("core: similarity phase: %w", err)
+		}
+		if cfg.Cache != nil {
+			cfg.Cache.Store(simKey, rep)
+		}
+	} else {
+		phase("similarity")
 	}
 	_, msp := tracer.Start(ctx, "select.maximize")
 	msp.SetLabel("optimizer", string(cfg.Optimizer))
@@ -227,6 +255,8 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 		res, err = submod.LazyGreedy(obj, selectCount)
 	case OptStochastic:
 		res, err = submod.StochasticGreedy(obj, selectCount, 0.1, rand.New(rand.NewSource(cfg.Seed)))
+	case OptWarmStart:
+		res, err = submod.GreedyWarmStart(obj, selectCount, cfg.WarmStart)
 	default:
 		msp.End()
 		return nil, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
@@ -243,7 +273,7 @@ func Select(ctx context.Context, leader *vfl.Leader, selectCount int, cfg Config
 	gsp.End()
 	phase("accounting")
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: accounting phase: %w", err)
 	}
 	var total costmodel.Raw
 	for _, c := range perRole {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"vfps/internal/dataset"
@@ -193,6 +194,105 @@ func TestSelectValidation(t *testing.T) {
 	}
 	if _, err := Select(ctx, cl.Leader, 2, Config{Queries: []int{1}, Optimizer: Optimizer("annealing")}); err == nil {
 		t.Fatal("expected optimizer error")
+	}
+	// Failures inside the protocol phases must name the phase: a cancelled
+	// context breaks the very first RPC (the count reset), and the error is
+	// wrapped as a prepare-phase failure.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err := Select(cancelled, cl.Leader, 2, Config{Queries: []int{1}})
+	if err == nil {
+		t.Fatal("expected cancelled-context error")
+	}
+	if !strings.HasPrefix(err.Error(), "core: prepare phase:") {
+		t.Fatalf("prepare failure not wrapped with phase prefix: %v", err)
+	}
+}
+
+func TestSelectWarmStartMatchesGreedy(t *testing.T) {
+	cl, _ := cluster(t, "Bank", 100, 4, 0)
+	queries := SampleQueries(100, 10, 6)
+	greedy, err := Select(context.Background(), cl.Leader, 2, Config{K: 5, Queries: queries, Optimizer: OptGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A warm start seeded with the prior answer, a stale prior, and no prior
+	// at all must all reproduce the greedy selection exactly.
+	for _, prior := range [][]int{greedy.Selected, {3, 0}, nil} {
+		warm, err := Select(context.Background(), cl.Leader, 2, Config{
+			K: 5, Queries: queries, Optimizer: OptWarmStart, WarmStart: prior,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(warm.Selected, greedy.Selected) {
+			t.Fatalf("warm start (prior %v) selected %v, greedy %v", prior, warm.Selected, greedy.Selected)
+		}
+		if d := warm.Value - greedy.Value; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("warm start value %g != greedy %g", warm.Value, greedy.Value)
+		}
+	}
+}
+
+func TestSelectSimCacheReusesReport(t *testing.T) {
+	cl, _ := cluster(t, "Bank", 100, 4, 0)
+	queries := SampleQueries(100, 10, 8)
+	cache := NewSimCache(0)
+	cold, err := Select(context.Background(), cl.Leader, 2, Config{K: 5, Queries: queries, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d reports after first run", cache.Len())
+	}
+	warm, err := Select(context.Background(), cl.Leader, 2, Config{K: 5, Queries: queries, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Selected, cold.Selected) || !reflect.DeepEqual(warm.W, cold.W) {
+		t.Fatalf("cached selection diverged: %v vs %v", warm.Selected, cold.Selected)
+	}
+	// The hit skipped the encrypted similarity phase entirely.
+	if warm.Counts.Encryptions != 0 || warm.Counts.Decryptions != 0 {
+		t.Fatalf("cache hit still paid HE ops: %+v", warm.Counts)
+	}
+	if cold.Counts.Encryptions == 0 {
+		t.Fatalf("cold run paid no HE ops: %+v", cold.Counts)
+	}
+	// A different parameterisation must miss: same roster, new K.
+	again, err := Select(context.Background(), cl.Leader, 2, Config{K: 6, Queries: queries, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Counts.Encryptions == 0 {
+		t.Fatal("K change should have missed the cache")
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d reports after K change", cache.Len())
+	}
+}
+
+func TestSimCacheEviction(t *testing.T) {
+	c := NewSimCache(4)
+	rep := &vfl.SimilarityReport{W: [][]float64{{1, 0.5}, {0.5, 1}}, Queries: 3}
+	for i := 0; i < 12; i++ {
+		c.Store(SimKey([]string{"a", "b"}, []int{i}, vfl.VariantBase, 5), rep)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("cache grew to %d entries past its limit", c.Len())
+	}
+	// Oldest keys evicted, newest retained; hits return deep copies.
+	if _, ok := c.Lookup(SimKey([]string{"a", "b"}, []int{0}, vfl.VariantBase, 5)); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	got, ok := c.Lookup(SimKey([]string{"a", "b"}, []int{11}, vfl.VariantBase, 5))
+	if !ok {
+		t.Fatal("newest entry missing")
+	}
+	got.W[0][1] = -1
+	fresh, _ := c.Lookup(SimKey([]string{"a", "b"}, []int{11}, vfl.VariantBase, 5))
+	if fresh.W[0][1] != 0.5 {
+		t.Fatal("lookup returned an aliased report")
 	}
 }
 

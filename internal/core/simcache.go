@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"vfps/internal/obs"
+	"vfps/internal/vfl"
+)
+
+// SimCache memoises similarity reports by the full estimation identity: the
+// participant roster (a set signature — node names in index order), the
+// query set, the KNN variant and K. Over a static dataset the similarity
+// matrix is a pure function of that key, so a hit is exact, not approximate:
+// it skips the encrypted similarity phase entirely while returning the
+// bit-identical W a fresh protocol run would produce. The serving layer uses
+// it for set-keyed reuse across membership churn — a consortium that returns
+// to a previously seen roster replays its cached estimate instead of paying
+// P·queries encrypted-distance work again.
+//
+// The cache is bounded with FIFO eviction (ring index, like the vfl delta
+// cache) and safe for concurrent use. Reports are deep-copied on both store
+// and lookup, so callers can mutate W freely.
+type SimCache struct {
+	mu    sync.Mutex
+	m     map[string]*vfl.SimilarityReport
+	order []string
+	head  int
+	limit int
+}
+
+// simCacheLimit bounds the default cache: a report is P² float64s, so even
+// wide consortiums stay a few MB.
+const simCacheLimit = 64
+
+// NewSimCache returns an empty cache holding at most limit reports
+// (non-positive → the default 64).
+func NewSimCache(limit int) *SimCache {
+	if limit <= 0 {
+		limit = simCacheLimit
+	}
+	return &SimCache{limit: limit}
+}
+
+// SimKey derives the cache key of one similarity estimation: the roster in
+// index order, the exact query list, the variant and K. Any membership
+// change, query resample or parameter change yields a distinct key.
+func SimKey(parties []string, queries []int, variant vfl.Variant, k int) string {
+	var b strings.Builder
+	for _, p := range parties {
+		b.WriteString(p)
+		b.WriteByte('|')
+	}
+	b.WriteByte(';')
+	for _, q := range queries {
+		fmt.Fprintf(&b, "%d,", q)
+	}
+	fmt.Fprintf(&b, ";%s;%d", variant, k)
+	return b.String()
+}
+
+func copyReport(rep *vfl.SimilarityReport) *vfl.SimilarityReport {
+	out := *rep
+	out.W = make([][]float64, len(rep.W))
+	for i, row := range rep.W {
+		out.W[i] = append([]float64(nil), row...)
+	}
+	return &out
+}
+
+// Lookup returns a copy of the cached report for key, if present.
+func (c *SimCache) Lookup(key string) (*vfl.SimilarityReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	return copyReport(rep), true
+}
+
+// Store caches a copy of the report under key, evicting the oldest entry
+// when full.
+func (c *SimCache) Store(key string, rep *vfl.SimilarityReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.limit <= 0 {
+		c.limit = simCacheLimit
+	}
+	if c.m == nil {
+		c.m = make(map[string]*vfl.SimilarityReport)
+	}
+	if _, ok := c.m[key]; !ok {
+		if len(c.order)-c.head >= c.limit {
+			delete(c.m, c.order[c.head])
+			c.order[c.head] = ""
+			c.head++
+			if c.head*2 >= len(c.order) {
+				c.order = append(c.order[:0], c.order[c.head:]...)
+				c.head = 0
+			}
+		}
+		c.order = append(c.order, key)
+	}
+	c.m[key] = copyReport(rep)
+}
+
+// Len reports the number of cached reports.
+func (c *SimCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Similarity-cache metric families: lookup outcomes per instance.
+const (
+	metricSimCacheHits   = "vfps_simcache_hits_total"
+	metricSimCacheMisses = "vfps_simcache_misses_total"
+)
+
+func declareSimCache(reg *obs.Registry) (hits, misses *obs.CounterVec) {
+	hits = reg.Counter(metricSimCacheHits,
+		"Selections that reused a set-keyed cached similarity report instead of re-running the encrypted similarity phase.",
+		"instance")
+	misses = reg.Counter(metricSimCacheMisses,
+		"Selections whose (roster, queries, variant, K) key had no cached similarity report.",
+		"instance")
+	return hits, misses
+}
+
+// DeclareSimCacheMetrics pre-declares the similarity-cache families on reg
+// so they render on /metrics before the first cached selection. Safe on a
+// nil registry.
+func DeclareSimCacheMetrics(reg *obs.Registry) {
+	declareSimCache(reg)
+}
+
+// recordSimCache feeds one lookup outcome into the metric families. No-op
+// without a registry.
+func recordSimCache(reg *obs.Registry, instance string, hit bool) {
+	if reg == nil {
+		return
+	}
+	if instance == "" {
+		instance = "local"
+	}
+	h, m := declareSimCache(reg)
+	if hit {
+		h.With(instance).Add(1)
+	} else {
+		m.With(instance).Add(1)
+	}
+}

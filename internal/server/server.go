@@ -8,12 +8,19 @@
 //
 //	GET    /healthz                       liveness
 //	GET    /v1/datasets                   built-in synthetic dataset names
-//	POST   /v1/consortiums                create a consortium
-//	GET    /v1/consortiums/{id}           consortium info
-//	DELETE /v1/consortiums/{id}           tear a consortium down
-//	POST   /v1/consortiums/{id}/select    run a selection method
-//	POST   /v1/consortiums/{id}/evaluate  train a downstream model
-//	POST   /v1/consortiums/{id}/rewards   fair reward shares for a selection
+//	POST   /v1/consortiums                              create a consortium
+//	GET    /v1/consortiums/{id}                         consortium info
+//	DELETE /v1/consortiums/{id}                         tear a consortium down
+//	POST   /v1/consortiums/{id}/select                  run a selection method
+//	POST   /v1/consortiums/{id}/evaluate                train a downstream model
+//	POST   /v1/consortiums/{id}/rewards                 fair reward shares for a selection
+//	POST   /v1/consortiums/{id}/participants            join a new participant (churn)
+//	DELETE /v1/consortiums/{id}/participants/{index}    remove a participant (churn)
+//
+// Membership changes rewire the running consortium in place — surviving
+// nodes keep their caches — and hold the same per-consortium run lock as
+// selections, so an in-flight selection always completes against a stable
+// roster.
 //
 // Selection and reward requests pass admission control (see Options.Admission):
 // tenants are identified by the X-Tenant header ("default" when absent), and
@@ -36,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -133,6 +141,8 @@ func NewWithOptions(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/select", s.selectParticipants)
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/evaluate", s.evaluate)
 	s.mux.HandleFunc("POST /v1/consortiums/{id}/rewards", s.rewards)
+	s.mux.HandleFunc("POST /v1/consortiums/{id}/participants", s.joinParticipant)
+	s.mux.HandleFunc("DELETE /v1/consortiums/{id}/participants/{index}", s.leaveParticipant)
 	o.Routes(s.mux)
 	if opts.IdleTTL > 0 {
 		s.janitor = make(chan struct{})
@@ -296,6 +306,13 @@ type CreateRequest struct {
 	ShardWorkers int `json:"shardWorkers"`
 	// Parallelism pins per-role HE pipeline concurrency (0 → automatic).
 	Parallelism int `json:"parallelism"`
+	// SpeculateTA overlaps the threshold-variant scan's round r+1 decryption
+	// with round r's stop check (DESIGN.md §16).
+	SpeculateTA bool `json:"speculateTA"`
+	// SimCache memoises similarity reports by (roster, queries, variant, K)
+	// across this consortium's selections, so a recurring membership skips
+	// the encrypted similarity phase (DESIGN.md §16).
+	SimCache bool `json:"simCache"`
 }
 
 // CreateResponse identifies the new consortium.
@@ -346,6 +363,8 @@ func (s *Server) createConsortium(w http.ResponseWriter, r *http.Request) {
 		DeltaCache:   req.DeltaCache,
 		ShardWorkers: req.ShardWorkers,
 		Parallelism:  req.Parallelism,
+		SpeculateTA:  req.SpeculateTA,
+		SimCache:     req.SimCache,
 		SharedPool:   s.pool,
 		Obs:          s.obs,
 		Instance:     id,
@@ -374,6 +393,7 @@ func (s *Server) getConsortium(w http.ResponseWriter, r *http.Request) {
 	defer e.release()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"parties":       e.cons.P(),
+		"partyNames":    e.cons.PartyNames(),
 		"rows":          e.cons.N(),
 		"classes":       e.cons.Classes(),
 		"shardWorkers":  e.cons.ShardWorkers(),
@@ -568,4 +588,89 @@ func (s *Server) rewards(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, RewardsResponse{Shares: shares})
+}
+
+// JoinRequest admits a new participant to a running consortium. The demo
+// server holds only synthetic datasets, so the joiner's vertical slice is
+// synthesised from the consortium's own data: a seeded noisy clone of an
+// existing party's columns. Noise 0 yields an exact duplicate (the paper's
+// Fig. 6 redundancy case — the selection should never pick both).
+type JoinRequest struct {
+	// CloneOf is the original party index whose columns seed the joiner
+	// (default 0; must be within the construction-time partition).
+	CloneOf int `json:"cloneOf"`
+	// Noise is the amplitude of seeded uniform jitter added per entry.
+	Noise float64 `json:"noise"`
+	// Seed drives the jitter.
+	Seed int64 `json:"seed"`
+}
+
+// JoinResponse names the new party and reports the post-join roster size.
+type JoinResponse struct {
+	Name    string `json:"name"`
+	Parties int    `json:"parties"`
+}
+
+func (s *Server) joinParticipant(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
+	var req JoinRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	pt := e.cons.Partition()
+	if req.CloneOf < 0 || req.CloneOf >= pt.P() {
+		writeError(w, http.StatusBadRequest, "cloneOf %d out of range [0,%d)", req.CloneOf, pt.P())
+		return
+	}
+	src := pt.Parties[req.CloneOf]
+	rng := rand.New(rand.NewSource(req.Seed))
+	features := make([][]float64, src.Rows)
+	for i := range features {
+		row := make([]float64, src.Cols)
+		for j := range row {
+			row[j] = src.At(i, j)
+			if req.Noise > 0 {
+				row[j] += req.Noise * (2*rng.Float64() - 1)
+			}
+		}
+		features[i] = row
+	}
+	// Membership changes take the same lock as selections: an in-flight run
+	// completes against a stable roster before the rewire starts.
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	name, err := e.cons.AddParticipant(features)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, JoinResponse{Name: name, Parties: e.cons.P()})
+}
+
+func (s *Server) leaveParticipant(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
+	index, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad participant index %q", r.PathValue("index"))
+		return
+	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if err := e.cons.RemoveParticipant(index); err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "no participant") {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"parties": e.cons.P()})
 }

@@ -125,6 +125,79 @@ func TestSelectBaselineMethods(t *testing.T) {
 	}
 }
 
+func TestMembershipChurnEndpoints(t *testing.T) {
+	ts := startServer(t)
+	var created CreateResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/consortiums",
+		CreateRequest{Dataset: "Rice", Rows: 200, Parties: 3, DeltaCache: true, SimCache: true}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create returned %d", code)
+	}
+	id := created.ID
+	selectURL := fmt.Sprintf("%s/v1/consortiums/%s/select", ts.URL, id)
+	partsURL := fmt.Sprintf("%s/v1/consortiums/%s/participants", ts.URL, id)
+	req := SelectRequest{Count: 2, K: 5, NumQueries: 8, Seed: 1}
+
+	var before SelectResponse
+	if code := doJSON(t, "POST", selectURL, req, &before); code != 200 {
+		t.Fatalf("select %d", code)
+	}
+
+	var joined JoinResponse
+	if code := doJSON(t, "POST", partsURL, JoinRequest{CloneOf: 0, Noise: 0.05, Seed: 9}, &joined); code != http.StatusCreated {
+		t.Fatalf("join %d", code)
+	}
+	if joined.Name != "party/3" || joined.Parties != 4 {
+		t.Fatalf("join response %+v", joined)
+	}
+	var info map[string]any
+	if code := doJSON(t, "GET", ts.URL+"/v1/consortiums/"+id, nil, &info); code != 200 {
+		t.Fatalf("get %d", code)
+	}
+	if info["parties"].(float64) != 4 || len(info["partyNames"].([]any)) != 4 {
+		t.Fatalf("post-join info %v", info)
+	}
+	var after SelectResponse
+	if code := doJSON(t, "POST", selectURL, req, &after); code != 200 {
+		t.Fatalf("post-join select %d", code)
+	}
+	if len(after.Selected) != 2 {
+		t.Fatalf("post-join selection %+v", after)
+	}
+
+	var left map[string]any
+	if code := doJSON(t, "DELETE", partsURL+"/3", nil, &left); code != 200 || left["parties"].(float64) != 3 {
+		t.Fatalf("leave %d %v", code, left)
+	}
+	// Back at the original roster: the selection must reproduce the original
+	// answer (and with simCache on, without re-running the similarity phase).
+	var again SelectResponse
+	if code := doJSON(t, "POST", selectURL, req, &again); code != 200 {
+		t.Fatalf("post-leave select %d", code)
+	}
+	if fmt.Sprint(again.Selected) != fmt.Sprint(before.Selected) {
+		t.Fatalf("post-leave selection %v, original %v", again.Selected, before.Selected)
+	}
+
+	// Error paths: unknown index, out-of-range clone source, fixed-size
+	// scheme.
+	if code := doJSON(t, "DELETE", partsURL+"/9", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("leave unknown index: %d", code)
+	}
+	if code := doJSON(t, "POST", partsURL, JoinRequest{CloneOf: 7}, nil); code != http.StatusBadRequest {
+		t.Fatalf("join bad clone source: %d", code)
+	}
+	var fixed CreateResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/consortiums",
+		CreateRequest{Dataset: "Rice", Rows: 120, Parties: 3, Scheme: "secagg"}, &fixed); code != http.StatusCreated {
+		t.Fatalf("secagg create %d", code)
+	}
+	if code := doJSON(t, "POST", fmt.Sprintf("%s/v1/consortiums/%s/participants", ts.URL, fixed.ID),
+		JoinRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("secagg join should be rejected: %d", code)
+	}
+}
+
 func TestRewardsEndpoint(t *testing.T) {
 	ts := startServer(t)
 	id := createTestConsortium(t, ts)

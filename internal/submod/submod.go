@@ -191,6 +191,80 @@ func LazyGreedy(f Objective, k int) (*Result, error) {
 	return res, nil
 }
 
+// GreedyWarmStart runs lazy greedy seeded with a prior selection, for online
+// selection under churn: at each round the pick the prior selection made at
+// that position is re-evaluated first. An undisplaced pick is confirmed by
+// that single hint evaluation (which substitutes for the refresh lazy greedy
+// would spend on it anyway) plus only the bound-tightening refreshes lazy
+// greedy itself requires; a displaced pick costs at most one extra
+// evaluation. Total cost is therefore ≤ LazyGreedy + (#displaced picks),
+// and = LazyGreedy when the prior survives intact. The output — selected
+// set, order, gains and value — is identical to Greedy and LazyGreedy on the
+// same objective (same smallest-id tie-breaking); the prior only steers which
+// cached bounds are refreshed first, never the argmax. A stale prior (ids out
+// of range, duplicates, wrong length) degrades gracefully to plain lazy
+// greedy. An empty prior is exactly LazyGreedy.
+func GreedyWarmStart(f Objective, k int, prior []int) (*Result, error) {
+	if err := checkK(f, k); err != nil {
+		return nil, err
+	}
+	n := f.N()
+	res := &Result{}
+	selected := make([]int, 0, k)
+	inSet := make([]bool, n)
+	cur := 0.0
+	// bounds/stamp mirror the freshest heap entry per element so stale
+	// duplicates (a warm hint re-pushes its element) are discarded on pop.
+	bounds := make([]float64, n)
+	stamp := make([]int, n)
+	h := make(gainHeap, 0, n+k)
+	for v := 0; v < n; v++ {
+		val := f.Value([]int{v})
+		res.Evaluations++
+		bounds[v] = val
+		h = append(h, gainItem{v: v, bound: val, round: 0})
+	}
+	heap.Init(&h)
+	for round := 1; len(selected) < k; round++ {
+		// Warm hint: refresh the prior pick for this position before
+		// scanning. By submodularity every other cached bound is still a
+		// valid upper bound, so if the refreshed hint tops the heap it is
+		// the true argmax.
+		if i := round - 1; i < len(prior) {
+			if p := prior[i]; p >= 0 && p < n && !inSet[p] && stamp[p] != round {
+				val := f.Value(append(selected, p))
+				res.Evaluations++
+				bounds[p] = val - cur
+				stamp[p] = round
+				heap.Push(&h, gainItem{v: p, bound: bounds[p], round: round})
+			}
+		}
+		for {
+			top := h.peek()
+			if inSet[top.v] || top.bound != bounds[top.v] || (top.round == round) != (stamp[top.v] == round) {
+				heap.Pop(&h) // stale duplicate of a hinted element
+				continue
+			}
+			if top.round == round {
+				heap.Pop(&h)
+				selected = append(selected, top.v)
+				inSet[top.v] = true
+				cur += top.bound
+				res.Gains = append(res.Gains, top.bound)
+				break
+			}
+			val := f.Value(append(selected, top.v))
+			res.Evaluations++
+			bounds[top.v] = val - cur
+			stamp[top.v] = round
+			h.replaceTop(gainItem{v: top.v, bound: bounds[top.v], round: round})
+		}
+	}
+	res.Selected = selected
+	res.Value = cur
+	return res, nil
+}
+
 // StochasticGreedy implements the "lazier than lazy greedy" algorithm: each
 // round evaluates only a uniform random sample of size ⌈(n/k)·ln(1/eps)⌉,
 // achieving a (1 − 1/e − eps) guarantee in expectation with O(n·ln(1/eps))

@@ -51,8 +51,11 @@ type AggServer struct {
 	packNeed atomic.Int64
 
 	// recvCache / sentCache hold the party→agg and agg→leader halves of the
-	// cross-round delta encoding (see deltacache.go).
-	recvCache deltaCache
+	// cross-round delta encoding (see deltacache.go). The receive side is a
+	// per-party pool: the FIFO bound applies per link, so one party's blocks
+	// never evict another's — a shared FIFO at a 6+ roster overflows during a
+	// single round and then never hits again.
+	recvCache deltaCachePool
 	sentCache deltaCache
 }
 
@@ -136,6 +139,24 @@ func (a *AggServer) call(ctx context.Context, node, method string, req, resp wir
 	a.counts.Add(costmodel.Raw{BytesSent: stats.Payload, FramingBytes: stats.Framing})
 	a.recordWire(stats.Codec, stats.Payload, stats.Framing)
 	return err
+}
+
+// SetParties replaces the server's participant roster after a membership
+// change, without tearing the server down. Any shard plan is cleared — it was
+// built for the old roster — so the caller must re-plan (SetShardPlan) when
+// the reduce stays sharded. Not safe concurrently with an in-flight
+// collection; callers fence membership changes with the consortium's run
+// lock.
+func (a *AggServer) SetParties(parties []string) error {
+	if len(parties) == 0 {
+		return fmt.Errorf("vfl: aggregation server needs participants")
+	}
+	a.parties = append([]string(nil), parties...)
+	a.plan = nil
+	// Release the receive caches of departed links; survivors keep theirs, so
+	// their next-round blocks still restore without a resend.
+	a.recvCache.retain(parties)
+	return nil
 }
 
 // SetParallelism pins the server's concurrency: 1 restores the serial party
@@ -358,7 +379,7 @@ func (a *AggServer) reduceVectors(ctx context.Context, vecs [][][]byte) ([][]byt
 // so the caller can retry that party once with NoCache set.
 func (a *AggServer) restoreFromParty(party string, query, packBits, factor int, pids []int, blobs [][]byte, cachedIdx []int) error {
 	keys := blockKeys(party, query, packBits, factor, pids)
-	hits, err := a.recvCache.restore(keys, blobs, cachedIdx)
+	hits, err := a.recvCache.forPeer(party).restore(keys, blobs, cachedIdx)
 	if hits > 0 {
 		a.counts.Add(costmodel.Raw{CacheHits: int64(hits)})
 		a.recordDelta(a.roleName(), hits, 0)

@@ -96,6 +96,12 @@ type ClusterConfig struct {
 	// cache ciphertext blocks by (query, geometry, pseudo-ID segment) and
 	// repeat queries resend only changed blocks.
 	DeltaCache bool
+	// SpeculateTA enables speculative decryption on the threshold variant:
+	// round r+1's collection and candidate decryption overlap round r's
+	// stopping-rule round trip, discarded (waste counted in
+	// vfps_ta_speculative_waste_total) when the threshold stops. Selections
+	// are identical with the knob on or off.
+	SpeculateTA bool
 	// Wire selects the protocol codec every role speaks: "gob" (the
 	// self-describing stdlib encoding, the default) or "binary" (the compact
 	// versioned wire format of internal/wire). Empty falls back to the
@@ -129,6 +135,14 @@ type Cluster struct {
 	codec       wire.Codec
 	observer    *obs.Observer
 	instance    string
+
+	// Membership state (see AddParticipant / RemoveParticipant): the current
+	// roster in index order, a monotone index counter so node names are never
+	// reused after a removal, and the construction knobs rewiring needs.
+	partyNames   []string
+	nextIndex    int
+	pack         bool
+	shardWorkers int
 }
 
 // ResolveWireCodec maps a wire knob value to a codec: the explicit name wins,
@@ -232,6 +246,7 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 		costmodel.DeclareMetrics(reg)
 		declareWire(reg)
 		declareDelta(reg)
+		declareTAWaste(reg)
 	}
 	tr := &transport.Memory{}
 	tr.SetObserver(o)
@@ -295,26 +310,13 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	}
 	tr.Register(AggServerName, agg.Handler())
 
-	var workers []*AggServer
+	workers, plan, err := buildShardWorkers(tr, partyNames, pubScheme, cfg.ShardWorkers, cfg.Parallelism, codec, o, instance)
+	if err != nil {
+		return nil, err
+	}
 	var workerNames []string
-	if size, shards := PlanSubtrees(p, cfg.ShardWorkers); cfg.ShardWorkers >= 2 && shards >= 2 {
-		plan := &ShardPlan{SubtreeSize: size}
-		for wi := 0; wi < shards; wi++ {
-			lo, hi := plan.shardRange(wi, p)
-			w, err := NewAggServer(tr, partyNames[lo:hi], pubScheme)
-			if err != nil {
-				return nil, err
-			}
-			w.SetParallelism(cfg.Parallelism)
-			w.SetRole(AggWorkerName(wi))
-			w.SetObserver(o, instance)
-			w.SetCodec(codec)
-			name := AggWorkerName(wi)
-			tr.Register(name, w.Handler())
-			workers = append(workers, w)
-			workerNames = append(workerNames, name)
-		}
-		plan.Workers = workerNames
+	if plan != nil {
+		workerNames = plan.Workers
 		if err := agg.SetShardPlan(plan); err != nil {
 			return nil, err
 		}
@@ -341,35 +343,89 @@ func NewLocalCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
 	leader.SetCodec(codec)
 	leader.SetPayloadOptions(cfg.PackAdaptive && cfg.Pack, cfg.ChunkBytes, cfg.DeltaCache)
 	leader.SetExtraCountNodes(workerNames)
+	leader.SetSpeculativeTA(cfg.SpeculateTA)
 	return &Cluster{
-		Transport:   tr,
-		Leader:      leader,
-		Parties:     parties,
-		Agg:         agg,
-		Workers:     workers,
-		Keys:        ks,
-		shuffleSeed: cfg.ShuffleSeed,
-		pubScheme:   pubScheme,
-		privScheme:  privScheme,
-		parallelism: cfg.Parallelism,
-		codec:       codec,
-		observer:    o,
-		instance:    instance,
+		Transport:    tr,
+		Leader:       leader,
+		Parties:      parties,
+		Agg:          agg,
+		Workers:      workers,
+		Keys:         ks,
+		shuffleSeed:  cfg.ShuffleSeed,
+		pubScheme:    pubScheme,
+		privScheme:   privScheme,
+		parallelism:  cfg.Parallelism,
+		codec:        codec,
+		observer:     o,
+		instance:     instance,
+		partyNames:   partyNames,
+		nextIndex:    p,
+		pack:         cfg.Pack,
+		shardWorkers: cfg.ShardWorkers,
 	}, nil
 }
 
-// AddParticipant registers a late-joining participant's node on the cluster
-// transport and returns its node name. The joiner must hold features for the
-// same instance rows and uses the consortium's shared shuffle seed. It does
-// NOT take part in already-running protocols; use
-// Leader.ExtendWithParties to fold it into a recorded similarity estimate,
-// or rebuild the cluster for exact re-selection. Not supported under the
-// secagg scheme, whose pairwise masks fix the consortium size at key setup.
-func (c *Cluster) AddParticipant(x *mat.Matrix) (string, error) {
-	if _, ok := c.pubScheme.(*he.SecAgg); ok {
-		return "", fmt.Errorf("vfl: secagg consortium size is fixed at key setup; rebuild the cluster")
+// buildShardWorkers constructs shard workers over the roster when the
+// configuration calls for a sharded reduce, registering their handlers on
+// the transport (Register replaces any previous handler under the same
+// name, which is what lets a membership change rebuild the shard layer in
+// place). Returns (nil, nil, nil) when the plan collapses to the unsharded
+// path.
+func buildShardWorkers(tr *transport.Memory, partyNames []string, pubScheme he.Scheme, shardWorkers, parallelism int, codec wire.Codec, o *obs.Observer, instance string) ([]*AggServer, *ShardPlan, error) {
+	size, shards := PlanSubtrees(len(partyNames), shardWorkers)
+	if shardWorkers < 2 || shards < 2 {
+		return nil, nil, nil
 	}
-	index := len(c.Parties)
+	plan := &ShardPlan{SubtreeSize: size}
+	var workers []*AggServer
+	for wi := 0; wi < shards; wi++ {
+		lo, hi := plan.shardRange(wi, len(partyNames))
+		w, err := NewAggServer(tr, partyNames[lo:hi], pubScheme)
+		if err != nil {
+			return nil, nil, err
+		}
+		w.SetParallelism(parallelism)
+		w.SetRole(AggWorkerName(wi))
+		w.SetObserver(o, instance)
+		w.SetCodec(codec)
+		name := AggWorkerName(wi)
+		tr.Register(name, w.Handler())
+		workers = append(workers, w)
+		plan.Workers = append(plan.Workers, name)
+	}
+	return workers, plan, nil
+}
+
+// PartyNames returns the current roster's node names in index order.
+func (c *Cluster) PartyNames() []string { return append([]string(nil), c.partyNames...) }
+
+// checkMembershipScheme rejects membership changes the protection scheme
+// cannot honour: secagg's pairwise masks fix the consortium size at key
+// setup.
+func (c *Cluster) checkMembershipScheme() error {
+	if _, ok := c.pubScheme.(*he.SecAgg); ok {
+		return fmt.Errorf("vfl: secagg consortium size is fixed at key setup; rebuild the cluster")
+	}
+	return nil
+}
+
+// AddParticipant joins a new participant to a running consortium: it builds
+// the participant node over the shared public scheme and shuffle seed,
+// registers it on the transport, and rewires the aggregation roster, shard
+// plan, pack headroom and leader roster in place — no teardown, and every
+// surviving node keeps its state (delta caches included, so a re-selection
+// after the join re-encrypts only the new party's blocks). The joiner must
+// hold features for the same instance rows. Node names are never reused: a
+// join after a removal gets a fresh index, so cached ciphertext blocks can
+// never alias across distinct parties. Callers fence concurrent selections
+// (the server layer uses the per-consortium run lock). Not supported under
+// the secagg scheme, whose pairwise masks fix the consortium size at key
+// setup.
+func (c *Cluster) AddParticipant(x *mat.Matrix) (string, error) {
+	if err := c.checkMembershipScheme(); err != nil {
+		return "", err
+	}
+	index := c.nextIndex
 	part, err := NewParticipant(index, x, c.pubScheme, c.shuffleSeed)
 	if err != nil {
 		return "", err
@@ -380,5 +436,75 @@ func (c *Cluster) AddParticipant(x *mat.Matrix) (string, error) {
 	name := PartyName(index)
 	c.Transport.Register(name, part.Handler())
 	c.Parties = append(c.Parties, part)
+	c.partyNames = append(c.partyNames, name)
+	c.nextIndex = index + 1
+	if err := c.rewire(); err != nil {
+		return "", err
+	}
 	return name, nil
+}
+
+// RemoveParticipant removes the participant with the given index (the i of
+// its party/<i> node name) from the consortium and rewires the aggregation
+// roster, shard plan, pack headroom and leader roster in place. Surviving
+// parties keep their indices, names and caches. The last participant cannot
+// be removed. Callers fence concurrent selections with the consortium's run
+// lock.
+func (c *Cluster) RemoveParticipant(index int) error {
+	if err := c.checkMembershipScheme(); err != nil {
+		return err
+	}
+	name := PartyName(index)
+	pos := -1
+	for i, n := range c.partyNames {
+		if n == name {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("vfl: no participant %q in the consortium", name)
+	}
+	if len(c.partyNames) == 1 {
+		return fmt.Errorf("vfl: cannot remove the last participant")
+	}
+	// The node's handler stays registered on the transport (nothing routes
+	// to it once the rosters drop it); only the rosters change.
+	c.Parties = append(c.Parties[:pos], c.Parties[pos+1:]...)
+	c.partyNames = append(c.partyNames[:pos], c.partyNames[pos+1:]...)
+	return c.rewire()
+}
+
+// rewire propagates the current roster through every layer that depends on
+// membership: Paillier pack headroom (the packed aggregation sums one
+// ciphertext per party), the aggregation server's roster, the shard worker
+// set and plan, and the leader's roster and accounting nodes.
+func (c *Cluster) rewire() error {
+	p := len(c.partyNames)
+	if err := configurePacking(c.pubScheme, c.pack, p); err != nil {
+		return err
+	}
+	if err := configurePacking(c.privScheme, c.pack, p); err != nil {
+		return err
+	}
+	if err := c.Agg.SetParties(c.partyNames); err != nil {
+		return err
+	}
+	workers, plan, err := buildShardWorkers(c.Transport, c.partyNames, c.pubScheme, c.shardWorkers, c.parallelism, c.codec, c.observer, c.instance)
+	if err != nil {
+		return err
+	}
+	c.Workers = workers
+	var workerNames []string
+	if plan != nil {
+		workerNames = plan.Workers
+		if err := c.Agg.SetShardPlan(plan); err != nil {
+			return err
+		}
+	}
+	if err := c.Leader.SetParties(c.partyNames); err != nil {
+		return err
+	}
+	c.Leader.SetExtraCountNodes(workerNames)
+	return nil
 }

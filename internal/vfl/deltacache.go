@@ -14,7 +14,7 @@ import (
 // (query, pseudo-ID, party) over a static dataset, so when a monitoring
 // workload re-runs the same queries, most ciphertext blocks on the wire are
 // byte-identical to the previous round. Both ends of a transfer keep a
-// bounded cache of blocks keyed by that identity; the sender withholds blocks
+// bounded per-link cache of blocks keyed by that identity; the sender withholds blocks
 // the receiver is known to hold (empty placeholder + index list) and the
 // receiver restores them locally. Paillier encryption is randomized, so a
 // sender-side hit must reuse the cached ciphertext bytes — which also skips
@@ -30,17 +30,26 @@ import (
 // longer holds. It is the typed trigger for the full-resend retry.
 var ErrDeltaCacheMiss = errors.New("vfl: delta cache miss")
 
-// deltaCacheLimit bounds each role's block cache (FIFO eviction). At the
+// deltaCacheLimit bounds each link's block cache (FIFO eviction). At the
 // default packing density a block is one ciphertext, so the bound is a few MB
-// per link at paper scale.
+// per link at paper scale. The bound is per peer link, not per role: a
+// receiver with many senders keys a separate cache per sender (deltaCachePool)
+// so one link's traffic cannot evict another's blocks. A shared FIFO at
+// capacity cascades — every full resend re-inserts its keys, evicting other
+// senders' still-needed blocks, until no withheld block ever hits.
 const deltaCacheLimit = 4096
 
 // deltaCache is a bounded FIFO map from block identity to ciphertext bytes.
-// The zero value is ready to use.
+// The zero value is ready to use. Eviction advances a ring index into order
+// instead of reslicing it: a reslice (`order = order[1:]`) would pin the
+// evicted keys' backing array forever on a long-lived aggserver and grow the
+// dead prefix without bound. The dead prefix is compacted away once it
+// reaches half the slice, so memory stays O(deltaCacheLimit).
 type deltaCache struct {
 	mu    sync.Mutex
 	m     map[string][]byte
 	order []string
+	head  int // index of the oldest live key in order; order[:head] is dead
 }
 
 func (c *deltaCache) get(key string) ([]byte, bool) {
@@ -56,14 +65,92 @@ func (c *deltaCache) put(key string, blob []byte) {
 	if c.m == nil {
 		c.m = make(map[string][]byte)
 	}
-	if _, ok := c.m[key]; !ok {
-		if len(c.order) >= deltaCacheLimit {
-			delete(c.m, c.order[0])
-			c.order = c.order[1:]
+	if prev, ok := c.m[key]; ok {
+		if bytes.Equal(prev, blob) {
+			// Byte-identical re-put (the common restore-refresh path): keep
+			// the copy already owned by the cache.
+			return
+		}
+	} else {
+		if len(c.order)-c.head >= deltaCacheLimit {
+			delete(c.m, c.order[c.head])
+			c.order[c.head] = "" // unpin the evicted key string
+			c.head++
+			if c.head*2 >= len(c.order) {
+				c.order = append(c.order[:0], c.order[c.head:]...)
+				c.head = 0
+			}
 		}
 		c.order = append(c.order, key)
 	}
-	c.m[key] = blob
+	// Defensive copy: callers reuse encode buffers, and an aliased blob
+	// mutated after the put would silently corrupt future hit comparisons.
+	c.m[key] = append([]byte(nil), blob...)
+}
+
+// deltaCachePool partitions delta caches per peer link: each sender a
+// receiver talks to gets its own FIFO with its own deltaCacheLimit bound.
+// Block keys already embed the peer, so the partition only changes capacity
+// accounting, never key semantics. The zero value is ready to use.
+type deltaCachePool struct {
+	mu sync.Mutex
+	m  map[string]*deltaCache
+}
+
+// forPeer returns the peer's cache, creating it on first use.
+func (p *deltaCachePool) forPeer(peer string) *deltaCache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = make(map[string]*deltaCache)
+	}
+	c := p.m[peer]
+	if c == nil {
+		c = &deltaCache{}
+		p.m[peer] = c
+	}
+	return c
+}
+
+// retain drops every per-peer cache whose peer is not in keep, releasing the
+// departed links' ciphertext blocks (membership churn hygiene).
+func (p *deltaCachePool) retain(keep []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		return
+	}
+	live := make(map[string]bool, len(keep))
+	for _, peer := range keep {
+		live[peer] = true
+	}
+	for peer := range p.m {
+		if !live[peer] {
+			delete(p.m, peer)
+		}
+	}
+}
+
+// peers reports the number of live per-peer caches (tests).
+func (p *deltaCachePool) peers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.m)
+}
+
+// len reports the live entry count (tests).
+func (c *deltaCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// orderFootprint reports the bookkeeping slice's length and capacity (tests:
+// both must stay O(deltaCacheLimit) under sustained eviction pressure).
+func (c *deltaCache) orderFootprint() (length, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order), cap(c.order)
 }
 
 // idSig folds a pseudo-ID segment into an order-sensitive FNV-style

@@ -1,0 +1,135 @@
+package vfl
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestDeltaCacheEvictionPressure drives 3× deltaCacheLimit distinct puts and
+// asserts the cache's memory stays stable: the live map never exceeds the
+// limit and the FIFO bookkeeping slice (length and capacity) stays
+// O(deltaCacheLimit) instead of accumulating an unbounded dead prefix, which
+// the old reslice-based eviction (`order = order[1:]`) allowed.
+func TestDeltaCacheEvictionPressure(t *testing.T) {
+	var c deltaCache
+	total := 3 * deltaCacheLimit
+	for i := 0; i < total; i++ {
+		c.put(fmt.Sprintf("key-%d", i), []byte{byte(i), byte(i >> 8)})
+	}
+	if got := c.len(); got != deltaCacheLimit {
+		t.Fatalf("live entries = %d, want %d", got, deltaCacheLimit)
+	}
+	length, capacity := c.orderFootprint()
+	if length > 2*deltaCacheLimit {
+		t.Fatalf("order length %d exceeds 2×limit (%d): dead prefix not compacted", length, 2*deltaCacheLimit)
+	}
+	if capacity > 8*deltaCacheLimit {
+		t.Fatalf("order capacity %d grew unboundedly (limit %d)", capacity, deltaCacheLimit)
+	}
+	// FIFO semantics: the oldest keys are gone, the newest survive.
+	if _, ok := c.get("key-0"); ok {
+		t.Fatalf("oldest key survived %d puts over a %d-entry cache", total, deltaCacheLimit)
+	}
+	for i := total - deltaCacheLimit; i < total; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		want := []byte{byte(i), byte(i >> 8)}
+		got, ok := c.get(key)
+		if !ok {
+			t.Fatalf("recent %s missing", key)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s = %x, want %x", key, got, want)
+		}
+	}
+}
+
+// TestDeltaCachePoolIsolation pins the shared-FIFO regression that broke
+// survivor reuse at 6+ parties: when every sender shared one receive cache,
+// a roster whose combined blocks exceeded deltaCacheLimit evicted its own
+// working set mid-round, every withheld block missed, and the full-resend
+// retries cascaded more evictions — the delta path never hit again. The pool
+// bounds each link independently, so flooding one peer far past the limit
+// must leave every other peer's blocks restorable, and retain must release
+// only departed links.
+func TestDeltaCachePoolIsolation(t *testing.T) {
+	var p deltaCachePool
+	p.forPeer("party/0").put("party/0|0|0|1|0|sig", []byte("survivor-block"))
+	noisy := p.forPeer("party/1")
+	for i := 0; i < 2*deltaCacheLimit; i++ {
+		noisy.put(fmt.Sprintf("party/1|0|0|1|%d|sig", i), []byte{byte(i)})
+	}
+	if got := noisy.len(); got != deltaCacheLimit {
+		t.Fatalf("noisy link holds %d entries, want %d", got, deltaCacheLimit)
+	}
+	got, ok := p.forPeer("party/0").get("party/0|0|0|1|0|sig")
+	if !ok || !bytes.Equal(got, []byte("survivor-block")) {
+		t.Fatalf("quiet link's block evicted by another link's traffic (ok=%v, got %q)", ok, got)
+	}
+	if p.peers() != 2 {
+		t.Fatalf("pool tracks %d peers, want 2", p.peers())
+	}
+	// Membership leave: the departed link's cache is released, survivors keep
+	// theirs.
+	p.retain([]string{"party/0"})
+	if p.peers() != 1 {
+		t.Fatalf("retain left %d peers, want 1", p.peers())
+	}
+	if _, ok := p.forPeer("party/0").get("party/0|0|0|1|0|sig"); !ok {
+		t.Fatal("retained link lost its block")
+	}
+	if got := p.forPeer("party/1").len(); got != 0 {
+		t.Fatalf("departed link still caches %d blocks after retain", got)
+	}
+}
+
+// TestDeltaCacheDefensiveCopy pins the mutation-after-put regression: the
+// cache must own its bytes, so a caller reusing its encode buffer after a put
+// (as trim's re-cache path does) cannot corrupt future hit comparisons.
+func TestDeltaCacheDefensiveCopy(t *testing.T) {
+	var c deltaCache
+	buf := []byte("ciphertext-block-v1")
+	c.put("blk", buf)
+	copy(buf, "XXXXXXXXXXXXXXXXXXX") // caller reuses its buffer
+	got, ok := c.get("blk")
+	if !ok {
+		t.Fatal("block missing after put")
+	}
+	if !bytes.Equal(got, []byte("ciphertext-block-v1")) {
+		t.Fatalf("cached bytes mutated through caller alias: %q", got)
+	}
+}
+
+// TestDeltaCacheTrimDefensiveCopy exercises the same hazard through trim: a
+// blob cached on trim's re-cache path, then mutated by the caller, must still
+// compare equal against a fresh resend of the original bytes (a hit), not be
+// poisoned into a perpetual miss — and never withhold blocks that changed.
+func TestDeltaCacheTrimDefensiveCopy(t *testing.T) {
+	var c deltaCache
+	keys := []string{"a", "b"}
+	round1 := [][]byte{[]byte("alpha-block"), []byte("beta-block")}
+	if _, cached := c.trim(keys, round1); len(cached) != 0 {
+		t.Fatalf("cold trim withheld blocks %v", cached)
+	}
+	// The sender reuses its encode buffers for the next message.
+	copy(round1[0], "MUTATED-BLK")
+	copy(round1[1], "MUTATED-BLK")
+
+	// A repeat round resends the original bytes: both blocks must hit.
+	round2 := [][]byte{[]byte("alpha-block"), []byte("beta-block")}
+	out, cached := c.trim(keys, round2)
+	if len(cached) != 2 {
+		t.Fatalf("repeat trim withheld %v, want both blocks (cache poisoned by caller mutation?)", cached)
+	}
+	for b := range out {
+		if len(out[b]) != 0 {
+			t.Fatalf("withheld block %d still carries %d bytes", b, len(out[b]))
+		}
+	}
+	// And genuinely changed bytes must never be withheld.
+	round3 := [][]byte{[]byte("alpha-block"), []byte("gamma-block")}
+	_, cached = c.trim(keys, round3)
+	if len(cached) != 1 || cached[0] != 0 {
+		t.Fatalf("changed-block trim withheld %v, want [0]", cached)
+	}
+}

@@ -60,6 +60,10 @@ type Leader struct {
 	chunkBytes int
 	delta      bool
 	recvCache  deltaCache
+
+	// speculate overlaps the threshold variant's round r+1 collection and
+	// decryption with round r's stopping-rule evaluation (SetSpeculativeTA).
+	speculate bool
 }
 
 // NewLeader wires the leader to the cluster. batch is the Fagin mini-batch
@@ -114,6 +118,7 @@ func (l *Leader) SetObserver(o *obs.Observer, instance string) {
 	l.instance = instance
 	l.counts.Register(o.Registry(), instance, "leader")
 	DeclareDeltaMetrics(o.Registry())
+	DeclareTAMetrics(o.Registry())
 }
 
 // Instance returns the observer instance label ("" when observability is
@@ -132,6 +137,31 @@ func (l *Leader) SetParallelism(n int) {
 
 // P returns the number of participants.
 func (l *Leader) P() int { return len(l.parties) }
+
+// Parties returns a copy of the leader's participant roster in index order.
+func (l *Leader) Parties() []string { return append([]string(nil), l.parties...) }
+
+// SetParties replaces the roster after a membership change, without tearing
+// the leader down. Not safe concurrently with an in-flight protocol run;
+// callers fence membership changes with the consortium's run lock.
+func (l *Leader) SetParties(parties []string) error {
+	if len(parties) == 0 {
+		return fmt.Errorf("vfl: leader needs participants")
+	}
+	l.parties = append([]string(nil), parties...)
+	return nil
+}
+
+// SetSpeculativeTA enables speculative decryption on the threshold variant:
+// while the leader fetches and decrypts round r's frontier bound τ and
+// evaluates the stopping rule, round r+1's sorted access, aggregation and
+// candidate decryption already run in the background. When the scan
+// continues, the next round's distances are ready; when it stops, the
+// speculation is cancelled and discarded, and the decryptions it completed
+// are counted in vfps_ta_speculative_waste_total. Selections are identical
+// with speculation on or off — a discarded round never touches the scan
+// state. Off by default (the zero-waste baseline).
+func (l *Leader) SetSpeculativeTA(on bool) { l.speculate = on }
 
 // SetPayloadOptions configures the ciphertext-payload optimisations the
 // leader requests from the aggregation server: adaptive pack-width
@@ -506,10 +536,159 @@ func (l *Leader) fanOut(ctx context.Context, fn func(pi int, party string) error
 	return nil
 }
 
+// taRoundResult is one TA scan round's outcome: the sorted-access batches
+// merged against the already-seen set, plus the new candidates' decrypted
+// complete distances.
+type taRoundResult struct {
+	newIDs    []int
+	dist      []float64
+	decrypts  int // candidate decryptions performed (waste if discarded)
+	exhausted bool
+	err       error
+}
+
+// taRound runs one threshold-scan round at the given depth: synchronized
+// sorted access over every party, then aggregate-and-decrypt for the
+// candidates not yet in seen. seen is only read — the caller commits a
+// round's IDs after deciding to use it — so a speculative round can execute
+// while the caller still evaluates the previous round's stopping rule.
+func (l *Leader) taRound(ctx context.Context, query, depth int, seen map[int]bool) *taRoundResult {
+	r := &taRoundResult{}
+	// Sorted access: next batch of every party's ranking, all parties in
+	// flight concurrently; merge in party order for determinism.
+	batches := make([][]int, len(l.parties))
+	err := l.fanOut(ctx, func(pi int, party string) error {
+		var resp RankingBatchResp
+		if err := l.call(ctx, party, MethodRankingBatch,
+			&RankingBatchReq{Query: query, Offset: depth, Count: l.batch}, &resp); err != nil {
+			return fmt.Errorf("vfl: TA ranking from %s: %w", party, err)
+		}
+		batches[pi] = resp.PseudoIDs
+		return nil
+	})
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.exhausted = true
+	dup := make(map[int]bool) // a pid may surface in several parties' batches
+	for _, batch := range batches {
+		if len(batch) > 0 {
+			r.exhausted = false
+		}
+		for _, pid := range batch {
+			if !seen[pid] && !dup[pid] {
+				dup[pid] = true
+				r.newIDs = append(r.newIDs, pid)
+			}
+		}
+	}
+	if len(r.newIDs) == 0 {
+		return r
+	}
+
+	// Random access: aggregated ciphertexts for the new candidates.
+	req := &AggregateCandidatesReq{Query: query, PseudoIDs: r.newIDs, Adaptive: l.padaptive, Delta: l.delta}
+	var col *collected
+	for attempt := 0; ; attempt++ {
+		var resp AggregateCandidatesResp
+		if err := l.call(ctx, l.agg, MethodAggregateCandidates, req, &resp); err != nil {
+			r.err = err
+			return r
+		}
+		var rerr error
+		col, rerr = l.resolveCollected(query, r.newIDs, resp.Aggregated, nil,
+			resp.CachedBlocks, resp.PackFactor, resp.PackBits, resp.PackAdds, l.delta)
+		if rerr != nil {
+			if l.deltaMissRetry(rerr, attempt) {
+				req.NoCache = true
+				continue
+			}
+			r.err = fmt.Errorf("vfl: TA aggregate round: %w", rerr)
+			return r
+		}
+		break
+	}
+	vs, err := l.decryptCollected(ctx, col)
+	if err != nil {
+		r.err = fmt.Errorf("vfl: TA decrypting candidate: %w", err)
+		return r
+	}
+	r.dist = vs
+	r.decrypts = len(col.blobs)
+	return r
+}
+
+// metricTAWaste counts the decryptions speculative TA rounds performed
+// before being discarded — the work the latency overlap trades away.
+const metricTAWaste = "vfps_ta_speculative_waste_total"
+
+func declareTAWaste(reg *obs.Registry) *obs.CounterVec {
+	return reg.Counter(metricTAWaste,
+		"Decryptions performed by speculative threshold-scan rounds that were discarded when the threshold stopped the scan.",
+		"role")
+}
+
+// DeclareTAMetrics pre-declares the speculative-TA waste family on reg so it
+// renders on /metrics before the first discarded speculation. Safe on a nil
+// registry.
+func DeclareTAMetrics(reg *obs.Registry) {
+	declareTAWaste(reg)
+}
+
+// recordTAWaste feeds a discarded speculation's completed decryptions into
+// the waste counter. No-op without a registry.
+func (l *Leader) recordTAWaste(n int) {
+	if n <= 0 {
+		return
+	}
+	reg := l.o.Load().Registry()
+	if reg == nil {
+		return
+	}
+	declareTAWaste(reg).With("leader").Add(int64(n))
+}
+
+// taSpeculation is an in-flight speculative TA round.
+type taSpeculation struct {
+	cancel context.CancelFunc
+	ch     chan *taRoundResult
+}
+
+// speculateRound launches round r+1's collection and decryption in the
+// background while the caller evaluates round r's stopping rule.
+func (l *Leader) speculateRound(ctx context.Context, query, depth int, seen map[int]bool) *taSpeculation {
+	sctx, cancel := context.WithCancel(ctx)
+	s := &taSpeculation{cancel: cancel, ch: make(chan *taRoundResult, 1)}
+	go func() {
+		s.ch <- l.taRound(sctx, query, depth, seen)
+	}()
+	return s
+}
+
+// join waits for the speculative round — the scan continued, so its result
+// is used as-is.
+func (s *taSpeculation) join() *taRoundResult {
+	r := <-s.ch
+	s.cancel()
+	return r
+}
+
+// discard cancels an in-flight speculation after the threshold stopped the
+// scan and counts the decryptions it had already completed as waste.
+func (s *taSpeculation) discard(l *Leader) {
+	s.cancel()
+	r := <-s.ch
+	l.recordTAWaste(r.decrypts)
+}
+
 // thresholdScan drives the leader-assisted Threshold Algorithm for one
 // query: synchronized sorted access in batches, aggregate-and-decrypt for
 // every newly seen candidate, and an encrypted frontier bound τ per batch.
-// Returns the candidate pseudo IDs with their decrypted complete distances.
+// With SetSpeculativeTA, round r+1 runs concurrently with round r's τ round
+// trip and stopping check, and is discarded (waste counted) when the scan
+// stops. Returns the candidate pseudo IDs with their decrypted complete
+// distances, identical with speculation on or off.
 func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []float64, FaginStats, error) {
 	ctx, tsp := l.tracer().Start(ctx, SpanTAScan)
 	defer tsp.End()
@@ -518,72 +697,41 @@ func (l *Leader) thresholdScan(ctx context.Context, query, k int) ([]int, []floa
 	var pids []int
 	var dist []float64
 	depth := 0
+	var spec *taSpeculation
+	defer func() {
+		if spec != nil {
+			spec.discard(l)
+		}
+	}()
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, stats, err
 		}
-		// Sorted access: next batch of every party's ranking, all parties in
-		// flight concurrently; merge in party order for determinism.
-		batches := make([][]int, len(l.parties))
-		err := l.fanOut(ctx, func(pi int, party string) error {
-			var resp RankingBatchResp
-			if err := l.call(ctx, party, MethodRankingBatch,
-				&RankingBatchReq{Query: query, Offset: depth, Count: l.batch}, &resp); err != nil {
-				return fmt.Errorf("vfl: TA ranking from %s: %w", party, err)
-			}
-			batches[pi] = resp.PseudoIDs
-			return nil
-		})
-		if err != nil {
-			return nil, nil, stats, err
+		var round *taRoundResult
+		if spec != nil {
+			round, spec = spec.join(), nil
+		} else {
+			round = l.taRound(ctx, query, depth, seen)
 		}
-		var newIDs []int
-		exhausted := true
-		for _, batch := range batches {
-			if len(batch) > 0 {
-				exhausted = false
-			}
-			for _, pid := range batch {
-				if !seen[pid] {
-					seen[pid] = true
-					newIDs = append(newIDs, pid)
-				}
-			}
+		if round.err != nil {
+			return nil, nil, stats, round.err
+		}
+		// Commit the round: only now do its candidates enter the scan state.
+		for _, pid := range round.newIDs {
+			seen[pid] = true
 		}
 		stats.Rounds++
 		depth += l.batch
-
-		// Random access: aggregated ciphertexts for the new candidates.
-		if len(newIDs) > 0 {
-			req := &AggregateCandidatesReq{Query: query, PseudoIDs: newIDs, Adaptive: l.padaptive, Delta: l.delta}
-			var col *collected
-			for attempt := 0; ; attempt++ {
-				var resp AggregateCandidatesResp
-				if err := l.call(ctx, l.agg, MethodAggregateCandidates, req, &resp); err != nil {
-					return nil, nil, stats, err
-				}
-				var rerr error
-				col, rerr = l.resolveCollected(query, newIDs, resp.Aggregated, nil,
-					resp.CachedBlocks, resp.PackFactor, resp.PackBits, resp.PackAdds, l.delta)
-				if rerr != nil {
-					if l.deltaMissRetry(rerr, attempt) {
-						req.NoCache = true
-						continue
-					}
-					return nil, nil, stats, fmt.Errorf("vfl: TA aggregate round: %w", rerr)
-				}
-				break
-			}
-			vs, err := l.decryptCollected(ctx, col)
-			if err != nil {
-				return nil, nil, stats, fmt.Errorf("vfl: TA decrypting candidate: %w", err)
-			}
-			pids = append(pids, newIDs...)
-			dist = append(dist, vs...)
-			l.counts.Add(costmodel.Raw{Decryptions: int64(len(col.blobs))})
+		if len(round.newIDs) > 0 {
+			pids = append(pids, round.newIDs...)
+			dist = append(dist, round.dist...)
+			l.counts.Add(costmodel.Raw{Decryptions: int64(round.decrypts)})
 		}
-		if exhausted {
+		if round.exhausted {
 			break
+		}
+		if l.speculate {
+			spec = l.speculateRound(ctx, query, depth, seen)
 		}
 
 		// Threshold: τ bounds every unseen instance's complete distance from

@@ -5,9 +5,9 @@
 #   scripts/bench_compare.sh [candidate.json] [baseline.json]
 #
 # The candidate JSON's top-level key picks the gate set; a candidate with no
-# recognized top-level key (.packed / .wire / .encrypt / .payload / .soak),
-# and any recognized section missing a key the gates read, is itself a hard
-# failure — a renamed or dropped field must never silently pass. A `.packed` result (default
+# recognized top-level key (.packed / .wire / .encrypt / .payload / .churn /
+# .soak), and any recognized section missing a key the gates read, is itself a
+# hard failure — a renamed or dropped field must never silently pass. A `.packed` result (default
 # BENCH_packed.json, freshly produced by `make bench-packed`) must uphold the
 # absolute contracts of the packed pipeline regardless of machine:
 #
@@ -47,6 +47,16 @@
 #     MIN_PAYLOAD_REDUCTION over static packing,
 #   * delta-cache hits actually recorded on the delta arms.
 #
+# A `.churn` result (BENCH_churn.json, from `make bench-churn`) must show:
+#
+#   * the in-place join paying at least MIN_CHURN_HE_REDUCTION fewer
+#     encryptions than a cold rebuild at the same final membership (the
+#     delta cache spares every survivor; the base roster is floored at 6),
+#   * every churn arm — join, leave, roster revisit, speculative TA —
+#     selecting bit-identically to its cold or serial twin,
+#   * the roster revisit through the set-keyed similarity cache paying
+#     exactly 0 HE operations.
+#
 # A `.soak` result (SOAK_summary.json, from `make soak`) must carry the full
 # key set the soak gates computed — queries, qps, p50Ms, p99Ms, processes,
 # plus the multi-tenant arm's shardWorkers, mtSelections, mtSeqQps,
@@ -78,6 +88,7 @@ MIN_ENCRYPT_SPEEDUP=${MIN_ENCRYPT_SPEEDUP:-2.0}
 MIN_MONT_SPEEDUP=${MIN_MONT_SPEEDUP:-1.5}
 MIN_MONT_DECRYPT_RATIO=${MIN_MONT_DECRYPT_RATIO:-0.9}
 MIN_PAYLOAD_REDUCTION=${MIN_PAYLOAD_REDUCTION:-3.0}
+MIN_CHURN_HE_REDUCTION=${MIN_CHURN_HE_REDUCTION:-2.0}
 TOLERANCE=${TOLERANCE:-1.5}
 
 command -v jq >/dev/null || { echo "bench_compare: jq not found" >&2; exit 1; }
@@ -210,6 +221,48 @@ if jq -e '.payload' "$CANDIDATE" >/dev/null 2>&1; then
   fi
 fi
 
+# --- membership churn gates --------------------------------------------------
+if jq -e '.churn' "$CANDIDATE" >/dev/null 2>&1; then
+  recognized=1
+  for key in ColdEncryptions JoinEncryptions HEReduction BaseParties; do
+    require ".churn.${key}" "churn key ${key}" || true
+  done
+  if require '.churn.HEReduction' "churn HE-op reduction"; then
+    red=$(jq -r '.churn.HEReduction' "$CANDIDATE")
+    cold=$(jq -r '.churn.ColdEncryptions // "?"' "$CANDIDATE")
+    joine=$(jq -r '.churn.JoinEncryptions // "?"' "$CANDIDATE")
+    # The survivor-reuse contract only binds at non-trivial rosters; the
+    # benchmark floors the base membership at 6, and the gate re-checks it so
+    # a shrunken run can never pass trivially.
+    jq -e '.churn.BaseParties >= 6' "$CANDIDATE" >/dev/null \
+      || bad "churn base roster $(jq -r '.churn.BaseParties' "$CANDIDATE") below the 6-party floor"
+    jq -e --argjson min "$MIN_CHURN_HE_REDUCTION" '.churn.HEReduction >= $min' "$CANDIDATE" >/dev/null \
+      && say "incremental join cut encryptions ${red}x (cold $cold vs join $joine, floor ${MIN_CHURN_HE_REDUCTION}x)" \
+      || bad "incremental join cut encryptions only ${red}x (cold $cold vs join $joine), floor ${MIN_CHURN_HE_REDUCTION}x"
+  fi
+  for arm in JoinMatch LeaveMatch RevisitMatch TAMatch; do
+    if require ".churn.${arm}" "churn identity flag ${arm}"; then
+      if [ "$(jq -r ".churn.${arm}" "$CANDIDATE")" = "true" ]; then
+        say "churn arm ${arm%Match}: selected bit-identically to its cold/serial twin"
+      else
+        bad "churn arm ${arm%Match}: selected a DIFFERENT set than its cold/serial twin"
+      fi
+    fi
+  done
+  if require '.churn | has("RevisitHEOps")' "churn revisit HE-op count"; then
+    ops=$(jq -r '.churn.RevisitHEOps' "$CANDIDATE")
+    jq -e '.churn.RevisitHEOps == 0' "$CANDIDATE" >/dev/null \
+      && say "roster revisit paid 0 HE ops through the set-keyed similarity cache" \
+      || bad "roster revisit still paid $ops HE ops — the similarity cache did not engage"
+  fi
+  if require '.churn | has("TASpecWaste")' "speculative-TA waste counter"; then
+    waste=$(jq -r '.churn.TASpecWaste' "$CANDIDATE")
+    serial=$(jq -r '.churn.TASerialSeconds // "?"' "$CANDIDATE")
+    spec=$(jq -r '.churn.TASpecSeconds // "?"' "$CANDIDATE")
+    say "speculative TA: ${spec}s vs ${serial}s serial, $waste wasted decryptions surfaced in vfps_ta_speculative_waste_total"
+  fi
+fi
+
 # --- soak summary gates ------------------------------------------------------
 if jq -e '.soak' "$CANDIDATE" >/dev/null 2>&1; then
   recognized=1
@@ -260,7 +313,7 @@ fi
 
 if ! jq -e '.packed' "$CANDIDATE" >/dev/null 2>&1; then
   if [ "$recognized" -eq 0 ]; then
-    bad "candidate $CANDIDATE has no recognized top-level section (.packed / .wire / .encrypt / .payload / .soak)"
+    bad "candidate $CANDIDATE has no recognized top-level section (.packed / .wire / .encrypt / .payload / .churn / .soak)"
   fi
   if [ "$fail" -ne 0 ]; then
     echo "bench_compare: REGRESSION DETECTED" >&2

@@ -18,7 +18,11 @@
 #                   error counter are exposed,
 #   * sharding:     with SOAK_SHARD_WORKERS >= 2 the reduce runs through the
 #                   aggworker processes (their spans join the trace forest and
-#                   the delta-cache hits move to them).
+#                   the delta-cache hits move to them),
+#   * churn:        an HTTP join/select/leave cycle on a live consortium
+#                   returns the roster to its original membership and the
+#                   post-churn selection is bit-identical to the pre-churn
+#                   one; removing an unknown participant 404s.
 #
 # It then runs the multi-tenant load arm: an admission-controlled vfpsserve
 # multiplexes SOAK_MT_CONSORTIUMS sharded consortiums, first sequentially and
@@ -259,6 +263,36 @@ curl -sf -X POST "http://${SERVE_ADDR}/v1/consortiums/${CID}/select" \
 SLOW_COUNT=$(curl -sf "http://${SERVE_ADDR}/v1/slow" | jq '.count')
 [ "${SLOW_COUNT}" -ge 1 ] || die "/v1/slow is empty after a selection"
 say "/v1/slow retains ${SLOW_COUNT} event(s)"
+
+# --- membership churn over HTTP ----------------------------------------------
+# Join a participant in place, select, leave it again, and require the
+# post-churn selection to match the pre-churn one bit for bit: the roster
+# returned to its original membership, so online churn must be invisible to
+# the answer. The bogus-index removal must 404 without disturbing the roster.
+say "membership churn probe: join, select, leave on consortium ${CID}"
+PRE_SEL=$(curl -sf -X POST "http://${SERVE_ADDR}/v1/consortiums/${CID}/select" \
+    -d '{"count":2,"k":4,"numQueries":6,"seed":1}' | jq -c '.selected')
+JOIN=$(curl -sf -X POST "http://${SERVE_ADDR}/v1/consortiums/${CID}/participants" \
+    -d '{"cloneOf":0,"noise":0.05,"seed":7}') || die "participant join failed"
+JOIN_NAME=$(echo "${JOIN}" | jq -r '.name')
+JOIN_PARTIES=$(echo "${JOIN}" | jq '.parties')
+[ "${JOIN_PARTIES}" -eq 4 ] || die "join left ${JOIN_PARTIES} parties, want 4"
+curl -sf "http://${SERVE_ADDR}/v1/consortiums/${CID}" \
+    | jq -e --arg n "${JOIN_NAME}" '.partyNames | index($n) != null' >/dev/null \
+    || die "joined participant ${JOIN_NAME} missing from partyNames"
+curl -sf -X POST "http://${SERVE_ADDR}/v1/consortiums/${CID}/select" \
+    -d '{"count":2,"k":4,"numQueries":6,"seed":1}' >/dev/null \
+    || die "post-join selection failed"
+BOGUS_CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+    -X DELETE "http://${SERVE_ADDR}/v1/consortiums/${CID}/participants/9")
+[ "${BOGUS_CODE}" = "404" ] || die "removing unknown participant got HTTP ${BOGUS_CODE}, want 404"
+LEAVE_PARTIES=$(curl -sf -X DELETE "http://${SERVE_ADDR}/v1/consortiums/${CID}/participants/3" \
+    | jq '.parties') || die "participant leave failed"
+[ "${LEAVE_PARTIES}" -eq 3 ] || die "leave left ${LEAVE_PARTIES} parties, want 3"
+POST_SEL=$(curl -sf -X POST "http://${SERVE_ADDR}/v1/consortiums/${CID}/select" \
+    -d '{"count":2,"k":4,"numQueries":6,"seed":1}' | jq -c '.selected')
+[ "${POST_SEL}" = "${PRE_SEL}" ] || die "selection changed across join+leave churn: ${PRE_SEL} -> ${POST_SEL}"
+say "churn probe: roster 3 -> 4 -> 3, selection stable at ${POST_SEL}"
 
 METRICS="${WORK}/metrics.txt"
 curl -sf "http://${SERVE_ADDR}/metrics" > "${METRICS}" || die "collector /metrics scrape failed"

@@ -30,6 +30,7 @@ package vfps
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"vfps/internal/baselines"
@@ -37,6 +38,7 @@ import (
 	"vfps/internal/costmodel"
 	"vfps/internal/dataset"
 	"vfps/internal/he"
+	"vfps/internal/mat"
 	"vfps/internal/obs"
 	"vfps/internal/vfl"
 )
@@ -161,6 +163,18 @@ type Config struct {
 	// the VFPS_WIRE environment variable, then "gob". Selection results are
 	// bit-identical across codecs; only bytes on the wire change.
 	Wire string
+	// SpeculateTA lets the leader's threshold-variant scan decrypt round r+1
+	// concurrently with evaluating round r's stop condition; a speculation the
+	// threshold invalidates is discarded and its decryptions are surfaced as
+	// vfps_ta_speculative_waste_total (never in the cost counters, which stay
+	// identical to the serial scan). Selections are bit-identical either way.
+	SpeculateTA bool
+	// SimCache memoises similarity reports by (roster, query set, variant, K)
+	// across this consortium's selections: a selection whose membership and
+	// parameters recur skips the encrypted similarity phase entirely. Exact —
+	// the replayed W is the one a fresh run would compute — but opt-in, since
+	// it short-circuits the per-run cost profile benchmarks measure.
+	SimCache bool
 	// Obs installs metrics and tracing on every role of the consortium. Nil
 	// falls back to the process default observer (obs.SetDefault); when that
 	// is also unset, observability stays disabled at no measurable cost.
@@ -177,6 +191,15 @@ type Consortium struct {
 	pt      *Partition
 	labels  []int
 	classes int
+
+	// mu guards the churn-era state below. It intentionally does NOT fence
+	// selections against membership changes — callers that interleave them
+	// hold their own lock (the server layer uses a per-consortium run lock).
+	mu       sync.Mutex
+	simCache *core.SimCache
+	// lastSelected remembers the most recent selection as the default prior
+	// for the "warm" optimizer.
+	lastSelected []int
 }
 
 // NewConsortium builds the full in-process deployment: key server,
@@ -206,6 +229,7 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 		ChunkBytes:    cfg.ChunkBytes,
 		DeltaCache:    cfg.DeltaCache,
 		ShardWorkers:  cfg.ShardWorkers,
+		SpeculateTA:   cfg.SpeculateTA,
 		PackHint:      cfg.PackWidthHint,
 		EncryptWindow: cfg.EncryptWindow,
 		Mont:          cfg.Mont,
@@ -217,7 +241,14 @@ func NewConsortium(ctx context.Context, cfg Config) (*Consortium, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Consortium{cluster: cl, pt: cfg.Partition, labels: cfg.Labels, classes: cfg.Classes}, nil
+	cons := &Consortium{cluster: cl, pt: cfg.Partition, labels: cfg.Labels, classes: cfg.Classes}
+	if cfg.SimCache {
+		cons.simCache = core.NewSimCache(0)
+		if cfg.Obs != nil {
+			core.DeclareSimCacheMetrics(cfg.Obs.Registry())
+		}
+	}
+	return cons, nil
 }
 
 // Close releases the consortium's background resources (randomizer
@@ -234,8 +265,42 @@ func (c *Consortium) PackWidthHint() int { return c.cluster.Agg.PackHint() }
 // runs (0 when the tree reduce is unsharded).
 func (c *Consortium) ShardWorkers() int { return len(c.cluster.Workers) }
 
-// P returns the number of participants.
-func (c *Consortium) P() int { return c.pt.P() }
+// P returns the current number of participants, reflecting any membership
+// changes since construction.
+func (c *Consortium) P() int { return c.cluster.Leader.P() }
+
+// PartyNames returns the current roster's node names in index order.
+func (c *Consortium) PartyNames() []string { return c.cluster.PartyNames() }
+
+// AddParticipant joins a new participant holding the given feature rows
+// (one row per data instance, matching N) to the running consortium. The
+// deployment is rewired in place — no teardown, surviving nodes keep their
+// caches — so a re-selection after the join pays encryption only for the
+// joiner's blocks when the delta cache is on. Returns the new party's node
+// name. Not supported under the "secagg" scheme. Callers must not run a
+// selection concurrently; the server layer fences with its per-consortium
+// run lock.
+func (c *Consortium) AddParticipant(features [][]float64) (string, error) {
+	if len(features) != c.N() {
+		return "", fmt.Errorf("vfps: joiner has %d rows, consortium holds %d", len(features), c.N())
+	}
+	if len(features[0]) == 0 {
+		return "", fmt.Errorf("vfps: joiner holds no features")
+	}
+	for i, r := range features {
+		if len(r) != len(features[0]) {
+			return "", fmt.Errorf("vfps: joiner row %d has %d features, row 0 has %d", i, len(r), len(features[0]))
+		}
+	}
+	return c.cluster.AddParticipant(mat.FromRows(features))
+}
+
+// RemoveParticipant removes the participant with the given index (the i in
+// its party/<i> node name) and rewires the deployment in place. The last
+// participant cannot be removed. Not supported under the "secagg" scheme.
+func (c *Consortium) RemoveParticipant(index int) error {
+	return c.cluster.RemoveParticipant(index)
+}
 
 // N returns the number of data instances.
 func (c *Consortium) N() int { return c.pt.Parties[0].Rows }
@@ -262,8 +327,14 @@ type SelectOptions struct {
 	// "threshold" (leader-assisted Threshold Algorithm). Takes precedence
 	// over Base when set.
 	TopK string
-	// Optimizer is "greedy" (default), "lazy" or "stochastic".
+	// Optimizer is "greedy" (default), "lazy", "stochastic", or "warm" — the
+	// last revalidates a prior selection and repairs only displaced picks,
+	// producing exactly the greedy answer. The prior is WarmStart when set,
+	// otherwise the consortium's own most recent selection.
 	Optimizer string
+	// WarmStart overrides the "warm" optimizer's prior selection. Ignored by
+	// the other optimizers.
+	WarmStart []int
 	// Parallelism bounds concurrent in-flight queries during the similarity
 	// phase (default 1). Results are identical to the sequential run.
 	Parallelism int
@@ -302,14 +373,30 @@ func (c *Consortium) Select(ctx context.Context, count int, opts SelectOptions) 
 	if opts.TopK != "" {
 		variant = vfl.Variant(opts.TopK)
 	}
-	return core.Select(ctx, c.cluster.Leader, count, core.Config{
+	c.mu.Lock()
+	prior := opts.WarmStart
+	if prior == nil {
+		prior = c.lastSelected
+	}
+	cache := c.simCache
+	c.mu.Unlock()
+	sel, err := core.Select(ctx, c.cluster.Leader, count, core.Config{
 		K:           opts.k(),
 		Queries:     c.queriesFor(opts),
 		Variant:     variant,
 		Optimizer:   core.Optimizer(opts.Optimizer),
 		Seed:        opts.Seed,
 		Parallelism: opts.Parallelism,
+		WarmStart:   prior,
+		Cache:       cache,
 	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.lastSelected = append([]int(nil), sel.Selected...)
+	c.mu.Unlock()
+	return sel, nil
 }
 
 // AdaptiveOptions tunes SelectAdaptive: selection that adds query batches
@@ -337,6 +424,12 @@ func (c *Consortium) SelectAdaptive(ctx context.Context, count int, opts Adaptiv
 	if opts.TopK != "" {
 		variant = vfl.Variant(opts.TopK)
 	}
+	c.mu.Lock()
+	prior := opts.WarmStart
+	if prior == nil {
+		prior = c.lastSelected
+	}
+	c.mu.Unlock()
 	return core.SelectAdaptive(ctx, c.cluster.Leader, count, core.AdaptiveConfig{
 		Config: core.Config{
 			K:           opts.k(),
@@ -345,6 +438,7 @@ func (c *Consortium) SelectAdaptive(ctx context.Context, count int, opts Adaptiv
 			Optimizer:   core.Optimizer(opts.Optimizer),
 			Seed:        opts.Seed,
 			Parallelism: opts.Parallelism,
+			WarmStart:   prior,
 		},
 		ChunkSize:  opts.ChunkSize,
 		Tolerance:  opts.Tolerance,
